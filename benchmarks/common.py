@@ -1,0 +1,136 @@
+"""Shared infrastructure of the benchmark harness.
+
+Every benchmark regenerates one figure (or analysis) of the paper's
+evaluation on a laptop-scale synthetic workload.  The paper's cluster
+processed ~1.4 million tweets at 1300 tweets/s over 6 hours; the harness
+shrinks that to a few thousand documents while preserving the ratios that
+matter (window size vs. stream length, quality-check cadence, dynamics per
+window).  Arrival rates are scaled down by :data:`RATE_SCALE` so that a run
+still spans several simulated minutes and the trend dynamics (new topics,
+decaying topics) that drive repartitions are exercised.
+
+Results are cached per (algorithm, parameter, value) cell so that Figures
+3–6, 8 and 9, which all read the same sweep, only pay for it once per
+pytest session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.documents import Document
+from repro.pipeline import RunReport, SystemConfig, TagCorrelationSystem
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+#: The four algorithms compared in every figure.
+ALGORITHMS = ("DS", "SCI", "SCC", "SCL")
+
+#: Documents per benchmark run (the paper: ~1.4 M over the whole experiment).
+N_DOCUMENTS = 6000
+
+#: The paper's arrival rates divided by this factor drive the simulated clock,
+#: so that a 6 000-document run spans minutes of simulated time (enough for
+#: trend dynamics) instead of a few seconds.
+RATE_SCALE = 26.0
+
+#: Parameter grid of Section 8.1.
+PARAMETER_GRID = {
+    "repartition_threshold": [0.2, 0.5],
+    "n_partitioners": [3, 5, 10],
+    "k": [5, 10, 20],
+    "tps": [1300, 2600],
+}
+
+#: Default parameter values (Section 8.2): P=10, k=10, thr=0.5, tps=1300.
+DEFAULTS = {
+    "repartition_threshold": 0.5,
+    "n_partitioners": 10,
+    "k": 10,
+    "tps": 1300,
+}
+
+
+@lru_cache(maxsize=None)
+def workload(tps: int = 1300, n_documents: int = N_DOCUMENTS, seed: int = 42) -> tuple[Document, ...]:
+    """The synthetic stand-in for the paper's 6-hour Twitter trace."""
+    config = WorkloadConfig(
+        tweets_per_second=tps / RATE_SCALE,
+        n_topics=200,
+        tags_per_topic=18,
+        topic_skew=1.0,
+        tag_skew=1.0,
+        intra_topic_probability=0.92,
+        new_topic_rate=6.0,
+        topic_decay_rate=0.004,
+        seed=seed,
+    )
+    return tuple(TwitterLikeGenerator(config).generate(n_documents))
+
+
+def system_config(algorithm: str, **overrides) -> SystemConfig:
+    """Scaled-down equivalent of the Section 8.2 configuration."""
+    config = SystemConfig(
+        algorithm=algorithm,
+        k=DEFAULTS["k"],
+        n_partitioners=DEFAULTS["n_partitioners"],
+        repartition_threshold=DEFAULTS["repartition_threshold"],
+        window_mode="count",
+        window_size=1500,          # "previous 5 minutes" scaled to the stream
+        bootstrap_documents=600,
+        quality_check_interval=250,  # "every 1000 notified tagsets", scaled
+        report_interval_seconds=60.0,
+        single_addition_threshold=3,
+    )
+    return config.with_overrides(**overrides) if overrides else config
+
+
+@lru_cache(maxsize=None)
+def run_cell(algorithm: str, parameter: str, value: float) -> RunReport:
+    """Run one (algorithm, parameter=value) cell of the evaluation grid."""
+    overrides = {}
+    tps = DEFAULTS["tps"]
+    if parameter == "tps":
+        tps = int(value)
+    elif parameter != "default":
+        overrides[parameter] = value
+    config = system_config(algorithm, **overrides)
+    documents = list(workload(tps=tps))
+    return TagCorrelationSystem(config).run(documents)
+
+
+def default_report(algorithm: str) -> RunReport:
+    """The default-parameter run of one algorithm (used by Figures 8 and 9)."""
+    return run_cell(algorithm, "default", 0)
+
+
+def sweep(parameter: str) -> dict[str, dict[float, RunReport]]:
+    """All algorithms over all values of one parameter."""
+    return {
+        algorithm: {
+            value: run_cell(algorithm, parameter, value)
+            for value in PARAMETER_GRID[parameter]
+        }
+        for algorithm in ALGORITHMS
+    }
+
+
+def print_figure_table(
+    title: str,
+    parameter: str,
+    metric: str,
+    reports: dict[str, dict[float, RunReport]],
+    paper_note: str = "",
+) -> None:
+    """Print one figure's series in the paper's layout (rows = parameter)."""
+    print()
+    print(f"=== {title} ===")
+    if paper_note:
+        print(f"    paper: {paper_note}")
+    header = f"{parameter:>24} " + "".join(f"{algo:>10}" for algo in ALGORITHMS)
+    print(header)
+    values = sorted(next(iter(reports.values())).keys())
+    for value in values:
+        row = f"{value:>24} "
+        for algorithm in ALGORITHMS:
+            row += f"{reports[algorithm][value].summary()[metric]:>10.3f}"
+        print(row)

@@ -1,0 +1,106 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **Hybrid DS+SCL** (Section 8.3 "lessons learned"): splitting over-sized
+  disjoint sets recovers load balance while keeping communication far below
+  SCL.
+* **Single-addition threshold sn**: smaller thresholds cover new tagsets
+  sooner (better accuracy) at the cost of more single additions.
+* **Graph-partitioning baselines** (Section 2): Kernighan–Lin and spectral
+  partitioning of the tagset graph, plus the hash/random strawmen, compared
+  on the same windows the online algorithms use.
+"""
+
+import pytest
+
+import common
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.metrics import gini_coefficient
+from repro.partitioning import make_partitioner
+from repro.pipeline import TagCorrelationSystem
+
+
+@pytest.fixture(scope="module")
+def window_statistics():
+    documents = list(common.workload(n_documents=4000))
+    return CooccurrenceStatistics.from_documents(documents)
+
+
+def offline_quality(assignment, statistics):
+    tagsets = statistics.tagsets
+    loads = assignment.expected_calculator_loads(tagsets)
+    return {
+        "communication": assignment.communication_load(tagsets),
+        "gini": gini_coefficient(loads),
+        "coverage": assignment.coverage(tagsets),
+    }
+
+
+def test_ablation_hybrid_splitting(benchmark, window_statistics):
+    """DS vs DS+SCL vs SCL on one window (offline comparison)."""
+    k = 10
+    rows = {}
+    for name in ("DS", "DS+SCL", "SCL"):
+        partitioner = make_partitioner(name)
+        assignment = benchmark.pedantic(
+            partitioner.partition, args=(window_statistics, k), rounds=1, iterations=1
+        ) if name == "DS" else partitioner.partition(window_statistics, k)
+        rows[name] = offline_quality(assignment, window_statistics)
+    print()
+    print("=== Ablation - splitting over-sized disjoint sets (Section 8.3) ===")
+    print(f"{'algorithm':>10} {'communication':>15} {'gini':>8} {'coverage':>10}")
+    for name, row in rows.items():
+        print(
+            f"{name:>10} {row['communication']:>15.3f} {row['gini']:>8.3f} "
+            f"{row['coverage']:>10.3f}"
+        )
+    assert rows["DS"]["communication"] <= rows["DS+SCL"]["communication"]
+    assert rows["DS+SCL"]["communication"] <= rows["SCL"]["communication"] + 1e-9
+    assert rows["DS+SCL"]["gini"] <= rows["DS"]["gini"] + 1e-9
+    for row in rows.values():
+        assert row["coverage"] == 1.0
+
+
+def test_ablation_single_addition_threshold(benchmark):
+    """Effect of the occurrence threshold sn on additions and accuracy."""
+    documents = list(common.workload())
+    rows = {}
+    for sn in (1, 3, 6):
+        config = common.system_config("DS", single_addition_threshold=sn)
+        report = TagCorrelationSystem(config).run(documents)
+        rows[sn] = report
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("=== Ablation - single-addition threshold sn ===")
+    print(f"{'sn':>4} {'additions':>10} {'coverage':>10} {'error':>8} {'communication':>15}")
+    for sn, report in rows.items():
+        print(
+            f"{sn:>4} {report.single_additions_applied:>10} "
+            f"{report.jaccard_coverage:>10.3f} {report.jaccard_mean_error:>8.4f} "
+            f"{report.communication_avg:>15.3f}"
+        )
+    # A lower threshold reacts to new tagsets at least as eagerly.
+    assert rows[1].single_additions_applied >= rows[6].single_additions_applied
+
+
+def test_ablation_graph_partitioning_baselines(benchmark, window_statistics):
+    """Classic graph partitioning vs the paper's online algorithms."""
+    k = 10
+    rows = {}
+    for name in ("DS", "SCC", "HASH", "RANDOM", "KL", "SPECTRAL"):
+        partitioner = make_partitioner(name)
+        assignment = partitioner.partition(window_statistics, k)
+        rows[name] = offline_quality(assignment, window_statistics)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("=== Ablation - classic graph partitioning baselines (Section 2) ===")
+    print(f"{'algorithm':>10} {'communication':>15} {'gini':>8} {'coverage':>10}")
+    for name, row in rows.items():
+        print(
+            f"{name:>10} {row['communication']:>15.3f} {row['gini']:>8.3f} "
+            f"{row['coverage']:>10.3f}"
+        )
+    for name, row in rows.items():
+        assert row["coverage"] == 1.0, name
+    # Hash/random partitioning replicates far more than DS.
+    assert rows["DS"]["communication"] < rows["HASH"]["communication"]
+    assert rows["DS"]["communication"] < rows["RANDOM"]["communication"]

@@ -1,0 +1,49 @@
+"""Figure 3: average communication per received tagset.
+
+The paper varies the repartition threshold, the number of Partitioners, the
+number of partitions and the arrival rate, and reports the average number of
+messages the Disseminator sends to Calculators per routed tagset.  Expected
+shape: DS lowest (≈1, zero replication by construction), SCL highest
+(optimises only load), SCI worse than SCC, and the number of partitions k is
+the dominant parameter.
+"""
+
+import pytest
+
+import common
+
+
+@pytest.mark.parametrize("parameter", list(common.PARAMETER_GRID))
+def test_fig3_communication(benchmark, parameter):
+    reports = common.sweep(parameter)
+    benchmark.pedantic(
+        lambda: common.run_cell.__wrapped__("DS", parameter, common.PARAMETER_GRID[parameter][0]),
+        rounds=1,
+        iterations=1,
+    )
+    common.print_figure_table(
+        f"Figure 3 - Communication (varying {parameter})",
+        parameter,
+        "communication",
+        reports,
+        paper_note="DS lowest (~1), SCL highest (3-4.5); k is the dominant parameter",
+    )
+    for value in common.PARAMETER_GRID[parameter]:
+        ds = reports["DS"][value].communication_avg
+        scl = reports["SCL"][value].communication_avg
+        scc = reports["SCC"][value].communication_avg
+        # DS replicates (almost) nothing; SCL pays the most communication.
+        assert ds <= scc + 1e-9
+        assert ds < scl
+        assert scl <= reports["SCL"][value].config.k
+
+
+def test_fig3_k_is_dominant_parameter(benchmark):
+    """Communication of SCL grows with k (Figure 3c) while DS stays flat."""
+    reports = common.sweep("k")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    small_k = reports["SCL"][5].communication_avg
+    large_k = reports["SCL"][20].communication_avg
+    assert large_k > small_k
+    # DS stays close to 1 regardless of k (no replication by construction).
+    assert reports["DS"][20].communication_avg < 2.0

@@ -1,0 +1,34 @@
+"""Figure 4: Gini coefficient of the Calculators' processing load.
+
+Expected shape: SCL (which optimises load balance) has the lowest Gini, DS
+the highest; more partitions make balancing harder for every algorithm.
+"""
+
+import pytest
+
+import common
+
+
+@pytest.mark.parametrize("parameter", list(common.PARAMETER_GRID))
+def test_fig4_load_gini(benchmark, parameter):
+    reports = common.sweep(parameter)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    common.print_figure_table(
+        f"Figure 4 - Processing load Gini (varying {parameter})",
+        parameter,
+        "load_gini",
+        reports,
+        paper_note="SCL lowest (<0.1), DS highest (0.3-0.6)",
+    )
+    for value in common.PARAMETER_GRID[parameter]:
+        scl = reports["SCL"][value].load_gini
+        ds = reports["DS"][value].load_gini
+        assert scl <= ds
+        assert scl < 0.35
+
+
+def test_fig4_scl_beats_all_on_default_config(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    reports = {algo: common.default_report(algo) for algo in common.ALGORITHMS}
+    scl = reports["SCL"].load_gini
+    assert all(scl <= reports[algo].load_gini + 1e-9 for algo in common.ALGORITHMS)

@@ -1,0 +1,52 @@
+"""Figure 5: average error of the reported Jaccard coefficients.
+
+The distributed coefficients are compared against a centralised exact
+computation over the whole run, restricted to tagsets seen more than
+``sn = 3`` times.  The paper additionally reports that all algorithms cover
+more than 97 % of those tagsets; on the short scaled-down streams used here
+the coverage is lower (the bootstrap phase is a larger fraction of the run)
+but the error magnitudes and the ordering (DS most accurate) are preserved.
+"""
+
+import pytest
+
+import common
+
+
+@pytest.mark.parametrize("parameter", list(common.PARAMETER_GRID))
+def test_fig5_jaccard_error(benchmark, parameter):
+    reports = common.sweep(parameter)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    common.print_figure_table(
+        f"Figure 5 - Jaccard error, tagsets seen > 3 times (varying {parameter})",
+        parameter,
+        "jaccard_error",
+        reports,
+        paper_note="errors in 0.01-0.16; DS generally the most accurate",
+    )
+    common.print_figure_table(
+        f"Section 8.2.3 - coverage of qualifying tagsets (varying {parameter})",
+        parameter,
+        "jaccard_coverage",
+        reports,
+        paper_note=">97% on the 6-hour trace; lower here because the bootstrap "
+        "phase is a larger fraction of the scaled-down stream",
+    )
+    for value in common.PARAMETER_GRID[parameter]:
+        for algorithm in common.ALGORITHMS:
+            report = reports[algorithm][value]
+            assert 0.0 <= report.jaccard_mean_error <= 0.3
+            # Coverage is far below the paper's 97% on these short streams
+            # because the bootstrap phase is a large fraction of the run; it
+            # must still be substantial (see EXPERIMENTS.md for discussion).
+            assert report.jaccard_coverage > 0.3
+            assert report.coefficients_reported > 0
+
+
+def test_fig5_every_algorithm_reports_most_frequent_tagsets(benchmark):
+    """Frequent tagsets must receive a coefficient under every algorithm."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for algorithm in common.ALGORITHMS:
+        report = common.default_report(algorithm)
+        assert report.jaccard is not None
+        assert report.jaccard.n_compared > 0

@@ -1,0 +1,58 @@
+"""Figure 6: number of repartitions, broken down by trigger.
+
+A repartition is requested when the rolling communication or load statistics
+exceed their reference values by more than the threshold ``thr``.  The paper
+observes that DS repartitions are caused by load imbalance while SCC and SCI
+repartition because of communication overhead, and that SCL/SCI do not
+manage to reduce repartitions at a larger threshold.
+"""
+
+import pytest
+
+import common
+
+REASONS = ("communication", "both", "load")
+
+
+def print_repartition_table(parameter, reports):
+    print()
+    print(f"=== Figure 6 - Repartitions by trigger (varying {parameter}) ===")
+    print("    paper: DS triggered by load, SCC/SCI by communication; up to ~550 "
+          "repartitions over 1.4M documents (~1 per 2.5k documents)")
+    header = f"{parameter:>24} {'algorithm':>10} {'comm':>8} {'both':>8} {'load':>8} {'total':>8}"
+    print(header)
+    for value in sorted(next(iter(reports.values())).keys()):
+        for algorithm in common.ALGORITHMS:
+            report = reports[algorithm][value]
+            reasons = report.repartition_reasons
+            print(
+                f"{value:>24} {algorithm:>10} "
+                f"{reasons.get('communication', 0):>8} "
+                f"{reasons.get('both', 0):>8} "
+                f"{reasons.get('load', 0):>8} "
+                f"{report.n_repartitions:>8}"
+            )
+
+
+@pytest.mark.parametrize("parameter", list(common.PARAMETER_GRID))
+def test_fig6_repartitions(benchmark, parameter):
+    reports = common.sweep(parameter)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_repartition_table(parameter, reports)
+    for value in common.PARAMETER_GRID[parameter]:
+        for algorithm in common.ALGORITHMS:
+            report = reports[algorithm][value]
+            # Reason breakdown must be consistent with the total.
+            assert sum(report.repartition_reasons.values()) == report.n_repartitions
+            assert all(reason in REASONS for reason in report.repartition_reasons)
+
+
+def test_fig6_dynamics_produce_repartitions(benchmark):
+    """Across the default grid at least some repartitions must be triggered;
+    otherwise the dynamics of Section 7 were never exercised."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    total = sum(
+        common.default_report(algorithm).n_repartitions
+        for algorithm in common.ALGORITHMS
+    )
+    assert total >= 1

@@ -1,0 +1,65 @@
+"""Figure 7: connectivity of the tagset graph per window size.
+
+For non-overlapping windows of 2/5/10/20 minutes the paper measures the
+maximum share of tags in one connected component, the maximum share of
+documents touching one component, and the number of components per window.
+Expected shape: all three grow with the window size; the largest component
+stays a modest fraction of the tags for short windows, which is what makes
+the DS algorithm viable.
+"""
+
+import pytest
+
+import common
+from repro.analysis.connectivity import connectivity_by_window_size
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+WINDOW_MINUTES = (2, 5, 10, 20)
+
+
+@pytest.fixture(scope="module")
+def connectivity_reports():
+    # A dedicated slower stream: ~80 simulated minutes so that even the
+    # 20-minute windows repeat, with a broad topic population and little
+    # cross-topic mixing (the regime of the paper's measurement).
+    config = WorkloadConfig(
+        tweets_per_second=3.0,
+        n_topics=500,
+        tags_per_topic=15,
+        intra_topic_probability=0.985,
+        new_topic_rate=2.0,
+        topic_decay_rate=0.001,
+        seed=7,
+    )
+    documents = TwitterLikeGenerator(config).generate(15000)
+    return connectivity_by_window_size(documents, window_sizes_minutes=WINDOW_MINUTES)
+
+
+def test_fig7_connectivity(benchmark, connectivity_reports):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("=== Figure 7 - Tagset connectivity per window size ===")
+    print("    paper: max tags% ~5-25, max load% ~10-35, #components grows with window")
+    print(f"{'window (min)':>14} {'max tags %':>12} {'max load %':>12} {'#components':>14} {'np':>8}")
+    for minutes in WINDOW_MINUTES:
+        report = connectivity_reports[minutes]
+        print(
+            f"{minutes:>14} {report.max_tag_percentage():>12.1f} "
+            f"{report.max_load_percentage():>12.1f} {report.mean_components():>14.1f} "
+            f"{report.mean_np():>8.2f}"
+        )
+    small = connectivity_reports[WINDOW_MINUTES[0]]
+    large = connectivity_reports[WINDOW_MINUTES[-1]]
+    # Larger windows mix more topics: the dominant component grows.
+    assert large.max_tag_percentage() >= small.max_tag_percentage() - 1.0
+    assert large.max_load_percentage() >= small.max_load_percentage() - 1.0
+    # No window is ever dominated by a single component covering all tags.
+    for minutes in WINDOW_MINUTES:
+        assert connectivity_reports[minutes].max_tag_percentage() < 80.0
+
+
+def test_fig7_np_grows_with_window(benchmark, connectivity_reports):
+    """The empirical n*p grows with window length, as Section 5.1 predicts."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    np_values = [connectivity_reports[m].mean_np() for m in WINDOW_MINUTES]
+    assert np_values[-1] >= np_values[0]

@@ -1,0 +1,39 @@
+"""Figure 8: evolution of the communication between repartitions.
+
+The paper plots the rolling average communication against the number of
+processed documents, with vertical lines at repartitions: communication
+creeps up while single additions accumulate and drops again after each
+repartition.
+"""
+
+import pytest
+
+import common
+from repro.analysis.timeseries import communication_series
+
+
+@pytest.mark.parametrize("algorithm", common.ALGORITHMS)
+def test_fig8_communication_over_time(benchmark, algorithm):
+    report = common.default_report(algorithm)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    series = communication_series(report.history, report.repartition_events)
+    print()
+    print(f"=== Figure 8 - Communication over time ({algorithm}) ===")
+    print("    paper: communication increases between repartitions, drops after each")
+    print(f"{'documents':>12} {'avg communication':>20}")
+    for documents, value in zip(series.documents, series.communication):
+        marker = "  <- repartition" if documents in series.repartition_documents else ""
+        print(f"{documents:>12} {value:>20.3f}{marker}")
+    assert len(series.documents) >= 2
+    assert all(value >= 1.0 for value in series.communication)
+    # The rolling statistic stays within the window the quality monitor
+    # enforces: never more than (1 + thr) times the reference for long.
+    assert max(series.communication) <= report.config.k
+
+
+def test_fig8_ds_stays_near_one(benchmark):
+    """DS communication never drifts far from 1 (zero replication design)."""
+    report = common.default_report("DS")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    series = communication_series(report.history, report.repartition_events)
+    assert max(series.communication) < 2.5

@@ -1,0 +1,44 @@
+"""Figure 9: evolution of the sorted per-Calculator load shares.
+
+The paper plots, per quality check, the load share of the most loaded
+Calculator, the second most loaded, and so on.  For DS one Calculator
+carries clearly more load than the rest; for SCL the lines stay close
+together throughout the run.
+"""
+
+import pytest
+
+import common
+from repro.analysis.timeseries import load_series
+
+
+@pytest.mark.parametrize("algorithm", common.ALGORITHMS)
+def test_fig9_load_over_time(benchmark, algorithm):
+    report = common.default_report(algorithm)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    series = load_series(report.history, report.repartition_events)
+    print()
+    print(f"=== Figure 9 - Sorted Calculator load shares over time ({algorithm}) ===")
+    print("    paper: DS has one clearly dominant Calculator; SCL lines stay close")
+    print(f"{'documents':>12} {'max share':>12} {'median share':>14} {'min share':>12}")
+    for documents, shares in zip(series.documents, series.shares):
+        marker = "  <- repartition" if documents in series.repartition_documents else ""
+        median = shares[len(shares) // 2]
+        print(
+            f"{documents:>12} {shares[0]:>12.3f} {median:>14.3f} {shares[-1]:>12.3f}{marker}"
+        )
+    assert len(series.documents) >= 2
+    for shares in series.shares:
+        assert shares[0] >= shares[-1]
+        assert sum(shares) == pytest.approx(1.0)
+
+
+def test_fig9_scl_stays_more_balanced_than_ds(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ds = common.default_report("DS")
+    scl = common.default_report("SCL")
+    ds_series = load_series(ds.history, ds.repartition_events)
+    scl_series = load_series(scl.history, scl.repartition_events)
+    ds_mean_max = sum(s[0] for s in ds_series.shares) / len(ds_series.shares)
+    scl_mean_max = sum(s[0] for s in scl_series.shares) / len(scl_series.shares)
+    assert scl_mean_max <= ds_mean_max

@@ -1,0 +1,94 @@
+"""Section 5: analytic models (disjoint-set feasibility and communication).
+
+Section 5.1 derives ``n*p`` values for the tag co-occurrence graph under an
+Erdős–Rényi model (np < 1 means no giant component, i.e. the DS algorithm is
+applicable); Section 5.2 derives the expected communication load of random
+equal-sized partitions as a function of vocabulary size and tags per tweet.
+This benchmark reproduces both tables and checks them against the numbers
+quoted in the paper.
+"""
+
+import pytest
+
+import common
+from repro.theory import (
+    WindowModel,
+    communication_sweep,
+    expected_communication,
+    paper_np_table,
+)
+
+
+def test_sec51_np_table(benchmark):
+    table = benchmark.pedantic(paper_np_table, rounds=1, iterations=1)
+    print()
+    print("=== Section 5.1 - Erdos-Renyi n*p of the tag graph ===")
+    print("    paper: np=0.76 (5 min, mmax=8), 1.52 (10 min, mmax=8), 0.85 (10 min, mmax=6)")
+    print(f"{'window (min)':>14} {'mmax':>6} {'np':>8} {'giant component?':>18}")
+    for (window, mmax), np_value in table.items():
+        model = WindowModel(window_minutes=window, mmax=mmax)
+        print(
+            f"{window:>14} {mmax:>6} {np_value:>8.2f} "
+            f"{str(model.predicts_giant_component()):>18}"
+        )
+    assert table[(5, 8)] == pytest.approx(0.76, abs=0.08)
+    assert table[(10, 8)] == pytest.approx(1.52, abs=0.15)
+    assert table[(10, 6)] == pytest.approx(0.85, abs=0.10)
+
+
+def test_sec51_observed_pairs_np(benchmark):
+    model = WindowModel(window_minutes=10)
+    observed = benchmark.pedantic(
+        model.np_from_observed_pairs, rounds=1, iterations=1
+    )
+    print()
+    print("=== Section 5.1 - np from observed distinct tag pairs ===")
+    print(f"    independence model: {model.np:.2f}   observed pairs: {observed:.2f} "
+          "(paper: 1.52 vs 0.11)")
+    assert observed == pytest.approx(0.11, abs=0.03)
+    assert observed < model.np
+
+
+def test_sec52_expected_communication(benchmark):
+    vocabularies = [20, 100, 1000, 10_000, 100_000, 600_000]
+    sweep = benchmark.pedantic(
+        communication_sweep,
+        args=(vocabularies, 10_000, 10, 3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=== Section 5.2 - Expected communication of random equal partitions ===")
+    print("    k=10 partitions, 10,000 tweets, 3 tags per tweet")
+    print("    paper: small vocabulary -> broadcast to all partitions; "
+          "large vocabulary (Twitter) -> tractable")
+    print(f"{'vocabulary':>12} {'E[communication]':>18}")
+    for vocabulary in vocabularies:
+        print(f"{vocabulary:>12} {sweep[vocabulary]:>18.3f}")
+    # Small vocabulary: essentially a broadcast (the 'knockout blow').
+    assert sweep[20] == pytest.approx(10.0, abs=0.05)
+    # Twitter-scale vocabulary: tractable.
+    assert sweep[600_000] < 2.0
+    # Monotone decreasing in the vocabulary size.
+    values = [sweep[v] for v in vocabularies]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_sec52_measured_communication_respects_bound(benchmark):
+    """The measured communication of the real algorithms stays below the
+    analytic expectation for *random* partitions with the same k."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    documents = list(common.workload())
+    tags = set()
+    total_tags = 0
+    tagged = 0
+    for document in documents:
+        if document.tags:
+            tags |= document.tags
+            total_tags += len(document.tags)
+            tagged += 1
+    mean_tags = max(1, round(total_tags / tagged))
+    bound = expected_communication(len(tags), tagged, 10, mean_tags)
+    for algorithm in ("DS", "SCC"):
+        measured = common.default_report(algorithm).communication_avg
+        assert measured <= bound + 1.0

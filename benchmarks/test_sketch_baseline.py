@@ -1,0 +1,118 @@
+"""Section 2 claim: probabilistic sketches inflate candidate co-occurrences.
+
+The related-work section argues against representing per-tag document sets
+with Bloom filters or Count-Min sketches: false positives make tags that
+never co-occur look co-occurring, which in a workload where most tag pairs
+are disjoint adds substantial wasted work.  This benchmark quantifies that
+claim and also measures the accuracy of a MinHash-based estimate against the
+exact Jaccard coefficients, i.e. the datasketch-style alternative design.
+"""
+
+from itertools import combinations
+
+import pytest
+
+import common
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.jaccard import exact_jaccard
+from repro.sketches import BloomFilter, CountMinSketch, MinHash
+
+
+@pytest.fixture(scope="module")
+def statistics():
+    documents = list(common.workload(n_documents=4000))
+    return CooccurrenceStatistics.from_documents(documents)
+
+
+def popular_tags(statistics, limit=120):
+    return sorted(
+        statistics.tags, key=lambda t: -statistics.tag_document_count(t)
+    )[:limit]
+
+
+def test_bloom_filters_create_spurious_cooccurrences(benchmark, statistics):
+    tags = popular_tags(statistics)
+    true_pairs = {
+        (a, b)
+        for a, b in combinations(sorted(tags), 2)
+        if statistics.documents_with_all([a, b])
+    }
+
+    def count_candidates():
+        filters = {}
+        for tag in tags:
+            bloom = BloomFilter(expected_items=200, false_positive_rate=0.05)
+            bloom.update(statistics.tag_documents.get(tag, ()))
+            filters[tag] = bloom
+        candidates = set()
+        for a, b in combinations(sorted(tags), 2):
+            documents = statistics.tag_documents.get(a, ())
+            if any(doc in filters[b] for doc in documents):
+                candidates.add((a, b))
+        return candidates
+
+    candidates = benchmark.pedantic(count_candidates, rounds=1, iterations=1)
+    spurious = candidates - true_pairs
+    print()
+    print("=== Section 2 - Bloom-filter candidate inflation ===")
+    print(f"  true co-occurring pairs: {len(true_pairs)}")
+    print(f"  bloom candidates:        {len(candidates)}")
+    print(f"  spurious candidates:     {len(spurious)}")
+    # No false negatives: every true pair is found.
+    assert true_pairs <= candidates
+    # The paper's point: the sketch introduces spurious co-occurrences.
+    assert len(spurious) > 0
+
+
+def test_countmin_overestimates_pair_counts(benchmark, statistics):
+    pairs = [
+        frozenset(pair)
+        for pair in combinations(popular_tags(statistics, 60), 2)
+    ]
+    true_counts = {
+        pair: len(statistics.documents_with_all(pair)) for pair in pairs
+    }
+
+    def sketch_counts():
+        sketch = CountMinSketch(epsilon=0.005, delta=0.01)
+        for tagset, count in statistics.tagset_counts.items():
+            for pair in combinations(sorted(tagset), 2):
+                sketch.add(frozenset(pair), count)
+        return {pair: sketch.estimate(pair) for pair in pairs}
+
+    estimates = benchmark.pedantic(sketch_counts, rounds=1, iterations=1)
+    overestimated = sum(
+        1 for pair in pairs if estimates[pair] > true_counts[pair]
+    )
+    print()
+    print("=== Section 2 - Count-Min pair-count estimates ===")
+    print(f"  pairs evaluated: {len(pairs)}, over-estimated: {overestimated}")
+    # Count-Min never under-estimates.
+    assert all(estimates[pair] >= true_counts[pair] for pair in pairs)
+
+
+def test_minhash_estimates_versus_exact(benchmark, statistics):
+    """A MinHash/datasketch-style design estimates pairwise Jaccard well for
+    popular pairs but is an approximation — the paper's exact counters are
+    error-free for covered tagsets."""
+    tags = popular_tags(statistics, 40)
+
+    def build_signatures():
+        return {
+            tag: MinHash.from_items(statistics.tag_documents.get(tag, ()), num_perm=256)
+            for tag in tags
+        }
+
+    signatures = benchmark.pedantic(build_signatures, rounds=1, iterations=1)
+    errors = []
+    for a, b in combinations(tags, 2):
+        docs_a = statistics.tag_documents.get(a, set())
+        docs_b = statistics.tag_documents.get(b, set())
+        truth = exact_jaccard([docs_a, docs_b])
+        estimate = signatures[a].jaccard(signatures[b])
+        errors.append(abs(truth - estimate))
+    mean_error = sum(errors) / len(errors)
+    print()
+    print("=== MinHash (datasketch-style) estimate vs exact Jaccard ===")
+    print(f"  pairs: {len(errors)}, mean |error|: {mean_error:.4f}, max: {max(errors):.4f}")
+    assert mean_error < 0.05

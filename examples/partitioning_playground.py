@@ -1,0 +1,80 @@
+"""Compare the partitioning algorithms offline on a single window.
+
+This example reproduces, on one window of documents, the trade-off at the
+heart of the paper: communication overhead (replicated tags) versus load
+balance.  It runs all partitioning algorithms — the paper's DS/SCC/SCL/SCI,
+the hybrid DS+SCL splitter, and the classic baselines (hash, random,
+Kernighan–Lin, spectral) — and prints their quality side by side, including
+the Figure-1 toy example from the paper's introduction.
+
+Run with::
+
+    python examples/partitioning_playground.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CooccurrenceStatistics, documents_from_tagsets, gini_coefficient
+from repro.partitioning import ALGORITHMS, make_partitioner
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+
+def quality_row(assignment, statistics) -> dict[str, float]:
+    tagsets = statistics.tagsets
+    loads = assignment.expected_calculator_loads(tagsets)
+    return {
+        "communication": assignment.communication_load(tagsets),
+        "replication": assignment.replication_factor(),
+        "gini": gini_coefficient(loads),
+        "coverage": assignment.coverage(tagsets),
+    }
+
+
+def print_comparison(title: str, statistics: CooccurrenceStatistics, k: int) -> None:
+    print(f"\n=== {title} (k={k}, {len(statistics.tags)} tags, "
+          f"{len(statistics)} distinct tagsets) ===")
+    print(f"{'algorithm':>10} {'communication':>14} {'replication':>12} "
+          f"{'gini':>8} {'coverage':>10}")
+    for name in ALGORITHMS:
+        assignment = make_partitioner(name).partition(statistics, k)
+        row = quality_row(assignment, statistics)
+        print(f"{name:>10} {row['communication']:>14.3f} {row['replication']:>12.3f} "
+              f"{row['gini']:>8.3f} {row['coverage']:>10.3f}")
+
+
+def figure1_example() -> None:
+    """The running example of Figure 1 in the paper."""
+    tagsets = (
+        [["munich", "beer", "soccer"]] * 10
+        + [["beer", "pizza"]] * 4
+        + [["munich", "oktoberfest"]] * 3
+        + [["bavaria", "soccer"]] * 1
+        + [["beach", "sunny"]] * 2
+        + [["friday", "sunny"]] * 1
+    )
+    statistics = CooccurrenceStatistics.from_documents(
+        documents_from_tagsets(tagsets)
+    )
+    print_comparison("Figure 1 example", statistics, k=2)
+    ds = make_partitioner("DS").partition(statistics, 2)
+    print("\nDS partitions of the Figure 1 example:")
+    for partition in ds:
+        print(f"  pr{partition.index}: {sorted(partition.tags)} (load {partition.load})")
+
+
+def synthetic_window() -> None:
+    """A realistic window of the synthetic Twitter-like stream."""
+    documents = TwitterLikeGenerator(
+        WorkloadConfig(seed=13, n_topics=150, tags_per_topic=15)
+    ).generate(5000)
+    statistics = CooccurrenceStatistics.from_documents(documents)
+    print_comparison("Synthetic 5,000-document window", statistics, k=10)
+
+
+def main() -> None:
+    figure1_example()
+    synthetic_window()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Sketches versus exact counters for tag-correlation tracking.
+
+Section 2 of the paper argues that probabilistic sketches (Bloom filters,
+Count-Min) are a poor fit for this problem because false positives make
+non-co-occurring tags look co-occurring.  This example quantifies the
+argument on a synthetic workload and also shows the accuracy of the
+MinHash / LSH alternative (the datasketch-style design) against the exact
+subset counters the paper's Calculators use.
+
+Run with::
+
+    python examples/sketch_vs_exact.py
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core import CooccurrenceStatistics, exact_jaccard
+from repro.sketches import BloomFilter, CountMinSketch, MinHash, MinHashLSH
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+
+def build_statistics(n_documents: int = 5000) -> CooccurrenceStatistics:
+    documents = TwitterLikeGenerator(
+        WorkloadConfig(seed=31, n_topics=120, tags_per_topic=12)
+    ).generate(n_documents)
+    return CooccurrenceStatistics.from_documents(documents)
+
+
+def bloom_candidate_inflation(statistics: CooccurrenceStatistics, n_tags: int = 120) -> None:
+    tags = sorted(statistics.tags, key=lambda t: -statistics.tag_document_count(t))[:n_tags]
+    true_pairs = {
+        (a, b)
+        for a, b in combinations(sorted(tags), 2)
+        if statistics.documents_with_all([a, b])
+    }
+    filters = {}
+    for tag in tags:
+        bloom = BloomFilter(expected_items=200, false_positive_rate=0.05)
+        bloom.update(statistics.tag_documents.get(tag, ()))
+        filters[tag] = bloom
+    candidates = {
+        (a, b)
+        for a, b in combinations(sorted(tags), 2)
+        if any(doc in filters[b] for doc in statistics.tag_documents.get(a, ()))
+    }
+    print("--- Bloom filters: candidate co-occurring pairs -------------")
+    print(f"  true co-occurring pairs : {len(true_pairs)}")
+    print(f"  candidates from sketches: {len(candidates)}")
+    print(f"  spurious candidates     : {len(candidates - true_pairs)} "
+          f"({100 * len(candidates - true_pairs) / max(len(candidates), 1):.1f}% wasted work)")
+
+
+def countmin_error(statistics: CooccurrenceStatistics) -> None:
+    sketch = CountMinSketch(epsilon=0.002, delta=0.01)
+    for tagset, count in statistics.tagset_counts.items():
+        for pair in combinations(sorted(tagset), 2):
+            sketch.add(frozenset(pair), count)
+    pairs = sorted(
+        statistics.tagset_counts, key=lambda t: -statistics.tagset_counts[t]
+    )[:200]
+    overestimates = 0
+    for tagset in pairs:
+        for pair in combinations(sorted(tagset), 2):
+            true_count = len(statistics.documents_with_all(pair))
+            if sketch.estimate(frozenset(pair)) > true_count:
+                overestimates += 1
+    print("\n--- Count-Min sketch: pair-count estimates ------------------")
+    print(f"  memory: {sketch.depth} x {sketch.width} counters")
+    print(f"  over-estimated pair counts: {overestimates}")
+
+
+def minhash_vs_exact(statistics: CooccurrenceStatistics, n_tags: int = 50) -> None:
+    tags = sorted(statistics.tags, key=lambda t: -statistics.tag_document_count(t))[:n_tags]
+    signatures = {
+        tag: MinHash.from_items(statistics.tag_documents.get(tag, ()), num_perm=256)
+        for tag in tags
+    }
+    lsh = MinHashLSH(num_perm=256, bands=64)
+    for tag in tags:
+        lsh.insert(tag, signatures[tag])
+    errors = []
+    for a, b in combinations(tags, 2):
+        truth = exact_jaccard(
+            [statistics.tag_documents.get(a, set()), statistics.tag_documents.get(b, set())]
+        )
+        errors.append(abs(truth - signatures[a].jaccard(signatures[b])))
+    print("\n--- MinHash / LSH (datasketch-style) -------------------------")
+    print(f"  pairs compared      : {len(errors)}")
+    print(f"  mean estimate error : {sum(errors) / len(errors):.4f}")
+    print(f"  max estimate error  : {max(errors):.4f}")
+    print(f"  LSH candidate pairs : {len(lsh.candidate_pairs())}")
+    print("  (the paper's exact subset counters have zero error for covered tagsets)")
+
+
+def main() -> None:
+    statistics = build_statistics()
+    print(f"workload: {statistics.n_tagged_documents} tagged documents, "
+          f"{len(statistics.tags)} distinct tags\n")
+    bloom_candidate_inflation(statistics)
+    countmin_error(statistics)
+    minhash_vs_exact(statistics)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Offline analysis: windowing, connectivity (Fig. 7), time series (Figs. 8-9),
+trend detection and capacity planning."""
+
+from .capacity import (
+    CapacityEstimate,
+    calibrate_updates_per_second,
+    estimate_capacity,
+    headroom_per_calculator,
+    minimum_calculators,
+    notification_cost,
+)
+from .connectivity import (
+    ConnectivityReport,
+    WindowConnectivity,
+    connectivity_by_window_size,
+    window_connectivity,
+)
+from .timeseries import (
+    CommunicationSeries,
+    LoadSeries,
+    communication_series,
+    load_series,
+)
+from .trends import (
+    CorrelationHistory,
+    TrendAlert,
+    TrendDetector,
+    detect_trends_offline,
+    window_coefficients,
+)
+from .windows import count_windows, sliding_windows, tumbling_windows
+
+__all__ = [
+    "CapacityEstimate",
+    "CommunicationSeries",
+    "ConnectivityReport",
+    "CorrelationHistory",
+    "LoadSeries",
+    "calibrate_updates_per_second",
+    "estimate_capacity",
+    "headroom_per_calculator",
+    "minimum_calculators",
+    "notification_cost",
+    "TrendAlert",
+    "TrendDetector",
+    "WindowConnectivity",
+    "communication_series",
+    "connectivity_by_window_size",
+    "count_windows",
+    "detect_trends_offline",
+    "load_series",
+    "sliding_windows",
+    "tumbling_windows",
+    "window_coefficients",
+    "window_connectivity",
+]

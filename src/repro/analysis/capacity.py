@@ -1,0 +1,145 @@
+"""Capacity planning: can ``k`` Calculators sustain a given arrival rate?
+
+The paper's motivation for distributing the computation is that a single
+machine cannot keep up with Twitter-scale streams.  This module provides a
+simple analytical capacity model on top of a measured run:
+
+* each document annotated with ``m`` tags costs a Calculator roughly
+  ``2^m - 1`` counter updates (all subsets of the notification it receives),
+* a Calculator can perform a fixed number of counter updates per second
+  (calibrated on this machine or supplied by the caller),
+* the Disseminator fan-out (the run's communication metric) determines how
+  many Calculator notifications each document produces, and the per-node
+  load share determines how those notifications concentrate.
+
+From these the model estimates the sustainable arrival rate of a deployment
+and the minimum number of Calculators needed for a target rate — the
+"how many nodes do I need for 1300 tweets/s" question.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.jaccard import JaccardCalculator
+from ..core.metrics import load_shares
+from ..pipeline.system import RunReport
+
+
+def calibrate_updates_per_second(
+    n_notifications: int = 2000, tags_per_notification: int = 3
+) -> float:
+    """Measure how many subset-counter updates this machine sustains per second.
+
+    Runs a short micro-benchmark against the real ``JaccardCalculator`` and
+    returns counter updates (subset increments) per second.
+    """
+    calculator = JaccardCalculator()
+    tags = [f"cal_tag{i}" for i in range(tags_per_notification)]
+    updates_per_notification = 2**tags_per_notification - 1
+    start = time.perf_counter()
+    for _ in range(n_notifications):
+        calculator.observe(tags)
+    elapsed = time.perf_counter() - start
+    if elapsed <= 0:
+        return float("inf")
+    return n_notifications * updates_per_notification / elapsed
+
+
+@dataclass(slots=True)
+class CapacityEstimate:
+    """Result of a capacity analysis for one deployment."""
+
+    k: int
+    communication: float
+    max_load_share: float
+    updates_per_notification: float
+    updates_per_second_per_node: float
+    sustainable_tweets_per_second: float
+
+    def sustains(self, tweets_per_second: float) -> bool:
+        """Whether the deployment keeps up with the given arrival rate."""
+        return self.sustainable_tweets_per_second >= tweets_per_second
+
+
+def notification_cost(mean_tags_per_notification: float) -> float:
+    """Expected counter updates per notification (all subsets are counted)."""
+    if mean_tags_per_notification < 0:
+        raise ValueError("mean_tags_per_notification must be non-negative")
+    return max(2.0**mean_tags_per_notification - 1.0, 1.0)
+
+
+def estimate_capacity(
+    report: RunReport,
+    updates_per_second_per_node: float,
+    mean_tags_per_notification: float = 2.5,
+) -> CapacityEstimate:
+    """Estimate the sustainable arrival rate of the deployment in ``report``.
+
+    The bottleneck is the most loaded Calculator: it receives
+    ``communication * max_load_share`` notifications per tagged document, and
+    each notification costs ``2^m - 1`` counter updates.
+    """
+    if updates_per_second_per_node <= 0:
+        raise ValueError("updates_per_second_per_node must be positive")
+    communication = max(report.communication_avg, 1.0)
+    max_share = max(report.load_max_share, 1.0 / max(report.config.k, 1))
+    per_document_updates = (
+        communication
+        * max_share
+        * notification_cost(mean_tags_per_notification)
+    )
+    sustainable = updates_per_second_per_node / per_document_updates
+    return CapacityEstimate(
+        k=report.config.k,
+        communication=communication,
+        max_load_share=max_share,
+        updates_per_notification=notification_cost(mean_tags_per_notification),
+        updates_per_second_per_node=updates_per_second_per_node,
+        sustainable_tweets_per_second=sustainable,
+    )
+
+
+def minimum_calculators(
+    target_tweets_per_second: float,
+    updates_per_second_per_node: float,
+    communication: float = 1.2,
+    mean_tags_per_notification: float = 2.5,
+    max_k: int = 1024,
+) -> int:
+    """Smallest ``k`` that sustains the target rate under ideal balancing.
+
+    Assumes the load is perfectly balanced (share = 1/k), i.e. it returns a
+    lower bound; a real DS deployment needs more nodes in proportion to its
+    load imbalance.
+    """
+    if target_tweets_per_second <= 0:
+        raise ValueError("target_tweets_per_second must be positive")
+    if updates_per_second_per_node <= 0:
+        raise ValueError("updates_per_second_per_node must be positive")
+    cost = notification_cost(mean_tags_per_notification)
+    for k in range(1, max_k + 1):
+        per_node = target_tweets_per_second * communication * cost / k
+        if per_node <= updates_per_second_per_node:
+            return k
+    return max_k
+
+
+def headroom_per_calculator(
+    report: RunReport, tweets_per_second: float, updates_per_second_per_node: float,
+    mean_tags_per_notification: float = 2.5,
+) -> list[float]:
+    """Utilisation (0..1+) of every Calculator at the given arrival rate.
+
+    Values above 1.0 mean the Calculator cannot keep up — the situation the
+    load-balancing criterion of the problem statement exists to prevent.
+    """
+    shares = load_shares(report.calculator_loads)
+    cost = notification_cost(mean_tags_per_notification)
+    total_notifications = tweets_per_second * max(report.communication_avg, 1.0)
+    return [
+        share * total_notifications * cost / updates_per_second_per_node
+        for share in shares
+    ]

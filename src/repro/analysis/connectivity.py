@@ -1,0 +1,125 @@
+"""Tagset connectivity analysis (Figure 7).
+
+For every window the paper measures three quantities that decide whether
+the DS algorithm is applicable:
+
+* the maximum percentage of tags contained in a single connected component
+  of the tag co-occurrence graph,
+* the maximum percentage of documents related to a single connected
+  component (its load share),
+* the number of connected components ("disjoint sets").
+
+This module computes those statistics per window and aggregates them over a
+trace, and additionally reports the empirical ``n*p`` of each window so the
+measurements can be compared against the Erdős–Rényi prediction of
+Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.cooccurrence import CooccurrenceStatistics
+from ..core.documents import Document
+from ..partitioning import find_disjoint_sets
+from ..theory import np_product
+from .windows import tumbling_windows
+
+
+@dataclass(slots=True)
+class WindowConnectivity:
+    """Connectivity statistics of one window of documents."""
+
+    n_documents: int
+    n_tags: int
+    n_components: int
+    largest_component_tags: int
+    largest_component_load: int
+    np_value: float
+
+    @property
+    def max_tag_fraction(self) -> float:
+        """Share of all tags held by the largest connected component."""
+        if self.n_tags == 0:
+            return 0.0
+        return self.largest_component_tags / self.n_tags
+
+    @property
+    def max_load_fraction(self) -> float:
+        """Share of documents touching the largest connected component."""
+        if self.n_documents == 0:
+            return 0.0
+        return self.largest_component_load / self.n_documents
+
+
+def window_connectivity(documents: Iterable[Document]) -> WindowConnectivity:
+    """Connectivity statistics of a single window."""
+    document_list = [doc for doc in documents]
+    statistics = CooccurrenceStatistics.from_documents(document_list)
+    disjoint_sets = find_disjoint_sets(statistics)
+    n_tags = len(statistics.tags)
+    largest_tags = max((len(ds.tags) for ds in disjoint_sets), default=0)
+    largest_load = max((ds.load for ds in disjoint_sets), default=0)
+    return WindowConnectivity(
+        n_documents=len(document_list),
+        n_tags=n_tags,
+        n_components=len(disjoint_sets),
+        largest_component_tags=largest_tags,
+        largest_component_load=largest_load,
+        np_value=np_product(n_tags, statistics.distinct_tag_pairs()),
+    )
+
+
+@dataclass(slots=True)
+class ConnectivityReport:
+    """Aggregated connectivity statistics over all windows of one size."""
+
+    window_seconds: float
+    windows: list[WindowConnectivity]
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    def max_tag_percentage(self) -> float:
+        """Maximum (over windows) share of tags in one component, as a %."""
+        if not self.windows:
+            return 0.0
+        return 100.0 * max(window.max_tag_fraction for window in self.windows)
+
+    def max_load_percentage(self) -> float:
+        """Maximum (over windows) share of documents of one component, as a %."""
+        if not self.windows:
+            return 0.0
+        return 100.0 * max(window.max_load_fraction for window in self.windows)
+
+    def mean_components(self) -> float:
+        """Average number of connected tagsets (disjoint sets) per window."""
+        if not self.windows:
+            return 0.0
+        return float(np.mean([window.n_components for window in self.windows]))
+
+    def mean_np(self) -> float:
+        """Average empirical ``n*p`` per window (Section 5.1 comparison)."""
+        if not self.windows:
+            return 0.0
+        return float(np.mean([window.np_value for window in self.windows]))
+
+
+def connectivity_by_window_size(
+    documents: Sequence[Document],
+    window_sizes_minutes: Sequence[float] = (2, 5, 10, 20),
+) -> dict[float, ConnectivityReport]:
+    """Figure 7: connectivity statistics for several tumbling-window sizes."""
+    reports = {}
+    for minutes in window_sizes_minutes:
+        seconds = minutes * 60.0
+        windows = [
+            window_connectivity(window)
+            for window in tumbling_windows(documents, seconds)
+        ]
+        reports[minutes] = ConnectivityReport(window_seconds=seconds, windows=windows)
+    return reports

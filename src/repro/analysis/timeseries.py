@@ -1,0 +1,90 @@
+"""Time series of partition quality (Figures 8 and 9).
+
+The Disseminator records a :class:`~repro.operators.QualitySnapshot` at every
+quality check and at every partition installation.  This module turns those
+snapshots into the series the paper plots: average communication over
+processed documents (Figure 8) and the *sorted* per-Calculator load shares
+over processed documents (Figure 9), together with the positions of the
+repartitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.metrics import load_shares
+from ..operators.disseminator import QualitySnapshot, RepartitionEvent
+
+
+@dataclass(slots=True)
+class CommunicationSeries:
+    """Average communication per quality check (Figure 8)."""
+
+    documents: list[int]
+    communication: list[float]
+    repartition_documents: list[int]
+
+
+@dataclass(slots=True)
+class LoadSeries:
+    """Sorted per-Calculator load shares per quality check (Figure 9).
+
+    ``shares[i]`` holds, for the ``i``-th snapshot, the load share of every
+    Calculator sorted in decreasing order, so ``shares[i][0]`` is always the
+    most loaded Calculator — matching the paper's presentation.
+    """
+
+    documents: list[int]
+    shares: list[list[float]]
+    repartition_documents: list[int]
+
+    def rank_series(self, rank: int) -> list[float]:
+        """The share of the ``rank``-th most loaded Calculator over time."""
+        series = []
+        for snapshot_shares in self.shares:
+            if rank < len(snapshot_shares):
+                series.append(snapshot_shares[rank])
+            else:
+                series.append(0.0)
+        return series
+
+
+def communication_series(
+    history: Sequence[QualitySnapshot],
+    repartitions: Sequence[RepartitionEvent],
+) -> CommunicationSeries:
+    """Extract the Figure-8 series from a run's quality history."""
+    documents = []
+    communication = []
+    for snapshot in history:
+        if snapshot.avg_communication <= 0:
+            continue
+        documents.append(snapshot.documents_processed)
+        communication.append(snapshot.avg_communication)
+    return CommunicationSeries(
+        documents=documents,
+        communication=communication,
+        repartition_documents=[event.documents_processed for event in repartitions],
+    )
+
+
+def load_series(
+    history: Sequence[QualitySnapshot],
+    repartitions: Sequence[RepartitionEvent],
+) -> LoadSeries:
+    """Extract the Figure-9 series from a run's quality history."""
+    documents = []
+    shares = []
+    for snapshot in history:
+        if sum(snapshot.calculator_loads) == 0:
+            continue
+        documents.append(snapshot.documents_processed)
+        shares.append(
+            sorted(load_shares(snapshot.calculator_loads), reverse=True)
+        )
+    return LoadSeries(
+        documents=documents,
+        shares=shares,
+        repartition_documents=[event.documents_processed for event in repartitions],
+    )

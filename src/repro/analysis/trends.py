@@ -1,0 +1,197 @@
+"""Correlation-shift trend detection on top of the tracked coefficients.
+
+The paper's introduction motivates the whole system with trend mining: the
+enBlogue approach of the same authors (reference [2]) scores emerging topics
+by how much the correlation of a tag pair deviates from its recent history.
+This module implements that consumer of the correlation stream:
+
+* :class:`CorrelationHistory` keeps, per tagset, an exponentially smoothed
+  estimate of the Jaccard coefficient and its variability;
+* :class:`TrendDetector` turns per-window coefficient reports into
+  :class:`TrendAlert` objects when the observed coefficient deviates from
+  the prediction by more than ``sensitivity`` standard deviations (or, for
+  previously unseen tagsets, exceeds an absolute threshold);
+* :func:`detect_trends_offline` replays a document stream window by window
+  for quick offline experimentation without the full topology.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.documents import Document
+from ..core.jaccard import JaccardCalculator
+from .windows import tumbling_windows
+
+
+@dataclass(slots=True)
+class TrendAlert:
+    """One emerging-correlation alert."""
+
+    timestamp: float
+    tagset: frozenset[str]
+    observed: float
+    predicted: float
+    score: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tags = ", ".join(sorted(self.tagset))
+        return (
+            f"[t={self.timestamp:.0f}s] {{{tags}}}: "
+            f"J={self.observed:.2f} (predicted {self.predicted:.2f}, "
+            f"score {self.score:.2f})"
+        )
+
+
+@dataclass(slots=True)
+class _SmoothedCoefficient:
+    mean: float
+    variance: float
+    observations: int = 1
+
+
+class CorrelationHistory:
+    """Exponentially smoothed history of Jaccard coefficients per tagset."""
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must lie in (0, 1]")
+        self._alpha = smoothing
+        self._state: dict[frozenset[str], _SmoothedCoefficient] = {}
+
+    def predict(self, tagset: frozenset[str]) -> float:
+        """Predicted coefficient for the next window (0.0 for unseen tagsets)."""
+        state = self._state.get(tagset)
+        return state.mean if state is not None else 0.0
+
+    def deviation(self, tagset: frozenset[str]) -> float:
+        """Smoothed standard deviation of the prediction error."""
+        state = self._state.get(tagset)
+        if state is None:
+            return 0.0
+        return math.sqrt(max(state.variance, 0.0))
+
+    def update(self, tagset: frozenset[str], observed: float) -> float:
+        """Fold one observation in; returns the prediction error."""
+        state = self._state.get(tagset)
+        if state is None:
+            self._state[tagset] = _SmoothedCoefficient(mean=observed, variance=0.0)
+            return observed
+        error = observed - state.mean
+        state.mean += self._alpha * error
+        state.variance = (1 - self._alpha) * (state.variance + self._alpha * error**2)
+        state.observations += 1
+        return error
+
+    def known_tagsets(self) -> set[frozenset[str]]:
+        return set(self._state)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+
+class TrendDetector:
+    """Raises alerts when a tagset's correlation shifts abruptly.
+
+    Parameters
+    ----------
+    sensitivity:
+        How many standard deviations the observation must deviate from the
+        prediction before an alert fires (for tagsets with history).
+    min_jump:
+        Absolute coefficient a previously unseen (or flat-history) tagset
+        must reach to raise an alert.
+    min_support:
+        Minimum number of co-occurrences in the window for a coefficient to
+        be considered at all (spam/typo suppression, like ``sn``).
+    smoothing:
+        Smoothing factor of the underlying :class:`CorrelationHistory`.
+    """
+
+    def __init__(
+        self,
+        sensitivity: float = 3.0,
+        min_jump: float = 0.4,
+        min_support: int = 3,
+        smoothing: float = 0.5,
+    ) -> None:
+        if sensitivity <= 0:
+            raise ValueError("sensitivity must be positive")
+        if not 0.0 <= min_jump <= 1.0:
+            raise ValueError("min_jump must lie in [0, 1]")
+        self.sensitivity = sensitivity
+        self.min_jump = min_jump
+        self.min_support = min_support
+        self.history = CorrelationHistory(smoothing)
+        self.alerts: list[TrendAlert] = []
+
+    def observe_window(
+        self,
+        timestamp: float,
+        coefficients: Mapping[frozenset[str], float],
+        supports: Mapping[frozenset[str], int] | None = None,
+    ) -> list[TrendAlert]:
+        """Process one window of reported coefficients; returns new alerts."""
+        new_alerts = []
+        for tagset, observed in coefficients.items():
+            if supports is not None and supports.get(tagset, 0) < self.min_support:
+                continue
+            predicted = self.history.predict(tagset)
+            deviation = self.history.deviation(tagset)
+            jump = observed - predicted
+            if deviation > 1e-9:
+                score = jump / deviation
+                triggered = score >= self.sensitivity and jump >= self.min_jump / 2
+            else:
+                score = jump / max(self.min_jump, 1e-9)
+                triggered = jump >= self.min_jump
+            if triggered:
+                alert = TrendAlert(
+                    timestamp=timestamp,
+                    tagset=tagset,
+                    observed=observed,
+                    predicted=predicted,
+                    score=score,
+                )
+                new_alerts.append(alert)
+            self.history.update(tagset, observed)
+        self.alerts.extend(new_alerts)
+        return new_alerts
+
+    def top_alerts(self, n: int = 10) -> list[TrendAlert]:
+        """The ``n`` highest-scoring alerts raised so far."""
+        return sorted(self.alerts, key=lambda alert: -alert.score)[:n]
+
+
+def window_coefficients(
+    documents: Iterable[Document], min_support: int = 1
+) -> tuple[dict[frozenset[str], float], dict[frozenset[str], int]]:
+    """Exact per-window coefficients and supports (offline helper)."""
+    calculator = JaccardCalculator()
+    for document in documents:
+        if document.tags:
+            calculator.observe(document.tags)
+    coefficients = {}
+    supports = {}
+    for result in calculator.report():
+        if result.support >= min_support:
+            coefficients[result.tagset] = result.jaccard
+            supports[result.tagset] = result.support
+    return coefficients, supports
+
+
+def detect_trends_offline(
+    documents: Sequence[Document],
+    window_seconds: float = 60.0,
+    detector: TrendDetector | None = None,
+) -> TrendDetector:
+    """Replay a document stream window by window through a TrendDetector."""
+    detector = detector if detector is not None else TrendDetector()
+    for window in tumbling_windows(documents, window_seconds):
+        coefficients, supports = window_coefficients(
+            window, min_support=detector.min_support
+        )
+        detector.observe_window(window[-1].timestamp, coefficients, supports)
+    return detector

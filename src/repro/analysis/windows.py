@@ -1,0 +1,62 @@
+"""Windowing helpers for offline analysis of document streams.
+
+The connectivity study of Section 8.2.6 slices the trace into
+non-overlapping (tumbling) windows of 2/5/10/20 minutes; the partitioners
+use sliding windows.  These helpers implement both for offline analysis;
+the online sliding window lives with the Partitioner operator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..core.documents import Document
+
+
+def tumbling_windows(
+    documents: Iterable[Document], window_seconds: float
+) -> Iterator[list[Document]]:
+    """Split a time-ordered stream into non-overlapping windows.
+
+    Windows are aligned to the timestamp of the first document.  Empty
+    windows (gaps in the stream) are skipped.
+    """
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    current: list[Document] = []
+    window_end: float | None = None
+    for document in documents:
+        if window_end is None:
+            window_end = document.timestamp + window_seconds
+        while document.timestamp >= window_end:
+            if current:
+                yield current
+                current = []
+            window_end += window_seconds
+        current.append(document)
+    if current:
+        yield current
+
+
+def count_windows(
+    documents: Sequence[Document], window_size: int
+) -> Iterator[list[Document]]:
+    """Split a stream into consecutive fixed-size batches of documents."""
+    if window_size <= 0:
+        raise ValueError("window_size must be positive")
+    for start in range(0, len(documents), window_size):
+        batch = list(documents[start : start + window_size])
+        if batch:
+            yield batch
+
+
+def sliding_windows(
+    documents: Sequence[Document], window_size: int, step: int
+) -> Iterator[list[Document]]:
+    """Overlapping count-based windows advancing by ``step`` documents."""
+    if window_size <= 0 or step <= 0:
+        raise ValueError("window_size and step must be positive")
+    if not documents:
+        return
+    for start in range(0, max(len(documents) - window_size, 0) + 1, step):
+        yield list(documents[start : start + window_size])

@@ -1,0 +1,224 @@
+"""Command-line interface of the reproduction.
+
+Provides the handful of workflows a user needs without writing Python:
+
+* ``repro generate`` — write a synthetic Twitter-like trace to a JSONL file,
+* ``repro run`` — run the distributed tag-correlation system over a trace
+  (or a freshly generated one) and print the run report,
+* ``repro compare`` — run several partitioning algorithms over the same
+  trace and print the evaluation metrics side by side,
+* ``repro connectivity`` — the Figure-7 connectivity analysis of a trace,
+* ``repro theory`` — print the Section-5 analytic tables.
+
+Invoke as ``python -m repro.cli <command> ...`` (or wire the ``repro``
+entry point in your environment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.connectivity import connectivity_by_window_size
+from .core.documents import Document
+from .pipeline import RunReport, SystemConfig, TagCorrelationSystem
+from .theory import WindowModel, communication_sweep, paper_np_table
+from .workloads import (
+    TwitterLikeGenerator,
+    WorkloadConfig,
+    load_documents,
+    write_documents,
+)
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--documents", type=int, default=8000,
+                        help="number of documents to generate (default 8000)")
+    parser.add_argument("--tps", type=float, default=50.0,
+                        help="tweets per second of the simulated stream")
+    parser.add_argument("--topics", type=int, default=200,
+                        help="number of topics in the synthetic workload")
+    parser.add_argument("--tags-per-topic", type=int, default=18)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--algorithm", default="DS",
+                        help="partitioning algorithm (DS, SCC, SCL, SCI, ...)")
+    parser.add_argument("--k", type=int, default=10, help="number of Calculators")
+    parser.add_argument("--partitioners", type=int, default=10,
+                        help="number of Partitioner instances")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="repartition threshold thr")
+    parser.add_argument("--window", type=int, default=1500,
+                        help="partitioning window size in documents")
+    parser.add_argument("--bootstrap", type=int, default=600,
+                        help="documents observed before the first partitioning")
+
+
+def _workload_from_args(args: argparse.Namespace) -> list[Document]:
+    config = WorkloadConfig(
+        tweets_per_second=args.tps,
+        n_topics=args.topics,
+        tags_per_topic=args.tags_per_topic,
+        seed=args.seed,
+    )
+    return TwitterLikeGenerator(config).generate(args.documents)
+
+
+def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = None) -> SystemConfig:
+    return SystemConfig(
+        algorithm=algorithm or args.algorithm,
+        k=args.k,
+        n_partitioners=args.partitioners,
+        repartition_threshold=args.threshold,
+        window_mode="count",
+        window_size=args.window,
+        bootstrap_documents=args.bootstrap,
+        quality_check_interval=max(50, args.window // 6),
+        report_interval_seconds=60.0,
+    )
+
+
+def _load_or_generate(args: argparse.Namespace) -> list[Document]:
+    if getattr(args, "input", None):
+        return load_documents(args.input)
+    return _workload_from_args(args)
+
+
+def _print_report(report: RunReport) -> None:
+    print(f"algorithm                 : {report.algorithm}")
+    print(f"documents processed       : {report.documents_processed}")
+    print(f"tagged documents          : {report.tagged_documents}")
+    print(f"average communication     : {report.communication_avg:.3f}")
+    print(f"load Gini coefficient     : {report.load_gini:.3f}")
+    print(f"max Calculator load share : {report.load_max_share:.3f}")
+    print(f"repartitions              : {report.n_repartitions} {report.repartition_reasons}")
+    print(f"single additions          : {report.single_additions_applied}")
+    print(f"coefficients reported     : {report.coefficients_reported}")
+    if report.jaccard is not None:
+        print(f"jaccard coverage          : {report.jaccard_coverage:.3f}")
+        print(f"jaccard mean error        : {report.jaccard_mean_error:.4f}")
+
+
+# --------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------- #
+def cmd_generate(args: argparse.Namespace) -> int:
+    documents = _workload_from_args(args)
+    written = write_documents(documents, args.output)
+    print(f"wrote {written} documents to {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    documents = _load_or_generate(args)
+    report = TagCorrelationSystem(_system_config_from_args(args)).run(documents)
+    _print_report(report)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    documents = _load_or_generate(args)
+    algorithms = [name.strip().upper() for name in args.algorithms.split(",") if name.strip()]
+    print(f"{'algorithm':>10} {'comm':>8} {'gini':>8} {'maxload':>9} "
+          f"{'repart':>8} {'error':>8} {'coverage':>10}")
+    for algorithm in algorithms:
+        config = _system_config_from_args(args, algorithm=algorithm)
+        report = TagCorrelationSystem(config).run(documents)
+        print(
+            f"{algorithm:>10} {report.communication_avg:>8.3f} {report.load_gini:>8.3f} "
+            f"{report.load_max_share:>9.3f} {report.n_repartitions:>8} "
+            f"{report.jaccard_mean_error:>8.4f} {report.jaccard_coverage:>10.3f}"
+        )
+    return 0
+
+
+def cmd_connectivity(args: argparse.Namespace) -> int:
+    documents = _load_or_generate(args)
+    window_minutes = [float(value) for value in args.windows.split(",")]
+    reports = connectivity_by_window_size(documents, window_minutes)
+    print(f"{'window (min)':>14} {'max tags %':>12} {'max load %':>12} {'#components':>14}")
+    for minutes in window_minutes:
+        report = reports[minutes]
+        print(
+            f"{minutes:>14} {report.max_tag_percentage():>12.1f} "
+            f"{report.max_load_percentage():>12.1f} {report.mean_components():>14.1f}"
+        )
+    return 0
+
+
+def cmd_theory(args: argparse.Namespace) -> int:
+    print("Section 5.1 - Erdos-Renyi n*p of the tag co-occurrence graph")
+    for (window, mmax), np_value in paper_np_table().items():
+        model = WindowModel(window_minutes=window, mmax=mmax)
+        print(f"  window={window:>2} min, mmax={mmax}: np={np_value:.2f} "
+              f"(giant component: {model.predicts_giant_component()})")
+    print()
+    print("Section 5.2 - expected communication of random equal partitions")
+    vocabularies = [20, 100, 1000, 10_000, 100_000, 600_000]
+    sweep = communication_sweep(vocabularies, args.tweets, args.k, args.tags_per_tweet)
+    for vocabulary in vocabularies:
+        print(f"  vocabulary={vocabulary:>7}: E[communication]={sweep[vocabulary]:.3f}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tracking Set Correlations at Large Scale - reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic trace")
+    _add_workload_arguments(generate)
+    generate.add_argument("--output", required=True, help="output JSONL file")
+    generate.set_defaults(handler=cmd_generate)
+
+    run = subparsers.add_parser("run", help="run the distributed system")
+    _add_workload_arguments(run)
+    _add_system_arguments(run)
+    run.add_argument("--input", help="JSONL trace to replay (otherwise generate)")
+    run.set_defaults(handler=cmd_run)
+
+    compare = subparsers.add_parser("compare", help="compare algorithms on one trace")
+    _add_workload_arguments(compare)
+    _add_system_arguments(compare)
+    compare.add_argument("--input", help="JSONL trace to replay (otherwise generate)")
+    compare.add_argument(
+        "--algorithms", default="DS,SCI,SCC,SCL", help="comma-separated algorithm names"
+    )
+    compare.set_defaults(handler=cmd_compare)
+
+    connectivity = subparsers.add_parser(
+        "connectivity", help="Figure-7 connectivity analysis of a trace"
+    )
+    _add_workload_arguments(connectivity)
+    connectivity.add_argument("--input", help="JSONL trace (otherwise generate)")
+    connectivity.add_argument(
+        "--windows", default="2,5,10,20", help="comma-separated window sizes in minutes"
+    )
+    connectivity.set_defaults(handler=cmd_connectivity)
+
+    theory = subparsers.add_parser("theory", help="print the Section-5 analytic tables")
+    theory.add_argument("--tweets", type=int, default=10_000)
+    theory.add_argument("--k", type=int, default=10)
+    theory.add_argument("--tags-per-tweet", type=int, default=3)
+    theory.set_defaults(handler=cmd_theory)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Core data model: tagged documents and tagsets.
+
+The paper considers a stream of documents (tweets) ``d_i``, each annotated
+with a set of tags ``s_i = {t_1, t_2, ...}``.  This module provides small,
+immutable value objects for documents and tagsets plus helpers for
+normalising raw tag input.  Tagsets are hashable so that they can be used
+as dictionary keys in counters, partitions and indexes throughout the
+library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+def normalize_tag(tag: str) -> str:
+    """Normalise a raw tag string.
+
+    Tags are lower-cased and stripped of surrounding whitespace and a
+    leading ``#``.  Empty results are rejected by :func:`make_tagset`.
+    """
+    return tag.strip().lstrip("#").lower()
+
+
+def make_tagset(tags: Iterable[str]) -> frozenset[str]:
+    """Build a normalised tagset from raw tag strings.
+
+    Duplicate tags collapse, empty tags are dropped.
+    """
+    cleaned = {normalize_tag(tag) for tag in tags}
+    cleaned.discard("")
+    return frozenset(cleaned)
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """A single document (e.g. a tweet) annotated with a set of tags.
+
+    Attributes
+    ----------
+    doc_id:
+        A unique identifier of the document within its stream.
+    tags:
+        The (normalised) set of tags annotating the document.
+    timestamp:
+        Arrival time in seconds.  The pipeline uses a simulated clock, so
+        this is simulation time, not wall-clock time.
+    text:
+        Optional raw text of the document; not used by the algorithms but
+        kept for realistic workloads and examples.
+    """
+
+    doc_id: int
+    tags: frozenset[str]
+    timestamp: float = 0.0
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tags, frozenset):
+            object.__setattr__(self, "tags", frozenset(self.tags))
+
+    @property
+    def tagset(self) -> frozenset[str]:
+        """Alias for :attr:`tags`; the paper calls this ``s_i``."""
+        return self.tags
+
+    def has_tags(self) -> bool:
+        """Whether the document carries at least one tag."""
+        return bool(self.tags)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tags)
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+
+@dataclass(slots=True)
+class DocumentBatch:
+    """A mutable, ordered collection of documents.
+
+    Used by workload generators and the analysis layer when a window of
+    documents needs to be treated as a unit.
+    """
+
+    documents: list[Document] = field(default_factory=list)
+
+    def append(self, document: Document) -> None:
+        self.documents.append(document)
+
+    def extend(self, documents: Iterable[Document]) -> None:
+        self.documents.extend(documents)
+
+    def tagsets(self) -> list[frozenset[str]]:
+        """Tagsets of all documents carrying at least one tag."""
+        return [doc.tags for doc in self.documents if doc.tags]
+
+    def distinct_tags(self) -> set[str]:
+        """The global tag set ``TG`` of the batch."""
+        tags: set[str] = set()
+        for doc in self.documents:
+            tags.update(doc.tags)
+        return tags
+
+    def time_span(self) -> tuple[float, float]:
+        """Earliest and latest timestamp in the batch.
+
+        Raises ``ValueError`` on an empty batch.
+        """
+        if not self.documents:
+            raise ValueError("cannot compute the time span of an empty batch")
+        times = [doc.timestamp for doc in self.documents]
+        return min(times), max(times)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self.documents[index]
+
+
+def documents_from_tagsets(
+    tagsets: Sequence[Iterable[str]],
+    start_id: int = 0,
+    timestamps: Sequence[float] | None = None,
+) -> list[Document]:
+    """Convenience constructor used heavily in tests and examples.
+
+    Parameters
+    ----------
+    tagsets:
+        One iterable of raw tag strings per document.
+    start_id:
+        Identifier assigned to the first document; subsequent documents get
+        consecutive identifiers.
+    timestamps:
+        Optional per-document timestamps; defaults to ``0.0`` for all.
+    """
+    if timestamps is not None and len(timestamps) != len(tagsets):
+        raise ValueError("timestamps must be as long as tagsets")
+    documents = []
+    for offset, tags in enumerate(tagsets):
+        timestamp = timestamps[offset] if timestamps is not None else 0.0
+        documents.append(
+            Document(
+                doc_id=start_id + offset,
+                tags=make_tagset(tags),
+                timestamp=timestamp,
+            )
+        )
+    return documents

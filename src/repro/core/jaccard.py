@@ -1,0 +1,238 @@
+"""Jaccard coefficient computation for sets of co-occurring tags.
+
+The Jaccard coefficient of a tagset ``s = {t_1, ..., t_n}`` is defined in
+Equation (1) of the paper as the ratio of the number of documents annotated
+with *all* tags of ``s`` to the number of documents annotated with *any* of
+them.  Calculators never see the raw per-tag document sets; they only keep,
+for every set of co-occurring tags, a counter of documents annotated with
+all of the set's tags (``SubsetCounter``), and recover the size of the union
+via the inclusion–exclusion principle (Equation (2)).
+
+This module provides:
+
+* :func:`exact_jaccard` — ground truth computed directly from per-tag
+  document sets (used by the centralised baseline and in tests),
+* :class:`SubsetCounter` — the counter table a Calculator maintains,
+* :class:`JaccardCalculator` — counts incoming tagset notifications and
+  reports Jaccard coefficients the way the Calculator operator does,
+* :func:`union_size_inclusion_exclusion` — Equation (2) on top of a counter
+  table.
+
+Counters are keyed internally by sorted tag tuples rather than frozensets:
+a Calculator evaluates hundreds of thousands of subsets per report round and
+tuple keys shave a large constant factor off that loop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Mapping
+
+
+def exact_jaccard(document_sets: Iterable[set[int]]) -> float:
+    """Ground-truth Jaccard coefficient of a collection of document sets.
+
+    ``document_sets`` holds, for every tag of the tagset, the set of
+    documents annotated with that tag.  Returns 0.0 when the union is empty.
+    """
+    sets = [set(s) for s in document_sets]
+    if not sets:
+        return 0.0
+    intersection = set(sets[0])
+    union: set[int] = set()
+    for current in sets:
+        intersection &= current
+        union |= current
+    if not union:
+        return 0.0
+    return len(intersection) / len(union)
+
+
+def _subset_tuples(tags: Iterable[str]) -> list[tuple[str, ...]]:
+    """All non-empty subsets of ``tags`` as sorted tuples."""
+    tag_list = sorted(set(tags))
+    subsets: list[tuple[str, ...]] = []
+    for size in range(1, len(tag_list) + 1):
+        subsets.extend(combinations(tag_list, size))
+    return subsets
+
+
+def all_nonempty_subsets(tags: Iterable[str]) -> list[frozenset[str]]:
+    """All non-empty subsets of ``tags`` (the sets a Calculator counts)."""
+    return [frozenset(combo) for combo in _subset_tuples(tags)]
+
+
+def union_size_inclusion_exclusion(
+    tagset: frozenset[str], intersection_counts: Mapping[frozenset[str], int]
+) -> int:
+    """Size of the union of the tags' document sets via inclusion–exclusion.
+
+    ``intersection_counts[sub]`` must hold ``|⋂_{t∈sub} T_t|`` for every
+    non-empty subset ``sub`` of ``tagset``; missing subsets are treated as
+    empty intersections (count 0), which is exactly what a Calculator
+    observes when a tag combination never arrived.
+    """
+    total = 0
+    tags = sorted(tagset)
+    for size in range(1, len(tags) + 1):
+        sign = 1 if size % 2 == 1 else -1
+        for combo in combinations(tags, size):
+            total += sign * intersection_counts.get(frozenset(combo), 0)
+    return total
+
+
+def _union_size_from_tuple_counts(
+    tags: tuple[str, ...], counts: Mapping[tuple[str, ...], int]
+) -> int:
+    """Inclusion–exclusion over tuple-keyed counters (``tags`` sorted)."""
+    get = counts.get
+    total = 0
+    for size in range(1, len(tags) + 1):
+        sign = 1 if size % 2 == 1 else -1
+        subtotal = 0
+        for combo in combinations(tags, size):
+            subtotal += get(combo, 0)
+        total += sign * subtotal
+    return total
+
+
+@dataclass(slots=True)
+class JaccardResult:
+    """A reported Jaccard coefficient.
+
+    Mirrors the tuples ``(s_i, J(s_i), CN(s_i))`` emitted by Calculators:
+    the tagset, its coefficient and the value of the supporting counter
+    (the number of documents annotated with all tags of the set), which the
+    Tracker uses to resolve duplicates.
+    """
+
+    tagset: frozenset[str]
+    jaccard: float
+    support: int
+
+
+class SubsetCounter:
+    """Counter table over sets of co-occurring tags.
+
+    For every received tagset notification the Calculator increments the
+    counter of *all* subsets of the notification (Section 6.2): receiving
+    ``{a, b, c}`` increments the counters of ``{a}``, ``{b}``, ``{c}``,
+    ``{a,b}``, ``{a,c}``, ``{b,c}`` and ``{a,b,c}``.  The counter of a set
+    therefore equals the number of received documents annotated with all of
+    the set's tags.
+    """
+
+    def __init__(self, max_tags_per_document: int = 12) -> None:
+        self._counts: Counter = Counter()
+        self._max_tags = max_tags_per_document
+
+    def observe(self, tags: Iterable[str]) -> None:
+        """Record one incoming tagset notification."""
+        unique = sorted(set(tags))
+        if not unique:
+            return
+        if len(unique) > self._max_tags:
+            # Guard against combinatorial blow-up on pathological documents;
+            # real tweets carry < 10 tags (Section 3.1).
+            unique = unique[: self._max_tags]
+        counts = self._counts
+        for size in range(1, len(unique) + 1):
+            for combo in combinations(unique, size):
+                counts[combo] += 1
+
+    def count(self, tags: Iterable[str]) -> int:
+        """Documents observed that carry all of ``tags``."""
+        return self._counts.get(tuple(sorted(set(tags))), 0)
+
+    def counted_tagsets(self, min_size: int = 2) -> list[frozenset[str]]:
+        """All counted tag combinations with at least ``min_size`` tags."""
+        return [frozenset(key) for key in self._counts if len(key) >= min_size]
+
+    def items(self) -> Iterable[tuple[frozenset[str], int]]:
+        """(tagset, count) pairs for all counted combinations."""
+        for key, count in self._counts.items():
+            yield frozenset(key), count
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, tags: object) -> bool:
+        return tuple(sorted(set(tags))) in self._counts  # type: ignore[arg-type]
+
+    def clear(self) -> None:
+        """Drop all counters (Calculators do this after each report round)."""
+        self._counts.clear()
+
+    def jaccard(self, tags: Iterable[str]) -> float:
+        """Jaccard coefficient of ``tags`` from the current counters."""
+        key = tuple(sorted(set(tags)))
+        intersection = self._counts.get(key, 0)
+        if intersection == 0:
+            return 0.0
+        union = _union_size_from_tuple_counts(key, self._counts)
+        if union <= 0:
+            return 0.0
+        return intersection / union
+
+    def _raw_items(self) -> Iterable[tuple[tuple[str, ...], int]]:
+        """Internal tuple-keyed view used by the report fast path."""
+        return self._counts.items()
+
+    def _raw_counts(self) -> Mapping[tuple[str, ...], int]:
+        return self._counts
+
+
+class JaccardCalculator:
+    """Counts tagset notifications and reports Jaccard coefficients.
+
+    This is the algorithmic core of the Calculator operator, factored out so
+    it can be used standalone (e.g. by the centralised baseline or in
+    examples that do not need the full topology).
+    """
+
+    def __init__(self, max_tags_per_document: int = 12) -> None:
+        self._counter = SubsetCounter(max_tags_per_document)
+        self._observations = 0
+
+    @property
+    def observations(self) -> int:
+        """Number of notifications observed since the last report."""
+        return self._observations
+
+    def observe(self, tags: Iterable[str]) -> None:
+        """Record one tagset notification."""
+        self._counter.observe(tags)
+        self._observations += 1
+
+    def coefficient(self, tags: Iterable[str]) -> float:
+        """Current Jaccard coefficient of ``tags``."""
+        return self._counter.jaccard(tags)
+
+    def report(self, min_size: int = 2, reset: bool = True) -> list[JaccardResult]:
+        """Compute coefficients for every counted co-occurring tagset.
+
+        Mirrors the periodic reporting of Calculators: every ``y`` time
+        units the maximum possible number of coefficients is emitted and the
+        counters are deleted (``reset=True``).
+        """
+        counts = self._counter._raw_counts()
+        results = []
+        for key, support in self._counter._raw_items():
+            if len(key) < min_size or support == 0:
+                continue
+            union = _union_size_from_tuple_counts(key, counts)
+            if union <= 0:
+                continue
+            results.append(
+                JaccardResult(
+                    tagset=frozenset(key),
+                    jaccard=support / union,
+                    support=support,
+                )
+            )
+        if reset:
+            self._counter.clear()
+            self._observations = 0
+        return results

@@ -1,0 +1,105 @@
+"""Disjoint-set forest (union–find) over hashable items.
+
+The Disjoint Sets (DS) partitioning algorithm (Algorithm 1 in the paper) and
+the connectivity analysis of Section 8.2.6 both need the connected
+components of the tag co-occurrence graph.  A union–find structure gives
+them in near-linear time without materialising the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Union–find with union by size and path compression.
+
+    Items are added lazily: :meth:`find` and :meth:`union` create singleton
+    sets for unknown items.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._size: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: T) -> None:
+        """Ensure ``item`` is present as (at least) a singleton set."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._parent)
+
+    def find(self, item: T) -> T:
+        """Return the representative of ``item``'s set (adding it if new)."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the path directly at the root.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: T, second: T) -> T:
+        """Merge the sets containing ``first`` and ``second``.
+
+        Returns the representative of the merged set.
+        """
+        root_a = self.find(first)
+        root_b = self.find(second)
+        if root_a == root_b:
+            return root_a
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        return root_a
+
+    def union_all(self, items: Iterable[T]) -> T | None:
+        """Merge all ``items`` into a single set; returns its representative.
+
+        Used to register a tagset: all tags co-occurring in one document end
+        up in the same connected component.
+        """
+        iterator = iter(items)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return None
+        root = self.find(first)
+        for item in iterator:
+            root = self.union(root, item)
+        return root
+
+    def connected(self, first: T, second: T) -> bool:
+        """Whether the two items are currently in the same set."""
+        if first not in self._parent or second not in self._parent:
+            return False
+        return self.find(first) == self.find(second)
+
+    def component_size(self, item: T) -> int:
+        """Number of items in the set containing ``item``."""
+        return self._size[self.find(item)]
+
+    def components(self) -> dict[T, set[T]]:
+        """All disjoint sets, keyed by their representative."""
+        groups: dict[T, set[T]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), set()).add(item)
+        return groups
+
+    def n_components(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return sum(1 for item, parent in self._parent.items() if item == parent)

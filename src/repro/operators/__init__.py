@@ -1,0 +1,42 @@
+"""The operators of the Figure-2 topology plus the centralised baseline."""
+
+from .calculator import CalculatorBolt
+from .centralized import CentralizedCalculatorBolt
+from .disseminator import (
+    DisseminatorBolt,
+    DisseminatorMetrics,
+    QualitySnapshot,
+    RepartitionEvent,
+    REASON_BOOTSTRAP,
+    REASON_BOTH,
+    REASON_COMMUNICATION,
+    REASON_LOAD,
+)
+from .merger import MergerBolt
+from .parser import ParserBolt, extract_hashtags
+from .partitioner import PartitionerBolt, SlidingWindow
+from .spouts import DocumentSpout, FileSpout
+from .tracker import TrackerBolt
+from . import streams
+
+__all__ = [
+    "CalculatorBolt",
+    "CentralizedCalculatorBolt",
+    "DisseminatorBolt",
+    "DisseminatorMetrics",
+    "DocumentSpout",
+    "FileSpout",
+    "MergerBolt",
+    "ParserBolt",
+    "PartitionerBolt",
+    "QualitySnapshot",
+    "REASON_BOOTSTRAP",
+    "REASON_BOTH",
+    "REASON_COMMUNICATION",
+    "REASON_LOAD",
+    "RepartitionEvent",
+    "SlidingWindow",
+    "TrackerBolt",
+    "extract_hashtags",
+    "streams",
+]

@@ -1,0 +1,78 @@
+"""Centralised exact baseline (Section 8.2.3).
+
+To measure the accuracy loss of the distributed computation, the paper runs
+a centralised approach that receives *all* tagsets and computes their exact
+Jaccard coefficients over the whole run, never resetting its counters.  The
+distributed system's error is the deviation of the Tracker's coefficients
+from this ground truth, restricted to tagsets seen more than ``sn`` times.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+from ..core.jaccard import exact_jaccard
+from ..streamsim.components import Bolt
+from ..streamsim.tuples import TupleMessage
+from .streams import TAGSETS
+
+
+class CentralizedCalculatorBolt(Bolt):
+    """Exact, single-node Jaccard computation used as ground truth."""
+
+    def __init__(self, min_occurrences: int = 3, max_subset_size: int = 4) -> None:
+        super().__init__()
+        if min_occurrences < 1:
+            raise ValueError("min_occurrences must be at least 1")
+        self.min_occurrences = min_occurrences
+        self.max_subset_size = max_subset_size
+        self._tag_documents: dict[str, set[int]] = {}
+        self._subset_counts: Counter = Counter()
+        self._documents_seen = 0
+
+    def execute(self, message: TupleMessage) -> None:
+        if message.stream != TAGSETS:
+            return
+        tagset: frozenset[str] = message["tagset"]
+        doc_id = message.get("doc_id", self._documents_seen)
+        self.observe(tagset, doc_id)
+
+    def observe(self, tagset: frozenset[str], doc_id: int) -> None:
+        """Record one document's tagset (also usable without the topology)."""
+        self._documents_seen += 1
+        for tag in tagset:
+            self._tag_documents.setdefault(tag, set()).add(doc_id)
+        tags = sorted(tagset)
+        max_size = min(len(tags), self.max_subset_size)
+        for size in range(2, max_size + 1):
+            for combo in combinations(tags, size):
+                self._subset_counts[frozenset(combo)] += 1
+
+    # ------------------------------------------------------------------ #
+    # Ground truth
+    # ------------------------------------------------------------------ #
+    def qualifying_tagsets(self) -> list[frozenset[str]]:
+        """Co-occurring tagsets seen more than ``min_occurrences`` times."""
+        return [
+            tagset
+            for tagset, count in self._subset_counts.items()
+            if count > self.min_occurrences
+        ]
+
+    def jaccard(self, tagset: frozenset[str]) -> float:
+        """Exact Jaccard coefficient of one tagset over the whole run."""
+        document_sets = [self._tag_documents.get(tag, set()) for tag in tagset]
+        return exact_jaccard(document_sets)
+
+    def ground_truth(self) -> dict[frozenset[str], float]:
+        """Exact coefficients for every qualifying tagset."""
+        return {tagset: self.jaccard(tagset) for tagset in self.qualifying_tagsets()}
+
+    def occurrence_count(self, tagset: frozenset[str]) -> int:
+        """How many documents carried all tags of ``tagset``."""
+        return self._subset_counts.get(frozenset(tagset), 0)
+
+    @property
+    def documents_seen(self) -> int:
+        return self._documents_seen

@@ -1,0 +1,302 @@
+"""The Disseminator bolt: routes tagsets to Calculators and monitors quality.
+
+The Disseminator keeps the inverted index from tags to Calculators built
+from the partitions it receives from the Merger (Section 3.3).  For every
+parsed tagset it notifies each Calculator that owns at least one of the
+tags, sending it exactly the subset of tags it owns (Section 6.2).
+
+It is also the control centre of the dynamics of Section 7:
+
+* tagsets not covered by any Calculator are counted; after ``sn``
+  occurrences the Merger is asked to perform a *Single Addition*;
+* rolling statistics over every ``z`` routed tagsets estimate the current
+  average communication ``avgCom'`` and maximum load ``maxLoad'``; when
+  either exceeds its reference value by more than the threshold ``thr`` the
+  Disseminator requests a repartition from the Partitioners;
+* all routing decisions are also accumulated into experiment-level metrics
+  (total communication, per-Calculator loads, repartition log, quality time
+  series) that the pipeline reads after the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.metrics import CommunicationTracker, LoadTracker, gini_coefficient
+from ..core.partition import PartitionAssignment
+from ..streamsim.components import Bolt
+from ..streamsim.tuples import TupleMessage
+from .streams import (
+    MISSING_TAGSETS,
+    NOTIFICATIONS,
+    PARTITIONS,
+    REPARTITION_REQUESTS,
+    SINGLE_ADDITIONS,
+    TAGSETS,
+)
+
+#: Reasons a repartition can be triggered for (Figure 6's breakdown).
+REASON_COMMUNICATION = "communication"
+REASON_LOAD = "load"
+REASON_BOTH = "both"
+REASON_BOOTSTRAP = "bootstrap"
+
+
+@dataclass(slots=True)
+class QualitySnapshot:
+    """One point of the partition-quality time series (Figures 8 and 9)."""
+
+    documents_processed: int
+    timestamp: float
+    avg_communication: float
+    calculator_loads: tuple[int, ...]
+    repartition_reason: str | None = None
+
+    @property
+    def load_gini(self) -> float:
+        return gini_coefficient(self.calculator_loads)
+
+
+@dataclass(slots=True)
+class RepartitionEvent:
+    """A repartition request issued by the Disseminator."""
+
+    documents_processed: int
+    timestamp: float
+    reason: str
+
+
+@dataclass(slots=True)
+class DisseminatorMetrics:
+    """Experiment-level counters exposed to the pipeline after a run."""
+
+    communication: CommunicationTracker = field(default_factory=CommunicationTracker)
+    load: LoadTracker = field(default_factory=LoadTracker)
+    unrouted_tagsets: int = 0
+    notified_tagsets: int = 0
+    repartitions: list[RepartitionEvent] = field(default_factory=list)
+    history: list[QualitySnapshot] = field(default_factory=list)
+    single_addition_requests: int = 0
+
+
+class DisseminatorBolt(Bolt):
+    """Routes tagsets, requests single additions and repartitions."""
+
+    def __init__(
+        self,
+        k: int,
+        repartition_threshold: float = 0.5,
+        single_addition_threshold: int = 3,
+        quality_check_interval: int = 1000,
+        bootstrap_documents: int = 1000,
+    ) -> None:
+        super().__init__()
+        if repartition_threshold < 0:
+            raise ValueError("repartition_threshold must be non-negative")
+        if single_addition_threshold < 1:
+            raise ValueError("single_addition_threshold must be at least 1")
+        self.k = k
+        self.thr = repartition_threshold
+        self.sn = single_addition_threshold
+        self.z = quality_check_interval
+        self.bootstrap_documents = bootstrap_documents
+        self.metrics = DisseminatorMetrics()
+
+        self._assignment: PartitionAssignment | None = None
+        self._calculator_tasks: list[int] = []
+        self._reference_avg_com: float = 1.0
+        self._reference_max_load: float = 1.0
+        self._rolling_com = CommunicationTracker()
+        self._rolling_load = LoadTracker()
+        self._missing_counts: dict[frozenset[str], int] = {}
+        self._requested_additions: set[frozenset[str]] = set()
+        self._documents_seen = 0
+        self._epoch = 0
+        self._installed_epoch = -1
+        self._awaiting_partitions = False
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def on_prepare(self) -> None:
+        assert self.context is not None
+        from .streams import CALCULATOR
+
+        try:
+            self._calculator_tasks = self.context.task_ids(CALCULATOR)
+        except KeyError:
+            self._calculator_tasks = []
+
+    @property
+    def assignment(self) -> PartitionAssignment | None:
+        """The currently installed partition assignment (None before bootstrap)."""
+        return self._assignment
+
+    @property
+    def current_epoch(self) -> int:
+        return self._installed_epoch
+
+    # ------------------------------------------------------------------ #
+    # Tuple handling
+    # ------------------------------------------------------------------ #
+    def execute(self, message: TupleMessage) -> None:
+        if message.stream == TAGSETS:
+            self._handle_tagset(message)
+        elif message.stream == PARTITIONS:
+            self._install_partitions(message)
+        elif message.stream == SINGLE_ADDITIONS:
+            self._apply_single_addition(message)
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _handle_tagset(self, message: TupleMessage) -> None:
+        self._documents_seen += 1
+        tagset: frozenset[str] = message["tagset"]
+        timestamp = message.get("timestamp", 0.0)
+
+        if self._assignment is None:
+            self.metrics.unrouted_tagsets += 1
+            self._maybe_bootstrap(timestamp)
+            return
+
+        routes = self._assignment.route(tagset)
+        covering = self._assignment.covering_partitions(tagset)
+        if not covering:
+            self._register_missing(tagset, timestamp)
+        if not routes:
+            self.metrics.unrouted_tagsets += 1
+            self.metrics.communication.record(0)
+            return
+
+        for partition_index, tags in routes.items():
+            task_id = self._task_for_partition(partition_index)
+            if task_id is None:
+                continue
+            self.emit_direct(
+                task_id,
+                {"tags": tags, "timestamp": timestamp},
+                stream=NOTIFICATIONS,
+            )
+        n_notifications = len(routes)
+        self.metrics.notified_tagsets += 1
+        self.metrics.communication.record(n_notifications)
+        self._rolling_com.record(n_notifications)
+        for partition_index in routes:
+            self.metrics.load.record(partition_index)
+            self._rolling_load.record(partition_index)
+        self._maybe_check_quality(timestamp)
+
+    def _task_for_partition(self, partition_index: int) -> int | None:
+        if not self._calculator_tasks:
+            return None
+        if partition_index >= len(self._calculator_tasks):
+            # More partitions than Calculators should not happen; route
+            # modulo so the document is not lost, which mirrors Storm's
+            # behaviour of hashing onto the available tasks.
+            partition_index %= len(self._calculator_tasks)
+        return self._calculator_tasks[partition_index]
+
+    # ------------------------------------------------------------------ #
+    # Partitions and single additions
+    # ------------------------------------------------------------------ #
+    def _install_partitions(self, message: TupleMessage) -> None:
+        epoch = message.get("epoch", 0)
+        if epoch <= self._installed_epoch:
+            return
+        tag_sets = message["tag_sets"]
+        loads = message.get("loads", [0] * len(tag_sets))
+        partitions = PartitionAssignment.from_tag_sets(tag_sets)
+        for partition, load in zip(partitions, loads):
+            partition.load = int(load)
+        self._assignment = partitions
+        self._installed_epoch = epoch
+        self._awaiting_partitions = False
+        self._reference_avg_com = max(float(message.get("avg_com", 1.0)), 1e-9)
+        self._reference_max_load = max(float(message.get("max_load", 1.0)), 1e-9)
+        self._rolling_com.reset()
+        self._rolling_load.reset()
+        self._missing_counts.clear()
+        self._requested_additions.clear()
+        self._record_snapshot(message.get("timestamp", 0.0), reason=None)
+
+    def _apply_single_addition(self, message: TupleMessage) -> None:
+        if self._assignment is None:
+            return
+        tagset = frozenset(message["tagset"])
+        index = int(message["partition_index"])
+        if index < self._assignment.k:
+            self._assignment.add_tagset(index, tagset)
+        self._missing_counts.pop(tagset, None)
+        self._requested_additions.discard(tagset)
+
+    def _register_missing(self, tagset: frozenset[str], timestamp: float) -> None:
+        if tagset in self._requested_additions:
+            return
+        count = self._missing_counts.get(tagset, 0) + 1
+        self._missing_counts[tagset] = count
+        if count >= self.sn:
+            self._requested_additions.add(tagset)
+            self.metrics.single_addition_requests += 1
+            self.emit(
+                {"tagset": tagset, "count": count, "timestamp": timestamp},
+                stream=MISSING_TAGSETS,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Quality monitoring (Section 7.2)
+    # ------------------------------------------------------------------ #
+    def _maybe_bootstrap(self, timestamp: float) -> None:
+        if self._awaiting_partitions:
+            return
+        if self._documents_seen >= self.bootstrap_documents:
+            self._request_repartition(REASON_BOOTSTRAP, timestamp)
+
+    def _maybe_check_quality(self, timestamp: float) -> None:
+        if self._awaiting_partitions:
+            return
+        if self._rolling_com.routed_tagsets < self.z:
+            return
+        current_com = self._rolling_com.average
+        current_load = self._rolling_load.max_share(self.k)
+        com_degraded = current_com > self._reference_avg_com * (1.0 + self.thr)
+        load_degraded = current_load > self._reference_max_load * (1.0 + self.thr)
+        reason: str | None = None
+        if com_degraded and load_degraded:
+            reason = REASON_BOTH
+        elif com_degraded:
+            reason = REASON_COMMUNICATION
+        elif load_degraded:
+            reason = REASON_LOAD
+        self._record_snapshot(timestamp, reason=reason)
+        if reason is not None:
+            self._request_repartition(reason, timestamp)
+        self._rolling_com.reset()
+        self._rolling_load.reset()
+
+    def _request_repartition(self, reason: str, timestamp: float) -> None:
+        self._epoch += 1
+        self._awaiting_partitions = True
+        if reason != REASON_BOOTSTRAP:
+            self.metrics.repartitions.append(
+                RepartitionEvent(
+                    documents_processed=self._documents_seen,
+                    timestamp=timestamp,
+                    reason=reason,
+                )
+            )
+        self.emit(
+            {"epoch": self._epoch, "reason": reason, "timestamp": timestamp},
+            stream=REPARTITION_REQUESTS,
+        )
+
+    def _record_snapshot(self, timestamp: float, reason: str | None) -> None:
+        self.metrics.history.append(
+            QualitySnapshot(
+                documents_processed=self._documents_seen,
+                timestamp=timestamp,
+                avg_communication=self._rolling_com.average,
+                calculator_loads=tuple(self._rolling_load.loads(self.k)),
+                repartition_reason=reason,
+            )
+        )

@@ -1,0 +1,205 @@
+"""The Merger bolt: combines partial partitions into the final ``k`` partitions.
+
+With ``P`` parallel Partitioner instances, each one only sees (and
+partitions) a subset of the window's tagsets.  The Merger collects the
+partial results of all Partitioners for an epoch and produces the final
+``k`` partitions (Section 6.2):
+
+* for DS, the received pieces are disjoint sets of the per-Partitioner
+  windows; the Merger re-unions pieces that share tags (they belong to the
+  same global connected component) and then packs them into ``k``
+  partitions with the greedy phase 2 of Algorithm 1;
+* for the set-cover algorithms, the received pieces are the Partitioners'
+  partitions, which the Merger treats as input tagsets for another run of
+  the same algorithm — "the Merger can be viewed as another Partitioner".
+
+The Merger also owns the live assignment between repartitions: the
+Disseminator reports tagsets that no Calculator covers, and the Merger picks
+the best partition for them (a *Single Addition*, Section 7.1) and
+broadcasts the decision.
+
+Together with the final partitions the Merger ships the reference quality
+values ``avgCom`` and ``maxLoad``, computed over the merged window contents,
+which the Disseminator later compares against its rolling statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.cooccurrence import CooccurrenceStatistics
+from ..core.metrics import max_load_share
+from ..core.partition import PartitionAssignment
+from ..partitioning import (
+    DisjointSet,
+    DisjointSetsPartitioner,
+    Partitioner,
+    merge_disjoint_sets,
+)
+from ..core.union_find import UnionFind
+from ..streamsim.components import Bolt
+from ..streamsim.tuples import TupleMessage
+from .streams import MISSING_TAGSETS, PARTIAL_PARTITIONS, PARTITIONS, SINGLE_ADDITIONS
+
+
+def _statistics_from_weighted_tagsets(
+    weighted: dict[frozenset[str], int]
+) -> CooccurrenceStatistics:
+    """Build statistics where each tagset occurs ``weight`` times.
+
+    Synthetic documents are assigned in disjoint blocks, so the load of a
+    tag equals the total weight of the tagsets containing it.
+    """
+    return CooccurrenceStatistics.from_tagset_counts(
+        {tagset: max(1, int(weight)) for tagset, weight in weighted.items()}
+    )
+
+
+class MergerBolt(Bolt):
+    """Collects partial partitions, emits final partitions, handles additions."""
+
+    def __init__(self, algorithm: Partitioner, k: int) -> None:
+        super().__init__()
+        self.algorithm = algorithm
+        self.k = k
+        self.merges_performed = 0
+        self.single_additions = 0
+        self._pending: dict[int, list[TupleMessage]] = {}
+        self._current_assignment: PartitionAssignment | None = None
+        self._expected_partials = 1
+
+    def on_prepare(self) -> None:
+        assert self.context is not None
+        from .streams import PARTITIONER  # local import to avoid cycle at module load
+
+        try:
+            self._expected_partials = self.context.parallelism(PARTITIONER)
+        except KeyError:
+            # Topologies without a Partitioner component (tests) default to 1.
+            self._expected_partials = 1
+
+    # ------------------------------------------------------------------ #
+    # Tuple handling
+    # ------------------------------------------------------------------ #
+    def execute(self, message: TupleMessage) -> None:
+        if message.stream == PARTIAL_PARTITIONS:
+            self._collect_partial(message)
+        elif message.stream == MISSING_TAGSETS:
+            self._single_addition(message)
+
+    def _collect_partial(self, message: TupleMessage) -> None:
+        epoch = message.get("epoch", 0)
+        bucket = self._pending.setdefault(epoch, [])
+        bucket.append(message)
+        if len(bucket) >= self._expected_partials:
+            del self._pending[epoch]
+            self._merge(epoch, bucket)
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+    def _merge(self, epoch: int, partials: list[TupleMessage]) -> None:
+        pieces: list[tuple[frozenset[str], int]] = []
+        window_counts: Counter = Counter()
+        timestamp = 0.0
+        for partial in partials:
+            timestamp = max(timestamp, partial.get("timestamp", 0.0))
+            for tags, load in zip(partial["tag_sets"], partial["loads"]):
+                pieces.append((frozenset(tags), int(load)))
+            for tags, count in partial.get("window_counts", {}).items():
+                window_counts[frozenset(tags)] += int(count)
+
+        if not pieces and not window_counts:
+            # Nothing observed yet; emit an empty assignment so the
+            # Disseminator does not wait forever.
+            assignment = PartitionAssignment.empty(self.k)
+        elif isinstance(self.algorithm, DisjointSetsPartitioner):
+            assignment = self._merge_disjoint_sets(pieces, window_counts)
+        else:
+            assignment = self._merge_set_cover(pieces)
+
+        self._current_assignment = assignment
+        self.merges_performed += 1
+        avg_com, max_load = self._reference_quality(assignment, window_counts)
+        self.emit(
+            {
+                "epoch": epoch,
+                "tag_sets": [frozenset(p.tags) for p in assignment],
+                "loads": [p.load for p in assignment],
+                "avg_com": avg_com,
+                "max_load": max_load,
+                "timestamp": timestamp,
+            },
+            stream=PARTITIONS,
+        )
+
+    def _merge_disjoint_sets(
+        self,
+        pieces: list[tuple[frozenset[str], int]],
+        window_counts: Counter,
+    ) -> PartitionAssignment:
+        """Re-union pieces sharing tags, then pack them into ``k`` partitions."""
+        forest: UnionFind[str] = UnionFind()
+        for tags, _ in pieces:
+            forest.union_all(tags)
+        merged_stats = _statistics_from_weighted_tagsets(dict(window_counts))
+        disjoint_sets = [
+            DisjointSet(tags=frozenset(tags), load=merged_stats.load(tags))
+            for tags in forest.components().values()
+        ]
+        return merge_disjoint_sets(disjoint_sets, self.k)
+
+    def _merge_set_cover(
+        self, pieces: list[tuple[frozenset[str], int]]
+    ) -> PartitionAssignment:
+        """Treat the received partitions as tagsets and re-run the algorithm."""
+        weighted = {tags: load for tags, load in pieces if tags}
+        statistics = _statistics_from_weighted_tagsets(weighted)
+        return self.algorithm.partition(statistics, self.k)
+
+    def _reference_quality(
+        self, assignment: PartitionAssignment, window_counts: Counter
+    ) -> tuple[float, float]:
+        """avgCom and maxLoad of the new partitions over the window contents."""
+        if not window_counts:
+            return 1.0, 1.0 / max(assignment.k, 1)
+        notifications = 0
+        routed = 0
+        loads = [0] * assignment.k
+        for tagset, count in window_counts.items():
+            routes = assignment.route(tagset)
+            if not routes:
+                continue
+            notifications += len(routes) * count
+            routed += count
+            for index in routes:
+                loads[index] += count
+        avg_com = notifications / routed if routed else 1.0
+        return avg_com, max_load_share(loads)
+
+    # ------------------------------------------------------------------ #
+    # Single additions (Section 7.1)
+    # ------------------------------------------------------------------ #
+    def _single_addition(self, message: TupleMessage) -> None:
+        tagset = frozenset(message["tagset"])
+        load = int(message.get("count", 1))
+        if self._current_assignment is None or self._current_assignment.k == 0:
+            return
+        assignment = self._current_assignment
+        existing = assignment.covering_partitions(tagset)
+        if existing:
+            index = existing[0]
+        else:
+            index = self.algorithm.best_partition_for_addition(
+                assignment, tagset, load=load
+            )
+            assignment.add_tagset(index, tagset, load=load)
+            self.single_additions += 1
+        self.emit(
+            {
+                "tagset": tagset,
+                "partition_index": index,
+                "timestamp": message.get("timestamp", 0.0),
+            },
+            stream=SINGLE_ADDITIONS,
+        )

@@ -1,0 +1,52 @@
+"""Tweet sources (the topology's Spout).
+
+The paper's Source produces a stream of tweets either live from Twitter's
+streaming API or replayed from a file for repeatability.  The reproduction
+offers the same two flavours minus the live API: an in-memory document
+source (fed by the synthetic generator or by a loaded trace) and a
+JSON-Lines file source.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..core.documents import Document
+from ..streamsim.components import Spout
+from ..workloads.io import read_documents
+from .streams import TWEETS
+
+
+class DocumentSpout(Spout):
+    """Replays an iterable of :class:`Document` objects."""
+
+    def __init__(self, documents: Iterable[Document]) -> None:
+        super().__init__()
+        self._documents: Iterator[Document] = iter(documents)
+        self.emitted = 0
+
+    def next_tuple(self) -> bool:
+        try:
+            document = next(self._documents)
+        except StopIteration:
+            return False
+        self.emit(
+            {
+                "doc_id": document.doc_id,
+                "timestamp": document.timestamp,
+                "tags": document.tags,
+                "text": document.text,
+            },
+            stream=TWEETS,
+        )
+        self.emitted += 1
+        return True
+
+
+class FileSpout(DocumentSpout):
+    """Replays tweets from a JSON-Lines file written by ``repro.workloads.io``."""
+
+    def __init__(self, path: str | Path) -> None:
+        super().__init__(read_documents(path))
+        self.path = Path(path)

@@ -1,0 +1,37 @@
+"""Names of the components and streams of the Figure-2 topology.
+
+Keeping the identifiers in one place avoids typo-induced routing bugs and
+documents the dataflow:
+
+* ``source`` emits raw tweets to ``parser`` (shuffle),
+* ``parser`` emits parsed tagsets to ``disseminator`` (shuffle) and
+  ``partitioner`` (fields grouping on the tagset),
+* ``partitioner`` emits partial partitions to ``merger``,
+* ``merger`` broadcasts final partitions and single-addition decisions to
+  all ``disseminator`` instances,
+* ``disseminator`` sends notifications to ``calculator`` tasks (direct
+  grouping), missing-tagset reports to ``merger`` and repartition requests
+  to all ``partitioner`` instances,
+* ``calculator`` emits Jaccard coefficients to ``tracker``.
+"""
+
+# Component names -------------------------------------------------------- #
+SOURCE = "source"
+PARSER = "parser"
+PARTITIONER = "partitioner"
+MERGER = "merger"
+DISSEMINATOR = "disseminator"
+CALCULATOR = "calculator"
+TRACKER = "tracker"
+CENTRALIZED = "centralized"
+
+# Stream names ----------------------------------------------------------- #
+TWEETS = "tweets"
+TAGSETS = "tagsets"
+PARTIAL_PARTITIONS = "partial_partitions"
+PARTITIONS = "partitions"
+SINGLE_ADDITIONS = "single_additions"
+MISSING_TAGSETS = "missing_tagsets"
+REPARTITION_REQUESTS = "repartition_requests"
+NOTIFICATIONS = "notifications"
+COEFFICIENTS = "coefficients"

@@ -1,0 +1,80 @@
+"""The Tracker bolt: deduplicates coefficients reported by Calculators.
+
+When a tag is replicated across partitions, several Calculators may report a
+Jaccard coefficient for the same tagset.  The Tracker keeps, for every
+tagset, the coefficient supported by the longest-tracked counter (maximum
+``CN(s_i)``), the heuristic of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.jaccard import JaccardResult
+from ..streamsim.components import Bolt
+from ..streamsim.tuples import TupleMessage
+from .streams import COEFFICIENTS
+
+
+@dataclass(slots=True)
+class TrackedCoefficient:
+    """The best coefficient seen so far for one tagset."""
+
+    jaccard: float
+    support: int
+    reports: int = 1
+
+
+class TrackerBolt(Bolt):
+    """Selects, per tagset, the reported coefficient with maximum support."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._best: dict[frozenset[str], TrackedCoefficient] = {}
+        self.reports_received = 0
+        self.duplicate_reports = 0
+
+    def execute(self, message: TupleMessage) -> None:
+        if message.stream != COEFFICIENTS:
+            return
+        for tagset, jaccard, support in message["results"]:
+            self.observe(
+                JaccardResult(
+                    tagset=frozenset(tagset),
+                    jaccard=float(jaccard),
+                    support=int(support),
+                )
+            )
+
+    def observe(self, result: JaccardResult) -> None:
+        """Record one reported coefficient (also used by the pipeline's flush)."""
+        self.reports_received += 1
+        existing = self._best.get(result.tagset)
+        if existing is None:
+            self._best[result.tagset] = TrackedCoefficient(
+                jaccard=result.jaccard, support=result.support
+            )
+            return
+        self.duplicate_reports += 1
+        existing.reports += 1
+        if result.support > existing.support:
+            existing.jaccard = result.jaccard
+            existing.support = result.support
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+    def coefficients(self, min_support: int = 0) -> dict[frozenset[str], float]:
+        """Final coefficient per tagset, optionally filtered by support."""
+        return {
+            tagset: tracked.jaccard
+            for tagset, tracked in self._best.items()
+            if tracked.support >= min_support
+        }
+
+    def supports(self) -> dict[frozenset[str], int]:
+        """Supporting counter value per tagset."""
+        return {tagset: tracked.support for tagset, tracked in self._best.items()}
+
+    def __len__(self) -> int:
+        return len(self._best)

@@ -1,0 +1,73 @@
+"""Partitioning algorithms: the paper's DS/SCC/SCL/SCI family and baselines."""
+
+from .base import Partitioner
+from .baselines import (
+    HashPartitioner,
+    KernighanLinPartitioner,
+    RandomPartitioner,
+    SpectralPartitioner,
+    repair_coverage,
+)
+from .disjoint_sets import (
+    DisjointSet,
+    DisjointSetsPartitioner,
+    find_disjoint_sets,
+    merge_disjoint_sets,
+)
+from .hybrid import HybridDSPartitioner
+from .multilevel import MultilevelPartitioner
+from .set_cover import (
+    SCCPartitioner,
+    SCIPartitioner,
+    SCLPartitioner,
+    select_seed_tagsets,
+)
+
+#: Registry of algorithm constructors, keyed by the names used in the paper.
+ALGORITHMS = {
+    "DS": DisjointSetsPartitioner,
+    "SCC": SCCPartitioner,
+    "SCL": SCLPartitioner,
+    "SCI": SCIPartitioner,
+    "DS+SCL": HybridDSPartitioner,
+    "HASH": HashPartitioner,
+    "RANDOM": RandomPartitioner,
+    "KL": KernighanLinPartitioner,
+    "SPECTRAL": SpectralPartitioner,
+    "MULTILEVEL": MultilevelPartitioner,
+}
+
+#: The four algorithms compared in every figure of the evaluation.
+PAPER_ALGORITHMS = ("DS", "SCI", "SCC", "SCL")
+
+
+def make_partitioner(name: str, **kwargs) -> Partitioner:
+    """Instantiate a partitioner by its paper name (case-insensitive)."""
+    key = name.upper()
+    if key not in ALGORITHMS:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ValueError(f"unknown partitioning algorithm {name!r}; known: {known}")
+    return ALGORITHMS[key](**kwargs)
+
+
+__all__ = [
+    "ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "DisjointSet",
+    "DisjointSetsPartitioner",
+    "HashPartitioner",
+    "HybridDSPartitioner",
+    "KernighanLinPartitioner",
+    "MultilevelPartitioner",
+    "Partitioner",
+    "RandomPartitioner",
+    "SCCPartitioner",
+    "SCIPartitioner",
+    "SCLPartitioner",
+    "SpectralPartitioner",
+    "find_disjoint_sets",
+    "make_partitioner",
+    "merge_disjoint_sets",
+    "repair_coverage",
+    "select_seed_tagsets",
+]

@@ -1,0 +1,86 @@
+"""Common interface of partitioning algorithms.
+
+A partitioning algorithm takes the co-occurrence statistics of a window of
+documents and the number of partitions ``k`` and produces a
+:class:`~repro.core.partition.PartitionAssignment`.  In the streaming
+topology this happens inside the Partitioner/Merger operators; the same
+algorithms are also usable standalone (examples, benchmarks, tests).
+
+In addition to the one-shot :meth:`Partitioner.partition` method the base
+class defines :meth:`Partitioner.best_partition_for_addition`, which the
+Merger calls for Single Additions (Section 7.1): given an existing
+assignment and a new tagset, find the partition it should be added to.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+from ..core.cooccurrence import CooccurrenceStatistics
+from ..core.documents import Document
+from ..core.partition import PartitionAssignment
+
+
+class Partitioner(abc.ABC):
+    """Base class of all partitioning algorithms."""
+
+    #: Short, unique algorithm name used in configs, reports and plots.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def partition(
+        self, statistics: CooccurrenceStatistics, k: int
+    ) -> PartitionAssignment:
+        """Partition the tags of ``statistics`` into ``k`` tag partitions."""
+
+    def partition_documents(
+        self, documents: Iterable[Document], k: int
+    ) -> PartitionAssignment:
+        """Convenience wrapper: collect statistics and partition them."""
+        return self.partition(CooccurrenceStatistics.from_documents(documents), k)
+
+    def best_partition_for_addition(
+        self,
+        assignment: PartitionAssignment,
+        tagset: frozenset[str],
+        load: int = 1,
+    ) -> int:
+        """Choose the partition a previously unseen tagset is added to.
+
+        The default policy minimises the increase in communication: prefer
+        the partition already sharing the most tags with the tagset and
+        break ties towards the least loaded partition.  This is the policy
+        of the DS, SCC and SCI algorithms; SCL overrides it to keep load
+        balanced (Section 7.1).
+        """
+        if assignment.k == 0:
+            raise ValueError("cannot add a tagset to an empty assignment")
+        best_index = 0
+        best_key: tuple[int, int] | None = None
+        for partition in assignment:
+            shared = partition.shared_tags(tagset)
+            # Maximise shared tags, then minimise load.
+            key = (-shared, partition.load)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = partition.index
+        return best_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_k(k: int) -> None:
+    """Reject non-positive partition counts early with a clear message."""
+    if k <= 0:
+        raise ValueError(f"number of partitions k must be positive, got {k}")
+
+
+def least_loaded_index(loads: Sequence[int]) -> int:
+    """Index of the smallest value, first one on ties."""
+    best = 0
+    for index, load in enumerate(loads):
+        if load < loads[best]:
+            best = index
+    return best

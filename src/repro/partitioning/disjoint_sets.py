@@ -1,0 +1,124 @@
+"""Disjoint Sets partitioning (Algorithm 1, "DS").
+
+The DS algorithm exploits the observation that tags describing the same
+topic are strongly connected to each other while being disconnected from
+tags of other topics.  It proceeds in two phases:
+
+1. identify the connected components ("disjoint sets") of the tag
+   co-occurrence graph, each carrying a load equal to the number of
+   documents annotated with any of its tags;
+2. greedily merge the disjoint sets into ``k`` partitions, always assigning
+   the heaviest unassigned set to the currently least loaded partition
+   (longest-processing-time-first bin packing).
+
+Because components are never split, every co-occurring tagset is fully
+contained in exactly one partition: replication (and hence communication
+overhead) is zero by construction, at the cost of potential load imbalance
+when one component is very large (Section 5.1 / 8.3).
+
+The module also exposes :func:`find_disjoint_sets` separately because, with
+multiple Partitioner instances, each Partitioner runs only phase 1 and the
+Merger combines the resulting disjoint sets before running phase 2
+(Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.cooccurrence import CooccurrenceStatistics
+from ..core.partition import Partition, PartitionAssignment
+from ..core.union_find import UnionFind
+from .base import Partitioner, least_loaded_index, validate_k
+
+
+@dataclass(frozen=True, slots=True)
+class DisjointSet:
+    """A connected component of tags together with its load."""
+
+    tags: frozenset[str]
+    load: int
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+
+def find_disjoint_sets(statistics: CooccurrenceStatistics) -> list[DisjointSet]:
+    """Phase 1 of Algorithm 1: connected components of the tag graph.
+
+    Returns the components sorted by decreasing load so that phase 2 (and
+    the Merger) can consume them directly.
+    """
+    forest: UnionFind[str] = UnionFind(statistics.tags)
+    for tagset in statistics.tagset_counts:
+        forest.union_all(tagset)
+    components = forest.components()
+    disjoint_sets = [
+        DisjointSet(tags=frozenset(tags), load=statistics.load(tags))
+        for tags in components.values()
+    ]
+    disjoint_sets.sort(key=lambda ds: (-ds.load, -len(ds.tags), sorted(ds.tags)))
+    return disjoint_sets
+
+
+def merge_disjoint_sets(
+    disjoint_sets: Iterable[DisjointSet], k: int
+) -> PartitionAssignment:
+    """Phase 2 of Algorithm 1: pack disjoint sets into ``k`` partitions.
+
+    The heaviest set goes to the emptiest partition (greedy LPT packing,
+    lines 8–19 of Algorithm 1).  With fewer disjoint sets than partitions
+    the remaining partitions stay empty, matching the paper's topology
+    scaling behaviour (unused Calculators are simply not indexed).
+    """
+    validate_k(k)
+    ordered = sorted(
+        disjoint_sets, key=lambda ds: (-ds.load, -len(ds.tags), sorted(ds.tags))
+    )
+    partitions = [Partition(index=i) for i in range(k)]
+    for position, disjoint_set in enumerate(ordered):
+        if position < k:
+            target = partitions[position]
+        else:
+            target = partitions[least_loaded_index([p.load for p in partitions])]
+        target.add_tags(disjoint_set.tags, load=disjoint_set.load)
+    return PartitionAssignment(partitions)
+
+
+class DisjointSetsPartitioner(Partitioner):
+    """The DS algorithm (Algorithm 1)."""
+
+    name = "DS"
+
+    def partition(
+        self, statistics: CooccurrenceStatistics, k: int
+    ) -> PartitionAssignment:
+        validate_k(k)
+        disjoint_sets = find_disjoint_sets(statistics)
+        return merge_disjoint_sets(disjoint_sets, k)
+
+    def best_partition_for_addition(
+        self,
+        assignment: PartitionAssignment,
+        tagset: frozenset[str],
+        load: int = 1,
+    ) -> int:
+        """Single Addition policy of DS: minimise the communication increase.
+
+        If one partition already holds some of the tagset's tags it is the
+        natural owner (adding elsewhere would replicate tags).  A tagset
+        sharing tags with no partition goes to the least loaded one.
+        """
+        best_index: int | None = None
+        best_key: tuple[int, int] | None = None
+        for partition in assignment:
+            shared = partition.shared_tags(tagset)
+            missing = len(tagset) - shared
+            # Minimise the number of newly replicated/added tags, then load.
+            key = (missing, partition.load)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = partition.index
+        assert best_index is not None
+        return best_index

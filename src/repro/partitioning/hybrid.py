@@ -1,0 +1,90 @@
+"""Hybrid DS + set-cover partitioner (the "lessons learned" of Section 8.3).
+
+The paper concludes that disjoint sets should form the basis of all
+partitioning, but that very large disjoint sets must be split — for
+instance with a set-cover–based algorithm like SCL — so that load balancing
+is not impaired.  This partitioner implements exactly that recipe:
+
+1. find the disjoint sets of the window (phase 1 of DS);
+2. every disjoint set whose load exceeds ``split_threshold`` times the ideal
+   per-partition load is split with an inner set-cover partitioner into as
+   many pieces as its load warrants;
+3. the resulting (smaller) sets are packed into ``k`` partitions with the
+   greedy LPT packing of DS phase 2.
+
+With ``split_threshold = inf`` the algorithm degenerates to plain DS; with a
+threshold of 1.0 every over-sized component is split.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.cooccurrence import CooccurrenceStatistics
+from ..core.partition import PartitionAssignment
+from .base import Partitioner, validate_k
+from .disjoint_sets import DisjointSet, find_disjoint_sets, merge_disjoint_sets
+from .set_cover import SCLPartitioner
+
+
+class HybridDSPartitioner(Partitioner):
+    """Disjoint sets with set-cover splitting of over-sized components."""
+
+    name = "DS+SCL"
+
+    def __init__(
+        self,
+        split_threshold: float = 1.5,
+        inner: Partitioner | None = None,
+    ) -> None:
+        if split_threshold <= 0:
+            raise ValueError("split_threshold must be positive")
+        self._split_threshold = split_threshold
+        self._inner = inner if inner is not None else SCLPartitioner()
+
+    def partition(
+        self, statistics: CooccurrenceStatistics, k: int
+    ) -> PartitionAssignment:
+        validate_k(k)
+        disjoint_sets = find_disjoint_sets(statistics)
+        total_load = sum(ds.load for ds in disjoint_sets)
+        if total_load == 0 or k == 1:
+            return merge_disjoint_sets(disjoint_sets, k)
+        ideal_load = total_load / k
+        limit = self._split_threshold * ideal_load
+
+        pieces: list[DisjointSet] = []
+        for disjoint_set in disjoint_sets:
+            if disjoint_set.load <= limit or len(disjoint_set.tags) < 2:
+                pieces.append(disjoint_set)
+                continue
+            pieces.extend(self._split(disjoint_set, statistics, ideal_load))
+        return merge_disjoint_sets(pieces, k)
+
+    def _split(
+        self,
+        disjoint_set: DisjointSet,
+        statistics: CooccurrenceStatistics,
+        ideal_load: int | float,
+    ) -> list[DisjointSet]:
+        """Split one over-sized component with the inner partitioner."""
+        n_pieces = max(2, math.ceil(disjoint_set.load / max(ideal_load, 1.0)))
+        n_pieces = min(n_pieces, len(disjoint_set.tags))
+        local_counts = {
+            tagset: count
+            for tagset, count in statistics.tagset_counts.items()
+            if tagset <= disjoint_set.tags
+        }
+        local_stats = CooccurrenceStatistics.from_tagset_counts(local_counts)
+        inner_assignment = self._inner.partition(local_stats, n_pieces)
+        pieces = []
+        for partition in inner_assignment:
+            if not partition.tags:
+                continue
+            pieces.append(
+                DisjointSet(
+                    tags=frozenset(partition.tags),
+                    load=statistics.load(partition.tags),
+                )
+            )
+        return pieces or [disjoint_set]

@@ -1,0 +1,250 @@
+"""Set-cover–based partitioning algorithms (Algorithms 2–5).
+
+All three algorithms share phase 1 (Algorithm 2): a greedy variant of the
+Budgeted Maximum Coverage Problem selects ``k`` seed tagsets, one per
+partition.  They differ in the cost used during seeding and in phase 2, the
+policy for assigning every remaining tagset to one of the partitions:
+
+* **SCC** (Algorithm 3) optimises for communication: the next tagset is the
+  one covering the most not-yet-covered tags (ties towards fewer total
+  tags), and it joins the partition sharing the most tags with it (ties
+  towards the least loaded partition).
+* **SCL** (Algorithm 4) optimises for load balance: the next tagset is the
+  heaviest one (ties towards the fewest already covered tags) and it joins
+  the least loaded partition (ties towards the most shared tags).
+* **SCI** (Algorithm 5, from the earlier workshop paper [1]) picks the next
+  tagset at random and adds it to the partition sharing the most tags with
+  it.  Its phase 1 uses a zero cost for every tagset.
+
+Unlike DS, these algorithms may assign the same tag to several partitions,
+trading communication overhead for the ability to balance load even when
+the tag graph has one giant connected component.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Sequence
+
+from ..core.cooccurrence import CooccurrenceStatistics
+from ..core.partition import Partition, PartitionAssignment
+from .base import Partitioner, validate_k
+
+#: Cost function signature used during phase 1.  Receives the candidate
+#: tagset, the set of already covered tags, the loads of the already chosen
+#: seeds and the candidate's own load; returns the candidate's cost.
+SeedCost = Callable[[frozenset[str], set[str], Sequence[int], int], float]
+
+
+def communication_seed_cost(
+    tagset: frozenset[str],
+    covered: set[str],
+    chosen_loads: Sequence[int],
+    load: int,
+) -> float:
+    """Phase-1 cost when optimising communication: #already-covered tags."""
+    return float(len(tagset & covered))
+
+
+def load_seed_cost(
+    tagset: frozenset[str],
+    covered: set[str],
+    chosen_loads: Sequence[int],
+    load: int,
+) -> float:
+    """Phase-1 cost when optimising load: distance to the optimal load share.
+
+    In the ``m``-th iteration the optimal share is ``1/m``; the candidate's
+    actual share is its load over the total load of the already chosen seeds
+    plus itself (Section 4.2).
+    """
+    iteration = len(chosen_loads) + 1
+    optimal_share = 1.0 / iteration
+    denominator = sum(chosen_loads) + load
+    if denominator == 0:
+        actual_share = 0.0
+    else:
+        actual_share = load / denominator
+    return abs(optimal_share - actual_share)
+
+
+def zero_seed_cost(
+    tagset: frozenset[str],
+    covered: set[str],
+    chosen_loads: Sequence[int],
+    load: int,
+) -> float:
+    """Phase-1 cost of SCI: plain maximum coverage, no budget."""
+    return 0.0
+
+
+def select_seed_tagsets(
+    statistics: CooccurrenceStatistics,
+    k: int,
+    cost: SeedCost,
+) -> tuple[PartitionAssignment, list[frozenset[str]]]:
+    """Phase 1 (Algorithm 2): pick up to ``k`` seed tagsets.
+
+    Returns the initial assignment (one seed per partition) and the list of
+    tagsets that still need to be assigned in phase 2.  Seeds are chosen by
+    minimum cost, breaking ties towards the most newly covered tags and
+    then deterministically by the sorted tag tuple.
+    """
+    validate_k(k)
+    remaining = set(statistics.tagset_counts)
+    covered: set[str] = set()
+    partitions = [Partition(index=i) for i in range(k)]
+    chosen_loads: list[int] = []
+    loads = {tagset: statistics.load(tagset) for tagset in remaining}
+
+    for index in range(k):
+        if not remaining:
+            break
+        best: frozenset[str] | None = None
+        best_key: tuple[float, int, tuple[str, ...]] | None = None
+        for tagset in remaining:
+            key = (
+                cost(tagset, covered, chosen_loads, loads[tagset]),
+                -len(tagset - covered),
+                tuple(sorted(tagset)),
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best = tagset
+        assert best is not None
+        partitions[index].add_tags(best, load=loads[best])
+        chosen_loads.append(loads[best])
+        covered |= best
+        remaining.remove(best)
+
+    leftover = sorted(remaining, key=lambda s: tuple(sorted(s)))
+    return PartitionAssignment(partitions), leftover
+
+
+class _SetCoverPartitioner(Partitioner):
+    """Shared machinery of the set-cover family."""
+
+    seed_cost: SeedCost = staticmethod(zero_seed_cost)
+
+    def partition(
+        self, statistics: CooccurrenceStatistics, k: int
+    ) -> PartitionAssignment:
+        assignment, remaining = select_seed_tagsets(statistics, k, self.seed_cost)
+        self._assign_remaining(assignment, remaining, statistics)
+        return assignment
+
+    # Subclasses implement phase 2.
+    def _assign_remaining(
+        self,
+        assignment: PartitionAssignment,
+        remaining: Iterable[frozenset[str]],
+        statistics: CooccurrenceStatistics,
+    ) -> None:
+        raise NotImplementedError
+
+
+class SCCPartitioner(_SetCoverPartitioner):
+    """Set Cover based, optimising Communication (Algorithm 3)."""
+
+    name = "SCC"
+    seed_cost = staticmethod(communication_seed_cost)
+
+    def _assign_remaining(
+        self,
+        assignment: PartitionAssignment,
+        remaining: Iterable[frozenset[str]],
+        statistics: CooccurrenceStatistics,
+    ) -> None:
+        pending = set(remaining)
+        covered = set(assignment.all_tags())
+        loads = {tagset: statistics.load(tagset) for tagset in pending}
+        while pending:
+            # Line 3: most uncovered tags, then fewest total tags.
+            tagset = min(
+                pending,
+                key=lambda s: (-len(s - covered), len(s), tuple(sorted(s))),
+            )
+            # Line 4: partition sharing the most tags, then least loaded.
+            target = min(
+                assignment.partitions,
+                key=lambda p: (-p.shared_tags(tagset), p.load, p.index),
+            )
+            assignment.add_tagset(target.index, tagset, load=loads[tagset])
+            covered |= tagset
+            pending.remove(tagset)
+
+
+class SCLPartitioner(_SetCoverPartitioner):
+    """Set Cover based, optimising processing Load (Algorithm 4)."""
+
+    name = "SCL"
+    seed_cost = staticmethod(load_seed_cost)
+
+    def _assign_remaining(
+        self,
+        assignment: PartitionAssignment,
+        remaining: Iterable[frozenset[str]],
+        statistics: CooccurrenceStatistics,
+    ) -> None:
+        pending = set(remaining)
+        covered = set(assignment.all_tags())
+        loads = {tagset: statistics.load(tagset) for tagset in pending}
+        while pending:
+            # Line 3: heaviest tagset, then fewest already-covered tags.
+            tagset = min(
+                pending,
+                key=lambda s: (-loads[s], len(s & covered), tuple(sorted(s))),
+            )
+            # Line 4: least loaded partition, then most shared tags.
+            target = min(
+                assignment.partitions,
+                key=lambda p: (p.load, -p.shared_tags(tagset), p.index),
+            )
+            assignment.add_tagset(target.index, tagset, load=loads[tagset])
+            covered |= tagset
+            pending.remove(tagset)
+
+    def best_partition_for_addition(
+        self,
+        assignment: PartitionAssignment,
+        tagset: frozenset[str],
+        load: int = 1,
+    ) -> int:
+        """Single Addition policy of SCL: keep the load balanced (Section 7.1)."""
+        target = min(
+            assignment.partitions,
+            key=lambda p: (p.load, -p.shared_tags(tagset), p.index),
+        )
+        return target.index
+
+
+class SCIPartitioner(_SetCoverPartitioner):
+    """Set Cover based algorithm of the workshop paper [1] (Algorithm 5).
+
+    Phase 1 is plain (un-budgeted) maximum coverage; phase 2 assigns the
+    remaining tagsets in random order to the partition sharing the most tags
+    with them.  A ``seed`` makes runs reproducible.
+    """
+
+    name = "SCI"
+    seed_cost = staticmethod(zero_seed_cost)
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def _assign_remaining(
+        self,
+        assignment: PartitionAssignment,
+        remaining: Iterable[frozenset[str]],
+        statistics: CooccurrenceStatistics,
+    ) -> None:
+        pending = list(remaining)
+        self._rng.shuffle(pending)
+        loads = {tagset: statistics.load(tagset) for tagset in pending}
+        for tagset in pending:
+            # Line 3: partition sharing the most tags (ties by index).
+            target = min(
+                assignment.partitions,
+                key=lambda p: (-p.shared_tags(tagset), p.index),
+            )
+            assignment.add_tagset(target.index, tagset, load=loads[tagset])

@@ -1,0 +1,17 @@
+"""High-level public API: configuration, the system, and parameter sweeps."""
+
+from .config import PAPER_DEFAULTS, SystemConfig
+from .sweeps import SweepResult, default_workload, paper_parameter_grid, run_sweep
+from .system import RunReport, TagCorrelationSystem, run_system
+
+__all__ = [
+    "PAPER_DEFAULTS",
+    "RunReport",
+    "SweepResult",
+    "SystemConfig",
+    "TagCorrelationSystem",
+    "default_workload",
+    "paper_parameter_grid",
+    "run_sweep",
+    "run_system",
+]

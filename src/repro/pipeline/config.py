@@ -1,0 +1,105 @@
+"""Configuration of the end-to-end tag-correlation system.
+
+Groups the experiment parameters of Section 8.1 (``k``, ``P``, ``thr``,
+``tps``) with the operational constants of Section 8.2 (single-addition
+threshold ``sn = 3``, quality statistics every 1000 notified tagsets,
+5-minute report interval and 5-minute partitioning windows), scaled through
+a single place so that benchmarks can shrink the workload while keeping the
+paper's ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+#: Default values taken verbatim from Section 8.2.
+PAPER_DEFAULTS = {
+    "k": 10,
+    "n_partitioners": 10,
+    "repartition_threshold": 0.5,
+    "tweets_per_second": 1300.0,
+    "single_addition_threshold": 3,
+    "quality_check_interval": 1000,
+    "report_interval_seconds": 300.0,
+    "window_seconds": 300.0,
+}
+
+
+@dataclass(slots=True)
+class SystemConfig:
+    """All knobs of the distributed tag-correlation pipeline."""
+
+    algorithm: str = "DS"
+    k: int = 10
+    n_partitioners: int = 10
+    n_parsers: int = 1
+    n_disseminators: int = 1
+    repartition_threshold: float = 0.5
+    single_addition_threshold: int = 3
+    quality_check_interval: int = 1000
+    report_interval_seconds: float = 300.0
+    window_mode: str = "count"
+    window_size: float = 5000
+    bootstrap_documents: int = 1000
+    max_tags_per_document: int = 12
+    tick_interval_seconds: float = 1.0
+    include_centralized_baseline: bool = True
+    algorithm_options: dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.n_partitioners < 1 or self.n_parsers < 1 or self.n_disseminators < 1:
+            raise ValueError("operator parallelism must be at least 1")
+        if self.window_mode not in ("count", "time"):
+            raise ValueError("window_mode must be 'count' or 'time'")
+        if self.window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if self.bootstrap_documents < 1:
+            raise ValueError("bootstrap_documents must be at least 1")
+        if self.repartition_threshold < 0:
+            raise ValueError("repartition_threshold must be non-negative")
+
+    def with_overrides(self, **overrides: Any) -> "SystemConfig":
+        """A copy of the config with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def paper_defaults(cls, algorithm: str = "DS", **overrides: Any) -> "SystemConfig":
+        """The default configuration of Section 8.2 (P=10, k=10, thr=0.5)."""
+        config = cls(
+            algorithm=algorithm,
+            k=PAPER_DEFAULTS["k"],
+            n_partitioners=PAPER_DEFAULTS["n_partitioners"],
+            repartition_threshold=PAPER_DEFAULTS["repartition_threshold"],
+            single_addition_threshold=PAPER_DEFAULTS["single_addition_threshold"],
+            quality_check_interval=PAPER_DEFAULTS["quality_check_interval"],
+            report_interval_seconds=PAPER_DEFAULTS["report_interval_seconds"],
+        )
+        return config.with_overrides(**overrides) if overrides else config
+
+    @classmethod
+    def scaled_down(
+        cls,
+        algorithm: str = "DS",
+        scale: float = 0.02,
+        **overrides: Any,
+    ) -> "SystemConfig":
+        """A laptop-scale configuration preserving the paper's ratios.
+
+        ``scale`` shrinks the window size, bootstrap budget and quality-check
+        interval together, so repartition cadence relative to the stream
+        length stays comparable to the full-scale setup.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        window_documents = max(200, int(390_000 * scale))  # 5 min at 1300 tps
+        config = cls(
+            algorithm=algorithm,
+            window_mode="count",
+            window_size=window_documents,
+            bootstrap_documents=max(100, int(window_documents * 0.4)),
+            quality_check_interval=max(50, int(1000 * scale * 10)),
+        )
+        return config.with_overrides(**overrides) if overrides else config

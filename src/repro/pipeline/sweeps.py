@@ -1,0 +1,108 @@
+"""Parameter sweeps over the paper's experiment grid.
+
+The evaluation varies four parameters — repartition threshold ``thr``,
+number of Partitioners ``P``, number of partitions ``k`` and arrival rate
+``tps`` — while comparing the four algorithms DS, SCI, SCC and SCL.  This
+module runs those sweeps and collects the per-algorithm metric series that
+the benchmark harness prints next to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..core.documents import Document
+from ..partitioning import PAPER_ALGORITHMS
+from ..workloads import TwitterLikeGenerator, WorkloadConfig
+from .config import SystemConfig
+from .system import RunReport, TagCorrelationSystem
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Reports of one sweep: ``results[algorithm][parameter_value]``."""
+
+    parameter: str
+    values: list[Any]
+    algorithms: list[str]
+    reports: dict[str, dict[Any, RunReport]] = field(default_factory=dict)
+
+    def metric(self, name: str) -> dict[str, list[float]]:
+        """Extract one summary metric as ``{algorithm: [value per parameter]}``."""
+        series = {}
+        for algorithm in self.algorithms:
+            series[algorithm] = [
+                self.reports[algorithm][value].summary()[name] for value in self.values
+            ]
+        return series
+
+    def table(self, metric: str) -> list[tuple[Any, dict[str, float]]]:
+        """Rows of ``(parameter value, {algorithm: metric})`` for printing."""
+        rows = []
+        for value in self.values:
+            rows.append(
+                (
+                    value,
+                    {
+                        algorithm: self.reports[algorithm][value].summary()[metric]
+                        for algorithm in self.algorithms
+                    },
+                )
+            )
+        return rows
+
+
+def default_workload(
+    n_documents: int = 8000,
+    tweets_per_second: float = 1300.0,
+    seed: int = 42,
+    **overrides: Any,
+) -> list[Document]:
+    """The synthetic stand-in for the paper's 6-hour Twitter trace."""
+    config = WorkloadConfig(
+        tweets_per_second=tweets_per_second, seed=seed, **overrides
+    )
+    return TwitterLikeGenerator(config).generate(n_documents)
+
+
+def run_sweep(
+    parameter: str,
+    values: Sequence[Any],
+    documents_factory: Callable[[Any], Sequence[Document]],
+    base_config: SystemConfig | None = None,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+) -> SweepResult:
+    """Run every algorithm for every parameter value.
+
+    ``parameter`` is either a :class:`SystemConfig` field name (``k``,
+    ``n_partitioners``, ``repartition_threshold``, ...) or the special value
+    ``"tps"``, which only affects the workload, not the system config.
+    ``documents_factory`` maps a parameter value to the document stream used
+    for that run, so rate-dependent sweeps can regenerate the workload.
+    """
+    base = base_config or SystemConfig.scaled_down()
+    result = SweepResult(
+        parameter=parameter, values=list(values), algorithms=list(algorithms)
+    )
+    for algorithm in algorithms:
+        result.reports[algorithm] = {}
+        for value in values:
+            overrides: dict[str, Any] = {"algorithm": algorithm}
+            if parameter != "tps":
+                overrides[parameter] = value
+            config = base.with_overrides(**overrides)
+            documents = documents_factory(value)
+            report = TagCorrelationSystem(config).run(documents)
+            result.reports[algorithm][value] = report
+    return result
+
+
+def paper_parameter_grid() -> dict[str, list[Any]]:
+    """The parameter values of Section 8.1."""
+    return {
+        "repartition_threshold": [0.2, 0.5],
+        "n_partitioners": [3, 5, 10],
+        "k": [5, 10, 20],
+        "tps": [1300, 2600],
+    }

@@ -1,0 +1,300 @@
+"""The end-to-end tag-correlation system: topology assembly and run reports.
+
+:class:`TagCorrelationSystem` wires the Figure-2 topology on top of the
+stream-processing substrate, runs it over a stream of documents and collects
+every metric of the paper's evaluation into a :class:`RunReport`:
+
+* Communication — average notifications per routed tagset (Section 8.2.1),
+* Processing load — per-Calculator notification counts, their Gini
+  coefficient and the maximum share (Section 8.2.2),
+* Jaccard accuracy — coverage and mean error against the centralised exact
+  baseline for tagsets seen more than ``sn`` times (Section 8.2.3),
+* Repartitions — count and trigger breakdown (Section 8.2.4),
+* Quality over time — snapshots of communication and load between
+  repartitions (Section 8.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.documents import Document
+from ..core.metrics import (
+    JaccardErrorReport,
+    gini_coefficient,
+    jaccard_error,
+    max_load_share,
+)
+from ..operators import (
+    CalculatorBolt,
+    CentralizedCalculatorBolt,
+    DisseminatorBolt,
+    DocumentSpout,
+    MergerBolt,
+    ParserBolt,
+    PartitionerBolt,
+    QualitySnapshot,
+    RepartitionEvent,
+    TrackerBolt,
+)
+from ..operators import streams
+from ..partitioning import make_partitioner
+from ..streamsim import Cluster, TopologyBuilder
+from .config import SystemConfig
+
+
+@dataclass(slots=True)
+class RunReport:
+    """All evaluation metrics of one run of the system."""
+
+    algorithm: str
+    config: SystemConfig
+    documents_processed: int
+    tagged_documents: int
+
+    communication_avg: float
+    calculator_loads: list[int]
+    load_gini: float
+    load_max_share: float
+
+    n_repartitions: int
+    repartition_reasons: dict[str, int]
+    single_addition_requests: int
+    single_additions_applied: int
+
+    coefficients_reported: int
+    duplicate_reports: int
+    jaccard: JaccardErrorReport | None
+    history: list[QualitySnapshot] = field(default_factory=list)
+    repartition_events: list[RepartitionEvent] = field(default_factory=list)
+
+    @property
+    def jaccard_coverage(self) -> float:
+        """Fraction of qualifying tagsets that received some coefficient."""
+        return self.jaccard.coverage if self.jaccard is not None else 1.0
+
+    @property
+    def jaccard_mean_error(self) -> float:
+        return self.jaccard.mean_absolute_error if self.jaccard is not None else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Compact numeric summary used by benchmarks and examples."""
+        return {
+            "communication": self.communication_avg,
+            "load_gini": self.load_gini,
+            "load_max_share": self.load_max_share,
+            "repartitions": float(self.n_repartitions),
+            "jaccard_error": self.jaccard_mean_error,
+            "jaccard_coverage": self.jaccard_coverage,
+            "single_additions": float(self.single_additions_applied),
+        }
+
+
+class TagCorrelationSystem:
+    """Builds and runs the distributed tag-correlation topology."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.config.validate()
+        self._cluster: Cluster | None = None
+
+    # ------------------------------------------------------------------ #
+    # Topology assembly
+    # ------------------------------------------------------------------ #
+    def build_cluster(self, documents: Iterable[Document]) -> Cluster:
+        """Assemble the Figure-2 topology over the given document stream."""
+        config = self.config
+        builder = TopologyBuilder()
+
+        builder.set_spout(streams.SOURCE, lambda: DocumentSpout(documents))
+
+        builder.set_bolt(
+            streams.PARSER,
+            lambda: ParserBolt(config.max_tags_per_document),
+            parallelism=config.n_parsers,
+        ).shuffle_grouping(streams.SOURCE, streams.TWEETS)
+
+        builder.set_bolt(
+            streams.PARTITIONER,
+            lambda: PartitionerBolt(
+                algorithm=make_partitioner(config.algorithm, **config.algorithm_options),
+                k=config.k,
+                window_mode=config.window_mode,
+                window_size=config.window_size,
+            ),
+            parallelism=config.n_partitioners,
+        ).fields_grouping(streams.PARSER, ["tagset"], streams.TAGSETS).all_grouping(
+            streams.DISSEMINATOR, streams.REPARTITION_REQUESTS
+        )
+
+        builder.set_bolt(
+            streams.MERGER,
+            lambda: MergerBolt(
+                algorithm=make_partitioner(config.algorithm, **config.algorithm_options),
+                k=config.k,
+            ),
+            parallelism=1,
+        ).shuffle_grouping(streams.PARTITIONER, streams.PARTIAL_PARTITIONS).shuffle_grouping(
+            streams.DISSEMINATOR, streams.MISSING_TAGSETS
+        )
+
+        builder.set_bolt(
+            streams.DISSEMINATOR,
+            lambda: DisseminatorBolt(
+                k=config.k,
+                repartition_threshold=config.repartition_threshold,
+                single_addition_threshold=config.single_addition_threshold,
+                quality_check_interval=config.quality_check_interval,
+                bootstrap_documents=config.bootstrap_documents,
+            ),
+            parallelism=config.n_disseminators,
+        ).shuffle_grouping(streams.PARSER, streams.TAGSETS).all_grouping(
+            streams.MERGER, streams.PARTITIONS
+        ).all_grouping(streams.MERGER, streams.SINGLE_ADDITIONS)
+
+        builder.set_bolt(
+            streams.CALCULATOR,
+            lambda: CalculatorBolt(
+                report_interval=config.report_interval_seconds,
+                max_tags_per_document=config.max_tags_per_document,
+            ),
+            parallelism=config.k,
+        ).direct_grouping(streams.DISSEMINATOR, streams.NOTIFICATIONS)
+
+        builder.set_bolt(streams.TRACKER, TrackerBolt, parallelism=1).shuffle_grouping(
+            streams.CALCULATOR, streams.COEFFICIENTS
+        )
+
+        if config.include_centralized_baseline:
+            builder.set_bolt(
+                streams.CENTRALIZED,
+                lambda: CentralizedCalculatorBolt(
+                    min_occurrences=config.single_addition_threshold
+                ),
+                parallelism=1,
+            ).shuffle_grouping(streams.PARSER, streams.TAGSETS)
+
+        return Cluster(builder.build(), tick_interval=config.tick_interval_seconds)
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def run(self, documents: Sequence[Document] | Iterable[Document]) -> RunReport:
+        """Run the topology over the documents and gather the run report."""
+        cluster = self.build_cluster(documents)
+        cluster.run()
+        self._cluster = cluster
+        return self._collect_report(cluster)
+
+    @property
+    def cluster(self) -> Cluster | None:
+        """The last executed cluster (for inspection in tests and examples)."""
+        return self._cluster
+
+    # ------------------------------------------------------------------ #
+    # Metric collection
+    # ------------------------------------------------------------------ #
+    def _collect_report(self, cluster: Cluster) -> RunReport:
+        config = self.config
+        parsers = [
+            bolt for bolt in cluster.instances_of(streams.PARSER)
+            if isinstance(bolt, ParserBolt)
+        ]
+        disseminators = [
+            bolt
+            for bolt in cluster.instances_of(streams.DISSEMINATOR)
+            if isinstance(bolt, DisseminatorBolt)
+        ]
+        calculators = [
+            bolt
+            for bolt in cluster.instances_of(streams.CALCULATOR)
+            if isinstance(bolt, CalculatorBolt)
+        ]
+        trackers = [
+            bolt for bolt in cluster.instances_of(streams.TRACKER)
+            if isinstance(bolt, TrackerBolt)
+        ]
+        mergers = [
+            bolt for bolt in cluster.instances_of(streams.MERGER)
+            if isinstance(bolt, MergerBolt)
+        ]
+        tracker = trackers[0]
+
+        # Final flush: counters still held by Calculators are reported to the
+        # Tracker directly (the simulated clock stops with the stream).
+        for calculator in calculators:
+            for result in calculator.drain_results():
+                tracker.observe(result)
+
+        notifications = 0
+        routed = 0
+        unrouted = 0
+        loads = [0] * config.k
+        repartition_events: list[RepartitionEvent] = []
+        history: list[QualitySnapshot] = []
+        single_addition_requests = 0
+        for disseminator in disseminators:
+            metrics = disseminator.metrics
+            notifications += metrics.communication.notifications
+            routed += metrics.communication.routed_tagsets
+            unrouted += metrics.unrouted_tagsets
+            for index, load in enumerate(metrics.load.loads(config.k)):
+                loads[index] += load
+            repartition_events.extend(metrics.repartitions)
+            history.extend(metrics.history)
+            single_addition_requests += metrics.single_addition_requests
+        repartition_events.sort(key=lambda event: event.documents_processed)
+        history.sort(key=lambda snapshot: snapshot.documents_processed)
+
+        communication_avg = notifications / routed if routed else 0.0
+        reasons: dict[str, int] = {}
+        for event in repartition_events:
+            reasons[event.reason] = reasons.get(event.reason, 0) + 1
+
+        jaccard_report = self._jaccard_report(cluster, tracker)
+
+        return RunReport(
+            algorithm=config.algorithm,
+            config=config,
+            documents_processed=sum(
+                spout.emitted for spout in cluster.instances_of(streams.SOURCE)  # type: ignore[attr-defined]
+            ),
+            tagged_documents=sum(parser.parsed for parser in parsers),
+            communication_avg=communication_avg,
+            calculator_loads=loads,
+            load_gini=gini_coefficient(loads),
+            load_max_share=max_load_share(loads),
+            n_repartitions=len(repartition_events),
+            repartition_reasons=reasons,
+            single_addition_requests=single_addition_requests,
+            single_additions_applied=sum(m.single_additions for m in mergers),
+            coefficients_reported=len(tracker),
+            duplicate_reports=tracker.duplicate_reports,
+            jaccard=jaccard_report,
+            history=history,
+            repartition_events=repartition_events,
+        )
+
+    def _jaccard_report(
+        self, cluster: Cluster, tracker: TrackerBolt
+    ) -> JaccardErrorReport | None:
+        if not self.config.include_centralized_baseline:
+            return None
+        baselines = [
+            bolt
+            for bolt in cluster.instances_of(streams.CENTRALIZED)
+            if isinstance(bolt, CentralizedCalculatorBolt)
+        ]
+        if not baselines:
+            return None
+        ground_truth = baselines[0].ground_truth()
+        return jaccard_error(tracker.coefficients(), ground_truth)
+
+
+def run_system(
+    documents: Sequence[Document] | Iterable[Document],
+    config: SystemConfig | None = None,
+) -> RunReport:
+    """One-shot helper: build, run and report."""
+    return TagCorrelationSystem(config).run(documents)

@@ -1,0 +1,20 @@
+"""Probabilistic sketches used as related-work baselines (paper Section 2)."""
+
+from .bloom import BloomFilter, optimal_parameters
+from .countmin import CountMinSketch
+from .minhash import (
+    MinHash,
+    MinHashLSH,
+    candidate_probability,
+    estimate_pairwise_jaccard,
+)
+
+__all__ = [
+    "BloomFilter",
+    "CountMinSketch",
+    "MinHash",
+    "MinHashLSH",
+    "candidate_probability",
+    "estimate_pairwise_jaccard",
+    "optimal_parameters",
+]

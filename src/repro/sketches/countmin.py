@@ -1,0 +1,87 @@
+"""Count-Min sketch for approximate frequency counting.
+
+The related-work discussion (Section 2) mentions Count-Min sketches [5] as
+a way to accelerate set operations; like Bloom filters they over-estimate,
+which in this problem turns disjoint tag pairs into apparent co-occurrences.
+The sketch is also handy as a memory-bounded alternative to the exact
+subset counters of the Calculator, and the sketch baseline benchmark uses it
+to quantify the estimation error that substitution would introduce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Hashable, Iterable
+
+import numpy as np
+
+
+class CountMinSketch:
+    """A Count-Min sketch with conservative point queries.
+
+    Parameters
+    ----------
+    epsilon:
+        Additive over-estimation bound as a fraction of the total count.
+    delta:
+        Probability that the bound is exceeded.
+    """
+
+    def __init__(self, epsilon: float = 0.001, delta: float = 0.01) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        self.width = math.ceil(math.e / epsilon)
+        self.depth = math.ceil(math.log(1.0 / delta))
+        self.epsilon = epsilon
+        self.delta = delta
+        self._table = np.zeros((self.depth, self.width), dtype=np.int64)
+        self._total = 0
+
+    def _columns(self, item: Hashable) -> list[int]:
+        digest = hashlib.blake2b(repr(item).encode("utf-8"), digest_size=16).digest()
+        first = int.from_bytes(digest[:8], "big")
+        second = int.from_bytes(digest[8:], "big") or 1
+        return [(first + row * second) % self.width for row in range(self.depth)]
+
+    def add(self, item: Hashable, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("Count-Min sketch does not support negative updates")
+        for row, column in enumerate(self._columns(item)):
+            self._table[row, column] += count
+        self._total += count
+
+    def update(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.add(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Point query: an over-estimate of the item's true count."""
+        return int(
+            min(self._table[row, column] for row, column in enumerate(self._columns(item)))
+        )
+
+    def __getitem__(self, item: Hashable) -> int:
+        return self.estimate(item)
+
+    @property
+    def total(self) -> int:
+        """Total number of counted events."""
+        return self._total
+
+    def error_bound(self) -> float:
+        """Additive error bound ``epsilon * total`` of any point query."""
+        return self.epsilon * self._total
+
+    def estimate_jaccard(self, tagset: Iterable[Hashable], union_size: int) -> float:
+        """Approximate a Jaccard coefficient from sketched intersection counts.
+
+        ``tagset`` is queried as a single composite key (the sketch counts
+        tag combinations, mirroring the Calculator's subset counters) and
+        divided by a caller-provided union size.
+        """
+        if union_size <= 0:
+            return 0.0
+        return min(1.0, self.estimate(frozenset(tagset)) / union_size)

@@ -1,0 +1,180 @@
+"""MinHash signatures and LSH for approximate Jaccard estimation.
+
+The paper computes exact Jaccard coefficients via counters; its related-work
+section argues that probabilistic sketches are a poor fit because false
+positives make disjoint tags look co-occurring.  To quantify that argument
+(and to provide the standard sketching baseline one would reach for today)
+this module implements MinHash signatures with the classic
+``(a*x + b) mod p`` universal hash family, plus a banded LSH index for
+finding candidate pairs above a similarity threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _stable_hash(value: Hashable) -> int:
+    """Deterministic 32-bit hash of an arbitrary hashable value."""
+    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & _MAX_HASH
+
+
+class MinHash:
+    """A MinHash signature of a set.
+
+    Parameters
+    ----------
+    num_perm:
+        Number of hash permutations (signature length).  The standard error
+        of the Jaccard estimate is roughly ``1/sqrt(num_perm)``.
+    seed:
+        Seed of the permutation parameters; two signatures are only
+        comparable when built with the same ``num_perm`` and ``seed``.
+    """
+
+    def __init__(self, num_perm: int = 128, seed: int = 1) -> None:
+        if num_perm <= 0:
+            raise ValueError("num_perm must be positive")
+        self.num_perm = num_perm
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        self.values = np.full(num_perm, _MAX_HASH, dtype=np.uint64)
+
+    def update(self, item: Hashable) -> None:
+        """Add one element to the underlying set."""
+        raw = np.uint64(_stable_hash(item))
+        hashes = (self._a * raw + self._b) % np.uint64(_MERSENNE_PRIME)
+        hashes &= np.uint64(_MAX_HASH)
+        np.minimum(self.values, hashes, out=self.values)
+
+    def update_all(self, items: Iterable[Hashable]) -> None:
+        for item in items:
+            self.update(item)
+
+    def jaccard(self, other: "MinHash") -> float:
+        """Estimate the Jaccard similarity with another signature."""
+        self._check_compatible(other)
+        return float(np.mean(self.values == other.values))
+
+    def merge(self, other: "MinHash") -> None:
+        """Union: after merging, the signature represents the union of sets."""
+        self._check_compatible(other)
+        np.minimum(self.values, other.values, out=self.values)
+
+    def copy(self) -> "MinHash":
+        clone = MinHash(self.num_perm, self.seed)
+        clone.values = self.values.copy()
+        return clone
+
+    def is_empty(self) -> bool:
+        return bool(np.all(self.values == _MAX_HASH))
+
+    def _check_compatible(self, other: "MinHash") -> None:
+        if self.num_perm != other.num_perm or self.seed != other.seed:
+            raise ValueError(
+                "MinHash signatures must share num_perm and seed to be compared"
+            )
+
+    @classmethod
+    def from_items(
+        cls, items: Iterable[Hashable], num_perm: int = 128, seed: int = 1
+    ) -> "MinHash":
+        signature = cls(num_perm=num_perm, seed=seed)
+        signature.update_all(items)
+        return signature
+
+
+@dataclass(frozen=True, slots=True)
+class _BandKey:
+    band: int
+    values: tuple[int, ...]
+
+
+class MinHashLSH:
+    """Banded locality-sensitive index over MinHash signatures.
+
+    Splits each signature into ``bands`` bands of ``rows`` rows; two sets
+    become candidates when they collide in at least one band.  The usual
+    S-curve applies: the probability of becoming a candidate at similarity
+    ``s`` is ``1 - (1 - s^rows)^bands``.
+    """
+
+    def __init__(self, num_perm: int = 128, bands: int = 32) -> None:
+        if num_perm % bands != 0:
+            raise ValueError("bands must divide num_perm")
+        self.num_perm = num_perm
+        self.bands = bands
+        self.rows = num_perm // bands
+        self._buckets: dict[_BandKey, set[Hashable]] = {}
+        self._signatures: dict[Hashable, MinHash] = {}
+
+    def insert(self, key: Hashable, signature: MinHash) -> None:
+        if signature.num_perm != self.num_perm:
+            raise ValueError("signature length does not match the index")
+        if key in self._signatures:
+            raise KeyError(f"key {key!r} already inserted")
+        self._signatures[key] = signature
+        for band_key in self._band_keys(signature):
+            self._buckets.setdefault(band_key, set()).add(key)
+
+    def query(self, signature: MinHash) -> set[Hashable]:
+        """Keys whose signatures collide with ``signature`` in some band."""
+        candidates: set[Hashable] = set()
+        for band_key in self._band_keys(signature):
+            candidates |= self._buckets.get(band_key, set())
+        return candidates
+
+    def candidate_pairs(self) -> set[tuple[Hashable, Hashable]]:
+        """All unordered candidate pairs currently in the index."""
+        pairs: set[tuple[Hashable, Hashable]] = set()
+        for members in self._buckets.values():
+            ordered = sorted(members, key=repr)
+            for i, first in enumerate(ordered):
+                for second in ordered[i + 1 :]:
+                    pairs.add((first, second))
+        return pairs
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._signatures
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def _band_keys(self, signature: MinHash) -> list[_BandKey]:
+        keys = []
+        for band in range(self.bands):
+            start = band * self.rows
+            stop = start + self.rows
+            keys.append(
+                _BandKey(band=band, values=tuple(int(v) for v in signature.values[start:stop]))
+            )
+        return keys
+
+
+def candidate_probability(similarity: float, bands: int, rows: int) -> float:
+    """Probability that LSH reports a pair with the given true similarity."""
+    if not 0.0 <= similarity <= 1.0:
+        raise ValueError("similarity must lie in [0, 1]")
+    return 1.0 - (1.0 - similarity**rows) ** bands
+
+
+def estimate_pairwise_jaccard(
+    sets: Sequence[Iterable[Hashable]], num_perm: int = 128, seed: int = 1
+) -> dict[tuple[int, int], float]:
+    """Pairwise MinHash Jaccard estimates for a list of sets (by index)."""
+    signatures = [MinHash.from_items(s, num_perm=num_perm, seed=seed) for s in sets]
+    estimates = {}
+    for i in range(len(signatures)):
+        for j in range(i + 1, len(signatures)):
+            estimates[(i, j)] = signatures[i].jaccard(signatures[j])
+    return estimates

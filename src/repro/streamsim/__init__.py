@@ -1,0 +1,47 @@
+"""A single-process, discrete-event stand-in for the Storm platform.
+
+The paper implements its operators on Apache Storm (Section 6).  This
+package reproduces the Storm programming model — spouts, bolts, stream
+groupings, multi-instance components, a topology builder and a cluster that
+executes the topology — as a deterministic in-process simulator with
+per-link message accounting, which is what the paper's metrics are computed
+from.
+"""
+
+from .cluster import Cluster, ClusterContext, MessageAccounting, iter_bolts, run_topology
+from .components import Bolt, Component, Spout
+from .groupings import (
+    AllGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    Grouping,
+    LocalGrouping,
+    ShuffleGrouping,
+)
+from .topology import ComponentSpec, Subscription, Topology, TopologyBuilder
+from .tuples import DEFAULT_STREAM, Emission, OutputCollector, TupleMessage
+
+__all__ = [
+    "AllGrouping",
+    "Bolt",
+    "Cluster",
+    "ClusterContext",
+    "Component",
+    "ComponentSpec",
+    "DEFAULT_STREAM",
+    "DirectGrouping",
+    "Emission",
+    "FieldsGrouping",
+    "Grouping",
+    "LocalGrouping",
+    "MessageAccounting",
+    "OutputCollector",
+    "ShuffleGrouping",
+    "Spout",
+    "Subscription",
+    "Topology",
+    "TopologyBuilder",
+    "TupleMessage",
+    "iter_bolts",
+    "run_topology",
+]

@@ -1,0 +1,276 @@
+"""The discrete-event cluster that executes a topology in one process.
+
+The cluster is the reproduction's substitute for a physical Storm cluster.
+It creates one object per task (parallel instance) of every component,
+routes emitted tuples to subscriber tasks according to the registered
+groupings, keeps a simulated clock driven by the ``timestamp`` field of the
+tuples flowing through the system, and counts every message per
+(producer component, consumer component) link and per consumer task.
+
+Execution model
+---------------
+Tuples are processed depth-first in arrival order: the cluster polls one
+spout task, routes everything it emitted, then keeps draining the global
+FIFO queue until no tuple is in flight before polling the next spout.  This
+is equivalent to a Storm cluster that is never backlogged, which is the
+regime the paper's experiments operate in (their metrics are logical counts
+per document, not queueing delays).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .components import Bolt, Component, Spout
+from .topology import Topology
+from .tuples import Emission, OutputCollector, TupleMessage
+
+
+@dataclass(slots=True)
+class MessageAccounting:
+    """Counts of tuples delivered between components and to tasks."""
+
+    per_link: dict[tuple[str, str], int] = field(default_factory=dict)
+    per_task: dict[int, int] = field(default_factory=dict)
+    total: int = 0
+
+    def record(self, producer: str, consumer: str, task_id: int) -> None:
+        key = (producer, consumer)
+        self.per_link[key] = self.per_link.get(key, 0) + 1
+        self.per_task[task_id] = self.per_task.get(task_id, 0) + 1
+        self.total += 1
+
+    def link(self, producer: str, consumer: str) -> int:
+        return self.per_link.get((producer, consumer), 0)
+
+
+@dataclass(slots=True)
+class TaskInfo:
+    """One parallel instance of a component."""
+
+    task_id: int
+    task_index: int
+    component: str
+    instance: Component
+    collector: OutputCollector
+
+
+class ClusterContext:
+    """Read-only view of the cluster handed to components at prepare time."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self._cluster = cluster
+
+    def task_ids(self, component: str) -> list[int]:
+        """Global task ids of a component, ordered by task index."""
+        return [task.task_id for task in self._cluster.tasks_of(component)]
+
+    def parallelism(self, component: str) -> int:
+        return len(self._cluster.tasks_of(component))
+
+    def component_of(self, task_id: int) -> str:
+        return self._cluster.task(task_id).component
+
+    @property
+    def current_time(self) -> float:
+        return self._cluster.current_time
+
+
+class Cluster:
+    """Deploys a topology and runs it to completion."""
+
+    def __init__(self, topology: Topology, tick_interval: float = 1.0) -> None:
+        topology.validate()
+        self.topology = topology
+        self.accounting = MessageAccounting()
+        self.current_time = 0.0
+        self._tick_interval = tick_interval
+        self._last_tick = 0.0
+        self._queue: deque[tuple[int, TupleMessage]] = deque()
+        self._tasks: list[TaskInfo] = []
+        self._tasks_by_component: dict[str, list[TaskInfo]] = {}
+        self._create_tasks()
+        # Routing table: (producer, stream) -> [(consumer tasks, grouping)].
+        self._routes: dict[tuple[str, str], list[tuple[list[TaskInfo], object]]] = {}
+        self._direct_consumers: dict[tuple[str, str], set[str]] = {}
+        self._build_routes()
+        self._context = ClusterContext(self)
+        self._prepare_tasks()
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+    def _create_tasks(self) -> None:
+        task_id = 0
+        for spec in self.topology.components.values():
+            instances = []
+            for task_index in range(spec.parallelism):
+                instance = spec.factory()
+                collector = OutputCollector(spec.name, task_id)
+                info = TaskInfo(
+                    task_id=task_id,
+                    task_index=task_index,
+                    component=spec.name,
+                    instance=instance,
+                    collector=collector,
+                )
+                instances.append(info)
+                self._tasks.append(info)
+                task_id += 1
+            self._tasks_by_component[spec.name] = instances
+
+    def _build_routes(self) -> None:
+        for subscription in self.topology.subscriptions:
+            key = (subscription.producer, subscription.stream)
+            consumer_tasks = self._tasks_by_component[subscription.consumer]
+            self._routes.setdefault(key, []).append(
+                (consumer_tasks, subscription.grouping)
+            )
+            self._direct_consumers.setdefault(key, set()).add(subscription.consumer)
+
+    def _prepare_tasks(self) -> None:
+        for task in self._tasks:
+            task.instance.prepare(
+                component_name=task.component,
+                task_index=task.task_index,
+                task_id=task.task_id,
+                collector=task.collector,
+                context=self._context,
+            )
+            # Components may emit during prepare (e.g. initial control tuples).
+            self._route_emissions(task)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def tasks_of(self, component: str) -> list[TaskInfo]:
+        if component not in self._tasks_by_component:
+            raise KeyError(f"unknown component {component!r}")
+        return self._tasks_by_component[component]
+
+    def task(self, task_id: int) -> TaskInfo:
+        return self._tasks[task_id]
+
+    def instances_of(self, component: str) -> list[Component]:
+        """The live operator objects of a component (inspection in tests)."""
+        return [task.instance for task in self.tasks_of(component)]
+
+    @property
+    def context(self) -> ClusterContext:
+        return self._context
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, max_spout_calls: int | None = None) -> int:
+        """Run until every spout is exhausted (or the call budget is spent).
+
+        Returns the number of spout invocations that produced output.
+        """
+        spout_tasks = [
+            task
+            for spec in self.topology.spouts()
+            for task in self.tasks_of(spec.name)
+        ]
+        active = {task.task_id: True for task in spout_tasks}
+        productive_calls = 0
+        calls = 0
+        while any(active.values()):
+            for task in spout_tasks:
+                if not active[task.task_id]:
+                    continue
+                if max_spout_calls is not None and calls >= max_spout_calls:
+                    active = {task_id: False for task_id in active}
+                    break
+                spout = task.instance
+                assert isinstance(spout, Spout)
+                produced = spout.next_tuple()
+                calls += 1
+                if produced:
+                    productive_calls += 1
+                else:
+                    active[task.task_id] = False
+                self._route_emissions(task)
+                self._drain_queue()
+        self._drain_queue()
+        return productive_calls
+
+    def process(self, message: TupleMessage, component: str, task_index: int = 0) -> None:
+        """Inject a tuple directly into one bolt task (useful in tests)."""
+        task = self.tasks_of(component)[task_index]
+        self._deliver(task, message)
+        self._drain_queue()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _route_emissions(self, task: TaskInfo) -> None:
+        for emission in task.collector.drain():
+            self._route(task.component, emission)
+
+    def _route(self, producer: str, emission: Emission) -> None:
+        message = emission.message
+        self._advance_clock(message)
+        key = (producer, message.stream)
+        if emission.direct_task is not None:
+            target = self._tasks[emission.direct_task]
+            if target.component not in self._direct_consumers.get(key, ()):
+                raise RuntimeError(
+                    f"direct emission from {producer!r} to task of "
+                    f"{target.component!r} without a subscription on stream "
+                    f"{message.stream!r}"
+                )
+            self._queue.append((target.task_id, message))
+            return
+        for consumer_tasks, grouping in self._routes.get(key, ()):
+            indices = grouping.select(message, len(consumer_tasks))
+            for index in indices:
+                self._queue.append((consumer_tasks[index].task_id, message))
+
+    def _drain_queue(self) -> None:
+        while self._queue:
+            task_id, message = self._queue.popleft()
+            task = self._tasks[task_id]
+            self._deliver(task, message)
+
+    def _deliver(self, task: TaskInfo, message: TupleMessage) -> None:
+        bolt = task.instance
+        if not isinstance(bolt, Bolt):
+            raise RuntimeError(f"cannot deliver tuples to spout {task.component!r}")
+        self.accounting.record(message.source_component, task.component, task.task_id)
+        bolt.execute(message)
+        self._route_emissions(task)
+
+    def _advance_clock(self, message: TupleMessage) -> None:
+        timestamp = message.get("timestamp")
+        if timestamp is None:
+            return
+        if timestamp > self.current_time:
+            self.current_time = float(timestamp)
+        if self.current_time - self._last_tick >= self._tick_interval:
+            self._last_tick = self.current_time
+            self._tick_all()
+
+    def _tick_all(self) -> None:
+        for task in self._tasks:
+            if isinstance(task.instance, Bolt):
+                task.instance.tick(self.current_time)
+                self._route_emissions(task)
+
+
+def run_topology(
+    topology: Topology, max_spout_calls: int | None = None, tick_interval: float = 1.0
+) -> Cluster:
+    """Deploy and run a topology; returns the cluster for inspection."""
+    cluster = Cluster(topology, tick_interval=tick_interval)
+    cluster.run(max_spout_calls=max_spout_calls)
+    return cluster
+
+
+def iter_bolts(cluster: Cluster, component: str) -> Iterable[Bolt]:
+    """Typed helper for tests: the bolt instances of a component."""
+    for instance in cluster.instances_of(component):
+        assert isinstance(instance, Bolt)
+        yield instance

@@ -1,0 +1,86 @@
+"""Spouts and bolts: the user-implemented operators of the substrate.
+
+Application code subclasses :class:`Spout` (stream sources) and
+:class:`Bolt` (stream processors), exactly like in Storm.  Each *task*
+(parallel instance) of a component gets its own object, created by the
+factory registered with the topology builder, so per-task state needs no
+locking even though the simulator is single-threaded.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from .tuples import OutputCollector, TupleMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .cluster import ClusterContext
+
+
+class Component(abc.ABC):
+    """Shared behaviour of spouts and bolts."""
+
+    def __init__(self) -> None:
+        self.component_name: str = ""
+        self.task_index: int = -1
+        self.task_id: int = -1
+        self.collector: OutputCollector | None = None
+        self.context: "ClusterContext | None" = None
+
+    def prepare(
+        self,
+        component_name: str,
+        task_index: int,
+        task_id: int,
+        collector: OutputCollector,
+        context: "ClusterContext",
+    ) -> None:
+        """Called once by the cluster before any tuple is processed."""
+        self.component_name = component_name
+        self.task_index = task_index
+        self.task_id = task_id
+        self.collector = collector
+        self.context = context
+        self.on_prepare()
+
+    def on_prepare(self) -> None:
+        """Hook for subclasses; runs after the component is wired up."""
+
+    def emit(self, values: dict, stream: str = "default") -> None:
+        """Convenience wrapper around the collector."""
+        assert self.collector is not None, "component used before prepare()"
+        self.collector.emit(values, stream=stream)
+
+    def emit_direct(self, task_id: int, values: dict, stream: str = "default") -> None:
+        assert self.collector is not None, "component used before prepare()"
+        self.collector.emit_direct(task_id, values, stream=stream)
+
+
+class Spout(Component):
+    """A source of tuples."""
+
+    @abc.abstractmethod
+    def next_tuple(self) -> bool:
+        """Emit zero or more tuples; return False when the source is exhausted.
+
+        The cluster keeps polling the spout while it returns True (and the
+        run's document budget is not exceeded).  A file-backed spout returns
+        False at end of file, which ends the simulation once all in-flight
+        tuples are processed.
+        """
+
+
+class Bolt(Component):
+    """A tuple processor."""
+
+    @abc.abstractmethod
+    def execute(self, message: TupleMessage) -> None:
+        """Process one incoming tuple, optionally emitting new ones."""
+
+    def tick(self, simulation_time: float) -> None:
+        """Periodic callback driven by the simulated clock.
+
+        Operators that act on a timer (e.g. Calculators reporting their
+        Jaccard coefficients every ``y`` time units) override this.
+        """

@@ -1,0 +1,104 @@
+"""Stream groupings: how tuples are routed to the tasks of a consumer.
+
+Storm offers several rules for distributing the tuples of a producing
+component over the multiple task instances of a consuming bolt
+(Section 6.1 of the paper).  The simulator implements the ones the paper's
+topology uses — shuffle, fields, all, direct — plus local grouping, which in
+a single-process simulation behaves like shuffle.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import zlib
+from typing import Sequence
+
+from .tuples import TupleMessage
+
+
+def stable_hash(value: object) -> int:
+    """Process-independent hash used by fields grouping.
+
+    Python's built-in ``hash`` of strings is salted per process, which would
+    make experiment runs non-reproducible; a CRC over the ``repr`` is stable.
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class Grouping(abc.ABC):
+    """Decides which task indices of the consumer receive a tuple."""
+
+    @abc.abstractmethod
+    def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
+        """Task indices (0-based, within the consumer) receiving ``message``."""
+
+
+class ShuffleGrouping(Grouping):
+    """Distribute tuples (pseudo-)randomly but evenly over the tasks.
+
+    Uses round-robin with a randomised starting offset, which matches
+    Storm's guarantee that each instance receives approximately the same
+    number of tuples while remaining deterministic under a fixed seed.
+    """
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = random.Random(seed)
+        self._counter = self._rng.randrange(1_000_000)
+
+    def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
+        if n_tasks <= 0:
+            return []
+        index = self._counter % n_tasks
+        self._counter += 1
+        return [index]
+
+
+class FieldsGrouping(Grouping):
+    """Route by the hash of one or more tuple fields.
+
+    Tuples with equal values in the grouping fields always reach the same
+    task — the property the Partitioner relies on to see consistent tagsets.
+    """
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise ValueError("fields grouping needs at least one field")
+        self._fields = tuple(fields)
+
+    def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
+        if n_tasks <= 0:
+            return []
+        key = tuple(self._hashable(message.get(field)) for field in self._fields)
+        return [stable_hash(key) % n_tasks]
+
+    @staticmethod
+    def _hashable(value: object) -> object:
+        if isinstance(value, (list, set, frozenset)):
+            return tuple(sorted(map(repr, value)))
+        return value
+
+
+class AllGrouping(Grouping):
+    """Broadcast: every task of the consumer receives every tuple."""
+
+    def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
+        return list(range(n_tasks))
+
+
+class DirectGrouping(Grouping):
+    """The producer names the receiving task explicitly via ``emit_direct``.
+
+    ``select`` is only consulted when a directly-grouped stream receives a
+    non-direct emission, which is a topology bug — fail loudly.
+    """
+
+    def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
+        raise RuntimeError(
+            "direct-grouped streams require emit_direct(); "
+            f"got a broadcast emission from {message.source_component!r}"
+        )
+
+
+class LocalGrouping(ShuffleGrouping):
+    """Local-or-shuffle grouping; identical to shuffle in a single process."""

@@ -1,0 +1,170 @@
+"""Topology definition: components, parallelism and stream subscriptions.
+
+A topology is a directed graph of named components.  Every component is
+registered with a *factory* (so that each parallel task gets its own
+instance and therefore its own state, as in Storm) and a parallelism degree.
+Consumers subscribe to ``(producer, stream)`` pairs with a grouping that
+decides which task receives each tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .components import Bolt, Component, Spout
+from .groupings import (
+    AllGrouping,
+    DirectGrouping,
+    FieldsGrouping,
+    Grouping,
+    LocalGrouping,
+    ShuffleGrouping,
+)
+from .tuples import DEFAULT_STREAM
+
+ComponentFactory = Callable[[], Component]
+
+
+@dataclass(slots=True)
+class ComponentSpec:
+    """Declaration of one component of the topology."""
+
+    name: str
+    factory: ComponentFactory
+    parallelism: int
+    is_spout: bool
+
+
+@dataclass(slots=True)
+class Subscription:
+    """One edge of the topology graph."""
+
+    consumer: str
+    producer: str
+    stream: str
+    grouping: Grouping
+
+
+@dataclass(slots=True)
+class Topology:
+    """A fully declared topology, ready to be deployed on the cluster."""
+
+    components: dict[str, ComponentSpec] = field(default_factory=dict)
+    subscriptions: list[Subscription] = field(default_factory=list)
+
+    def spouts(self) -> list[ComponentSpec]:
+        return [spec for spec in self.components.values() if spec.is_spout]
+
+    def bolts(self) -> list[ComponentSpec]:
+        return [spec for spec in self.components.values() if not spec.is_spout]
+
+    def subscribers_of(self, producer: str, stream: str) -> list[Subscription]:
+        return [
+            subscription
+            for subscription in self.subscriptions
+            if subscription.producer == producer and subscription.stream == stream
+        ]
+
+    def validate(self) -> None:
+        """Check that every subscription references declared components."""
+        for subscription in self.subscriptions:
+            if subscription.producer not in self.components:
+                raise ValueError(
+                    f"subscription references unknown producer {subscription.producer!r}"
+                )
+            if subscription.consumer not in self.components:
+                raise ValueError(
+                    f"subscription references unknown consumer {subscription.consumer!r}"
+                )
+            if self.components[subscription.consumer].is_spout:
+                raise ValueError(
+                    f"spout {subscription.consumer!r} cannot subscribe to a stream"
+                )
+        if not self.spouts():
+            raise ValueError("a topology needs at least one spout")
+
+
+class _BoltDeclarer:
+    """Fluent helper returned by :meth:`TopologyBuilder.set_bolt`."""
+
+    def __init__(self, builder: "TopologyBuilder", name: str) -> None:
+        self._builder = builder
+        self._name = name
+
+    def shuffle_grouping(self, producer: str, stream: str = DEFAULT_STREAM, seed: int = 0) -> "_BoltDeclarer":
+        self._builder._subscribe(self._name, producer, stream, ShuffleGrouping(seed))
+        return self
+
+    def fields_grouping(
+        self, producer: str, fields: list[str], stream: str = DEFAULT_STREAM
+    ) -> "_BoltDeclarer":
+        self._builder._subscribe(self._name, producer, stream, FieldsGrouping(fields))
+        return self
+
+    def all_grouping(self, producer: str, stream: str = DEFAULT_STREAM) -> "_BoltDeclarer":
+        self._builder._subscribe(self._name, producer, stream, AllGrouping())
+        return self
+
+    def direct_grouping(self, producer: str, stream: str = DEFAULT_STREAM) -> "_BoltDeclarer":
+        self._builder._subscribe(self._name, producer, stream, DirectGrouping())
+        return self
+
+    def local_grouping(self, producer: str, stream: str = DEFAULT_STREAM, seed: int = 0) -> "_BoltDeclarer":
+        self._builder._subscribe(self._name, producer, stream, LocalGrouping(seed))
+        return self
+
+
+class TopologyBuilder:
+    """Builds a :class:`Topology`, mirroring Storm's ``TopologyBuilder`` API."""
+
+    def __init__(self) -> None:
+        self._topology = Topology()
+
+    def set_spout(
+        self, name: str, factory: ComponentFactory, parallelism: int = 1
+    ) -> None:
+        """Register a spout with the given parallelism."""
+        self._declare(name, factory, parallelism, is_spout=True)
+
+    def set_bolt(
+        self, name: str, factory: ComponentFactory, parallelism: int = 1
+    ) -> _BoltDeclarer:
+        """Register a bolt; returns a declarer to attach its subscriptions."""
+        self._declare(name, factory, parallelism, is_spout=False)
+        return _BoltDeclarer(self, name)
+
+    def build(self) -> Topology:
+        """Validate and return the topology."""
+        self._topology.validate()
+        return self._topology
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _declare(
+        self, name: str, factory: ComponentFactory, parallelism: int, is_spout: bool
+    ) -> None:
+        if name in self._topology.components:
+            raise ValueError(f"component {name!r} declared twice")
+        if parallelism < 1:
+            raise ValueError(f"parallelism of {name!r} must be at least 1")
+        probe = factory()
+        expected = Spout if is_spout else Bolt
+        if not isinstance(probe, expected):
+            raise TypeError(
+                f"factory for {name!r} must produce a {expected.__name__}, "
+                f"got {type(probe).__name__}"
+            )
+        self._topology.components[name] = ComponentSpec(
+            name=name, factory=factory, parallelism=parallelism, is_spout=is_spout
+        )
+
+    def _subscribe(
+        self, consumer: str, producer: str, stream: str, grouping: Grouping
+    ) -> None:
+        self._topology.subscriptions.append(
+            Subscription(
+                consumer=consumer, producer=producer, stream=stream, grouping=grouping
+            )
+        )

@@ -1,0 +1,108 @@
+"""Tuples and streams of the stream-processing substrate.
+
+Storm operators exchange *tuples*: simple lists of named values travelling
+on named streams.  The simulator keeps the same model: a
+:class:`TupleMessage` carries a mapping of field names to values, the name
+of the stream it was emitted on, and provenance information (the component
+and task that emitted it) used for accounting and for direct grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+#: Name of the default output stream of every component.
+DEFAULT_STREAM = "default"
+
+
+@dataclass(frozen=True, slots=True)
+class TupleMessage:
+    """A single tuple flowing between components."""
+
+    values: Mapping[str, Any]
+    stream: str = DEFAULT_STREAM
+    source_component: str = ""
+    source_task: int = -1
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def fields(self) -> tuple[str, ...]:
+        return tuple(self.values)
+
+
+@dataclass(slots=True)
+class Emission:
+    """An emission request produced by a component before routing.
+
+    ``direct_task`` is the *global* task id of the receiver when the tuple
+    is sent with direct grouping; ``None`` means the registered grouping of
+    each subscriber decides.
+    """
+
+    message: TupleMessage
+    direct_task: int | None = None
+
+
+class OutputCollector:
+    """Collects the tuples a component emits during one invocation.
+
+    Mirrors Storm's ``OutputCollector``: components call :meth:`emit` (or
+    :meth:`emit_direct` for direct grouping) and the cluster drains the
+    collector afterwards and routes the tuples to subscribers.
+    """
+
+    def __init__(self, component: str, task_id: int) -> None:
+        self._component = component
+        self._task_id = task_id
+        self._pending: list[Emission] = []
+
+    def emit(self, values: Mapping[str, Any], stream: str = DEFAULT_STREAM) -> None:
+        """Emit a tuple on ``stream`` to all subscribers of that stream."""
+        self._pending.append(
+            Emission(
+                TupleMessage(
+                    values=dict(values),
+                    stream=stream,
+                    source_component=self._component,
+                    source_task=self._task_id,
+                )
+            )
+        )
+
+    def emit_direct(
+        self,
+        task_id: int,
+        values: Mapping[str, Any],
+        stream: str = DEFAULT_STREAM,
+    ) -> None:
+        """Emit a tuple directly to one task of a subscribed component."""
+        self._pending.append(
+            Emission(
+                TupleMessage(
+                    values=dict(values),
+                    stream=stream,
+                    source_component=self._component,
+                    source_task=self._task_id,
+                ),
+                direct_task=task_id,
+            )
+        )
+
+    def drain(self) -> list[Emission]:
+        """Return and clear all pending emissions."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,45 @@
+"""Analytic models from Section 5 of the paper."""
+
+from .communication import (
+    communication_sweep,
+    expected_communication,
+    no_overlap_probability,
+    tractability_threshold,
+)
+from .erdos_renyi import (
+    WindowModel,
+    edge_probability,
+    giant_component_expected,
+    np_product,
+    paper_np_table,
+)
+from .zipf_model import (
+    PAPER_MMAX,
+    PAPER_SKEW,
+    empirical_skew,
+    expected_edges,
+    expected_edges_per_tweet,
+    frequency_of_m_tags,
+    tags_per_tweet_distribution,
+    zipf_frequencies,
+)
+
+__all__ = [
+    "PAPER_MMAX",
+    "PAPER_SKEW",
+    "WindowModel",
+    "communication_sweep",
+    "edge_probability",
+    "empirical_skew",
+    "expected_communication",
+    "expected_edges",
+    "expected_edges_per_tweet",
+    "frequency_of_m_tags",
+    "giant_component_expected",
+    "no_overlap_probability",
+    "np_product",
+    "paper_np_table",
+    "tags_per_tweet_distribution",
+    "tractability_threshold",
+    "zipf_frequencies",
+]

@@ -1,0 +1,96 @@
+"""Expected communication of random equal-sized partitions (Section 5.2).
+
+For a vocabulary of ``v`` tags, ``n`` tweets, ``k`` equal random partitions
+and ``m`` tags per tweet, the expected communication load (the number of
+partitions an incoming tweet must be forwarded to) is
+
+    E[communication] = k * (1 - ((C(v - m, m) / C(v, m)) ** (n / k)))
+
+A value of 1 means no redundant forwarding; a value of ``k`` means every
+tweet is broadcast to all partitions, which makes the decentralised approach
+pointless.  The formula shows that small vocabularies with many tags per
+tweet are a knockout blow, while Twitter-like data (huge vocabulary, few
+tags per tweet) stays tractable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def no_overlap_probability(vocabulary_size: int, tags_per_tweet: int) -> float:
+    """Probability that a random tweet shares no tag with a random tweet.
+
+    This is ``C(v - m, m) / C(v, m)``: draw the second tweet's ``m`` tags
+    from the ``v - m`` tags the first tweet did not use.
+    """
+    if tags_per_tweet < 0:
+        raise ValueError("tags_per_tweet must be non-negative")
+    if vocabulary_size < tags_per_tweet:
+        raise ValueError("vocabulary must be at least as large as tags_per_tweet")
+    if tags_per_tweet == 0:
+        return 1.0
+    if vocabulary_size < 2 * tags_per_tweet:
+        return 0.0
+    return math.comb(vocabulary_size - tags_per_tweet, tags_per_tweet) / math.comb(
+        vocabulary_size, tags_per_tweet
+    )
+
+
+def expected_communication(
+    vocabulary_size: int,
+    n_tweets: int,
+    k_partitions: int,
+    tags_per_tweet: int,
+) -> float:
+    """The paper's Section 5.2 formula for ``E[communication]``."""
+    if k_partitions <= 0:
+        raise ValueError("k_partitions must be positive")
+    if n_tweets < 0:
+        raise ValueError("n_tweets must be non-negative")
+    probability = no_overlap_probability(vocabulary_size, tags_per_tweet)
+    exponent = n_tweets / k_partitions
+    return k_partitions * (1.0 - probability**exponent)
+
+
+def communication_sweep(
+    vocabulary_sizes: Sequence[int],
+    n_tweets: int,
+    k_partitions: int,
+    tags_per_tweet: int,
+) -> dict[int, float]:
+    """Expected communication for a range of vocabulary sizes."""
+    return {
+        vocabulary: expected_communication(
+            vocabulary, n_tweets, k_partitions, tags_per_tweet
+        )
+        for vocabulary in vocabulary_sizes
+    }
+
+
+def tractability_threshold(
+    n_tweets: int,
+    k_partitions: int,
+    tags_per_tweet: int,
+    target_communication: float = 2.0,
+    max_vocabulary: int = 10_000_000,
+) -> int:
+    """Smallest vocabulary for which the expected communication drops below a target.
+
+    Useful to illustrate the "large vocabulary, few tags per tweet" regime
+    where the decentralised approach pays off.  Returns ``max_vocabulary``
+    when even that vocabulary does not achieve the target.
+    """
+    low = max(2 * tags_per_tweet, 1)
+    high = max_vocabulary
+    if expected_communication(high, n_tweets, k_partitions, tags_per_tweet) > target_communication:
+        return max_vocabulary
+    while low < high:
+        middle = (low + high) // 2
+        value = expected_communication(middle, n_tweets, k_partitions, tags_per_tweet)
+        if value <= target_communication:
+            high = middle
+        else:
+            low = middle + 1
+    return low

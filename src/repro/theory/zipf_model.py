@@ -1,0 +1,100 @@
+"""Zipf model of the number of tags per tweet (Section 5.1).
+
+The paper measures that the number of tags per tweet follows Zipf's law with
+skew ``s = 0.25``: zero tags is the most frequent case, one tag the second
+most frequent, and so on, up to a maximum of ``mmax`` tags.  The same model
+drives the synthetic workload generator and the theoretical estimate of the
+number of edges added to the tag co-occurrence graph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Skew measured by the paper on a 15M-tweet sample (Jan 28, 2012).
+PAPER_SKEW = 0.25
+
+#: Maximum number of tags per tweet assumed in the paper's analysis.
+PAPER_MMAX = 8
+
+
+def zipf_frequencies(mmax: int, skew: float = PAPER_SKEW) -> list[float]:
+    """Relative frequency of tweets with ``m`` tags for ``m = 0 .. mmax``.
+
+    The paper's formula ranks outcomes by popularity: rank 1 is "no tags",
+    rank 2 is "one tag", ..., rank ``mmax + 1`` is "``mmax`` tags"; the
+    frequency of rank ``r`` is proportional to ``1 / r^skew``.
+    """
+    if mmax < 0:
+        raise ValueError("mmax must be non-negative")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    weights = [1.0 / (rank**skew) for rank in range(1, mmax + 2)]
+    total = sum(weights)
+    return [weight / total for weight in weights]
+
+
+def tags_per_tweet_distribution(
+    mmax: int = PAPER_MMAX, skew: float = PAPER_SKEW
+) -> dict[int, float]:
+    """Probability of a tweet carrying ``m`` tags, for ``m = 0 .. mmax``."""
+    frequencies = zipf_frequencies(mmax, skew)
+    return {m: frequencies[m] for m in range(mmax + 1)}
+
+
+def frequency_of_m_tags(m: int, mmax: int, skew: float = PAPER_SKEW) -> float:
+    """The paper's ``f(m, mmax, s)``: relative frequency of ``m``-tag tweets.
+
+    The formula in Section 5.1 normalises ``1 / m^s`` over ``m = 1 .. mmax``
+    (tweets without tags do not contribute edges and are left out of the
+    analytic edge-count model).  Returns 0 outside that range.
+    """
+    if m < 1 or m > mmax:
+        return 0.0
+    normaliser = sum(1.0 / (i**skew) for i in range(1, mmax + 1))
+    return (1.0 / (m**skew)) / normaliser
+
+
+def expected_edges_per_tweet(mmax: int = PAPER_MMAX, skew: float = PAPER_SKEW) -> float:
+    """Expected number of tag-pair edges a single tweet adds to the graph.
+
+    A tweet with ``m`` tags adds ``C(m, 2)`` edges; averaging over the
+    paper's Zipf model of ``m`` yields the per-tweet expectation used in
+    ``E[M] = t * sum_m f(m, mmax, s) * C(m, 2)``.
+    """
+    return sum(
+        frequency_of_m_tags(m, mmax, skew) * math.comb(m, 2)
+        for m in range(2, mmax + 1)
+    )
+
+
+def expected_edges(
+    distinct_tweets: int, mmax: int = PAPER_MMAX, skew: float = PAPER_SKEW
+) -> float:
+    """Expected number of edges ``E[M]`` added by ``distinct_tweets`` tweets."""
+    if distinct_tweets < 0:
+        raise ValueError("distinct_tweets must be non-negative")
+    return distinct_tweets * expected_edges_per_tweet(mmax, skew)
+
+
+def empirical_skew(counts: Sequence[int]) -> float:
+    """Least-squares Zipf skew estimate from rank-ordered counts.
+
+    ``counts[r]`` is the number of tweets with rank ``r + 1`` (i.e. with
+    ``r`` tags).  Fits ``log(count) ~ -s * log(rank)`` and returns ``s``.
+    """
+    ranks = []
+    logs = []
+    for index, count in enumerate(counts, start=1):
+        if count > 0:
+            ranks.append(math.log(index))
+            logs.append(math.log(count))
+    if len(ranks) < 2:
+        raise ValueError("need at least two non-zero counts to fit a skew")
+    n = len(ranks)
+    mean_x = sum(ranks) / n
+    mean_y = sum(logs) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(ranks, logs))
+    denominator = sum((x - mean_x) ** 2 for x in ranks)
+    return -numerator / denominator

@@ -1,0 +1,29 @@
+"""Synthetic Twitter-like workloads, file I/O and workload statistics."""
+
+from .generator import TwitterLikeGenerator, WorkloadConfig, generate_documents
+from .io import (
+    document_to_record,
+    load_documents,
+    read_documents,
+    record_to_document,
+    write_documents,
+)
+from .stats import WorkloadStatistics, compute_statistics, tags_per_tweet_frequencies
+from .topics import Topic, TopicModel, uniform_topics
+
+__all__ = [
+    "Topic",
+    "TopicModel",
+    "TwitterLikeGenerator",
+    "WorkloadConfig",
+    "WorkloadStatistics",
+    "compute_statistics",
+    "document_to_record",
+    "generate_documents",
+    "load_documents",
+    "read_documents",
+    "record_to_document",
+    "tags_per_tweet_frequencies",
+    "uniform_topics",
+    "write_documents",
+]

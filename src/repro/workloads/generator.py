@@ -1,0 +1,206 @@
+"""Synthetic Twitter-like tweet stream generator.
+
+The paper evaluates on six hours of real tweets from the Twitter streaming
+API.  Real traces are not available offline, so the generator reproduces the
+structural properties the paper measures and reasons about:
+
+* the number of tags per tweet follows Zipf's law with skew ``s = 0.25``
+  and a maximum of ``mmax`` tags (Section 5.1),
+* tags come from topic-specific vocabularies; with probability
+  ``1 - intra_topic_probability`` a tweet mixes tags from several topics,
+  which is the mechanism that can grow a giant connected component,
+* topic and in-topic tag popularity are Zipf-distributed, so a small number
+  of tags carry most of the load (what makes load balancing hard),
+* new topics appear over time and old ones decay, driving the partition
+  dynamics of Section 7,
+* tweets arrive at a configurable rate (``tweets_per_second``), so windows
+  of "5 minutes" contain the same number of documents as the paper's.
+
+The generator is fully deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.documents import Document
+from ..theory.zipf_model import PAPER_MMAX, PAPER_SKEW, zipf_frequencies
+from .topics import TopicModel
+
+
+@dataclass(slots=True)
+class WorkloadConfig:
+    """Configuration of the synthetic stream.
+
+    Attributes
+    ----------
+    tweets_per_second:
+        Arrival rate; the paper uses 1300 (real-world rate) and 2600.
+    n_topics, tags_per_topic:
+        Size of the topic population and of each topic vocabulary.
+    topic_skew, tag_skew:
+        Zipf skews of topic popularity and of in-topic tag popularity.
+    tags_per_tweet_skew, max_tags_per_tweet:
+        Parameters of the Zipf tags-per-tweet distribution (paper: 0.25, 8).
+    intra_topic_probability:
+        The ``α`` of Section 5.1: probability that all tags of a tweet come
+        from a single topic vocabulary.
+    untagged_allowed:
+        Whether tweets with zero tags are generated (rank 1 of the Zipf
+        distribution).  The pipeline drops them at the Parser, so disabling
+        them simply makes every generated document useful.
+    new_topic_rate:
+        Expected number of newly born topics per minute (trend dynamics).
+    topic_decay_rate:
+        Exponential decay rate (per second) applied to newly born topics.
+    seed:
+        Master seed; every run with the same config is identical.
+    """
+
+    tweets_per_second: float = 1300.0
+    n_topics: int = 400
+    tags_per_topic: int = 25
+    topic_skew: float = 1.0
+    tag_skew: float = 1.0
+    tags_per_tweet_skew: float = PAPER_SKEW
+    max_tags_per_tweet: int = PAPER_MMAX
+    intra_topic_probability: float = 0.95
+    untagged_allowed: bool = True
+    new_topic_rate: float = 0.5
+    topic_decay_rate: float = 0.0005
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.tweets_per_second <= 0:
+            raise ValueError("tweets_per_second must be positive")
+        if not 0.0 <= self.intra_topic_probability <= 1.0:
+            raise ValueError("intra_topic_probability must lie in [0, 1]")
+        if self.max_tags_per_tweet < 1:
+            raise ValueError("max_tags_per_tweet must be at least 1")
+        if self.n_topics < 1 or self.tags_per_topic < 1:
+            raise ValueError("need at least one topic with at least one tag")
+
+
+class TwitterLikeGenerator:
+    """Generates a deterministic stream of :class:`Document` objects."""
+
+    def __init__(self, config: WorkloadConfig | None = None) -> None:
+        self.config = config or WorkloadConfig()
+        self.config.validate()
+        self._rng = random.Random(self.config.seed)
+        self._topics = TopicModel(
+            n_topics=self.config.n_topics,
+            tags_per_topic=self.config.tags_per_topic,
+            topic_skew=self.config.topic_skew,
+            tag_skew=self.config.tag_skew,
+            seed=self.config.seed,
+        )
+        self._tag_count_weights = zipf_frequencies(
+            self.config.max_tags_per_tweet, self.config.tags_per_tweet_skew
+        )
+        if not self.config.untagged_allowed:
+            weights = self._tag_count_weights[1:]
+            total = sum(weights)
+            self._tag_count_weights = [0.0] + [w / total for w in weights]
+        self._next_doc_id = 0
+        self._clock = 0.0
+        self._interarrival = 1.0 / self.config.tweets_per_second
+        self._next_topic_birth = self._sample_topic_birth_gap()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def topic_model(self) -> TopicModel:
+        """The underlying topic population (useful for analysis/tests)."""
+        return self._topics
+
+    @property
+    def current_time(self) -> float:
+        """Simulation time of the next document to be generated."""
+        return self._clock
+
+    def generate(self, n_documents: int) -> list[Document]:
+        """Generate the next ``n_documents`` documents of the stream."""
+        return [self._next_document() for _ in range(n_documents)]
+
+    def generate_seconds(self, seconds: float) -> list[Document]:
+        """Generate all documents arriving within the next ``seconds``."""
+        deadline = self._clock + seconds
+        documents = []
+        while self._clock < deadline:
+            documents.append(self._next_document())
+        return documents
+
+    def stream(self) -> Iterator[Document]:
+        """An endless iterator over the stream."""
+        while True:
+            yield self._next_document()
+
+    def vocabulary(self) -> list[str]:
+        """All tags currently known to the topic model."""
+        return self._topics.vocabulary()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _sample_topic_birth_gap(self) -> float:
+        rate_per_second = self.config.new_topic_rate / 60.0
+        if rate_per_second <= 0:
+            return float("inf")
+        return self._clock + self._rng.expovariate(rate_per_second)
+
+    def _maybe_spawn_topics(self) -> None:
+        while self._clock >= self._next_topic_birth:
+            # New trends start popular and decay, mimicking bursts.
+            weight = 0.5 + self._rng.random()
+            topic = self._topics.spawn_topic(self._clock, self._rng, weight=weight)
+            topic.decay_rate = self.config.topic_decay_rate
+            self._next_topic_birth = self._sample_topic_birth_gap()
+
+    def _sample_n_tags(self) -> int:
+        pick = self._rng.random()
+        cumulative = 0.0
+        for m, weight in enumerate(self._tag_count_weights):
+            cumulative += weight
+            if pick <= cumulative:
+                return m
+        return self.config.max_tags_per_tweet
+
+    def _sample_tags(self, n_tags: int) -> frozenset[str]:
+        if n_tags == 0:
+            return frozenset()
+        if self._rng.random() < self.config.intra_topic_probability:
+            topic = self._topics.sample_topic(self._clock, self._rng)
+            tags = topic.sample_tags(n_tags, self._rng)
+        else:
+            # Cross-topic tweet: pull tags from 2 (or more) distinct topics.
+            n_sources = min(1 + self._rng.randint(1, 2), max(n_tags, 1))
+            sources = self._topics.sample_topics(n_sources, self._clock, self._rng)
+            tags = []
+            for index, topic in enumerate(sources):
+                share = n_tags // len(sources) + (1 if index < n_tags % len(sources) else 0)
+                tags.extend(topic.sample_tags(share, self._rng))
+        return frozenset(tags)
+
+    def _next_document(self) -> Document:
+        self._maybe_spawn_topics()
+        n_tags = self._sample_n_tags()
+        tags = self._sample_tags(n_tags)
+        document = Document(
+            doc_id=self._next_doc_id,
+            tags=tags,
+            timestamp=self._clock,
+        )
+        self._next_doc_id += 1
+        self._clock += self._interarrival
+        return document
+
+
+def generate_documents(
+    n_documents: int, config: WorkloadConfig | None = None
+) -> list[Document]:
+    """One-shot helper: generate ``n_documents`` with a fresh generator."""
+    return TwitterLikeGenerator(config).generate(n_documents)

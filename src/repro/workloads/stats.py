@@ -1,0 +1,91 @@
+"""Descriptive statistics of a tweet workload.
+
+Used to check that synthetic workloads reproduce the structural properties
+the paper measured on real data (Section 5.1): the Zipf distribution of
+tags per tweet, the number of distinct tags/tweets/tag pairs, and the
+per-tag popularity skew.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from ..core.documents import Document
+from ..theory.zipf_model import empirical_skew
+
+
+@dataclass(slots=True)
+class WorkloadStatistics:
+    """Summary statistics of a collection of documents."""
+
+    n_documents: int
+    n_tagged_documents: int
+    n_distinct_tags: int
+    n_distinct_tagsets: int
+    n_distinct_tag_pairs: int
+    tags_per_tweet_histogram: dict[int, int]
+    tag_frequency: Counter
+
+    @property
+    def mean_tags_per_tweet(self) -> float:
+        total = sum(m * count for m, count in self.tags_per_tweet_histogram.items())
+        if self.n_documents == 0:
+            return 0.0
+        return total / self.n_documents
+
+    def tags_per_tweet_skew(self) -> float:
+        """Zipf skew fitted to the tags-per-tweet histogram.
+
+        The histogram is read in rank order (0 tags = rank 1, 1 tag = rank 2,
+        ...), matching the paper's measurement of ``s = 0.25``.
+        """
+        max_m = max(self.tags_per_tweet_histogram, default=0)
+        counts = [self.tags_per_tweet_histogram.get(m, 0) for m in range(max_m + 1)]
+        return empirical_skew(counts)
+
+    def most_common_tags(self, n: int = 10) -> list[tuple[str, int]]:
+        return self.tag_frequency.most_common(n)
+
+
+def compute_statistics(documents: Iterable[Document]) -> WorkloadStatistics:
+    """Compute :class:`WorkloadStatistics` over a document collection."""
+    histogram: Counter = Counter()
+    tag_frequency: Counter = Counter()
+    tagsets: set[frozenset[str]] = set()
+    pairs: set[tuple[str, str]] = set()
+    n_documents = 0
+    n_tagged = 0
+    for document in documents:
+        n_documents += 1
+        histogram[len(document.tags)] += 1
+        if not document.tags:
+            continue
+        n_tagged += 1
+        tagsets.add(document.tags)
+        for tag in document.tags:
+            tag_frequency[tag] += 1
+        for first, second in combinations(sorted(document.tags), 2):
+            pairs.add((first, second))
+    return WorkloadStatistics(
+        n_documents=n_documents,
+        n_tagged_documents=n_tagged,
+        n_distinct_tags=len(tag_frequency),
+        n_distinct_tagsets=len(tagsets),
+        n_distinct_tag_pairs=len(pairs),
+        tags_per_tweet_histogram=dict(histogram),
+        tag_frequency=tag_frequency,
+    )
+
+
+def tags_per_tweet_frequencies(documents: Sequence[Document]) -> dict[int, float]:
+    """Relative frequency of each tags-per-tweet count."""
+    statistics = compute_statistics(documents)
+    if statistics.n_documents == 0:
+        return {}
+    return {
+        m: count / statistics.n_documents
+        for m, count in sorted(statistics.tags_per_tweet_histogram.items())
+    }

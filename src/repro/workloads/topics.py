@@ -1,0 +1,164 @@
+"""Topic model of the synthetic Twitter-like workload.
+
+The theoretical analysis of Section 5.1 argues that, as long as users select
+tags from topic-specific vocabularies, the tag co-occurrence graph falls
+apart into one connected component per topic — which is what makes the DS
+algorithm viable.  Mixing tags across topics (probability ``1 - α``) lets a
+giant component grow.  The synthetic workload reproduces exactly that
+structure:
+
+* a fixed or evolving population of topics, each with its own vocabulary of
+  tags and a popularity weight (Zipf-distributed so a few topics dominate),
+* within a topic, tag popularity is again Zipf-distributed,
+* topics can be born and can decay over time to model trend dynamics
+  (Section 7's motivation for evolving partitions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(slots=True)
+class Topic:
+    """A topic with its tag vocabulary and popularity weight."""
+
+    name: str
+    tags: list[str]
+    weight: float = 1.0
+    tag_skew: float = 1.0
+    birth_time: float = 0.0
+    decay_rate: float = 0.0
+
+    def popularity(self, now: float) -> float:
+        """Topic weight at time ``now`` after exponential decay since birth."""
+        if self.decay_rate <= 0:
+            return self.weight
+        age = max(0.0, now - self.birth_time)
+        return self.weight * (2.0 ** (-self.decay_rate * age))
+
+    def sample_tags(self, count: int, rng: random.Random) -> list[str]:
+        """Sample ``count`` distinct tags from the topic's Zipfian vocabulary."""
+        count = min(count, len(self.tags))
+        if count <= 0:
+            return []
+        weights = [1.0 / ((rank + 1) ** self.tag_skew) for rank in range(len(self.tags))]
+        chosen: list[str] = []
+        available = list(range(len(self.tags)))
+        local_weights = list(weights)
+        for _ in range(count):
+            total = sum(local_weights)
+            pick = rng.random() * total
+            cumulative = 0.0
+            for position, weight in enumerate(local_weights):
+                cumulative += weight
+                if pick <= cumulative:
+                    chosen.append(self.tags[available[position]])
+                    del available[position]
+                    del local_weights[position]
+                    break
+        return chosen
+
+
+@dataclass(slots=True)
+class TopicModel:
+    """A population of topics with Zipf-distributed popularity.
+
+    Parameters
+    ----------
+    n_topics:
+        Number of topics created at construction time.
+    tags_per_topic:
+        Vocabulary size of each topic.
+    topic_skew:
+        Zipf skew of topic popularity (larger = few topics dominate).
+    tag_skew:
+        Zipf skew of tag popularity within a topic.
+    seed:
+        Seed for reproducible topic construction.
+    """
+
+    n_topics: int = 200
+    tags_per_topic: int = 30
+    topic_skew: float = 1.0
+    tag_skew: float = 1.0
+    seed: int = 7
+    topics: list[Topic] = field(default_factory=list)
+    _next_topic_id: int = 0
+
+    def __post_init__(self) -> None:
+        rng = random.Random(self.seed)
+        if not self.topics:
+            for _ in range(self.n_topics):
+                self.topics.append(self._new_topic(rng, birth_time=0.0))
+
+    def _new_topic(self, rng: random.Random, birth_time: float) -> Topic:
+        topic_id = self._next_topic_id
+        self._next_topic_id += 1
+        rank = topic_id + 1
+        tags = [f"topic{topic_id}_tag{i}" for i in range(self.tags_per_topic)]
+        return Topic(
+            name=f"topic{topic_id}",
+            tags=tags,
+            weight=1.0 / (rank**self.topic_skew),
+            tag_skew=self.tag_skew,
+            birth_time=birth_time,
+        )
+
+    def spawn_topic(self, now: float, rng: random.Random, weight: float | None = None) -> Topic:
+        """Introduce a new topic (a breaking trend) at time ``now``."""
+        topic = self._new_topic(rng, birth_time=now)
+        if weight is not None:
+            topic.weight = weight
+        self.topics.append(topic)
+        return topic
+
+    def vocabulary(self) -> list[str]:
+        """All tags of all topics."""
+        tags: list[str] = []
+        for topic in self.topics:
+            tags.extend(topic.tags)
+        return tags
+
+    def sample_topic(self, now: float, rng: random.Random) -> Topic:
+        """Sample a topic proportionally to its current popularity."""
+        weights = [topic.popularity(now) for topic in self.topics]
+        total = sum(weights)
+        if total <= 0:
+            return rng.choice(self.topics)
+        pick = rng.random() * total
+        cumulative = 0.0
+        for topic, weight in zip(self.topics, weights):
+            cumulative += weight
+            if pick <= cumulative:
+                return topic
+        return self.topics[-1]
+
+    def sample_topics(
+        self, count: int, now: float, rng: random.Random
+    ) -> list[Topic]:
+        """Sample ``count`` distinct topics (used for cross-topic tweets)."""
+        count = min(count, len(self.topics))
+        chosen: list[Topic] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(chosen) < count and attempts < 20 * count:
+            topic = self.sample_topic(now, rng)
+            attempts += 1
+            if topic.name not in seen:
+                seen.add(topic.name)
+                chosen.append(topic)
+        return chosen
+
+
+def uniform_topics(
+    n_topics: int, tags_per_topic: int, prefix: str = "t"
+) -> list[Topic]:
+    """Equally popular topics with uniform in-topic tag usage (for tests)."""
+    topics = []
+    for topic_id in range(n_topics):
+        tags = [f"{prefix}{topic_id}_{i}" for i in range(tags_per_topic)]
+        topics.append(Topic(name=f"{prefix}{topic_id}", tags=tags, tag_skew=0.0))
+    return topics

@@ -1,0 +1,132 @@
+"""Unit tests for the capacity-planning model."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    CapacityEstimate,
+    calibrate_updates_per_second,
+    estimate_capacity,
+    headroom_per_calculator,
+    minimum_calculators,
+    notification_cost,
+)
+from repro.pipeline import SystemConfig
+from repro.pipeline.system import RunReport
+
+
+def make_report(k=4, communication=1.2, loads=(100, 100, 100, 100)):
+    return RunReport(
+        algorithm="DS",
+        config=SystemConfig(algorithm="DS", k=k),
+        documents_processed=1000,
+        tagged_documents=900,
+        communication_avg=communication,
+        calculator_loads=list(loads),
+        load_gini=0.0,
+        load_max_share=max(loads) / sum(loads),
+        n_repartitions=0,
+        repartition_reasons={},
+        single_addition_requests=0,
+        single_additions_applied=0,
+        coefficients_reported=10,
+        duplicate_reports=0,
+        jaccard=None,
+    )
+
+
+class TestNotificationCost:
+    def test_known_values(self):
+        assert notification_cost(1) == 1.0
+        assert notification_cost(3) == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            notification_cost(-1)
+
+    def test_never_below_one(self):
+        assert notification_cost(0) == 1.0
+
+
+class TestCalibration:
+    def test_returns_positive_rate(self):
+        rate = calibrate_updates_per_second(n_notifications=200)
+        assert rate > 0
+
+
+class TestEstimateCapacity:
+    def test_balanced_deployment(self):
+        report = make_report()
+        estimate = estimate_capacity(report, updates_per_second_per_node=10_000)
+        assert isinstance(estimate, CapacityEstimate)
+        assert estimate.sustainable_tweets_per_second > 0
+        assert estimate.k == 4
+
+    def test_imbalance_reduces_capacity(self):
+        balanced = estimate_capacity(
+            make_report(loads=(100, 100, 100, 100)), updates_per_second_per_node=10_000
+        )
+        skewed = estimate_capacity(
+            make_report(loads=(370, 10, 10, 10)), updates_per_second_per_node=10_000
+        )
+        assert (
+            skewed.sustainable_tweets_per_second
+            < balanced.sustainable_tweets_per_second
+        )
+
+    def test_more_communication_reduces_capacity(self):
+        low = estimate_capacity(
+            make_report(communication=1.0), updates_per_second_per_node=10_000
+        )
+        high = estimate_capacity(
+            make_report(communication=4.0), updates_per_second_per_node=10_000
+        )
+        assert high.sustainable_tweets_per_second < low.sustainable_tweets_per_second
+
+    def test_sustains(self):
+        estimate = estimate_capacity(make_report(), updates_per_second_per_node=1e6)
+        assert estimate.sustains(1300)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            estimate_capacity(make_report(), updates_per_second_per_node=0)
+
+
+class TestMinimumCalculators:
+    def test_faster_nodes_need_fewer_calculators(self):
+        slow = minimum_calculators(1300, updates_per_second_per_node=20_000)
+        fast = minimum_calculators(1300, updates_per_second_per_node=200_000)
+        assert fast <= slow
+
+    def test_higher_rate_needs_more_calculators(self):
+        low = minimum_calculators(1300, updates_per_second_per_node=20_000)
+        high = minimum_calculators(2600, updates_per_second_per_node=20_000)
+        assert high >= low
+
+    def test_single_node_when_capacity_is_huge(self):
+        assert minimum_calculators(10, updates_per_second_per_node=1e9) == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            minimum_calculators(0, 1000)
+        with pytest.raises(ValueError):
+            minimum_calculators(100, 0)
+
+    def test_capped_at_max_k(self):
+        assert minimum_calculators(1e12, 1.0, max_k=16) == 16
+
+
+class TestHeadroom:
+    def test_one_value_per_calculator(self):
+        report = make_report()
+        utilisation = headroom_per_calculator(
+            report, tweets_per_second=100, updates_per_second_per_node=10_000
+        )
+        assert len(utilisation) == 4
+        assert all(value >= 0 for value in utilisation)
+
+    def test_overload_detected(self):
+        report = make_report(loads=(400, 1, 1, 1))
+        utilisation = headroom_per_calculator(
+            report, tweets_per_second=100_000, updates_per_second_per_node=10_000
+        )
+        assert max(utilisation) > 1.0

@@ -1,0 +1,64 @@
+"""Unit tests for the connectivity analysis (Figure 7)."""
+
+import pytest
+
+from repro.analysis.connectivity import (
+    ConnectivityReport,
+    connectivity_by_window_size,
+    window_connectivity,
+)
+from repro.core.documents import documents_from_tagsets
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+
+class TestWindowConnectivity:
+    def test_figure1_example(self, figure1_documents):
+        stats = window_connectivity(figure1_documents)
+        assert stats.n_components == 2
+        assert stats.n_tags == 9
+        assert stats.largest_component_tags == 6
+        assert stats.largest_component_load == 18
+        assert stats.max_tag_fraction == pytest.approx(6 / 9)
+        assert stats.max_load_fraction == pytest.approx(18 / 21)
+
+    def test_empty_window(self):
+        stats = window_connectivity([])
+        assert stats.n_components == 0
+        assert stats.max_tag_fraction == 0.0
+        assert stats.max_load_fraction == 0.0
+
+    def test_np_value_computed(self):
+        documents = documents_from_tagsets([["a", "b"], ["c", "d"]])
+        stats = window_connectivity(documents)
+        # 4 tags, 2 edges -> p = 2/6, np = 4/3
+        assert stats.np_value == pytest.approx(4 / 3)
+
+
+class TestConnectivityByWindowSize:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        documents = TwitterLikeGenerator(
+            WorkloadConfig(seed=9, tweets_per_second=20.0, n_topics=40)
+        ).generate(3000)
+        return connectivity_by_window_size(documents, window_sizes_minutes=(1, 2))
+
+    def test_report_per_window_size(self, reports):
+        assert set(reports) == {1, 2}
+        for report in reports.values():
+            assert isinstance(report, ConnectivityReport)
+            assert report.n_windows >= 1
+
+    def test_percentages_in_range(self, reports):
+        for report in reports.values():
+            assert 0.0 <= report.max_tag_percentage() <= 100.0
+            assert 0.0 <= report.max_load_percentage() <= 100.0
+            assert report.mean_components() > 0
+
+    def test_larger_windows_have_fewer_windows(self, reports):
+        assert reports[2].n_windows <= reports[1].n_windows
+
+    def test_larger_windows_see_more_tags(self, reports):
+        """More documents per window means more distinct tags per window."""
+        mean_tags_small = sum(w.n_tags for w in reports[1].windows) / reports[1].n_windows
+        mean_tags_large = sum(w.n_tags for w in reports[2].windows) / reports[2].n_windows
+        assert mean_tags_large >= mean_tags_small

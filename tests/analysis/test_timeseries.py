@@ -1,0 +1,77 @@
+"""Unit tests for the quality time series (Figures 8 and 9)."""
+
+import pytest
+
+from repro.analysis.timeseries import communication_series, load_series
+from repro.operators.disseminator import QualitySnapshot, RepartitionEvent
+
+
+@pytest.fixture
+def history():
+    return [
+        QualitySnapshot(
+            documents_processed=1000,
+            timestamp=10.0,
+            avg_communication=1.2,
+            calculator_loads=(60, 30, 10),
+        ),
+        QualitySnapshot(
+            documents_processed=2000,
+            timestamp=20.0,
+            avg_communication=1.5,
+            calculator_loads=(80, 15, 5),
+            repartition_reason="communication",
+        ),
+        QualitySnapshot(
+            documents_processed=3000,
+            timestamp=30.0,
+            avg_communication=0.0,
+            calculator_loads=(0, 0, 0),
+        ),
+    ]
+
+
+@pytest.fixture
+def repartitions():
+    return [
+        RepartitionEvent(documents_processed=2000, timestamp=20.0, reason="communication")
+    ]
+
+
+class TestCommunicationSeries:
+    def test_zero_communication_snapshots_skipped(self, history, repartitions):
+        series = communication_series(history, repartitions)
+        assert series.documents == [1000, 2000]
+        assert series.communication == [1.2, 1.5]
+
+    def test_repartition_positions(self, history, repartitions):
+        series = communication_series(history, repartitions)
+        assert series.repartition_documents == [2000]
+
+    def test_empty_history(self):
+        series = communication_series([], [])
+        assert series.documents == []
+        assert series.repartition_documents == []
+
+
+class TestLoadSeries:
+    def test_shares_sorted_descending(self, history, repartitions):
+        series = load_series(history, repartitions)
+        assert series.documents == [1000, 2000]
+        for shares in series.shares:
+            assert shares == sorted(shares, reverse=True)
+            assert sum(shares) == pytest.approx(1.0)
+
+    def test_rank_series(self, history, repartitions):
+        series = load_series(history, repartitions)
+        most_loaded = series.rank_series(0)
+        least_loaded = series.rank_series(2)
+        assert most_loaded == [pytest.approx(0.6), pytest.approx(0.8)]
+        assert all(a >= b for a, b in zip(most_loaded, least_loaded))
+
+    def test_rank_out_of_range_returns_zero(self, history, repartitions):
+        series = load_series(history, repartitions)
+        assert series.rank_series(10) == [0.0, 0.0]
+
+    def test_snapshot_gini_property(self, history):
+        assert 0.0 <= history[0].load_gini <= 1.0

@@ -1,0 +1,113 @@
+"""Unit tests for correlation-shift trend detection."""
+
+import pytest
+
+from repro.analysis.trends import (
+    CorrelationHistory,
+    TrendDetector,
+    detect_trends_offline,
+    window_coefficients,
+)
+from repro.core.documents import documents_from_tagsets
+
+
+class TestCorrelationHistory:
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            CorrelationHistory(smoothing=0.0)
+
+    def test_unseen_tagset_predicts_zero(self):
+        history = CorrelationHistory()
+        assert history.predict(frozenset({"a", "b"})) == 0.0
+        assert history.deviation(frozenset({"a", "b"})) == 0.0
+
+    def test_prediction_tracks_observations(self):
+        history = CorrelationHistory(smoothing=0.5)
+        tagset = frozenset({"a", "b"})
+        history.update(tagset, 0.8)
+        assert history.predict(tagset) == pytest.approx(0.8)
+        history.update(tagset, 0.4)
+        assert 0.4 < history.predict(tagset) < 0.8
+
+    def test_update_returns_error(self):
+        history = CorrelationHistory()
+        tagset = frozenset({"a", "b"})
+        assert history.update(tagset, 0.6) == pytest.approx(0.6)
+        assert history.update(tagset, 0.6) == pytest.approx(0.0)
+
+    def test_known_tagsets(self):
+        history = CorrelationHistory()
+        history.update(frozenset({"a"}), 0.2)
+        assert history.known_tagsets() == {frozenset({"a"})}
+        assert len(history) == 1
+
+
+class TestTrendDetector:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TrendDetector(sensitivity=0)
+        with pytest.raises(ValueError):
+            TrendDetector(min_jump=2.0)
+
+    def test_new_strong_correlation_raises_alert(self):
+        detector = TrendDetector(min_jump=0.4)
+        alerts = detector.observe_window(
+            10.0, {frozenset({"quake", "breaking"}): 0.8}
+        )
+        assert len(alerts) == 1
+        assert alerts[0].tagset == frozenset({"quake", "breaking"})
+        assert alerts[0].observed == 0.8
+
+    def test_weak_correlation_does_not_alert(self):
+        detector = TrendDetector(min_jump=0.4)
+        alerts = detector.observe_window(10.0, {frozenset({"a", "b"}): 0.2})
+        assert alerts == []
+
+    def test_stable_correlation_stops_alerting(self):
+        detector = TrendDetector(min_jump=0.4)
+        tagset = frozenset({"a", "b"})
+        detector.observe_window(0.0, {tagset: 0.8})
+        later = detector.observe_window(60.0, {tagset: 0.8})
+        assert later == []
+
+    def test_min_support_filters(self):
+        detector = TrendDetector(min_jump=0.1, min_support=5)
+        alerts = detector.observe_window(
+            0.0, {frozenset({"a", "b"}): 0.9}, supports={frozenset({"a", "b"}): 2}
+        )
+        assert alerts == []
+
+    def test_top_alerts_sorted_by_score(self):
+        detector = TrendDetector(min_jump=0.3)
+        detector.observe_window(
+            0.0,
+            {frozenset({"a", "b"}): 0.5, frozenset({"c", "d"}): 0.9},
+        )
+        top = detector.top_alerts(2)
+        assert top[0].observed >= top[1].observed
+
+
+class TestOfflineDetection:
+    def test_window_coefficients(self):
+        documents = documents_from_tagsets([["a", "b"]] * 4 + [["a"]] * 4)
+        coefficients, supports = window_coefficients(documents, min_support=2)
+        assert coefficients[frozenset({"a", "b"})] == pytest.approx(0.5)
+        assert supports[frozenset({"a", "b"})] == 4
+
+    def test_detects_injected_burst(self):
+        quiet = documents_from_tagsets(
+            [["x", "y"]] * 3 + [["p"], ["q"]] * 10,
+            timestamps=[i * 1.0 for i in range(23)],
+        )
+        burst = documents_from_tagsets(
+            [["quake", "breaking"]] * 10,
+            timestamps=[100.0 + i for i in range(10)],
+        )
+        detector = detect_trends_offline(quiet + burst, window_seconds=50.0)
+        burst_alerts = [
+            alert
+            for alert in detector.alerts
+            if alert.tagset == frozenset({"quake", "breaking"})
+        ]
+        assert burst_alerts
+        assert burst_alerts[0].observed == pytest.approx(1.0)

@@ -1,0 +1,62 @@
+"""Unit tests for windowing helpers."""
+
+import pytest
+
+from repro.analysis.windows import count_windows, sliding_windows, tumbling_windows
+from repro.core.documents import documents_from_tagsets
+
+
+def timed_documents(n, gap=1.0):
+    return documents_from_tagsets(
+        [["a"]] * n, timestamps=[i * gap for i in range(n)]
+    )
+
+
+class TestTumblingWindows:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(tumbling_windows([], 0))
+
+    def test_windows_partition_the_stream(self):
+        documents = timed_documents(10)
+        windows = list(tumbling_windows(documents, 3.0))
+        assert sum(len(w) for w in windows) == 10
+        assert [len(w) for w in windows] == [3, 3, 3, 1]
+
+    def test_empty_gap_windows_skipped(self):
+        documents = documents_from_tagsets(
+            [["a"], ["b"]], timestamps=[0.0, 100.0]
+        )
+        windows = list(tumbling_windows(documents, 10.0))
+        assert len(windows) == 2
+
+    def test_empty_stream(self):
+        assert list(tumbling_windows([], 5.0)) == []
+
+
+class TestCountWindows:
+    def test_fixed_size_batches(self):
+        documents = timed_documents(10)
+        windows = list(count_windows(documents, 4))
+        assert [len(w) for w in windows] == [4, 4, 2]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(count_windows([], 0))
+
+
+class TestSlidingWindows:
+    def test_overlapping(self):
+        documents = timed_documents(6)
+        windows = list(sliding_windows(documents, window_size=4, step=2))
+        assert [len(w) for w in windows] == [4, 4]
+        assert windows[0][2] is windows[1][0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows([], 0, 1))
+        with pytest.raises(ValueError):
+            list(sliding_windows([], 2, 0))
+
+    def test_empty_stream(self):
+        assert list(sliding_windows([], 3, 1)) == []

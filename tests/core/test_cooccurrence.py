@@ -1,0 +1,144 @@
+"""Unit and property tests for co-occurrence statistics."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.documents import Document, documents_from_tagsets
+
+
+def make_stats(tagsets):
+    return CooccurrenceStatistics.from_documents(documents_from_tagsets(tagsets))
+
+
+class TestBasicCounting:
+    def test_counts_distinct_tagsets(self):
+        stats = make_stats([["a", "b"], ["a", "b"], ["c"]])
+        assert stats.tagset_count(frozenset({"a", "b"})) == 2
+        assert stats.tagset_count(frozenset({"c"})) == 1
+        assert len(stats) == 2
+
+    def test_untagged_documents_are_counted_but_not_indexed(self):
+        stats = CooccurrenceStatistics()
+        stats.add_document(Document(doc_id=1, tags=frozenset()))
+        assert stats.n_documents == 1
+        assert stats.n_tagged_documents == 0
+        assert stats.tags == set()
+
+    def test_tag_document_count(self):
+        stats = make_stats([["a", "b"], ["a"], ["b", "c"]])
+        assert stats.tag_document_count("a") == 2
+        assert stats.tag_document_count("b") == 2
+        assert stats.tag_document_count("c") == 1
+        assert stats.tag_document_count("unknown") == 0
+
+    def test_documents_with_any_and_all(self):
+        stats = make_stats([["a", "b"], ["a"], ["b", "c"]])
+        assert stats.documents_with_any(["a", "c"]) == {0, 1, 2}
+        assert stats.documents_with_all(["a", "b"]) == {0}
+        assert stats.documents_with_all([]) == set()
+
+    def test_load_counts_union_of_documents(self, figure1_statistics):
+        # Figure 1: tags of pr1 appear in 10+4+3+1+2+1 = 21 documents when
+        # pr1 = {munich, beer, soccer, oktoberfest, beach, sunny, friday}.
+        pr1 = ["munich", "beer", "soccer", "oktoberfest", "beach", "sunny", "friday"]
+        assert figure1_statistics.load(pr1) == 21
+
+    def test_load_of_unknown_tags_is_zero(self):
+        stats = make_stats([["a"]])
+        assert stats.load(["zz"]) == 0
+
+    def test_load_cache_invalidated_on_new_document(self):
+        stats = make_stats([["a"]])
+        assert stats.load(["a"]) == 1
+        stats.add_document(Document(doc_id=99, tags=frozenset({"a"})))
+        assert stats.load(["a"]) == 2
+
+
+class TestWeightedTagsets:
+    def test_weighted_tagset_loads(self):
+        stats = CooccurrenceStatistics()
+        stats.add_weighted_tagset({"a", "b"}, 5)
+        stats.add_weighted_tagset({"b", "c"}, 3)
+        assert stats.load(["a"]) == 5
+        assert stats.load(["b"]) == 8
+        assert stats.load(["a", "c"]) == 8
+        assert stats.tagset_count(frozenset({"a", "b"})) == 5
+
+    def test_zero_or_negative_count_ignored(self):
+        stats = CooccurrenceStatistics()
+        stats.add_weighted_tagset({"a"}, 0)
+        stats.add_weighted_tagset({"a"}, -2)
+        assert stats.n_documents == 0
+
+    def test_from_tagset_counts_matches_per_document_loads(self):
+        counts = {frozenset({"a", "b"}): 3, frozenset({"b", "c"}): 2}
+        from_counts = CooccurrenceStatistics.from_tagset_counts(counts)
+        from_docs = make_stats([["a", "b"]] * 3 + [["b", "c"]] * 2)
+        for tags in (["a"], ["b"], ["c"], ["a", "c"], ["a", "b", "c"]):
+            assert from_counts.load(tags) == from_docs.load(tags)
+
+
+class TestGraphViews:
+    def test_tag_components_figure1(self, figure1_statistics):
+        components = figure1_statistics.tag_components()
+        groups = sorted(sorted(group) for group in components.values())
+        assert groups == [
+            ["bavaria", "beer", "munich", "oktoberfest", "pizza", "soccer"],
+            ["beach", "friday", "sunny"],
+        ]
+
+    def test_tagset_graph_edges_share_tags(self, figure1_statistics):
+        graph = figure1_statistics.tagset_graph()
+        munich_beer_soccer = frozenset({"munich", "beer", "soccer"})
+        beer_pizza = frozenset({"beer", "pizza"})
+        beach_sunny = frozenset({"beach", "sunny"})
+        assert graph.has_edge(munich_beer_soccer, beer_pizza)
+        assert not graph.has_edge(munich_beer_soccer, beach_sunny)
+        assert graph.nodes[munich_beer_soccer]["weight"] == 10
+
+    def test_tag_graph_edge_weights_count_documents(self):
+        stats = make_stats([["a", "b"], ["a", "b"], ["a", "c"]])
+        graph = stats.tag_graph()
+        assert graph["a"]["b"]["weight"] == 2
+        assert graph["a"]["c"]["weight"] == 1
+
+    def test_distinct_tag_pairs(self):
+        stats = make_stats([["a", "b", "c"], ["a", "b"]])
+        # pairs: ab, ac, bc
+        assert stats.distinct_tag_pairs() == 3
+
+
+class TestCooccurrenceProperties:
+    tag_strategy = st.text(alphabet="abcdefgh", min_size=1, max_size=2)
+    tagsets_strategy = st.lists(
+        st.sets(tag_strategy, min_size=1, max_size=4), min_size=1, max_size=30
+    )
+
+    @given(tagsets_strategy)
+    def test_load_is_monotone_in_tags(self, tagsets):
+        stats = make_stats([list(s) for s in tagsets])
+        tags = sorted(stats.tags)
+        for i in range(len(tags) - 1):
+            subset = tags[: i + 1]
+            superset = tags[: i + 2]
+            assert stats.load(subset) <= stats.load(superset)
+
+    @given(tagsets_strategy)
+    def test_load_bounded_by_tagged_documents(self, tagsets):
+        stats = make_stats([list(s) for s in tagsets])
+        assert stats.load(stats.tags) == stats.n_tagged_documents
+
+    @given(tagsets_strategy)
+    def test_load_matches_explicit_document_union(self, tagsets):
+        stats = make_stats([list(s) for s in tagsets])
+        for tagset in list(stats.tagset_counts)[:10]:
+            assert stats.load(tagset) == len(stats.documents_with_any(tagset))
+
+    @given(tagsets_strategy)
+    def test_components_cover_all_tags(self, tagsets):
+        stats = make_stats([list(s) for s in tagsets])
+        components = stats.tag_components()
+        covered = set()
+        for group in components.values():
+            covered |= group
+        assert covered == stats.tags

@@ -1,0 +1,114 @@
+"""Unit tests for the document/tagset data model."""
+
+import pytest
+
+from repro.core.documents import (
+    Document,
+    DocumentBatch,
+    documents_from_tagsets,
+    make_tagset,
+    normalize_tag,
+)
+
+
+class TestNormalizeTag:
+    def test_strips_hash_and_lowercases(self):
+        assert normalize_tag("#Munich") == "munich"
+
+    def test_strips_whitespace(self):
+        assert normalize_tag("  beer \n") == "beer"
+
+    def test_empty_string_stays_empty(self):
+        assert normalize_tag("   ") == ""
+
+
+class TestMakeTagset:
+    def test_deduplicates_after_normalisation(self):
+        assert make_tagset(["#Beer", "beer", "BEER"]) == frozenset({"beer"})
+
+    def test_drops_empty_tags(self):
+        assert make_tagset(["", "#", "ok"]) == frozenset({"ok"})
+
+    def test_empty_input_gives_empty_set(self):
+        assert make_tagset([]) == frozenset()
+
+
+class TestDocument:
+    def test_coerces_tags_to_frozenset(self):
+        document = Document(doc_id=1, tags={"a", "b"})
+        assert isinstance(document.tags, frozenset)
+
+    def test_tagset_alias(self):
+        document = Document(doc_id=1, tags=frozenset({"a"}))
+        assert document.tagset == document.tags
+
+    def test_has_tags(self):
+        assert Document(doc_id=1, tags=frozenset({"a"})).has_tags()
+        assert not Document(doc_id=2, tags=frozenset()).has_tags()
+
+    def test_len_and_iter(self):
+        document = Document(doc_id=1, tags=frozenset({"a", "b", "c"}))
+        assert len(document) == 3
+        assert set(document) == {"a", "b", "c"}
+
+    def test_documents_are_hashable(self):
+        first = Document(doc_id=1, tags=frozenset({"a"}))
+        second = Document(doc_id=1, tags=frozenset({"a"}))
+        assert first == second
+        assert len({first, second}) == 1
+
+
+class TestDocumentBatch:
+    def test_append_and_len(self):
+        batch = DocumentBatch()
+        batch.append(Document(doc_id=1, tags=frozenset({"a"})))
+        assert len(batch) == 1
+
+    def test_tagsets_skips_untagged(self):
+        batch = DocumentBatch()
+        batch.extend(
+            [
+                Document(doc_id=1, tags=frozenset({"a"})),
+                Document(doc_id=2, tags=frozenset()),
+            ]
+        )
+        assert batch.tagsets() == [frozenset({"a"})]
+
+    def test_distinct_tags(self):
+        batch = DocumentBatch()
+        batch.extend(documents_from_tagsets([["a", "b"], ["b", "c"]]))
+        assert batch.distinct_tags() == {"a", "b", "c"}
+
+    def test_time_span(self):
+        batch = DocumentBatch()
+        batch.extend(
+            documents_from_tagsets([["a"], ["b"]], timestamps=[1.0, 5.0])
+        )
+        assert batch.time_span() == (1.0, 5.0)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            DocumentBatch().time_span()
+
+    def test_indexing(self):
+        documents = documents_from_tagsets([["a"], ["b"]])
+        batch = DocumentBatch(documents=list(documents))
+        assert batch[1].tags == frozenset({"b"})
+
+
+class TestDocumentsFromTagsets:
+    def test_assigns_consecutive_ids(self):
+        documents = documents_from_tagsets([["a"], ["b"]], start_id=5)
+        assert [d.doc_id for d in documents] == [5, 6]
+
+    def test_timestamps_applied(self):
+        documents = documents_from_tagsets([["a"], ["b"]], timestamps=[1.5, 2.5])
+        assert [d.timestamp for d in documents] == [1.5, 2.5]
+
+    def test_mismatched_timestamps_rejected(self):
+        with pytest.raises(ValueError):
+            documents_from_tagsets([["a"], ["b"]], timestamps=[1.0])
+
+    def test_normalises_tags(self):
+        (document,) = documents_from_tagsets([["#A", "a"]])
+        assert document.tags == frozenset({"a"})

@@ -1,0 +1,193 @@
+"""Unit and property tests for Jaccard computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.jaccard import (
+    JaccardCalculator,
+    SubsetCounter,
+    all_nonempty_subsets,
+    exact_jaccard,
+    union_size_inclusion_exclusion,
+)
+
+
+class TestExactJaccard:
+    def test_identical_sets(self):
+        assert exact_jaccard([{1, 2}, {1, 2}]) == 1.0
+
+    def test_disjoint_sets(self):
+        assert exact_jaccard([{1}, {2}]) == 0.0
+
+    def test_partial_overlap(self):
+        # intersection {2}, union {1,2,3} -> 1/3
+        assert exact_jaccard([{1, 2}, {2, 3}]) == pytest.approx(1 / 3)
+
+    def test_empty_input(self):
+        assert exact_jaccard([]) == 0.0
+
+    def test_all_empty_sets(self):
+        assert exact_jaccard([set(), set()]) == 0.0
+
+    def test_three_way(self):
+        sets = [{1, 2, 3}, {2, 3, 4}, {2, 3, 5}]
+        assert exact_jaccard(sets) == pytest.approx(2 / 5)
+
+
+class TestSubsets:
+    def test_all_nonempty_subsets_count(self):
+        subsets = all_nonempty_subsets(["a", "b", "c"])
+        assert len(subsets) == 7
+
+    def test_subsets_of_single_tag(self):
+        assert all_nonempty_subsets(["a"]) == [frozenset({"a"})]
+
+    def test_duplicates_removed(self):
+        assert len(all_nonempty_subsets(["a", "a"])) == 1
+
+
+class TestInclusionExclusion:
+    def test_pair(self):
+        counts = {
+            frozenset({"a"}): 10,
+            frozenset({"b"}): 4,
+            frozenset({"a", "b"}): 3,
+        }
+        assert union_size_inclusion_exclusion(frozenset({"a", "b"}), counts) == 11
+
+    def test_triple(self):
+        counts = {
+            frozenset({"a"}): 5,
+            frozenset({"b"}): 5,
+            frozenset({"c"}): 5,
+            frozenset({"a", "b"}): 2,
+            frozenset({"a", "c"}): 2,
+            frozenset({"b", "c"}): 2,
+            frozenset({"a", "b", "c"}): 1,
+        }
+        assert union_size_inclusion_exclusion(frozenset({"a", "b", "c"}), counts) == 10
+
+    def test_missing_subsets_count_as_zero(self):
+        counts = {frozenset({"a"}): 3}
+        assert union_size_inclusion_exclusion(frozenset({"a", "b"}), counts) == 3
+
+
+class TestSubsetCounter:
+    def test_observe_counts_all_subsets(self):
+        counter = SubsetCounter()
+        counter.observe(["a", "b", "c"])
+        assert counter.count(["a"]) == 1
+        assert counter.count(["a", "b"]) == 1
+        assert counter.count(["a", "b", "c"]) == 1
+        assert len(counter) == 7
+
+    def test_counts_accumulate(self):
+        counter = SubsetCounter()
+        counter.observe(["a", "b"])
+        counter.observe(["a", "b"])
+        counter.observe(["a"])
+        assert counter.count(["a"]) == 3
+        assert counter.count(["a", "b"]) == 2
+
+    def test_empty_observation_ignored(self):
+        counter = SubsetCounter()
+        counter.observe([])
+        assert len(counter) == 0
+
+    def test_jaccard_from_counters(self):
+        counter = SubsetCounter()
+        for _ in range(3):
+            counter.observe(["a", "b"])
+        counter.observe(["a"])
+        # intersection(a,b)=3, union = 4+3-3 = 4
+        assert counter.jaccard(["a", "b"]) == pytest.approx(0.75)
+
+    def test_jaccard_of_unseen_pair_is_zero(self):
+        counter = SubsetCounter()
+        counter.observe(["a"])
+        counter.observe(["b"])
+        assert counter.jaccard(["a", "b"]) == 0.0
+
+    def test_clear(self):
+        counter = SubsetCounter()
+        counter.observe(["a", "b"])
+        counter.clear()
+        assert len(counter) == 0
+
+    def test_max_tags_cap(self):
+        counter = SubsetCounter(max_tags_per_document=3)
+        counter.observe([f"t{i}" for i in range(10)])
+        # Only subsets of the first 3 (sorted) tags are counted: 7 subsets.
+        assert len(counter) == 7
+
+    def test_contains(self):
+        counter = SubsetCounter()
+        counter.observe(["a", "b"])
+        assert ["a", "b"] in counter
+        assert ["a", "c"] not in counter
+
+
+class TestJaccardCalculator:
+    def test_report_matches_exact_computation(self):
+        calculator = JaccardCalculator()
+        documents = [["a", "b"], ["a", "b"], ["a"], ["b", "c"]]
+        for tags in documents:
+            calculator.observe(tags)
+        results = {r.tagset: r for r in calculator.report(reset=False)}
+        ab = results[frozenset({"a", "b"})]
+        # docs with a and b: 2; docs with a or b: 4
+        assert ab.jaccard == pytest.approx(0.5)
+        assert ab.support == 2
+
+    def test_report_resets_counters(self):
+        calculator = JaccardCalculator()
+        calculator.observe(["a", "b"])
+        calculator.report()
+        assert calculator.observations == 0
+        assert calculator.report() == []
+
+    def test_min_size_filters_singletons(self):
+        calculator = JaccardCalculator()
+        calculator.observe(["a"])
+        calculator.observe(["a", "b"])
+        tagsets = {r.tagset for r in calculator.report(min_size=2)}
+        assert frozenset({"a"}) not in tagsets
+        assert frozenset({"a", "b"}) in tagsets
+
+
+class TestJaccardProperties:
+    documents_strategy = st.lists(
+        st.sets(st.sampled_from("abcde"), min_size=1, max_size=4),
+        min_size=1,
+        max_size=40,
+    )
+
+    @given(documents_strategy)
+    def test_counter_jaccard_matches_exact(self, documents):
+        """The counter/inclusion-exclusion path equals the set-based ground truth."""
+        calculator = JaccardCalculator()
+        tag_docs: dict[str, set[int]] = {}
+        for doc_id, tags in enumerate(documents):
+            calculator.observe(tags)
+            for tag in tags:
+                tag_docs.setdefault(tag, set()).add(doc_id)
+        for result in calculator.report(reset=False):
+            expected = exact_jaccard([tag_docs[t] for t in result.tagset])
+            assert result.jaccard == pytest.approx(expected)
+
+    @given(documents_strategy)
+    def test_coefficients_in_unit_interval(self, documents):
+        calculator = JaccardCalculator()
+        for tags in documents:
+            calculator.observe(tags)
+        for result in calculator.report():
+            assert 0.0 < result.jaccard <= 1.0
+
+    @given(documents_strategy)
+    def test_support_equals_cooccurrence_count(self, documents):
+        calculator = JaccardCalculator()
+        for tags in documents:
+            calculator.observe(tags)
+        for result in calculator.report(reset=False):
+            expected = sum(1 for tags in documents if result.tagset <= tags)
+            assert result.support == expected

@@ -1,0 +1,145 @@
+"""Unit and property tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    CommunicationTracker,
+    LoadTracker,
+    gini_coefficient,
+    jaccard_error,
+    load_shares,
+    load_variance,
+    lorenz_curve,
+    max_load_share,
+    replication_cost,
+)
+
+
+class TestGini:
+    def test_perfectly_balanced_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_single_owner_approaches_one(self):
+        value = gini_coefficient([0, 0, 0, 0, 0, 0, 0, 0, 0, 100])
+        assert value == pytest.approx(0.9)
+
+    def test_empty_and_zero_inputs(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    def test_known_value(self):
+        # Gini of [1, 3] = (2*1*1 + 2*2*3 - 3*4) / (2*4) = 0.25
+        assert gini_coefficient([1, 3]) == pytest.approx(0.25)
+
+    @given(st.lists(st.floats(0, 1000), min_size=1, max_size=50))
+    def test_gini_in_unit_interval(self, values):
+        value = gini_coefficient(values)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        st.lists(st.floats(0.01, 1000), min_size=2, max_size=30),
+        st.floats(1.5, 10.0),
+    )
+    def test_scale_invariance(self, values, factor):
+        original = gini_coefficient(values)
+        scaled = gini_coefficient([v * factor for v in values])
+        assert scaled == pytest.approx(original, abs=1e-9)
+
+
+class TestLorenz:
+    def test_endpoints(self):
+        population, share = lorenz_curve([1, 2, 3])
+        assert population[0] == 0.0 and population[-1] == 1.0
+        assert share[0] == 0.0 and share[-1] == 1.0
+
+    def test_curve_below_diagonal(self):
+        population, share = lorenz_curve([1, 2, 3, 10])
+        assert np.all(share <= population + 1e-12)
+
+
+class TestLoadHelpers:
+    def test_load_shares_sum_to_one(self):
+        shares = load_shares([2, 3, 5])
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_load_shares_all_zero(self):
+        assert load_shares([0, 0]) == [0.0, 0.0]
+
+    def test_max_load_share(self):
+        assert max_load_share([1, 1, 2]) == pytest.approx(0.5)
+        assert max_load_share([]) == 0.0
+
+    def test_load_variance_zero_when_balanced(self):
+        assert load_variance([4, 4, 4]) == pytest.approx(0.0)
+
+
+class TestTrackers:
+    def test_communication_tracker_average(self):
+        tracker = CommunicationTracker()
+        tracker.record(1)
+        tracker.record(3)
+        tracker.record(0)
+        assert tracker.average == pytest.approx(2.0)
+        assert tracker.unrouted_tagsets == 1
+
+    def test_communication_tracker_reset(self):
+        tracker = CommunicationTracker()
+        tracker.record(2)
+        tracker.reset()
+        assert tracker.average == 0.0
+        assert tracker.routed_tagsets == 0
+
+    def test_load_tracker_loads_and_gini(self):
+        tracker = LoadTracker()
+        tracker.record(0, 3)
+        tracker.record(2)
+        assert tracker.loads(3) == [3, 0, 1]
+        assert tracker.max_share(3) == pytest.approx(0.75)
+        assert 0.0 <= tracker.gini(3) <= 1.0
+
+    def test_load_tracker_infers_k(self):
+        tracker = LoadTracker()
+        tracker.record(4)
+        assert tracker.loads() == [0, 0, 0, 0, 1]
+
+
+class TestJaccardError:
+    def test_perfect_match(self):
+        truth = {frozenset({"a", "b"}): 0.5}
+        report = jaccard_error(truth, truth)
+        assert report.mean_absolute_error == 0.0
+        assert report.coverage == 1.0
+
+    def test_missing_tagsets_counted(self):
+        truth = {frozenset({"a", "b"}): 0.5, frozenset({"c", "d"}): 0.2}
+        reported = {frozenset({"a", "b"}): 0.4}
+        report = jaccard_error(reported, truth)
+        assert report.n_missing == 1
+        assert report.coverage == 0.5
+        assert report.mean_absolute_error == pytest.approx(0.1)
+
+    def test_extra_reported_tagsets_ignored(self):
+        truth = {frozenset({"a", "b"}): 0.5}
+        reported = {frozenset({"a", "b"}): 0.5, frozenset({"x", "y"}): 0.9}
+        report = jaccard_error(reported, truth)
+        assert report.n_compared == 1
+        assert report.mean_absolute_error == 0.0
+
+    def test_empty_ground_truth(self):
+        report = jaccard_error({}, {})
+        assert report.coverage == 1.0
+        assert report.mean_absolute_error == 0.0
+
+
+class TestReplicationCost:
+    def test_no_duplicates(self):
+        assert replication_cost([{"a", "b"}, {"c"}]) == 3
+
+    def test_with_duplicates(self):
+        assert replication_cost([{"a", "b"}, {"b", "c"}]) == 4

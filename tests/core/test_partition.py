@@ -1,0 +1,114 @@
+"""Unit tests for partitions and the tag-to-calculator assignment."""
+
+import pytest
+
+from repro.core.partition import Partition, PartitionAssignment
+
+
+@pytest.fixture
+def figure1_assignment():
+    """The example assignment of Section 3 (pr1 / pr2)."""
+    return PartitionAssignment.from_tag_sets(
+        [
+            {"munich", "beer", "soccer", "oktoberfest", "beach", "sunny", "friday"},
+            {"beer", "pizza", "bavaria", "soccer"},
+        ]
+    )
+
+
+class TestPartition:
+    def test_covers(self):
+        partition = Partition(index=0, tags={"a", "b", "c"})
+        assert partition.covers({"a", "b"})
+        assert not partition.covers({"a", "d"})
+
+    def test_add_tags_accumulates_load(self):
+        partition = Partition(index=0)
+        partition.add_tags({"a"}, load=3)
+        partition.add_tags({"b"}, load=2)
+        assert partition.load == 5
+        assert len(partition) == 2
+
+    def test_shared_tags(self):
+        partition = Partition(index=0, tags={"a", "b"})
+        assert partition.shared_tags({"b", "c"}) == 1
+
+    def test_contains(self):
+        partition = Partition(index=0, tags={"a"})
+        assert "a" in partition
+        assert "z" not in partition
+
+
+class TestRouting:
+    def test_route_splits_tags_by_owner(self, figure1_assignment):
+        routes = figure1_assignment.route({"beer", "pizza", "munich"})
+        assert routes[0] == frozenset({"beer", "munich"})
+        assert routes[1] == frozenset({"beer", "pizza"})
+
+    def test_route_unknown_tags_empty(self, figure1_assignment):
+        assert figure1_assignment.route({"unknown"}) == {}
+
+    def test_covering_partitions(self, figure1_assignment):
+        assert figure1_assignment.covering_partitions({"beer", "soccer"}) == [0, 1]
+        assert figure1_assignment.covering_partitions({"beer", "pizza"}) == [1]
+        assert figure1_assignment.covering_partitions({"pizza", "sunny"}) == []
+
+    def test_covers(self, figure1_assignment):
+        assert figure1_assignment.covers({"beach", "sunny"})
+        assert not figure1_assignment.covers({"pizza", "oktoberfest"})
+
+    def test_empty_tagset_not_covered(self, figure1_assignment):
+        assert figure1_assignment.covering_partitions([]) == []
+
+    def test_partitions_for_tag(self, figure1_assignment):
+        assert figure1_assignment.partitions_for_tag("beer") == {0, 1}
+        assert figure1_assignment.partitions_for_tag("pizza") == {1}
+
+
+class TestQualityMeasures:
+    def test_replication_factor(self, figure1_assignment):
+        # 9 distinct tags, 11 assignments -> 11/9
+        assert figure1_assignment.replication_factor() == pytest.approx(11 / 9)
+
+    def test_replicated_tags(self, figure1_assignment):
+        assert figure1_assignment.replicated_tags() == {"beer", "soccer"}
+
+    def test_replication_factor_disjoint_is_one(self):
+        assignment = PartitionAssignment.from_tag_sets([{"a", "b"}, {"c"}])
+        assert assignment.replication_factor() == 1.0
+
+    def test_coverage(self, figure1_assignment):
+        tagsets = [{"munich", "beer"}, {"pizza", "oktoberfest"}]
+        assert figure1_assignment.coverage(tagsets) == 0.5
+        assert figure1_assignment.coverage([]) == 1.0
+
+    def test_communication_load(self, figure1_assignment):
+        # {beer} -> 2 partitions, {pizza} -> 1 partition, unknown -> skipped
+        value = figure1_assignment.communication_load([{"beer"}, {"pizza"}, {"zz"}])
+        assert value == pytest.approx(1.5)
+
+    def test_expected_calculator_loads(self, figure1_assignment):
+        loads = figure1_assignment.expected_calculator_loads(
+            [{"beer"}, {"pizza"}, {"beach"}]
+        )
+        assert loads == [2, 2]
+
+    def test_summary_keys(self, figure1_assignment):
+        summary = figure1_assignment.summary()
+        assert set(summary) == {"k", "tags", "replication_factor", "max_load_share"}
+
+
+class TestMutation:
+    def test_add_tagset_updates_index_and_load(self):
+        assignment = PartitionAssignment.empty(2)
+        assignment.add_tagset(1, {"x", "y"}, load=4)
+        assert assignment.covers({"x", "y"})
+        assert assignment.partition(1).load == 4
+        assert assignment.partitions_for_tag("x") == {1}
+
+    def test_empty_assignment_properties(self):
+        assignment = PartitionAssignment.empty(3)
+        assert assignment.k == 3
+        assert assignment.replication_factor() == 0.0
+        assert assignment.all_tags() == set()
+        assert assignment.loads() == [0, 0, 0]

@@ -1,0 +1,106 @@
+"""Unit and property tests for the union-find structure."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.union_find import UnionFind
+
+
+class TestUnionFindBasics:
+    def test_singletons_after_add(self):
+        forest = UnionFind(["a", "b"])
+        assert forest.n_components() == 2
+        assert not forest.connected("a", "b")
+
+    def test_union_connects(self):
+        forest = UnionFind()
+        forest.union("a", "b")
+        assert forest.connected("a", "b")
+        assert forest.n_components() == 1
+
+    def test_find_adds_unknown_items(self):
+        forest = UnionFind()
+        forest.find("x")
+        assert "x" in forest
+        assert len(forest) == 1
+
+    def test_union_all_chain(self):
+        forest = UnionFind()
+        forest.union_all(["a", "b", "c"])
+        assert forest.connected("a", "c")
+        assert forest.component_size("b") == 3
+
+    def test_union_all_empty_returns_none(self):
+        forest = UnionFind()
+        assert forest.union_all([]) is None
+
+    def test_components_partition_items(self):
+        forest = UnionFind()
+        forest.union_all(["a", "b"])
+        forest.union_all(["c", "d"])
+        forest.add("e")
+        components = forest.components()
+        groups = sorted(sorted(group) for group in components.values())
+        assert groups == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_connected_unknown_items_false(self):
+        forest = UnionFind(["a"])
+        assert not forest.connected("a", "zz")
+
+    def test_union_is_idempotent(self):
+        forest = UnionFind()
+        forest.union("a", "b")
+        size_before = forest.component_size("a")
+        forest.union("a", "b")
+        assert forest.component_size("a") == size_before
+        assert forest.n_components() == 1
+
+
+class TestUnionFindProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=100
+        )
+    )
+    def test_components_are_a_partition(self, pairs):
+        """Components are disjoint and cover every item exactly once."""
+        forest: UnionFind[int] = UnionFind()
+        for first, second in pairs:
+            forest.union(first, second)
+        components = forest.components()
+        seen = []
+        for group in components.values():
+            seen.extend(group)
+        assert len(seen) == len(set(seen)) == len(forest)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=80
+        )
+    )
+    def test_connectivity_matches_transitive_closure(self, pairs):
+        """union-find connectivity equals reachability in the pair graph."""
+        forest: UnionFind[int] = UnionFind()
+        adjacency: dict[int, set[int]] = {}
+        for first, second in pairs:
+            forest.union(first, second)
+            adjacency.setdefault(first, set()).add(second)
+            adjacency.setdefault(second, set()).add(first)
+        items = list(adjacency)
+        for start in items[:5]:
+            reachable = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbour in adjacency.get(node, ()):
+                    if neighbour not in reachable:
+                        reachable.add(neighbour)
+                        frontier.append(neighbour)
+            for other in items:
+                assert forest.connected(start, other) == (other in reachable)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=60))
+    def test_component_sizes_sum_to_item_count(self, items):
+        forest: UnionFind[int] = UnionFind(items)
+        forest.union_all(items[: len(items) // 2])
+        components = forest.components()
+        assert sum(len(group) for group in components.values()) == len(forest)

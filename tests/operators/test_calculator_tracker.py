@@ -1,0 +1,105 @@
+"""Unit tests for the Calculator and Tracker bolts."""
+
+import pytest
+
+from repro.core.jaccard import JaccardResult
+from repro.operators.calculator import CalculatorBolt
+from repro.operators.streams import COEFFICIENTS, NOTIFICATIONS
+from repro.operators.tracker import TrackerBolt
+from repro.streamsim.tuples import OutputCollector, TupleMessage
+
+
+def make_calculator(report_interval=10.0):
+    bolt = CalculatorBolt(report_interval=report_interval)
+    collector = OutputCollector("calculator", 0)
+    bolt.collector = collector
+    return bolt, collector
+
+
+def notification(tags, timestamp=0.0):
+    return TupleMessage(
+        values={"tags": frozenset(tags), "timestamp": timestamp}, stream=NOTIFICATIONS
+    )
+
+
+class TestCalculatorBolt:
+    def test_invalid_report_interval(self):
+        with pytest.raises(ValueError):
+            CalculatorBolt(report_interval=0)
+
+    def test_counts_notifications(self):
+        bolt, _ = make_calculator()
+        bolt.execute(notification(["a", "b"]))
+        bolt.execute(notification(["a", "b"]))
+        assert bolt.notifications_received == 2
+        assert bolt.calculator.coefficient(["a", "b"]) == 1.0
+
+    def test_other_streams_ignored(self):
+        bolt, _ = make_calculator()
+        bolt.execute(TupleMessage(values={"tags": ["a"]}, stream="other"))
+        assert bolt.notifications_received == 0
+
+    def test_tick_emits_batched_report_and_resets(self):
+        bolt, collector = make_calculator(report_interval=10.0)
+        bolt.execute(notification(["a", "b"], timestamp=1.0))
+        bolt.tick(5.0)
+        assert collector.drain() == []  # interval not reached
+        bolt.tick(11.0)
+        (emission,) = collector.drain()
+        assert emission.message.stream == COEFFICIENTS
+        results = emission.message["results"]
+        assert (frozenset({"a", "b"}), 1.0, 1) in results
+        # counters were reset
+        assert bolt.calculator.observations == 0
+
+    def test_no_report_when_nothing_observed(self):
+        bolt, collector = make_calculator(report_interval=1.0)
+        bolt.tick(100.0)
+        assert collector.drain() == []
+
+    def test_drain_results_returns_remaining(self):
+        bolt, _ = make_calculator()
+        bolt.execute(notification(["a", "b"]))
+        results = bolt.drain_results()
+        assert len(results) == 1
+        assert results[0].tagset == frozenset({"a", "b"})
+        assert bolt.drain_results() == []
+
+
+class TestTrackerBolt:
+    def test_keeps_coefficient_with_max_support(self):
+        tracker = TrackerBolt()
+        tracker.observe(JaccardResult(frozenset({"a", "b"}), 0.4, support=2))
+        tracker.observe(JaccardResult(frozenset({"a", "b"}), 0.6, support=5))
+        tracker.observe(JaccardResult(frozenset({"a", "b"}), 0.1, support=1))
+        assert tracker.coefficients()[frozenset({"a", "b"})] == 0.6
+        assert tracker.supports()[frozenset({"a", "b"})] == 5
+        assert tracker.duplicate_reports == 2
+
+    def test_execute_unpacks_batches(self):
+        tracker = TrackerBolt()
+        tracker.execute(
+            TupleMessage(
+                values={
+                    "results": [
+                        (frozenset({"a", "b"}), 0.5, 3),
+                        (frozenset({"c", "d"}), 0.25, 1),
+                    ],
+                    "timestamp": 0.0,
+                },
+                stream=COEFFICIENTS,
+            )
+        )
+        assert len(tracker) == 2
+        assert tracker.reports_received == 2
+
+    def test_min_support_filter(self):
+        tracker = TrackerBolt()
+        tracker.observe(JaccardResult(frozenset({"a", "b"}), 0.5, support=1))
+        tracker.observe(JaccardResult(frozenset({"c", "d"}), 0.5, support=4))
+        assert set(tracker.coefficients(min_support=2)) == {frozenset({"c", "d"})}
+
+    def test_other_streams_ignored(self):
+        tracker = TrackerBolt()
+        tracker.execute(TupleMessage(values={"results": []}, stream="other"))
+        assert tracker.reports_received == 0

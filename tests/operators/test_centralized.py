@@ -1,0 +1,69 @@
+"""Unit tests for the centralised exact baseline."""
+
+import pytest
+
+from repro.operators.centralized import CentralizedCalculatorBolt
+from repro.operators.streams import TAGSETS
+from repro.streamsim.tuples import TupleMessage
+
+
+def tagset_message(tags, doc_id):
+    return TupleMessage(
+        values={"tagset": frozenset(tags), "doc_id": doc_id, "timestamp": 0.0},
+        stream=TAGSETS,
+    )
+
+
+class TestCentralizedCalculator:
+    def test_invalid_min_occurrences(self):
+        with pytest.raises(ValueError):
+            CentralizedCalculatorBolt(min_occurrences=0)
+
+    def test_qualifying_tagsets_threshold(self):
+        baseline = CentralizedCalculatorBolt(min_occurrences=3)
+        for doc_id in range(4):
+            baseline.execute(tagset_message(["a", "b"], doc_id))
+        for doc_id in range(4, 6):
+            baseline.execute(tagset_message(["c", "d"], doc_id))
+        qualifying = baseline.qualifying_tagsets()
+        assert frozenset({"a", "b"}) in qualifying
+        assert frozenset({"c", "d"}) not in qualifying
+
+    def test_exact_jaccard_over_whole_run(self):
+        baseline = CentralizedCalculatorBolt(min_occurrences=1)
+        baseline.execute(tagset_message(["a", "b"], 0))
+        baseline.execute(tagset_message(["a", "b"], 1))
+        baseline.execute(tagset_message(["a"], 2))
+        baseline.execute(tagset_message(["b", "c"], 3))
+        # docs with a and b: {0,1}; docs with a or b: {0,1,2,3}
+        assert baseline.jaccard(frozenset({"a", "b"})) == pytest.approx(0.5)
+
+    def test_ground_truth_mapping(self):
+        baseline = CentralizedCalculatorBolt(min_occurrences=1)
+        for doc_id in range(2):
+            baseline.execute(tagset_message(["a", "b"], doc_id))
+        truth = baseline.ground_truth()
+        assert truth[frozenset({"a", "b"})] == 1.0
+
+    def test_subsets_of_larger_tagsets_counted(self):
+        baseline = CentralizedCalculatorBolt(min_occurrences=1)
+        for doc_id in range(2):
+            baseline.execute(tagset_message(["a", "b", "c"], doc_id))
+        assert baseline.occurrence_count(frozenset({"a", "b"})) == 2
+        assert frozenset({"b", "c"}) in baseline.qualifying_tagsets()
+
+    def test_max_subset_size_limits_enumeration(self):
+        baseline = CentralizedCalculatorBolt(min_occurrences=1, max_subset_size=2)
+        baseline.execute(tagset_message(["a", "b", "c"], 0))
+        sizes = {len(t) for t in baseline.qualifying_tagsets()}
+        assert sizes <= {2}
+
+    def test_documents_seen(self):
+        baseline = CentralizedCalculatorBolt()
+        baseline.execute(tagset_message(["a"], 0))
+        assert baseline.documents_seen == 1
+
+    def test_other_streams_ignored(self):
+        baseline = CentralizedCalculatorBolt()
+        baseline.execute(TupleMessage(values={"tagset": frozenset({"a"})}, stream="x"))
+        assert baseline.documents_seen == 0

@@ -1,0 +1,133 @@
+"""Unit tests for the Merger bolt."""
+
+import pytest
+
+from repro.operators.merger import MergerBolt
+from repro.operators.streams import (
+    MISSING_TAGSETS,
+    PARTIAL_PARTITIONS,
+    PARTITIONS,
+    SINGLE_ADDITIONS,
+)
+from repro.partitioning import DisjointSetsPartitioner, SCLPartitioner
+from repro.streamsim.tuples import OutputCollector, TupleMessage
+
+
+def make_merger(algorithm, k=2, expected_partials=1):
+    merger = MergerBolt(algorithm=algorithm, k=k)
+    merger._expected_partials = expected_partials
+    collector = OutputCollector("merger", 0)
+    merger.collector = collector
+    return merger, collector
+
+
+def partial_message(tag_sets, loads, window_counts, epoch=1, timestamp=0.0):
+    return TupleMessage(
+        values={
+            "epoch": epoch,
+            "partitioner_task": 0,
+            "tag_sets": [frozenset(t) for t in tag_sets],
+            "loads": loads,
+            "window_counts": window_counts,
+            "timestamp": timestamp,
+        },
+        stream=PARTIAL_PARTITIONS,
+    )
+
+
+def missing_message(tags, count=3):
+    return TupleMessage(
+        values={"tagset": frozenset(tags), "count": count, "timestamp": 0.0},
+        stream=MISSING_TAGSETS,
+    )
+
+
+class TestDisjointSetsMerging:
+    def test_recombines_split_components(self):
+        """Pieces from different Partitioners that share tags merge back."""
+        merger, collector = make_merger(
+            DisjointSetsPartitioner(), k=2, expected_partials=2
+        )
+        merger.execute(
+            partial_message([{"a", "b"}], [3], {("a", "b"): 3}, epoch=1)
+        )
+        assert collector.drain() == []  # waiting for the second partial
+        merger.execute(
+            partial_message(
+                [{"b", "c"}, {"x", "y"}], [2, 4], {("b", "c"): 2, ("x", "y"): 4}, epoch=1
+            )
+        )
+        (emission,) = collector.drain()
+        message = emission.message
+        assert message.stream == PARTITIONS
+        groups = sorted(sorted(tags) for tags in message["tag_sets"] if tags)
+        assert groups == [["a", "b", "c"], ["x", "y"]]
+
+    def test_reference_quality_values_emitted(self):
+        merger, collector = make_merger(DisjointSetsPartitioner(), k=2)
+        merger.execute(
+            partial_message(
+                [{"a", "b"}, {"x", "y"}], [3, 2], {("a", "b"): 3, ("x", "y"): 2}
+            )
+        )
+        (emission,) = collector.drain()
+        assert emission.message["avg_com"] == pytest.approx(1.0)
+        assert 0.0 < emission.message["max_load"] <= 1.0
+
+    def test_empty_partials_emit_empty_assignment(self):
+        merger, collector = make_merger(DisjointSetsPartitioner(), k=3)
+        merger.execute(partial_message([], [], {}))
+        (emission,) = collector.drain()
+        assert emission.message["tag_sets"] == [frozenset()] * 3
+
+
+class TestSetCoverMerging:
+    def test_treats_received_partitions_as_tagsets(self):
+        merger, collector = make_merger(SCLPartitioner(), k=2)
+        merger.execute(
+            partial_message(
+                [{"a", "b"}, {"c", "d"}, {"e", "f"}],
+                [5, 4, 3],
+                {("a", "b"): 5, ("c", "d"): 4, ("e", "f"): 3},
+            )
+        )
+        (emission,) = collector.drain()
+        tag_sets = [tags for tags in emission.message["tag_sets"] if tags]
+        assert len(tag_sets) == 2
+        covered = set().union(*tag_sets)
+        assert covered == {"a", "b", "c", "d", "e", "f"}
+
+
+class TestSingleAdditions:
+    def test_before_any_merge_is_ignored(self):
+        merger, collector = make_merger(DisjointSetsPartitioner(), k=2)
+        merger.execute(missing_message({"new", "pair"}))
+        assert collector.drain() == []
+        assert merger.single_additions == 0
+
+    def test_addition_assigns_and_notifies(self):
+        merger, collector = make_merger(DisjointSetsPartitioner(), k=2)
+        merger.execute(
+            partial_message(
+                [{"a", "b"}, {"x", "y"}], [3, 2], {("a", "b"): 3, ("x", "y"): 2}
+            )
+        )
+        collector.drain()
+        merger.execute(missing_message({"a", "newtag"}))
+        (emission,) = collector.drain()
+        assert emission.message.stream == SINGLE_ADDITIONS
+        assert emission.message["tagset"] == frozenset({"a", "newtag"})
+        assert merger.single_additions == 1
+        # The merger's own assignment now covers the tagset.
+        assert merger._current_assignment.covers({"a", "newtag"})
+
+    def test_already_covered_tagset_reuses_partition(self):
+        merger, collector = make_merger(DisjointSetsPartitioner(), k=2)
+        merger.execute(
+            partial_message([{"a", "b"}], [3], {("a", "b"): 3})
+        )
+        collector.drain()
+        merger.execute(missing_message({"a", "b"}))
+        (emission,) = collector.drain()
+        assert emission.message.stream == SINGLE_ADDITIONS
+        assert merger.single_additions == 0  # nothing new was added

@@ -1,0 +1,93 @@
+"""Unit tests for the baseline partitioners (hash, random, KL, spectral)."""
+
+import pytest
+
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.documents import documents_from_tagsets
+from repro.partitioning.baselines import (
+    HashPartitioner,
+    KernighanLinPartitioner,
+    RandomPartitioner,
+    SpectralPartitioner,
+    repair_coverage,
+)
+
+
+@pytest.fixture
+def chain_statistics():
+    """A chain of co-occurring tags that any split-based method must cut."""
+    tagsets = (
+        [["a", "b"]] * 5
+        + [["b", "c"]] * 4
+        + [["c", "d"]] * 3
+        + [["x", "y"]] * 5
+        + [["y", "z"]] * 2
+    )
+    return CooccurrenceStatistics.from_documents(documents_from_tagsets(tagsets))
+
+
+ALL_BASELINES = [
+    HashPartitioner,
+    RandomPartitioner,
+    KernighanLinPartitioner,
+    SpectralPartitioner,
+]
+
+
+@pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+class TestBaselineCommon:
+    def test_coverage_after_repair(self, baseline_cls, chain_statistics):
+        assignment = baseline_cls().partition(chain_statistics, 3)
+        assert assignment.coverage(chain_statistics.tagsets) == 1.0
+
+    def test_k_partitions(self, baseline_cls, chain_statistics):
+        assignment = baseline_cls().partition(chain_statistics, 3)
+        assert assignment.k == 3
+
+    def test_all_tags_assigned(self, baseline_cls, chain_statistics):
+        assignment = baseline_cls().partition(chain_statistics, 2)
+        assert chain_statistics.tags <= assignment.all_tags()
+
+    def test_invalid_k(self, baseline_cls, chain_statistics):
+        with pytest.raises(ValueError):
+            baseline_cls().partition(chain_statistics, 0)
+
+
+class TestRepairCoverage:
+    def test_repair_adds_missing_tagsets(self, chain_statistics):
+        unrepaired = HashPartitioner(repair=False).partition(chain_statistics, 4)
+        uncovered = [
+            tagset
+            for tagset in chain_statistics.tagsets
+            if not unrepaired.covers(tagset)
+        ]
+        repaired_count = repair_coverage(unrepaired, chain_statistics)
+        assert repaired_count == len(uncovered)
+        assert unrepaired.coverage(chain_statistics.tagsets) == 1.0
+
+    def test_repair_is_idempotent(self, chain_statistics):
+        assignment = HashPartitioner().partition(chain_statistics, 4)
+        assert repair_coverage(assignment, chain_statistics) == 0
+
+
+class TestDeterminism:
+    def test_hash_partitioner_is_deterministic(self, chain_statistics):
+        first = HashPartitioner(seed=3).partition(chain_statistics, 3)
+        second = HashPartitioner(seed=3).partition(chain_statistics, 3)
+        assert first.as_tag_sets() == second.as_tag_sets()
+
+    def test_random_partitioner_seeded(self, chain_statistics):
+        first = RandomPartitioner(seed=5).partition(chain_statistics, 3)
+        second = RandomPartitioner(seed=5).partition(chain_statistics, 3)
+        assert first.as_tag_sets() == second.as_tag_sets()
+
+    def test_spectral_handles_tiny_graphs(self):
+        stats = CooccurrenceStatistics.from_documents(
+            documents_from_tagsets([["a", "b"]])
+        )
+        assignment = SpectralPartitioner().partition(stats, 3)
+        assert assignment.covers({"a", "b"})
+
+    def test_kl_handles_empty_statistics(self):
+        assignment = KernighanLinPartitioner().partition(CooccurrenceStatistics(), 2)
+        assert assignment.k == 2

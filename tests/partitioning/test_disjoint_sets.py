@@ -1,0 +1,144 @@
+"""Unit and property tests for the Disjoint Sets (DS) algorithm."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.documents import documents_from_tagsets
+from repro.partitioning.disjoint_sets import (
+    DisjointSetsPartitioner,
+    find_disjoint_sets,
+    merge_disjoint_sets,
+)
+
+
+class TestFindDisjointSets:
+    def test_figure1_components(self, figure1_statistics):
+        disjoint_sets = find_disjoint_sets(figure1_statistics)
+        tag_groups = sorted(sorted(ds.tags) for ds in disjoint_sets)
+        assert tag_groups == [
+            ["bavaria", "beer", "munich", "oktoberfest", "pizza", "soccer"],
+            ["beach", "friday", "sunny"],
+        ]
+
+    def test_figure1_loads(self, figure1_statistics):
+        disjoint_sets = find_disjoint_sets(figure1_statistics)
+        loads = {frozenset(ds.tags): ds.load for ds in disjoint_sets}
+        big = frozenset(
+            {"bavaria", "beer", "munich", "oktoberfest", "pizza", "soccer"}
+        )
+        small = frozenset({"beach", "friday", "sunny"})
+        # 10 + 4 + 3 + 1 = 18 documents touch the big component, 3 the small.
+        assert loads[big] == 18
+        assert loads[small] == 3
+
+    def test_sorted_by_decreasing_load(self, figure1_statistics):
+        disjoint_sets = find_disjoint_sets(figure1_statistics)
+        loads = [ds.load for ds in disjoint_sets]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_empty_statistics(self):
+        assert find_disjoint_sets(CooccurrenceStatistics()) == []
+
+
+class TestMergeDisjointSets:
+    def test_requires_positive_k(self, figure1_statistics):
+        disjoint_sets = find_disjoint_sets(figure1_statistics)
+        with pytest.raises(ValueError):
+            merge_disjoint_sets(disjoint_sets, 0)
+
+    def test_fewer_sets_than_partitions_leaves_empty_partitions(
+        self, figure1_statistics
+    ):
+        disjoint_sets = find_disjoint_sets(figure1_statistics)
+        assignment = merge_disjoint_sets(disjoint_sets, 4)
+        non_empty = [p for p in assignment if p.tags]
+        assert len(non_empty) == 2
+        assert assignment.k == 4
+
+    def test_heaviest_set_goes_to_least_loaded_partition(self):
+        stats = CooccurrenceStatistics.from_documents(
+            documents_from_tagsets(
+                [["a", "b"]] * 6 + [["c", "d"]] * 5 + [["e", "f"]] * 4
+            )
+        )
+        assignment = merge_disjoint_sets(find_disjoint_sets(stats), 2)
+        loads = sorted(assignment.loads())
+        # LPT packing: {a,b}=6 alone, {c,d}=5 and {e,f}=4 together.
+        assert loads == [6, 9]
+
+
+class TestDisjointSetsPartitioner:
+    def test_zero_replication(self, figure1_statistics):
+        assignment = DisjointSetsPartitioner().partition(figure1_statistics, 2)
+        assert assignment.replication_factor() == 1.0
+
+    def test_full_coverage(self, figure1_statistics):
+        assignment = DisjointSetsPartitioner().partition(figure1_statistics, 2)
+        assert assignment.coverage(figure1_statistics.tagsets) == 1.0
+
+    def test_communication_load_is_one(self, figure1_statistics):
+        assignment = DisjointSetsPartitioner().partition(figure1_statistics, 2)
+        assert assignment.communication_load(
+            figure1_statistics.tagsets
+        ) == pytest.approx(1.0)
+
+    def test_single_partition(self, figure1_statistics):
+        assignment = DisjointSetsPartitioner().partition(figure1_statistics, 1)
+        assert assignment.k == 1
+        assert assignment.partition(0).tags == figure1_statistics.tags
+
+    def test_best_partition_for_addition_prefers_shared_tags(
+        self, figure1_statistics
+    ):
+        partitioner = DisjointSetsPartitioner()
+        assignment = partitioner.partition(figure1_statistics, 2)
+        index_of_big = next(
+            p.index for p in assignment if "munich" in p.tags
+        )
+        choice = partitioner.best_partition_for_addition(
+            assignment, frozenset({"munich", "newtag"})
+        )
+        assert choice == index_of_big
+
+    def test_best_partition_for_unrelated_tagset_is_least_loaded(
+        self, figure1_statistics
+    ):
+        partitioner = DisjointSetsPartitioner()
+        assignment = partitioner.partition(figure1_statistics, 2)
+        least_loaded = min(assignment, key=lambda p: p.load).index
+        choice = partitioner.best_partition_for_addition(
+            assignment, frozenset({"completely", "new"})
+        )
+        assert choice == least_loaded
+
+
+class TestDSProperties:
+    tagsets_strategy = st.lists(
+        st.sets(st.sampled_from("abcdefghijkl"), min_size=1, max_size=4),
+        min_size=1,
+        max_size=40,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(tagsets_strategy, st.integers(1, 6))
+    def test_invariants_coverage_and_no_replication(self, tagsets, k):
+        stats = CooccurrenceStatistics.from_documents(
+            documents_from_tagsets([list(s) for s in tagsets])
+        )
+        assignment = DisjointSetsPartitioner().partition(stats, k)
+        # Every observed tagset is fully covered by some partition.
+        assert assignment.coverage(stats.tagsets) == 1.0
+        # No tag is ever replicated.
+        assert assignment.replicated_tags() == set()
+        # All tags are assigned.
+        assert assignment.all_tags() == stats.tags
+
+    @settings(max_examples=50, deadline=None)
+    @given(tagsets_strategy, st.integers(1, 6))
+    def test_partition_count_respected(self, tagsets, k):
+        stats = CooccurrenceStatistics.from_documents(
+            documents_from_tagsets([list(s) for s in tagsets])
+        )
+        assignment = DisjointSetsPartitioner().partition(stats, k)
+        assert assignment.k == k

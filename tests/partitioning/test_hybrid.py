@@ -1,0 +1,60 @@
+"""Unit tests for the hybrid DS + set-cover partitioner (Section 8.3)."""
+
+import pytest
+
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.documents import documents_from_tagsets
+from repro.core.metrics import gini_coefficient
+from repro.partitioning.disjoint_sets import DisjointSetsPartitioner
+from repro.partitioning.hybrid import HybridDSPartitioner
+
+
+@pytest.fixture
+def giant_component_statistics():
+    """One giant connected component plus two small ones."""
+    giant = []
+    # A chain t0-t1-...-t19 with decreasing weights.
+    for i in range(19):
+        giant.extend([[f"t{i}", f"t{i+1}"]] * (20 - i))
+    small = [["x1", "x2"]] * 3 + [["y1", "y2"]] * 2
+    return CooccurrenceStatistics.from_documents(
+        documents_from_tagsets(giant + small)
+    )
+
+
+class TestHybridPartitioner:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            HybridDSPartitioner(split_threshold=0)
+
+    def test_degenerates_to_ds_with_huge_threshold(self, figure1_statistics):
+        hybrid = HybridDSPartitioner(split_threshold=1e9)
+        ds = DisjointSetsPartitioner()
+        hybrid_sets = sorted(map(sorted, hybrid.partition(figure1_statistics, 2).as_tag_sets()))
+        ds_sets = sorted(map(sorted, ds.partition(figure1_statistics, 2).as_tag_sets()))
+        assert hybrid_sets == ds_sets
+
+    def test_splits_giant_component(self, giant_component_statistics):
+        stats = giant_component_statistics
+        k = 4
+        ds = DisjointSetsPartitioner().partition(stats, k)
+        hybrid = HybridDSPartitioner(split_threshold=1.0).partition(stats, k)
+        ds_gini = gini_coefficient(ds.expected_calculator_loads(stats.tagsets))
+        hybrid_gini = gini_coefficient(
+            hybrid.expected_calculator_loads(stats.tagsets)
+        )
+        # Splitting the giant component must improve load balance.
+        assert hybrid_gini < ds_gini
+
+    def test_coverage_preserved_after_splitting(self, giant_component_statistics):
+        stats = giant_component_statistics
+        assignment = HybridDSPartitioner(split_threshold=1.0).partition(stats, 4)
+        assert assignment.coverage(stats.tagsets) == 1.0
+
+    def test_single_partition_is_everything(self, giant_component_statistics):
+        assignment = HybridDSPartitioner().partition(giant_component_statistics, 1)
+        assert assignment.partition(0).tags == giant_component_statistics.tags
+
+    def test_empty_statistics(self):
+        assignment = HybridDSPartitioner().partition(CooccurrenceStatistics(), 3)
+        assert assignment.k == 3

@@ -1,0 +1,78 @@
+"""Unit tests for the multilevel graph partitioner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.documents import documents_from_tagsets
+from repro.core.metrics import gini_coefficient
+from repro.partitioning import make_partitioner
+from repro.partitioning.multilevel import MultilevelPartitioner
+
+
+def stats_from(tagsets):
+    return CooccurrenceStatistics.from_documents(
+        documents_from_tagsets([list(s) for s in tagsets])
+    )
+
+
+@pytest.fixture
+def clustered_statistics():
+    """Several well-separated clusters of co-occurring tags."""
+    tagsets = []
+    for cluster in range(6):
+        base = [f"c{cluster}_t{i}" for i in range(6)]
+        tagsets.extend([base[:3]] * 5)
+        tagsets.extend([base[2:5]] * 4)
+        tagsets.extend([base[4:]] * 3)
+    return stats_from(tagsets)
+
+
+class TestMultilevelPartitioner:
+    def test_registered_in_registry(self):
+        assert make_partitioner("multilevel").name == "MULTILEVEL"
+
+    def test_invalid_coarsest_size(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(coarsest_size=1)
+
+    def test_coverage_and_tag_assignment(self, clustered_statistics):
+        assignment = MultilevelPartitioner().partition(clustered_statistics, 3)
+        assert assignment.coverage(clustered_statistics.tagsets) == 1.0
+        assert clustered_statistics.tags <= assignment.all_tags()
+        assert assignment.k == 3
+
+    def test_balances_clustered_load(self, clustered_statistics):
+        assignment = MultilevelPartitioner().partition(clustered_statistics, 3)
+        loads = assignment.expected_calculator_loads(clustered_statistics.tagsets)
+        assert gini_coefficient(loads) < 0.5
+
+    def test_empty_statistics(self):
+        assignment = MultilevelPartitioner().partition(CooccurrenceStatistics(), 4)
+        assert assignment.k == 4
+        assert assignment.all_tags() == set()
+
+    def test_single_partition(self, clustered_statistics):
+        assignment = MultilevelPartitioner().partition(clustered_statistics, 1)
+        assert assignment.partition(0).tags == clustered_statistics.tags
+
+    def test_deterministic(self, clustered_statistics):
+        first = MultilevelPartitioner().partition(clustered_statistics, 4)
+        second = MultilevelPartitioner().partition(clustered_statistics, 4)
+        assert sorted(map(sorted, first.as_tag_sets())) == sorted(
+            map(sorted, second.as_tag_sets())
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.sampled_from("abcdefghij"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=25,
+        ),
+        st.integers(1, 4),
+    )
+    def test_coverage_invariant(self, tagsets, k):
+        stats = stats_from(tagsets)
+        assignment = MultilevelPartitioner(coarsest_size=8).partition(stats, k)
+        assert assignment.coverage(stats.tagsets) == 1.0

@@ -1,0 +1,38 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.partitioning import (
+    ALGORITHMS,
+    PAPER_ALGORITHMS,
+    Partitioner,
+    make_partitioner,
+)
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self):
+        for name in PAPER_ALGORITHMS:
+            assert name in ALGORITHMS
+
+    def test_make_partitioner_case_insensitive(self):
+        assert make_partitioner("ds").name == "DS"
+        assert make_partitioner("sCl").name == "SCL"
+
+    def test_make_partitioner_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown partitioning algorithm"):
+            make_partitioner("nope")
+
+    def test_all_registered_are_partitioners(self):
+        for name in ALGORITHMS:
+            instance = make_partitioner(name)
+            assert isinstance(instance, Partitioner)
+            assert instance.name
+
+    def test_kwargs_forwarded(self):
+        sci = make_partitioner("SCI", seed=123)
+        assert sci.name == "SCI"
+
+    def test_names_match_registry_keys(self):
+        for name, cls in ALGORITHMS.items():
+            assert cls.name.upper() == name or name in ("DS+SCL",)

@@ -1,0 +1,163 @@
+"""Unit and property tests for the set-cover family (SCC, SCL, SCI)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cooccurrence import CooccurrenceStatistics
+from repro.core.documents import documents_from_tagsets
+from repro.core.metrics import gini_coefficient
+from repro.partitioning.set_cover import (
+    SCCPartitioner,
+    SCIPartitioner,
+    SCLPartitioner,
+    communication_seed_cost,
+    load_seed_cost,
+    select_seed_tagsets,
+    zero_seed_cost,
+)
+
+
+def stats_from(tagsets):
+    return CooccurrenceStatistics.from_documents(
+        documents_from_tagsets([list(s) for s in tagsets])
+    )
+
+
+class TestSeedCosts:
+    def test_communication_cost_counts_covered_tags(self):
+        cost = communication_seed_cost(frozenset({"a", "b"}), {"a"}, [], 5)
+        assert cost == 1.0
+
+    def test_load_cost_is_distance_to_optimal_share(self):
+        # Second iteration: optimal share 1/2; candidate load 10 over 10+10.
+        cost = load_seed_cost(frozenset({"a"}), set(), [10], 10)
+        assert cost == pytest.approx(0.0)
+
+    def test_load_cost_zero_denominator(self):
+        assert load_seed_cost(frozenset({"a"}), set(), [], 0) == pytest.approx(1.0)
+
+    def test_zero_cost(self):
+        assert zero_seed_cost(frozenset({"a"}), {"a"}, [3], 7) == 0.0
+
+
+class TestSeedSelection:
+    def test_selects_k_distinct_seeds(self, figure1_statistics):
+        assignment, remaining = select_seed_tagsets(
+            figure1_statistics, 2, zero_seed_cost
+        )
+        non_empty = [p for p in assignment if p.tags]
+        assert len(non_empty) == 2
+        assert len(remaining) == len(figure1_statistics.tagsets) - 2
+
+    def test_fewer_tagsets_than_k(self):
+        stats = stats_from([{"a", "b"}])
+        assignment, remaining = select_seed_tagsets(stats, 3, zero_seed_cost)
+        assert remaining == []
+        assert [p.tags for p in assignment if p.tags] == [{"a", "b"}]
+
+    def test_invalid_k_rejected(self, figure1_statistics):
+        with pytest.raises(ValueError):
+            select_seed_tagsets(figure1_statistics, 0, zero_seed_cost)
+
+    def test_max_coverage_picks_largest_first(self):
+        stats = stats_from([{"a", "b", "c"}, {"d"}, {"e", "f"}])
+        assignment, _ = select_seed_tagsets(stats, 1, zero_seed_cost)
+        assert assignment.partition(0).tags == {"a", "b", "c"}
+
+
+ALGORITHMS = [SCCPartitioner, SCLPartitioner, SCIPartitioner]
+
+
+@pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+class TestSetCoverCommon:
+    def test_every_tagset_covered(self, algorithm_cls, figure1_statistics):
+        assignment = algorithm_cls().partition(figure1_statistics, 2)
+        assert assignment.coverage(figure1_statistics.tagsets) == 1.0
+
+    def test_all_tags_assigned(self, algorithm_cls, figure1_statistics):
+        assignment = algorithm_cls().partition(figure1_statistics, 2)
+        assert assignment.all_tags() == figure1_statistics.tags
+
+    def test_k_partitions_returned(self, algorithm_cls, figure1_statistics):
+        assignment = algorithm_cls().partition(figure1_statistics, 3)
+        assert assignment.k == 3
+
+    def test_empty_statistics(self, algorithm_cls):
+        assignment = algorithm_cls().partition(CooccurrenceStatistics(), 2)
+        assert assignment.k == 2
+        assert assignment.all_tags() == set()
+
+
+class TestAlgorithmSpecifics:
+    def test_scl_single_addition_prefers_least_loaded(self, figure1_statistics):
+        partitioner = SCLPartitioner()
+        assignment = partitioner.partition(figure1_statistics, 2)
+        least_loaded = min(assignment, key=lambda p: (p.load, p.index)).index
+        choice = partitioner.best_partition_for_addition(
+            assignment, frozenset({"brand", "new"})
+        )
+        assert choice == least_loaded
+
+    def test_sci_is_reproducible_with_seed(self, figure1_statistics):
+        first = SCIPartitioner(seed=7).partition(figure1_statistics, 2)
+        second = SCIPartitioner(seed=7).partition(figure1_statistics, 2)
+        assert first.as_tag_sets() == second.as_tag_sets()
+
+    def test_scc_keeps_communication_below_scl(self):
+        """On a connected workload SCC should not replicate more than SCL."""
+        tagsets = (
+            [{"a", "b"}] * 8
+            + [{"b", "c"}] * 6
+            + [{"c", "d"}] * 5
+            + [{"d", "e"}] * 4
+            + [{"e", "f"}] * 3
+            + [{"f", "a"}] * 2
+        )
+        stats = stats_from(tagsets)
+        distinct = stats.tagsets
+        scc = SCCPartitioner().partition(stats, 3)
+        scl = SCLPartitioner().partition(stats, 3)
+        assert scc.communication_load(distinct) <= scl.communication_load(distinct) + 1e-9
+
+    def test_scl_balances_better_than_scc_on_skewed_load(self):
+        tagsets = (
+            [{"hot1", "hot2"}] * 30
+            + [{"hot2", "hot3"}] * 25
+            + [{"cold1", "cold2"}] * 2
+            + [{"cold3", "cold4"}] * 2
+            + [{"cold5", "cold6"}] * 1
+        )
+        stats = stats_from(tagsets)
+        distinct = stats.tagsets
+        scl = SCLPartitioner().partition(stats, 3)
+        scc = SCCPartitioner().partition(stats, 3)
+        gini_scl = gini_coefficient(scl.expected_calculator_loads(distinct))
+        gini_scc = gini_coefficient(scc.expected_calculator_loads(distinct))
+        assert gini_scl <= gini_scc + 1e-9
+
+
+class TestSetCoverProperties:
+    tagsets_strategy = st.lists(
+        st.sets(st.sampled_from("abcdefghij"), min_size=1, max_size=4),
+        min_size=1,
+        max_size=30,
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(tagsets_strategy, st.integers(1, 5))
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_coverage_invariant(self, algorithm_cls, tagsets, k):
+        """Every algorithm must cover every observed tagset (criterion 1)."""
+        stats = stats_from(tagsets)
+        assignment = algorithm_cls().partition(stats, k)
+        assert assignment.coverage(stats.tagsets) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(tagsets_strategy, st.integers(1, 5))
+    def test_scl_load_never_exceeds_total(self, tagsets, k):
+        stats = stats_from(tagsets)
+        assignment = SCLPartitioner().partition(stats, k)
+        for partition in assignment:
+            assert partition.load <= sum(
+                stats.load(t) for t in stats.tagsets
+            )

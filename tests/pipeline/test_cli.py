@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.io import load_documents
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestGenerate:
+    def test_writes_trace(self, tmp_path, capsys):
+        output = tmp_path / "trace.jsonl"
+        exit_code = main(
+            ["generate", "--documents", "200", "--seed", "3", "--output", str(output)]
+        )
+        assert exit_code == 0
+        documents = load_documents(output)
+        assert len(documents) == 200
+        assert "wrote 200 documents" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_on_generated_workload(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--documents", "1200",
+                "--topics", "40",
+                "--algorithm", "DS",
+                "--k", "3",
+                "--partitioners", "2",
+                "--window", "300",
+                "--bootstrap", "150",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "average communication" in output
+        assert "algorithm                 : DS" in output
+
+    def test_run_from_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["generate", "--documents", "800", "--seed", "5", "--output", str(trace)])
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "run",
+                "--input", str(trace),
+                "--k", "2",
+                "--partitioners", "2",
+                "--window", "200",
+                "--bootstrap", "100",
+            ]
+        )
+        assert exit_code == 0
+        assert "documents processed       : 800" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compares_requested_algorithms(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--documents", "1000",
+                "--topics", "40",
+                "--algorithms", "DS,SCL",
+                "--k", "3",
+                "--partitioners", "2",
+                "--window", "250",
+                "--bootstrap", "120",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "DS" in output and "SCL" in output
+        assert "comm" in output
+
+
+class TestConnectivityAndTheory:
+    def test_connectivity_table(self, capsys):
+        exit_code = main(
+            [
+                "connectivity",
+                "--documents", "1500",
+                "--tps", "20",
+                "--windows", "0.5,1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "max tags %" in output
+
+    def test_theory_tables(self, capsys):
+        exit_code = main(["theory"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Section 5.1" in output
+        assert "E[communication]" in output

@@ -1,0 +1,60 @@
+"""Unit tests for the system configuration."""
+
+import pytest
+
+from repro.pipeline.config import PAPER_DEFAULTS, SystemConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SystemConfig().validate()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"k": 0},
+            {"n_partitioners": 0},
+            {"n_parsers": 0},
+            {"n_disseminators": 0},
+            {"window_mode": "weird"},
+            {"window_size": 0},
+            {"bootstrap_documents": 0},
+            {"repartition_threshold": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            SystemConfig(**overrides).validate()
+
+
+class TestFactories:
+    def test_paper_defaults_match_section_8(self):
+        config = SystemConfig.paper_defaults("SCC")
+        assert config.algorithm == "SCC"
+        assert config.k == PAPER_DEFAULTS["k"] == 10
+        assert config.n_partitioners == 10
+        assert config.repartition_threshold == 0.5
+        assert config.single_addition_threshold == 3
+        assert config.quality_check_interval == 1000
+        assert config.report_interval_seconds == 300.0
+
+    def test_paper_defaults_with_overrides(self):
+        config = SystemConfig.paper_defaults("DS", k=20)
+        assert config.k == 20
+
+    def test_scaled_down_preserves_ratios(self):
+        config = SystemConfig.scaled_down("DS", scale=0.01)
+        assert config.window_size >= 200
+        assert config.bootstrap_documents <= config.window_size
+        config.validate()
+
+    def test_scaled_down_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SystemConfig.scaled_down(scale=0)
+
+    def test_with_overrides_returns_copy(self):
+        base = SystemConfig()
+        changed = base.with_overrides(k=7)
+        assert changed.k == 7
+        assert base.k == 10
+        assert changed is not base

@@ -1,0 +1,77 @@
+"""Tests for the parameter sweep helpers."""
+
+import pytest
+
+from repro.pipeline.sweeps import (
+    SweepResult,
+    default_workload,
+    paper_parameter_grid,
+    run_sweep,
+)
+from repro.pipeline.config import SystemConfig
+
+
+class TestDefaultWorkload:
+    def test_deterministic(self):
+        first = default_workload(n_documents=200, seed=1)
+        second = default_workload(n_documents=200, seed=1)
+        assert [d.tags for d in first] == [d.tags for d in second]
+
+    def test_rate_changes_timestamps(self):
+        slow = default_workload(n_documents=100, tweets_per_second=100)
+        fast = default_workload(n_documents=100, tweets_per_second=200)
+        assert slow[-1].timestamp > fast[-1].timestamp
+
+
+class TestPaperGrid:
+    def test_grid_matches_section_81(self):
+        grid = paper_parameter_grid()
+        assert grid["k"] == [5, 10, 20]
+        assert grid["n_partitioners"] == [3, 5, 10]
+        assert grid["repartition_threshold"] == [0.2, 0.5]
+        assert grid["tps"] == [1300, 2600]
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        documents = default_workload(
+            n_documents=1200, tweets_per_second=100, seed=3, n_topics=50,
+            tags_per_topic=10,
+        )
+        base = SystemConfig(
+            algorithm="DS",
+            k=4,
+            n_partitioners=2,
+            window_size=300,
+            bootstrap_documents=150,
+            quality_check_interval=100,
+        )
+        return run_sweep(
+            "k",
+            [2, 4],
+            documents_factory=lambda value: documents,
+            base_config=base,
+            algorithms=("DS", "SCL"),
+        )
+
+    def test_reports_for_every_cell(self, sweep):
+        assert isinstance(sweep, SweepResult)
+        assert set(sweep.reports) == {"DS", "SCL"}
+        for algorithm in sweep.algorithms:
+            assert set(sweep.reports[algorithm]) == {2, 4}
+
+    def test_parameter_applied_to_config(self, sweep):
+        assert sweep.reports["DS"][2].config.k == 2
+        assert sweep.reports["DS"][4].config.k == 4
+
+    def test_metric_extraction(self, sweep):
+        series = sweep.metric("communication")
+        assert set(series) == {"DS", "SCL"}
+        assert len(series["DS"]) == 2
+
+    def test_table_rows(self, sweep):
+        rows = sweep.table("load_gini")
+        assert [value for value, _ in rows] == [2, 4]
+        for _, per_algorithm in rows:
+            assert set(per_algorithm) == {"DS", "SCL"}

@@ -1,0 +1,67 @@
+"""Unit tests for the Bloom filter."""
+
+import pytest
+
+from repro.sketches.bloom import BloomFilter, optimal_parameters
+
+
+class TestOptimalParameters:
+    def test_reasonable_sizes(self):
+        n_bits, n_hashes = optimal_parameters(1000, 0.01)
+        assert n_bits > 1000
+        assert 1 <= n_hashes <= 20
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_parameters(100, 1.5)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=500, false_positive_rate=0.01)
+        items = [f"tag{i}" for i in range(500)]
+        bloom.update(items)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_is_bounded(self):
+        bloom = BloomFilter(expected_items=1000, false_positive_rate=0.01)
+        bloom.update(f"present{i}" for i in range(1000))
+        false_positives = sum(
+            1 for i in range(5000) if f"absent{i}" in bloom
+        )
+        assert false_positives / 5000 < 0.05
+
+    def test_false_positives_exist_when_overfilled(self):
+        """Overfilling the filter creates the spurious co-occurrences the
+        paper warns about in Section 2."""
+        bloom = BloomFilter(expected_items=20, false_positive_rate=0.01)
+        bloom.update(f"present{i}" for i in range(2000))
+        false_positives = sum(1 for i in range(2000) if f"absent{i}" in bloom)
+        assert false_positives > 0
+
+    def test_len_counts_insertions(self):
+        bloom = BloomFilter(expected_items=10)
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(expected_items=100)
+        assert bloom.fill_ratio == 0.0
+        bloom.update(str(i) for i in range(100))
+        assert 0.0 < bloom.fill_ratio < 1.0
+
+    def test_estimated_false_positive_rate_monotone(self):
+        bloom = BloomFilter(expected_items=100, false_positive_rate=0.01)
+        early = bloom.estimated_false_positive_rate()
+        bloom.update(str(i) for i in range(200))
+        late = bloom.estimated_false_positive_rate()
+        assert late > early
+
+    def test_intersection_may_be_nonempty(self):
+        bloom = BloomFilter(expected_items=50)
+        bloom.update(["a", "b"])
+        assert bloom.intersection_may_be_nonempty(["b", "zz"])
+        assert not bloom.intersection_may_be_nonempty([])

@@ -1,0 +1,70 @@
+"""Unit and property tests for the Count-Min sketch."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketches.countmin import CountMinSketch
+
+
+class TestCountMinBasics:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(delta=2)
+
+    def test_negative_update_rejected(self):
+        sketch = CountMinSketch()
+        with pytest.raises(ValueError):
+            sketch.add("a", -1)
+
+    def test_unseen_item_estimates_zero_when_empty(self):
+        sketch = CountMinSketch()
+        assert sketch.estimate("never") == 0
+
+    def test_estimate_never_underestimates(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+        for i in range(200):
+            sketch.add(f"item{i % 20}")
+        for i in range(20):
+            assert sketch.estimate(f"item{i}") >= 10
+
+    def test_total_and_error_bound(self):
+        sketch = CountMinSketch(epsilon=0.01)
+        sketch.update(["a"] * 10 + ["b"] * 5)
+        assert sketch.total == 15
+        assert sketch.error_bound() == pytest.approx(0.15)
+
+    def test_getitem(self):
+        sketch = CountMinSketch()
+        sketch.add("x", 3)
+        assert sketch["x"] >= 3
+
+    def test_estimate_jaccard(self):
+        sketch = CountMinSketch()
+        for _ in range(5):
+            sketch.add(frozenset({"a", "b"}))
+        assert sketch.estimate_jaccard({"a", "b"}, union_size=10) == pytest.approx(0.5)
+        assert sketch.estimate_jaccard({"a", "b"}, union_size=0) == 0.0
+
+    def test_estimate_jaccard_capped_at_one(self):
+        sketch = CountMinSketch()
+        for _ in range(50):
+            sketch.add(frozenset({"a", "b"}))
+        assert sketch.estimate_jaccard({"a", "b"}, union_size=10) == 1.0
+
+
+class TestCountMinProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    def test_overestimation_within_bound(self, items):
+        """CM estimates are >= true counts and within eps*N with high prob."""
+        sketch = CountMinSketch(epsilon=0.01, delta=0.001)
+        true_counts: dict[int, int] = {}
+        for item in items:
+            sketch.add(item)
+            true_counts[item] = true_counts.get(item, 0) + 1
+        for item, count in true_counts.items():
+            estimate = sketch.estimate(item)
+            assert estimate >= count
+            assert estimate <= count + max(1, sketch.error_bound() * 10)

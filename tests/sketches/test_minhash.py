@@ -1,0 +1,135 @@
+"""Unit and property tests for MinHash and MinHash LSH."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.jaccard import exact_jaccard
+from repro.sketches.minhash import (
+    MinHash,
+    MinHashLSH,
+    candidate_probability,
+    estimate_pairwise_jaccard,
+)
+
+
+class TestMinHash:
+    def test_identical_sets_estimate_one(self):
+        first = MinHash.from_items(["a", "b", "c"])
+        second = MinHash.from_items(["a", "b", "c"])
+        assert first.jaccard(second) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        first = MinHash.from_items([f"a{i}" for i in range(50)], num_perm=256)
+        second = MinHash.from_items([f"b{i}" for i in range(50)], num_perm=256)
+        assert first.jaccard(second) < 0.1
+
+    def test_estimate_close_to_true_jaccard(self):
+        universe = [f"item{i}" for i in range(200)]
+        set_a = set(universe[:120])
+        set_b = set(universe[60:180])
+        truth = len(set_a & set_b) / len(set_a | set_b)
+        estimate = MinHash.from_items(set_a, num_perm=512).jaccard(
+            MinHash.from_items(set_b, num_perm=512)
+        )
+        assert estimate == pytest.approx(truth, abs=0.1)
+
+    def test_incompatible_signatures_rejected(self):
+        with pytest.raises(ValueError):
+            MinHash(num_perm=64).jaccard(MinHash(num_perm=128))
+        with pytest.raises(ValueError):
+            MinHash(seed=1).jaccard(MinHash(seed=2))
+
+    def test_merge_acts_as_union(self):
+        left = MinHash.from_items(["a", "b"])
+        right = MinHash.from_items(["c", "d"])
+        union = MinHash.from_items(["a", "b", "c", "d"])
+        left.merge(right)
+        assert left.jaccard(union) == 1.0
+
+    def test_empty_signature(self):
+        signature = MinHash()
+        assert signature.is_empty()
+        signature.update("x")
+        assert not signature.is_empty()
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHash(num_perm=0)
+
+    def test_copy_is_independent(self):
+        original = MinHash.from_items(["a"])
+        clone = original.copy()
+        clone.update("b")
+        assert original.jaccard(clone) < 1.0 or original.is_empty() is False
+
+
+class TestMinHashLSH:
+    def test_bands_must_divide_permutations(self):
+        with pytest.raises(ValueError):
+            MinHashLSH(num_perm=100, bands=33)
+
+    def test_query_finds_similar_sets(self):
+        lsh = MinHashLSH(num_perm=128, bands=32)
+        base = [f"item{i}" for i in range(40)]
+        lsh.insert("base", MinHash.from_items(base))
+        near = MinHash.from_items(base[:38] + ["x", "y"])
+        far = MinHash.from_items([f"other{i}" for i in range(40)])
+        assert "base" in lsh.query(near)
+        assert "base" not in lsh.query(far)
+
+    def test_duplicate_key_rejected(self):
+        lsh = MinHashLSH(num_perm=64, bands=16)
+        lsh.insert("a", MinHash.from_items(["x"], num_perm=64))
+        with pytest.raises(KeyError):
+            lsh.insert("a", MinHash.from_items(["y"], num_perm=64))
+
+    def test_wrong_signature_length_rejected(self):
+        lsh = MinHashLSH(num_perm=64, bands=16)
+        with pytest.raises(ValueError):
+            lsh.insert("a", MinHash(num_perm=128))
+
+    def test_candidate_pairs_symmetry(self):
+        lsh = MinHashLSH(num_perm=64, bands=16)
+        items = [f"i{i}" for i in range(30)]
+        lsh.insert("a", MinHash.from_items(items, num_perm=64))
+        lsh.insert("b", MinHash.from_items(items, num_perm=64))
+        assert ("a", "b") in lsh.candidate_pairs()
+
+    def test_len_and_contains(self):
+        lsh = MinHashLSH(num_perm=64, bands=16)
+        lsh.insert("a", MinHash.from_items(["x"], num_perm=64))
+        assert len(lsh) == 1
+        assert "a" in lsh
+
+
+class TestCandidateProbability:
+    def test_monotone_in_similarity(self):
+        low = candidate_probability(0.2, bands=32, rows=4)
+        high = candidate_probability(0.8, bands=32, rows=4)
+        assert high > low
+
+    def test_bounds(self):
+        assert candidate_probability(0.0, 32, 4) == 0.0
+        assert candidate_probability(1.0, 32, 4) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            candidate_probability(1.5, 32, 4)
+
+
+class TestPairwiseEstimates:
+    def test_estimates_for_all_pairs(self):
+        estimates = estimate_pairwise_jaccard([{"a", "b"}, {"b", "c"}, {"x"}])
+        assert set(estimates) == {(0, 1), (0, 2), (1, 2)}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 40), min_size=5, max_size=30),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    def test_estimate_within_tolerance_of_truth(self, sets):
+        estimates = estimate_pairwise_jaccard(sets, num_perm=256)
+        for (i, j), estimate in estimates.items():
+            truth = exact_jaccard([sets[i], sets[j]])
+            assert estimate == pytest.approx(truth, abs=0.25)

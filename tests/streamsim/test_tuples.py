@@ -1,0 +1,50 @@
+"""Unit tests for tuples and the output collector."""
+
+from repro.streamsim.tuples import DEFAULT_STREAM, OutputCollector, TupleMessage
+
+
+class TestTupleMessage:
+    def test_item_access(self):
+        message = TupleMessage(values={"a": 1, "b": 2})
+        assert message["a"] == 1
+        assert message.get("missing", 7) == 7
+        assert "b" in message
+        assert set(message.fields()) == {"a", "b"}
+
+    def test_defaults(self):
+        message = TupleMessage(values={})
+        assert message.stream == DEFAULT_STREAM
+        assert message.source_task == -1
+
+
+class TestOutputCollector:
+    def test_emit_records_provenance(self):
+        collector = OutputCollector("parser", task_id=3)
+        collector.emit({"x": 1}, stream="tagsets")
+        (emission,) = collector.drain()
+        assert emission.message.source_component == "parser"
+        assert emission.message.source_task == 3
+        assert emission.message.stream == "tagsets"
+        assert emission.direct_task is None
+
+    def test_emit_direct_records_target(self):
+        collector = OutputCollector("disseminator", task_id=0)
+        collector.emit_direct(9, {"x": 1})
+        (emission,) = collector.drain()
+        assert emission.direct_task == 9
+
+    def test_drain_clears_pending(self):
+        collector = OutputCollector("c", 0)
+        collector.emit({"x": 1})
+        assert len(collector) == 1
+        collector.drain()
+        assert len(collector) == 0
+        assert collector.drain() == []
+
+    def test_emit_copies_values(self):
+        collector = OutputCollector("c", 0)
+        values = {"x": 1}
+        collector.emit(values)
+        values["x"] = 2
+        (emission,) = collector.drain()
+        assert emission.message["x"] == 1

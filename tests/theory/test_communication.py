@@ -1,0 +1,95 @@
+"""Unit and property tests for the expected-communication model (Section 5.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.theory.communication import (
+    communication_sweep,
+    expected_communication,
+    no_overlap_probability,
+    tractability_threshold,
+)
+
+
+class TestNoOverlapProbability:
+    def test_zero_tags_always_disjoint(self):
+        assert no_overlap_probability(100, 0) == 1.0
+
+    def test_small_vocabulary_forces_overlap(self):
+        assert no_overlap_probability(5, 3) == 0.0
+
+    def test_large_vocabulary_rarely_overlaps(self):
+        assert no_overlap_probability(1_000_000, 3) > 0.99
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            no_overlap_probability(2, 5)
+        with pytest.raises(ValueError):
+            no_overlap_probability(10, -1)
+
+    @given(st.integers(10, 2000), st.integers(1, 5))
+    def test_probability_in_unit_interval(self, vocabulary, tags):
+        if vocabulary < tags:
+            return
+        probability = no_overlap_probability(vocabulary, tags)
+        assert 0.0 <= probability <= 1.0
+
+
+class TestExpectedCommunication:
+    def test_bounded_by_k(self):
+        value = expected_communication(1000, 5000, 10, 3)
+        assert 0.0 <= value <= 10.0
+
+    def test_small_vocabulary_broadcasts_to_all(self):
+        """Small vocabulary + many tags per tweet: every tweet goes to
+        (almost) all partitions — the paper's 'knockout blow'."""
+        value = expected_communication(20, 10000, 10, 5)
+        assert value == pytest.approx(10.0, abs=0.01)
+
+    def test_large_vocabulary_stays_tractable(self):
+        value = expected_communication(600_000, 10_000, 10, 3)
+        assert value < 2.0
+
+    def test_monotone_in_tweets(self):
+        few = expected_communication(10_000, 1000, 10, 3)
+        many = expected_communication(10_000, 100_000, 10, 3)
+        assert many >= few
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_communication(100, 10, 0, 2)
+        with pytest.raises(ValueError):
+            expected_communication(100, -1, 5, 2)
+
+    @given(
+        st.integers(50, 5000),
+        st.integers(0, 5000),
+        st.integers(1, 30),
+        st.integers(1, 5),
+    )
+    def test_value_between_zero_and_k(self, vocabulary, tweets, k, tags):
+        if vocabulary < 2 * tags:
+            return
+        value = expected_communication(vocabulary, tweets, k, tags)
+        assert 0.0 <= value <= k + 1e-9
+
+
+class TestSweepAndThreshold:
+    def test_sweep_keys(self):
+        sweep = communication_sweep([100, 1000, 10000], 5000, 10, 3)
+        assert list(sweep) == [100, 1000, 10000]
+
+    def test_sweep_decreasing_in_vocabulary(self):
+        sweep = communication_sweep([200, 2000, 20000, 200000], 5000, 10, 3)
+        values = list(sweep.values())
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_tractability_threshold_found(self):
+        threshold = tractability_threshold(5000, 10, 3, target_communication=2.0)
+        assert expected_communication(threshold, 5000, 10, 3) <= 2.0
+
+    def test_tractability_threshold_unreachable(self):
+        threshold = tractability_threshold(
+            10**9, 10, 5, target_communication=1.001, max_vocabulary=10_000
+        )
+        assert threshold == 10_000

@@ -1,0 +1,64 @@
+"""Unit tests for the Erdős–Rényi window model (Section 5.1)."""
+
+import pytest
+
+from repro.theory.erdos_renyi import (
+    WindowModel,
+    edge_probability,
+    giant_component_expected,
+    np_product,
+    paper_np_table,
+)
+
+
+class TestEdgeProbability:
+    def test_matches_definition(self):
+        # 10 edges over C(5,2)=10 possible -> p=1
+        assert edge_probability(5, 10) == pytest.approx(1.0)
+
+    def test_small_graphs(self):
+        assert edge_probability(1, 5) == 0.0
+        assert edge_probability(0, 5) == 0.0
+
+    def test_np_product(self):
+        assert np_product(100, 50) == pytest.approx(100 * 50 / 4950)
+
+
+class TestGiantComponent:
+    def test_threshold(self):
+        # np > 1 -> giant component expected
+        assert giant_component_expected(1000, 600)
+        assert not giant_component_expected(1000, 400)
+
+
+class TestWindowModel:
+    def test_paper_values_reproduced(self):
+        """Section 5.1 quotes np=0.76 (5min, mmax 8), 1.52 (10min, mmax 8),
+        0.85 (10min, mmax 6)."""
+        table = paper_np_table()
+        assert table[(5, 8)] == pytest.approx(0.76, abs=0.08)
+        assert table[(10, 8)] == pytest.approx(1.52, abs=0.15)
+        assert table[(10, 6)] == pytest.approx(0.85, abs=0.10)
+
+    def test_longer_windows_increase_np(self):
+        short = WindowModel(window_minutes=5)
+        long = WindowModel(window_minutes=10)
+        assert long.np > short.np
+
+    def test_np_from_observed_pairs_much_smaller(self):
+        """The observed-pairs estimate (np=0.11 for 10 minutes) is far below
+        the independence model's 1.52."""
+        model = WindowModel(window_minutes=10)
+        observed = model.np_from_observed_pairs()
+        assert observed == pytest.approx(0.11, abs=0.03)
+        assert observed < model.np / 5
+
+    def test_giant_component_prediction(self):
+        assert WindowModel(window_minutes=10, mmax=8).predicts_giant_component()
+        assert not WindowModel(window_minutes=5, mmax=8).predicts_giant_component()
+
+    def test_tweets_in_window_scales_linearly(self):
+        model = WindowModel(window_minutes=10)
+        assert model.tweets_in_window == pytest.approx(
+            2 * WindowModel(window_minutes=5).tweets_in_window
+        )

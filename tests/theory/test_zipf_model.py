@@ -1,0 +1,98 @@
+"""Unit tests for the Zipf tags-per-tweet model (Section 5.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.theory.zipf_model import (
+    PAPER_MMAX,
+    PAPER_SKEW,
+    empirical_skew,
+    expected_edges,
+    expected_edges_per_tweet,
+    frequency_of_m_tags,
+    tags_per_tweet_distribution,
+    zipf_frequencies,
+)
+
+
+class TestZipfFrequencies:
+    def test_frequencies_sum_to_one(self):
+        assert sum(zipf_frequencies(8, 0.25)) == pytest.approx(1.0)
+
+    def test_monotonically_decreasing(self):
+        frequencies = zipf_frequencies(8, 0.25)
+        assert all(a >= b for a, b in zip(frequencies, frequencies[1:]))
+
+    def test_zero_skew_is_uniform(self):
+        frequencies = zipf_frequencies(4, 0.0)
+        assert all(f == pytest.approx(1 / 5) for f in frequencies)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(-1)
+        with pytest.raises(ValueError):
+            zipf_frequencies(5, -0.5)
+
+    @given(st.integers(1, 12), st.floats(0.0, 2.0))
+    def test_distribution_is_valid(self, mmax, skew):
+        frequencies = zipf_frequencies(mmax, skew)
+        assert len(frequencies) == mmax + 1
+        assert sum(frequencies) == pytest.approx(1.0)
+        assert all(f > 0 for f in frequencies)
+
+
+class TestDistributionHelpers:
+    def test_tags_per_tweet_distribution_keys(self):
+        distribution = tags_per_tweet_distribution()
+        assert set(distribution) == set(range(PAPER_MMAX + 1))
+
+    def test_frequency_of_m_tags_out_of_range(self):
+        assert frequency_of_m_tags(0, 8) == 0.0
+        assert frequency_of_m_tags(-1, 8) == 0.0
+        assert frequency_of_m_tags(9, 8) == 0.0
+
+    def test_frequency_normalises_over_tagged_ranks(self):
+        total = sum(frequency_of_m_tags(m, 8) for m in range(1, 9))
+        assert total == pytest.approx(1.0)
+
+    def test_frequency_decreasing_in_m(self):
+        values = [frequency_of_m_tags(m, 8) for m in range(1, 9)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestExpectedEdges:
+    def test_per_tweet_expectation_positive(self):
+        assert expected_edges_per_tweet() > 0
+
+    def test_single_tag_tweets_add_no_edges(self):
+        assert expected_edges_per_tweet(mmax=1) == 0.0
+
+    def test_linear_in_tweets(self):
+        one = expected_edges(1000)
+        two = expected_edges(2000)
+        assert two == pytest.approx(2 * one)
+
+    def test_negative_tweets_rejected(self):
+        with pytest.raises(ValueError):
+            expected_edges(-5)
+
+    def test_matches_manual_formula(self):
+        mmax, skew = 4, 0.5
+        manual = 100 * sum(
+            frequency_of_m_tags(m, mmax, skew) * math.comb(m, 2)
+            for m in range(2, mmax + 1)
+        )
+        assert expected_edges(100, mmax, skew) == pytest.approx(manual)
+
+
+class TestEmpiricalSkew:
+    def test_recovers_generating_skew(self):
+        s = 0.25
+        counts = [round(100000 / (rank**s)) for rank in range(1, 10)]
+        assert empirical_skew(counts) == pytest.approx(s, abs=0.02)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            empirical_skew([10])

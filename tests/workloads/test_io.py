@@ -1,0 +1,73 @@
+"""Unit tests for tweet-file serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.documents import Document
+from repro.workloads.generator import TwitterLikeGenerator, WorkloadConfig
+from repro.workloads.io import (
+    document_to_record,
+    load_documents,
+    read_documents,
+    record_to_document,
+    write_documents,
+)
+
+
+class TestRecordConversion:
+    def test_round_trip(self):
+        document = Document(
+            doc_id=7, tags=frozenset({"a", "b"}), timestamp=3.5, text="hello #a #b"
+        )
+        assert record_to_document(document_to_record(document)) == document
+
+    def test_text_omitted_when_empty(self):
+        record = document_to_record(Document(doc_id=1, tags=frozenset({"a"})))
+        assert "text" not in record
+
+    def test_tags_are_sorted_in_record(self):
+        record = document_to_record(Document(doc_id=1, tags=frozenset({"b", "a"})))
+        assert record["tags"] == ["a", "b"]
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(ValueError):
+            record_to_document({"timestamp": 1.0})
+        with pytest.raises(ValueError):
+            record_to_document({"id": 1, "tags": "not-a-list"})
+
+    def test_tags_normalised_on_read(self):
+        document = record_to_document({"id": 1, "tags": ["#A", "b"]})
+        assert document.tags == frozenset({"a", "b"})
+
+
+class TestFileRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        documents = TwitterLikeGenerator(WorkloadConfig(seed=4)).generate(100)
+        path = tmp_path / "tweets.jsonl"
+        written = write_documents(documents, path)
+        assert written == 100
+        loaded = load_documents(path)
+        assert [d.tags for d in loaded] == [d.tags for d in documents]
+        assert [d.doc_id for d in loaded] == [d.doc_id for d in documents]
+
+    def test_read_is_lazy_iterator(self, tmp_path):
+        path = tmp_path / "tweets.jsonl"
+        write_documents(
+            [Document(doc_id=i, tags=frozenset({"a"})) for i in range(5)], path
+        )
+        iterator = read_documents(path)
+        assert next(iterator).doc_id == 0
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "tweets.jsonl"
+        path.write_text(
+            json.dumps({"id": 1, "tags": ["a"]}) + "\n\n" + json.dumps({"id": 2, "tags": []}) + "\n"
+        )
+        assert len(load_documents(path)) == 2
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 1, "tags": ["a"]}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_documents(path)

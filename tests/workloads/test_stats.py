@@ -1,0 +1,55 @@
+"""Unit tests for workload statistics."""
+
+import pytest
+
+from repro.core.documents import documents_from_tagsets
+from repro.workloads.stats import compute_statistics, tags_per_tweet_frequencies
+
+
+@pytest.fixture
+def sample_documents():
+    return documents_from_tagsets(
+        [["a", "b"], ["a", "b"], ["a"], ["c", "d", "e"], [], ["b", "c"]]
+    )
+
+
+class TestComputeStatistics:
+    def test_counts(self, sample_documents):
+        stats = compute_statistics(sample_documents)
+        assert stats.n_documents == 6
+        assert stats.n_tagged_documents == 5
+        assert stats.n_distinct_tags == 5
+        assert stats.n_distinct_tagsets == 4
+
+    def test_tag_pairs(self, sample_documents):
+        stats = compute_statistics(sample_documents)
+        # pairs: ab, cd, ce, de, bc
+        assert stats.n_distinct_tag_pairs == 5
+
+    def test_histogram(self, sample_documents):
+        stats = compute_statistics(sample_documents)
+        assert stats.tags_per_tweet_histogram == {2: 3, 1: 1, 3: 1, 0: 1}
+
+    def test_mean_tags_per_tweet(self, sample_documents):
+        stats = compute_statistics(sample_documents)
+        assert stats.mean_tags_per_tweet == pytest.approx(10 / 6)
+
+    def test_most_common_tags(self, sample_documents):
+        stats = compute_statistics(sample_documents)
+        top_tag, count = stats.most_common_tags(1)[0]
+        assert top_tag in {"a", "b"}
+        assert count == 3
+
+    def test_empty_stream(self):
+        stats = compute_statistics([])
+        assert stats.n_documents == 0
+        assert stats.mean_tags_per_tweet == 0.0
+
+
+class TestFrequencies:
+    def test_frequencies_sum_to_one(self, sample_documents):
+        frequencies = tags_per_tweet_frequencies(sample_documents)
+        assert sum(frequencies.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert tags_per_tweet_frequencies([]) == {}
