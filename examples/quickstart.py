@@ -52,8 +52,11 @@ def main() -> None:
 
     print("\n--- run report -------------------------------------------")
     print(f"algorithm                 : {report.algorithm}")
+    print(f"calculator mode           : {report.calculator_mode}")
     print(f"average communication     : {report.communication_avg:.3f} "
           f"(1.0 = no redundant forwarding)")
+    print(f"notification messages     : {report.notification_messages} "
+          f"(batched {report.batch_amortization:.1f}x)")
     print(f"load Gini coefficient     : {report.load_gini:.3f}")
     print(f"max Calculator load share : {report.load_max_share:.3f}")
     print(f"repartitions              : {report.n_repartitions} "

@@ -22,9 +22,13 @@ Quickstart
 >>> from repro import SystemConfig, TagCorrelationSystem, WorkloadConfig
 >>> from repro.workloads import TwitterLikeGenerator
 >>> docs = TwitterLikeGenerator(WorkloadConfig(seed=1)).generate(3000)
->>> report = TagCorrelationSystem(SystemConfig.scaled_down("DS")).run(docs)
+>>> config = SystemConfig.scaled_down("DS", scale=0.005)
+>>> report = TagCorrelationSystem(config).run(docs)
 >>> report.communication_avg >= 1.0
 True
+
+See ``README.md`` for the full quickstart (including the sketch-backed
+approximate tracking mode) and ``docs/ARCHITECTURE.md`` for the dataflow.
 """
 
 from .core import (

@@ -4,14 +4,25 @@ Provides the handful of workflows a user needs without writing Python:
 
 * ``repro generate`` — write a synthetic Twitter-like trace to a JSONL file,
 * ``repro run`` — run the distributed tag-correlation system over a trace
-  (or a freshly generated one) and print the run report,
+  (or a freshly generated one) and print the run report.  ``--calculator
+  sketch`` switches the Calculators to the MinHash/Count-Min approximate
+  tracking mode; ``--batch-size`` controls the Disseminator's notification
+  micro-batches (``1`` disables batching),
 * ``repro compare`` — run several partitioning algorithms over the same
   trace and print the evaluation metrics side by side,
 * ``repro connectivity`` — the Figure-7 connectivity analysis of a trace,
 * ``repro theory`` — print the Section-5 analytic tables.
 
 Invoke as ``python -m repro.cli <command> ...`` (or wire the ``repro``
-entry point in your environment).
+entry point in your environment); ``--help`` on the top level and on every
+subcommand documents the options, and the top-level epilog carries
+copy-paste examples.
+
+Examples::
+
+    python -m repro.cli run --documents 8000 --k 8 --algorithm DS
+    python -m repro.cli run --documents 8000 --calculator sketch
+    python -m repro.cli compare --documents 6000 --algorithms DS,SCL
 """
 
 from __future__ import annotations
@@ -55,6 +66,15 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
                         help="partitioning window size in documents")
     parser.add_argument("--bootstrap", type=int, default=600,
                         help="documents observed before the first partitioning")
+    parser.add_argument("--calculator", choices=("exact", "sketch"), default="exact",
+                        help="Calculator mode: exact subset counters or the "
+                             "MinHash/Count-Min approximate tracking mode")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="routed tagsets per notification micro-batch "
+                             "(1 = one message per routed tagset)")
+    parser.add_argument("--minhash-perms", type=int, default=512,
+                        help="MinHash signature width of the sketch mode "
+                             "(estimate stddev is about 1/sqrt of this)")
 
 
 def _workload_from_args(args: argparse.Namespace) -> list[Document]:
@@ -78,6 +98,9 @@ def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = N
         bootstrap_documents=args.bootstrap,
         quality_check_interval=max(50, args.window // 6),
         report_interval_seconds=60.0,
+        calculator=getattr(args, "calculator", "exact"),
+        notification_batch_size=getattr(args, "batch_size", 64),
+        minhash_permutations=getattr(args, "minhash_perms", 512),
     )
 
 
@@ -89,9 +112,12 @@ def _load_or_generate(args: argparse.Namespace) -> list[Document]:
 
 def _print_report(report: RunReport) -> None:
     print(f"algorithm                 : {report.algorithm}")
+    print(f"calculator mode           : {report.calculator_mode}")
     print(f"documents processed       : {report.documents_processed}")
     print(f"tagged documents          : {report.tagged_documents}")
     print(f"average communication     : {report.communication_avg:.3f}")
+    print(f"notification messages     : {report.notification_messages}")
+    print(f"batch amortization        : {report.batch_amortization:.2f}x")
     print(f"load Gini coefficient     : {report.load_gini:.3f}")
     print(f"max Calculator load share : {report.load_max_share:.3f}")
     print(f"repartitions              : {report.n_repartitions} {report.repartition_reasons}")
@@ -100,6 +126,11 @@ def _print_report(report: RunReport) -> None:
     if report.jaccard is not None:
         print(f"jaccard coverage          : {report.jaccard_coverage:.3f}")
         print(f"jaccard mean error        : {report.jaccard_mean_error:.4f}")
+    if report.sketch_stats is not None:
+        stats = report.sketch_stats
+        print(f"minhash permutations      : {int(stats['minhash_permutations'])}")
+        print(f"estimate stddev bound     : {stats['estimate_stddev_bound']:.4f}")
+        print(f"tracked tagset keys       : {int(stats['tracked_tagsets'])}")
 
 
 # --------------------------------------------------------------------- #
@@ -167,10 +198,38 @@ def cmd_theory(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------- #
+_EPILOG = """\
+subcommands:
+  generate      write a synthetic Twitter-like trace to a JSONL file
+  run           run the distributed tag-correlation system over a trace
+                (use --calculator sketch for the approximate tracking mode,
+                --batch-size to tune the notification micro-batches)
+  compare       run several partitioning algorithms over the same trace and
+                print the evaluation metrics side by side
+  connectivity  Figure-7 connectivity analysis of a trace
+  theory        print the Section-5 analytic tables
+
+examples:
+  # Generate a 10k-document trace, then replay it through the system:
+  python -m repro.cli generate --documents 10000 --output trace.jsonl
+  python -m repro.cli run --input trace.jsonl --algorithm DS --k 10
+
+  # Approximate tracking mode with batched notifications:
+  python -m repro.cli run --documents 8000 --calculator sketch --batch-size 64
+
+  # Paper-style algorithm comparison (Figures 3-6):
+  python -m repro.cli compare --documents 8000 --algorithms DS,SCI,SCC,SCL
+
+Use "python -m repro.cli <subcommand> --help" for per-command options.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tracking Set Correlations at Large Scale - reproduction CLI",
+        epilog=_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

@@ -1,6 +1,7 @@
 """The operators of the Figure-2 topology plus the centralised baseline."""
 
-from .calculator import CalculatorBolt
+from .calculator import BaseCalculatorBolt, CalculatorBolt
+from .sketch_calculator import SketchCalculatorBolt
 from .centralized import CentralizedCalculatorBolt
 from .disseminator import (
     DisseminatorBolt,
@@ -20,7 +21,9 @@ from .tracker import TrackerBolt
 from . import streams
 
 __all__ = [
+    "BaseCalculatorBolt",
     "CalculatorBolt",
+    "SketchCalculatorBolt",
     "CentralizedCalculatorBolt",
     "DisseminatorBolt",
     "DisseminatorMetrics",

@@ -6,9 +6,23 @@ notification ``{t_1, ..., t_n}`` increments the counters of *all* subsets of
 the notification; every ``report_interval`` simulated seconds the maximum
 possible number of Jaccard coefficients is computed from the counters, the
 results are emitted to the Tracker and the counters are deleted.
+
+Notifications arrive either as legacy single tuples (``{"tags": ...}``) or —
+with the batched notification engine — as one ``{"batch": [(tags, doc_id),
+...]}`` tuple per Disseminator micro-batch.  :class:`BaseCalculatorBolt`
+unpacks both shapes and drives the periodic reporting; the two concrete
+modes only differ in the estimator behind :meth:`_observe`:
+
+* :class:`CalculatorBolt` — the paper's exact subset counters
+  (:class:`~repro.core.jaccard.JaccardCalculator`),
+* :class:`~repro.operators.sketch_calculator.SketchCalculatorBolt` — the
+  MinHash/Count-Min approximate mode
+  (:class:`~repro.sketches.SketchJaccardEstimator`).
 """
 
 from __future__ import annotations
+
+import abc
 
 from ..core.jaccard import JaccardCalculator, JaccardResult
 from ..streamsim.components import Bolt
@@ -16,28 +30,53 @@ from ..streamsim.tuples import TupleMessage
 from .streams import COEFFICIENTS, NOTIFICATIONS
 
 
-class CalculatorBolt(Bolt):
-    """Counts notifications and periodically reports Jaccard coefficients."""
+class BaseCalculatorBolt(Bolt):
+    """Shared notification handling and periodic reporting of both modes."""
 
-    def __init__(
-        self,
-        report_interval: float = 300.0,
-        max_tags_per_document: int = 12,
-    ) -> None:
+    #: Name of the mode as it appears in ``SystemConfig.calculator``.
+    mode = "base"
+
+    def __init__(self, report_interval: float = 300.0) -> None:
         super().__init__()
         if report_interval <= 0:
             raise ValueError("report_interval must be positive")
         self.report_interval = report_interval
-        self.calculator = JaccardCalculator(max_tags_per_document)
         self.notifications_received = 0
+        self.batches_received = 0
         self.reports_emitted = 0
         self._last_report = 0.0
 
+    # ------------------------------------------------------------------ #
+    # Mode-specific estimator interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _observe(self, tags, doc_id) -> None:
+        """Record one tagset notification (``doc_id`` may be ``None``)."""
+
+    @abc.abstractmethod
+    def _report(self, reset: bool) -> list[JaccardResult]:
+        """Coefficients of every tracked tagset of at least two tags."""
+
+    @property
+    @abc.abstractmethod
+    def observations(self) -> int:
+        """Notifications recorded since the last resetting report."""
+
+    # ------------------------------------------------------------------ #
+    # Tuple handling
+    # ------------------------------------------------------------------ #
     def execute(self, message: TupleMessage) -> None:
         if message.stream != NOTIFICATIONS:
             return
-        self.calculator.observe(message["tags"])
-        self.notifications_received += 1
+        batch = message.get("batch")
+        if batch is not None:
+            self.batches_received += 1
+            for tags, doc_id in batch:
+                self._observe(tags, doc_id)
+                self.notifications_received += 1
+        else:
+            self._observe(message["tags"], message.get("doc_id"))
+            self.notifications_received += 1
 
     def tick(self, simulation_time: float) -> None:
         if simulation_time - self._last_report < self.report_interval:
@@ -46,9 +85,9 @@ class CalculatorBolt(Bolt):
         self._emit_report(simulation_time)
 
     def _emit_report(self, timestamp: float) -> None:
-        if self.calculator.observations == 0:
+        if self.observations == 0:
             return
-        results = self.calculator.report(min_size=2, reset=True)
+        results = self._report(reset=True)
         if not results:
             return
         # One batched tuple per report round: shipping hundreds of thousands
@@ -70,4 +109,28 @@ class CalculatorBolt(Bolt):
         simulated clock stops advancing when the stream ends and a final
         tick would otherwise never fire.
         """
-        return self.calculator.report(min_size=2, reset=True)
+        return self._report(reset=True)
+
+
+class CalculatorBolt(BaseCalculatorBolt):
+    """Exact mode: subset counters and inclusion–exclusion (Equation 2)."""
+
+    mode = "exact"
+
+    def __init__(
+        self,
+        report_interval: float = 300.0,
+        max_tags_per_document: int = 12,
+    ) -> None:
+        super().__init__(report_interval=report_interval)
+        self.calculator = JaccardCalculator(max_tags_per_document)
+
+    def _observe(self, tags, doc_id) -> None:
+        self.calculator.observe(tags)
+
+    def _report(self, reset: bool) -> list[JaccardResult]:
+        return self.calculator.report(min_size=2, reset=reset)
+
+    @property
+    def observations(self) -> int:
+        return self.calculator.observations

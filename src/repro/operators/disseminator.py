@@ -68,12 +68,20 @@ class RepartitionEvent:
 
 @dataclass(slots=True)
 class DisseminatorMetrics:
-    """Experiment-level counters exposed to the pipeline after a run."""
+    """Experiment-level counters exposed to the pipeline after a run.
+
+    ``communication`` counts *logical* notifications (one per routed tagset
+    per Calculator, the paper's Section 8.2.1 metric) and is independent of
+    the physical batching; ``notification_messages`` counts the batched
+    tuples actually shipped to Calculators, so their ratio is the batching
+    amortization factor.
+    """
 
     communication: CommunicationTracker = field(default_factory=CommunicationTracker)
     load: LoadTracker = field(default_factory=LoadTracker)
     unrouted_tagsets: int = 0
     notified_tagsets: int = 0
+    notification_messages: int = 0
     repartitions: list[RepartitionEvent] = field(default_factory=list)
     history: list[QualitySnapshot] = field(default_factory=list)
     single_addition_requests: int = 0
@@ -89,18 +97,30 @@ class DisseminatorBolt(Bolt):
         single_addition_threshold: int = 3,
         quality_check_interval: int = 1000,
         bootstrap_documents: int = 1000,
+        notification_batch_size: int = 1,
     ) -> None:
         super().__init__()
         if repartition_threshold < 0:
             raise ValueError("repartition_threshold must be non-negative")
         if single_addition_threshold < 1:
             raise ValueError("single_addition_threshold must be at least 1")
+        if notification_batch_size < 1:
+            raise ValueError("notification_batch_size must be at least 1")
         self.k = k
         self.thr = repartition_threshold
         self.sn = single_addition_threshold
         self.z = quality_check_interval
         self.bootstrap_documents = bootstrap_documents
+        self.notification_batch_size = notification_batch_size
         self.metrics = DisseminatorMetrics()
+
+        # Pending notification batches, one list of (tags, doc_id) entries
+        # per Calculator task.  Flushed every ``notification_batch_size``
+        # routed tagsets, on every simulated-clock tick (bounded staleness)
+        # and at end of stream.
+        self._pending: dict[int, list[tuple[frozenset[str], object]]] = {}
+        self._pending_tagsets = 0
+        self._pending_timestamp = 0.0
 
         self._assignment: PartitionAssignment | None = None
         self._calculator_tasks: list[int] = []
@@ -154,6 +174,9 @@ class DisseminatorBolt(Bolt):
         self._documents_seen += 1
         tagset: frozenset[str] = message["tagset"]
         timestamp = message.get("timestamp", 0.0)
+        doc_id = message.get("doc_id")
+        if doc_id is None:
+            doc_id = (self.task_id, self._documents_seen)
 
         if self._assignment is None:
             self.metrics.unrouted_tagsets += 1
@@ -173,11 +196,11 @@ class DisseminatorBolt(Bolt):
             task_id = self._task_for_partition(partition_index)
             if task_id is None:
                 continue
-            self.emit_direct(
-                task_id,
-                {"tags": tags, "timestamp": timestamp},
-                stream=NOTIFICATIONS,
-            )
+            self._pending.setdefault(task_id, []).append((tags, doc_id))
+        self._pending_tagsets += 1
+        self._pending_timestamp = timestamp
+        if self._pending_tagsets >= self.notification_batch_size:
+            self._flush_notifications()
         n_notifications = len(routes)
         self.metrics.notified_tagsets += 1
         self.metrics.communication.record(n_notifications)
@@ -186,6 +209,52 @@ class DisseminatorBolt(Bolt):
             self.metrics.load.record(partition_index)
             self._rolling_load.record(partition_index)
         self._maybe_check_quality(timestamp)
+
+    def _flush_notifications(self) -> None:
+        """Ship one batched notification tuple per Calculator with pending work.
+
+        With ``notification_batch_size == 1`` the engine degrades to the
+        paper's unbatched wire format — one ``{"tags": ...}`` tuple per
+        routed tagset — so the physical message count equals the logical
+        notification count and pre-batching consumers keep working.
+        """
+        if not self._pending:
+            self._pending_tagsets = 0
+            return
+        unbatched = self.notification_batch_size == 1
+        for task_id, entries in self._pending.items():
+            if not entries:
+                continue
+            if unbatched:
+                for tags, doc_id in entries:
+                    self.emit_direct(
+                        task_id,
+                        {
+                            "tags": tags,
+                            "doc_id": doc_id,
+                            "timestamp": self._pending_timestamp,
+                        },
+                        stream=NOTIFICATIONS,
+                    )
+                    self.metrics.notification_messages += 1
+            else:
+                self.emit_direct(
+                    task_id,
+                    {"batch": entries, "timestamp": self._pending_timestamp},
+                    stream=NOTIFICATIONS,
+                )
+                self.metrics.notification_messages += 1
+        self._pending = {}
+        self._pending_tagsets = 0
+
+    def tick(self, simulation_time: float) -> None:
+        # Time-based flush bounds notification staleness to one tick even
+        # when the stream is slower than the micro-batch size.
+        self._flush_notifications()
+
+    def flush(self) -> None:
+        """End-of-stream hook: deliver the final partial micro-batch."""
+        self._flush_notifications()
 
     def _task_for_partition(self, partition_index: int) -> int | None:
         if not self._calculator_tasks:

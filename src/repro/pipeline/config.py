@@ -47,6 +47,24 @@ class SystemConfig:
     include_centralized_baseline: bool = True
     algorithm_options: dict[str, Any] = field(default_factory=dict)
 
+    #: Calculator mode: ``"exact"`` uses the paper's subset counters,
+    #: ``"sketch"`` the MinHash/Count-Min approximate tracking mode.
+    calculator: str = "exact"
+    #: Routed tagsets per notification micro-batch (1 = unbatched legacy
+    #: behaviour: one message per routed tagset per Calculator).
+    notification_batch_size: int = 64
+    #: MinHash signature width of the sketch mode (standard error of each
+    #: Jaccard estimate is roughly ``1/sqrt(minhash_permutations)``).
+    minhash_permutations: int = 512
+    #: Seed of the shared MinHash permutation family.
+    minhash_seed: int = 1
+    #: Count-Min parameters for the sketch mode's support counts.
+    countmin_epsilon: float = 0.002
+    countmin_delta: float = 0.01
+    #: Largest tag-combination size the sketch mode reports (the
+    #: centralised baseline's cap).
+    sketch_max_subset_size: int = 4
+
     def validate(self) -> None:
         if self.k < 1:
             raise ValueError("k must be at least 1")
@@ -60,6 +78,18 @@ class SystemConfig:
             raise ValueError("bootstrap_documents must be at least 1")
         if self.repartition_threshold < 0:
             raise ValueError("repartition_threshold must be non-negative")
+        if self.calculator not in ("exact", "sketch"):
+            raise ValueError("calculator must be 'exact' or 'sketch'")
+        if self.notification_batch_size < 1:
+            raise ValueError("notification_batch_size must be at least 1")
+        if self.minhash_permutations < 8:
+            raise ValueError("minhash_permutations must be at least 8")
+        if not 0.0 < self.countmin_epsilon < 1.0:
+            raise ValueError("countmin_epsilon must be in (0, 1)")
+        if not 0.0 < self.countmin_delta < 1.0:
+            raise ValueError("countmin_delta must be in (0, 1)")
+        if self.sketch_max_subset_size < 2:
+            raise ValueError("sketch_max_subset_size must be at least 2")
 
     def with_overrides(self, **overrides: Any) -> "SystemConfig":
         """A copy of the config with the given fields replaced."""

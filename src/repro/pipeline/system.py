@@ -11,7 +11,11 @@ every metric of the paper's evaluation into a :class:`RunReport`:
   baseline for tagsets seen more than ``sn`` times (Section 8.2.3),
 * Repartitions — count and trigger breakdown (Section 8.2.4),
 * Quality over time — snapshots of communication and load between
-  repartitions (Section 8.2.5).
+  repartitions (Section 8.2.5),
+* Batching — physical notification messages and the amortization factor of
+  the batched Disseminator→Calculator engine,
+* Sketch accuracy — MinHash/Count-Min parameters and tracked-key counts
+  when the approximate tracking mode (``calculator="sketch"``) is active.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from ..core.metrics import (
     max_load_share,
 )
 from ..operators import (
+    BaseCalculatorBolt,
     CalculatorBolt,
     CentralizedCalculatorBolt,
     DisseminatorBolt,
@@ -36,6 +41,7 @@ from ..operators import (
     PartitionerBolt,
     QualitySnapshot,
     RepartitionEvent,
+    SketchCalculatorBolt,
     TrackerBolt,
 )
 from ..operators import streams
@@ -69,6 +75,16 @@ class RunReport:
     history: list[QualitySnapshot] = field(default_factory=list)
     repartition_events: list[RepartitionEvent] = field(default_factory=list)
 
+    #: Which Calculator implementation ran: "exact" or "sketch".
+    calculator_mode: str = "exact"
+    #: Physical batched notification tuples shipped Disseminator→Calculators.
+    notification_messages: int = 0
+    #: Logical notifications per physical message (≥ 1; the batching win).
+    batch_amortization: float = 1.0
+    #: Sketch-mode accuracy/size figures (None in exact mode): MinHash width,
+    #: the per-estimate standard error bound and the tracked-key count.
+    sketch_stats: dict[str, float] | None = None
+
     @property
     def jaccard_coverage(self) -> float:
         """Fraction of qualifying tagsets that received some coefficient."""
@@ -88,6 +104,8 @@ class RunReport:
             "jaccard_error": self.jaccard_mean_error,
             "jaccard_coverage": self.jaccard_coverage,
             "single_additions": float(self.single_additions_applied),
+            "notification_messages": float(self.notification_messages),
+            "batch_amortization": self.batch_amortization,
         }
 
 
@@ -122,6 +140,9 @@ class TagCorrelationSystem:
                 k=config.k,
                 window_mode=config.window_mode,
                 window_size=config.window_size,
+                approximate_counts=config.calculator == "sketch",
+                countmin_epsilon=config.countmin_epsilon,
+                countmin_delta=config.countmin_delta,
             ),
             parallelism=config.n_partitioners,
         ).fields_grouping(streams.PARSER, ["tagset"], streams.TAGSETS).all_grouping(
@@ -147,6 +168,7 @@ class TagCorrelationSystem:
                 single_addition_threshold=config.single_addition_threshold,
                 quality_check_interval=config.quality_check_interval,
                 bootstrap_documents=config.bootstrap_documents,
+                notification_batch_size=config.notification_batch_size,
             ),
             parallelism=config.n_disseminators,
         ).shuffle_grouping(streams.PARSER, streams.TAGSETS).all_grouping(
@@ -155,10 +177,7 @@ class TagCorrelationSystem:
 
         builder.set_bolt(
             streams.CALCULATOR,
-            lambda: CalculatorBolt(
-                report_interval=config.report_interval_seconds,
-                max_tags_per_document=config.max_tags_per_document,
-            ),
+            self._calculator_factory(),
             parallelism=config.k,
         ).direct_grouping(streams.DISSEMINATOR, streams.NOTIFICATIONS)
 
@@ -176,6 +195,24 @@ class TagCorrelationSystem:
             ).shuffle_grouping(streams.PARSER, streams.TAGSETS)
 
         return Cluster(builder.build(), tick_interval=config.tick_interval_seconds)
+
+    def _calculator_factory(self):
+        """Factory for the configured Calculator mode (exact or sketch)."""
+        config = self.config
+        if config.calculator == "sketch":
+            return lambda: SketchCalculatorBolt(
+                report_interval=config.report_interval_seconds,
+                max_tags_per_document=config.max_tags_per_document,
+                num_perm=config.minhash_permutations,
+                seed=config.minhash_seed,
+                countmin_epsilon=config.countmin_epsilon,
+                countmin_delta=config.countmin_delta,
+                max_subset_size=config.sketch_max_subset_size,
+            )
+        return lambda: CalculatorBolt(
+            report_interval=config.report_interval_seconds,
+            max_tags_per_document=config.max_tags_per_document,
+        )
 
     # ------------------------------------------------------------------ #
     # Running
@@ -209,7 +246,7 @@ class TagCorrelationSystem:
         calculators = [
             bolt
             for bolt in cluster.instances_of(streams.CALCULATOR)
-            if isinstance(bolt, CalculatorBolt)
+            if isinstance(bolt, BaseCalculatorBolt)
         ]
         trackers = [
             bolt for bolt in cluster.instances_of(streams.TRACKER)
@@ -221,6 +258,13 @@ class TagCorrelationSystem:
         ]
         tracker = trackers[0]
 
+        # Tracked-key count must be sampled before the final drain resets it.
+        sketch_tracked_total = sum(
+            bolt.estimator.tracked_tagsets
+            for bolt in calculators
+            if isinstance(bolt, SketchCalculatorBolt)
+        )
+
         # Final flush: counters still held by Calculators are reported to the
         # Tracker directly (the simulated clock stops with the stream).
         for calculator in calculators:
@@ -230,6 +274,7 @@ class TagCorrelationSystem:
         notifications = 0
         routed = 0
         unrouted = 0
+        notification_messages = 0
         loads = [0] * config.k
         repartition_events: list[RepartitionEvent] = []
         history: list[QualitySnapshot] = []
@@ -239,6 +284,7 @@ class TagCorrelationSystem:
             notifications += metrics.communication.notifications
             routed += metrics.communication.routed_tagsets
             unrouted += metrics.unrouted_tagsets
+            notification_messages += metrics.notification_messages
             for index, load in enumerate(metrics.load.loads(config.k)):
                 loads[index] += load
             repartition_events.extend(metrics.repartitions)
@@ -253,6 +299,21 @@ class TagCorrelationSystem:
             reasons[event.reason] = reasons.get(event.reason, 0) + 1
 
         jaccard_report = self._jaccard_report(cluster, tracker)
+
+        batch_amortization = (
+            notifications / notification_messages if notification_messages else 1.0
+        )
+        sketch_stats: dict[str, float] | None = None
+        sketch_calculators = [
+            bolt for bolt in calculators if isinstance(bolt, SketchCalculatorBolt)
+        ]
+        if config.calculator == "sketch" and sketch_calculators:
+            sketch_stats = {
+                "minhash_permutations": float(config.minhash_permutations),
+                "estimate_stddev_bound": sketch_calculators[0].estimator.error_bound,
+                "countmin_epsilon": config.countmin_epsilon,
+                "tracked_tagsets": float(sketch_tracked_total),
+            }
 
         return RunReport(
             algorithm=config.algorithm,
@@ -274,6 +335,10 @@ class TagCorrelationSystem:
             jaccard=jaccard_report,
             history=history,
             repartition_events=repartition_events,
+            calculator_mode=config.calculator,
+            notification_messages=notification_messages,
+            batch_amortization=batch_amortization,
+            sketch_stats=sketch_stats,
         )
 
     def _jaccard_report(

@@ -1,7 +1,61 @@
-"""Probabilistic sketches used as related-work baselines (paper Section 2)."""
+"""Probabilistic sketches: related-work baselines and the approximate mode.
+
+The paper (Section 2) argues that probabilistic set representations are a
+poor fit for *exact* correlation tracking because their false positives make
+disjoint tags look co-occurring.  This package both quantifies that argument
+(see ``benchmarks/test_sketch_baseline.py``) and embraces its flip side: the
+sketches power the system's **approximate tracking mode**, where speed and
+bounded memory are traded for a quantified estimation error
+(``SystemConfig(calculator="sketch")``).
+
+Contents
+--------
+:class:`MinHash` / :class:`MinHashLSH`
+    Jaccard-preserving signatures and a banded LSH index.  Besides the
+    classic pairwise estimate, :meth:`MinHash.jaccard_multiway` estimates
+    the paper's multi-way coefficient ``|⋂ T_t| / |⋃ T_t|`` directly from
+    per-tag signatures — the sketch-mode replacement for Equation (2)'s
+    inclusion–exclusion.
+:class:`CountMinSketch`
+    Approximate frequency counts with an additive over-estimate bound; the
+    sketch mode uses it for the support counts ``CN(s_i)``.
+:class:`BloomFilter`
+    Approximate set membership (related-work baseline only).
+:class:`SketchJaccardEstimator`
+    The drop-in replacement for the exact
+    :class:`~repro.core.jaccard.JaccardCalculator` used by
+    :class:`~repro.operators.SketchCalculatorBolt`.
+
+Examples
+--------
+Estimate a pairwise Jaccard coefficient from signatures::
+
+    >>> from repro.sketches import MinHash
+    >>> left = MinHash.from_items(range(0, 150), num_perm=256)
+    >>> right = MinHash.from_items(range(50, 200), num_perm=256)
+    >>> abs(left.jaccard(right) - 0.5) < 0.15   # true J = 100/200
+    True
+
+Count tag-pair frequencies in bounded memory::
+
+    >>> from repro.sketches import CountMinSketch
+    >>> sketch = CountMinSketch(epsilon=0.01, delta=0.01)
+    >>> for _ in range(42):
+    ...     sketch.add(("beer", "munich"))
+    >>> sketch.estimate(("beer", "munich")) >= 42  # never under-estimates
+    True
+
+Run the full approximate tracking pipeline::
+
+    from repro import SystemConfig, TagCorrelationSystem
+    config = SystemConfig.scaled_down("DS", calculator="sketch")
+    report = TagCorrelationSystem(config).run(documents)
+    print(report.jaccard_mean_error, report.sketch_stats)
+"""
 
 from .bloom import BloomFilter, optimal_parameters
 from .countmin import CountMinSketch
+from .estimator import SketchJaccardEstimator
 from .minhash import (
     MinHash,
     MinHashLSH,
@@ -14,6 +68,7 @@ __all__ = [
     "CountMinSketch",
     "MinHash",
     "MinHashLSH",
+    "SketchJaccardEstimator",
     "candidate_probability",
     "estimate_pairwise_jaccard",
     "optimal_parameters",

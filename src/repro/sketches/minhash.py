@@ -4,9 +4,13 @@ The paper computes exact Jaccard coefficients via counters; its related-work
 section argues that probabilistic sketches are a poor fit because false
 positives make disjoint tags look co-occurring.  To quantify that argument
 (and to provide the standard sketching baseline one would reach for today)
-this module implements MinHash signatures with the classic
-``(a*x + b) mod p`` universal hash family, plus a banded LSH index for
-finding candidate pairs above a similarity threshold.
+this module implements MinHash signatures with the multiply-add-shift
+universal hash family (Dietzfelbinger et al.): with an odd random ``a`` and
+a random ``b``, ``h(x) = ((a*x + b) mod 2^64) >> 32`` is 2-universal on
+64-bit words — and the wraparound multiply is exactly what vectorised
+``uint64`` arithmetic computes, so the permutations stay a single numpy
+expression.  A banded LSH index for finding candidate pairs above a
+similarity threshold rounds out the module.
 """
 
 from __future__ import annotations
@@ -17,7 +21,6 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
-_MERSENNE_PRIME = (1 << 61) - 1
 _MAX_HASH = (1 << 32) - 1
 
 
@@ -46,16 +49,42 @@ class MinHash:
         self.num_perm = num_perm
         self.seed = seed
         rng = np.random.default_rng(seed)
-        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
-        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_perm, dtype=np.uint64)
+        # Multiply-add-shift parameters: a must be odd for 2-universality.
+        self._a = rng.integers(0, 1 << 64, size=num_perm, dtype=np.uint64) | np.uint64(1)
+        self._b = rng.integers(0, 1 << 64, size=num_perm, dtype=np.uint64)
         self.values = np.full(num_perm, _MAX_HASH, dtype=np.uint64)
 
     def update(self, item: Hashable) -> None:
         """Add one element to the underlying set."""
-        raw = np.uint64(_stable_hash(item))
-        hashes = (self._a * raw + self._b) % np.uint64(_MERSENNE_PRIME)
-        hashes &= np.uint64(_MAX_HASH)
+        self.update_hashed(_stable_hash(item))
+
+    def update_hashed(self, raw_hash: int) -> None:
+        """Add an element given its precomputed 32-bit :func:`_stable_hash`.
+
+        Callers that update many signatures with the same element (e.g. one
+        document id fanned out to every tag of the document) hash the element
+        once and reuse the digest, which halves the per-update cost.
+        """
+        raw = np.uint64(raw_hash)
+        # Wraparound mod 2^64 is intentional: it is the multiply-add-shift
+        # family's modulus, computed for free by uint64 arithmetic.
+        hashes = (self._a * raw + self._b) >> np.uint64(32)
         np.minimum(self.values, hashes, out=self.values)
+
+    def spawn(self) -> "MinHash":
+        """An empty signature sharing this one's permutation parameters.
+
+        Unlike the constructor this skips re-seeding the permutation RNG, so
+        it is cheap enough to call once per distinct tag in a stream; the
+        spawned signature is comparable with the parent and its siblings.
+        """
+        clone = object.__new__(MinHash)
+        clone.num_perm = self.num_perm
+        clone.seed = self.seed
+        clone._a = self._a
+        clone._b = self._b
+        clone.values = np.full(self.num_perm, _MAX_HASH, dtype=np.uint64)
+        return clone
 
     def update_all(self, items: Iterable[Hashable]) -> None:
         for item in items:
@@ -65,6 +94,28 @@ class MinHash:
         """Estimate the Jaccard similarity with another signature."""
         self._check_compatible(other)
         return float(np.mean(self.values == other.values))
+
+    @staticmethod
+    def jaccard_multiway(signatures: Sequence["MinHash"]) -> float:
+        """Estimate the multi-way Jaccard coefficient of several sets.
+
+        Equation (1) generalises to ``|⋂ T_t| / |⋃ T_t|``; for one random
+        permutation the minimum over the union is shared by *all* sets
+        exactly when the union's minimiser lies in the intersection, which
+        happens with probability ``|⋂| / |⋃|``.  The fraction of signature
+        positions where every set agrees is therefore an unbiased estimate
+        of the multi-way coefficient, with the usual ``1/sqrt(num_perm)``
+        standard error.
+        """
+        if not signatures:
+            return 0.0
+        first = signatures[0]
+        for other in signatures[1:]:
+            first._check_compatible(other)
+        if len(signatures) == 1:
+            return 1.0 if not first.is_empty() else 0.0
+        stacked = np.stack([signature.values for signature in signatures])
+        return float(np.mean(np.all(stacked == stacked[0], axis=0)))
 
     def merge(self, other: "MinHash") -> None:
         """Union: after merging, the signature represents the union of sets."""

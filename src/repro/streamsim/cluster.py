@@ -167,7 +167,12 @@ class Cluster:
     def run(self, max_spout_calls: int | None = None) -> int:
         """Run until every spout is exhausted (or the call budget is spent).
 
-        Returns the number of spout invocations that produced output.
+        Returns the number of spout invocations that produced output.  A
+        budgeted stop is treated as end of stream: buffered bolts (e.g. the
+        Disseminator's partial notification micro-batch) are flushed before
+        returning, so every routed tuple is delivered and inspectable —
+        physical message counts of a budget-sliced run may therefore exceed
+        those of one continuous run.
         """
         spout_tasks = [
             task
@@ -195,6 +200,7 @@ class Cluster:
                 self._route_emissions(task)
                 self._drain_queue()
         self._drain_queue()
+        self._flush_bolts()
         return productive_calls
 
     def process(self, message: TupleMessage, component: str, task_index: int = 0) -> None:
@@ -206,9 +212,12 @@ class Cluster:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _route_emissions(self, task: TaskInfo) -> None:
+    def _route_emissions(self, task: TaskInfo) -> int:
+        emitted = 0
         for emission in task.collector.drain():
             self._route(task.component, emission)
+            emitted += 1
+        return emitted
 
     def _route(self, producer: str, emission: Emission) -> None:
         message = emission.message
@@ -234,6 +243,26 @@ class Cluster:
             task_id, message = self._queue.popleft()
             task = self._tasks[task_id]
             self._deliver(task, message)
+
+    def _flush_bolts(self) -> None:
+        """End-of-stream flush: let every bolt emit buffered output.
+
+        Flush passes repeat until a full pass releases nothing, so tuples
+        released by an upstream bolt's flush that were then buffered by a
+        downstream buffering bolt are flushed in a later pass — chains of
+        buffering bolts drain transitively.  ``flush`` is therefore called
+        at least once and possibly several times per bolt; implementations
+        must tolerate repeated calls (a drained buffer flushes to nothing).
+        """
+        while True:
+            released = 0
+            for task in self._tasks:
+                if isinstance(task.instance, Bolt):
+                    task.instance.flush()
+                    released += self._route_emissions(task)
+            self._drain_queue()
+            if not released:
+                return
 
     def _deliver(self, task: TaskInfo, message: TupleMessage) -> None:
         bolt = task.instance

@@ -84,3 +84,15 @@ class Bolt(Component):
         Operators that act on a timer (e.g. Calculators reporting their
         Jaccard coefficients every ``y`` time units) override this.
         """
+
+    def flush(self) -> None:
+        """End-of-stream callback: emit any buffered output.
+
+        The cluster calls this on every bolt after all spouts are exhausted
+        and the queue has drained, then routes whatever was emitted —
+        repeating the pass until nothing new is released, so chained
+        buffering bolts drain transitively.  Operators that buffer tuples
+        (e.g. the Disseminator's batched notifications) override this so no
+        data is lost when the simulated clock stops with the stream; the
+        override must tolerate being called more than once.
+        """

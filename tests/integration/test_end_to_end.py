@@ -97,9 +97,15 @@ class TestAccountingConsistency:
         system = TagCorrelationSystem(small_config("DS"))
         report = system.run(documents)
         cluster = system.cluster
+        # Physical layer: delivered tuples equal the batched message count.
         delivered = cluster.accounting.link(streams.DISSEMINATOR, streams.CALCULATOR)
-        recorded = sum(report.calculator_loads)
-        assert delivered == recorded
+        assert delivered == report.notification_messages
+        # Logical layer: unpacked notifications equal the recorded loads.
+        received = sum(
+            bolt.notifications_received  # type: ignore[attr-defined]
+            for bolt in cluster.instances_of(streams.CALCULATOR)
+        )
+        assert received == sum(report.calculator_loads)
 
     def test_tagged_documents_match_centralized_baseline(self):
         documents = small_workload(seed=8, n=2000)

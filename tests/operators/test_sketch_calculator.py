@@ -1,0 +1,127 @@
+"""Unit tests for the sketch-mode Calculator bolt."""
+
+import numpy as np
+import pytest
+
+from repro.core.jaccard import exact_jaccard
+from repro.operators.calculator import CalculatorBolt
+from repro.operators.sketch_calculator import SketchCalculatorBolt
+from repro.operators.streams import COEFFICIENTS, NOTIFICATIONS
+from repro.streamsim.tuples import OutputCollector, TupleMessage
+
+
+def make_bolt(report_interval=10.0, num_perm=512):
+    bolt = SketchCalculatorBolt(report_interval=report_interval, num_perm=num_perm)
+    collector = OutputCollector("calculator", 0)
+    bolt.collector = collector
+    return bolt, collector
+
+
+def notification(tags, doc_id, timestamp=0.0):
+    return TupleMessage(
+        values={"tags": frozenset(tags), "doc_id": doc_id, "timestamp": timestamp},
+        stream=NOTIFICATIONS,
+    )
+
+
+def batch(entries, timestamp=0.0):
+    return TupleMessage(
+        values={
+            "batch": [(frozenset(tags), doc_id) for tags, doc_id in entries],
+            "timestamp": timestamp,
+        },
+        stream=NOTIFICATIONS,
+    )
+
+
+class TestSketchCalculatorBolt:
+    def test_invalid_report_interval(self):
+        with pytest.raises(ValueError):
+            SketchCalculatorBolt(report_interval=0)
+
+    def test_counts_single_notifications(self):
+        bolt, _ = make_bolt()
+        bolt.execute(notification(["a", "b"], doc_id=1))
+        bolt.execute(notification(["a", "b"], doc_id=2))
+        assert bolt.notifications_received == 2
+        assert bolt.estimator.coefficient(["a", "b"]) == 1.0
+
+    def test_unpacks_batched_notifications(self):
+        bolt, _ = make_bolt()
+        bolt.execute(batch([(["a", "b"], 1), (["a", "b"], 2), (["a"], 3)]))
+        assert bolt.notifications_received == 3
+        assert bolt.batches_received == 1
+        assert bolt.observations == 3
+
+    def test_estimates_match_exact_jaccard_on_seeded_stream(self):
+        """The ISSUE's bound: sketch estimates track exact_jaccard."""
+        rng = np.random.default_rng(7)
+        bolt, _ = make_bolt(num_perm=512)
+        exact = CalculatorBolt(report_interval=10.0)
+        tag_documents: dict[str, set[int]] = {}
+        tags_pool = ["t0", "t1", "t2", "t3"]
+        for doc_id in range(3000):
+            tags = [tag for tag in tags_pool if rng.random() < 0.35]
+            if len(tags) < 1:
+                continue
+            bolt.execute(notification(tags, doc_id=doc_id))
+            exact.execute(
+                TupleMessage(
+                    values={"tags": frozenset(tags), "timestamp": 0.0},
+                    stream=NOTIFICATIONS,
+                )
+            )
+            for tag in tags:
+                tag_documents.setdefault(tag, set()).add(doc_id)
+        bound = 4.0 * bolt.estimator.error_bound
+        compared = 0
+        for result in bolt.estimator.report(min_size=2, reset=False):
+            truth = exact_jaccard([tag_documents[tag] for tag in result.tagset])
+            assert abs(result.jaccard - truth) < bound
+            # The exact Calculator agrees with ground truth by construction.
+            assert exact.calculator.coefficient(result.tagset) == pytest.approx(truth)
+            compared += 1
+        assert compared >= 6  # all pairs/triples/quad of four tags co-occurred
+
+    def test_tick_emits_report_and_resets(self):
+        bolt, collector = make_bolt(report_interval=10.0)
+        bolt.execute(notification(["a", "b"], doc_id=1, timestamp=1.0))
+        bolt.tick(5.0)
+        assert collector.drain() == []
+        bolt.tick(11.0)
+        (emission,) = collector.drain()
+        assert emission.message.stream == COEFFICIENTS
+        results = emission.message["results"]
+        assert (frozenset({"a", "b"}), 1.0, 1) in results
+        assert bolt.observations == 0
+
+    def test_drain_results_returns_remaining(self):
+        bolt, _ = make_bolt()
+        bolt.execute(notification(["a", "b"], doc_id=1))
+        results = bolt.drain_results()
+        assert len(results) == 1
+        assert results[0].tagset == frozenset({"a", "b"})
+        assert bolt.drain_results() == []
+
+    def test_missing_doc_id_gets_unique_synthetic_id(self):
+        bolt, _ = make_bolt()
+        bolt.execute(
+            TupleMessage(
+                values={"tags": frozenset({"a", "b"}), "timestamp": 0.0},
+                stream=NOTIFICATIONS,
+            )
+        )
+        bolt.execute(
+            TupleMessage(
+                values={"tags": frozenset({"a", "b"}), "timestamp": 0.0},
+                stream=NOTIFICATIONS,
+            )
+        )
+        # Two distinct synthetic documents, both carrying {a, b}: J = 1.
+        assert bolt.estimator.support(["a", "b"]) >= 2
+        assert bolt.estimator.coefficient(["a", "b"]) == 1.0
+
+    def test_other_streams_ignored(self):
+        bolt, _ = make_bolt()
+        bolt.execute(TupleMessage(values={"tags": ["a"]}, stream="other"))
+        assert bolt.notifications_received == 0

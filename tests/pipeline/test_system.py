@@ -120,6 +120,8 @@ class TestRunReport:
             "jaccard_error",
             "jaccard_coverage",
             "single_additions",
+            "notification_messages",
+            "batch_amortization",
         }
 
     def test_history_is_ordered(self, small_run):

@@ -1,0 +1,132 @@
+"""Unit tests for the sketch-backed Jaccard estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.jaccard import exact_jaccard
+from repro.sketches import MinHash, SketchJaccardEstimator
+
+
+class TestMinHashExtensions:
+    def test_spawn_shares_permutations_and_is_comparable(self):
+        template = MinHash(num_perm=64, seed=3)
+        left = template.spawn()
+        right = template.spawn()
+        assert left._a is template._a and left._b is template._b
+        assert left.is_empty()
+        left.update("x")
+        right.update("x")
+        assert left.jaccard(right) == 1.0
+
+    def test_spawn_does_not_alias_values(self):
+        template = MinHash(num_perm=32, seed=1)
+        clone = template.spawn()
+        clone.update("x")
+        assert template.is_empty()
+
+    def test_update_hashed_matches_update(self):
+        from repro.sketches.minhash import _stable_hash
+
+        direct = MinHash(num_perm=64, seed=5)
+        hashed = MinHash(num_perm=64, seed=5)
+        for item in ("a", "b", 17, ("t", 3)):
+            direct.update(item)
+            hashed.update_hashed(_stable_hash(item))
+        assert np.array_equal(direct.values, hashed.values)
+
+    def test_multiway_matches_pairwise_for_two_sets(self):
+        first = MinHash.from_items(range(100), num_perm=128)
+        second = MinHash.from_items(range(50, 150), num_perm=128)
+        assert MinHash.jaccard_multiway([first, second]) == pytest.approx(
+            first.jaccard(second)
+        )
+
+    def test_multiway_estimates_three_way_jaccard(self):
+        rng = np.random.default_rng(9)
+        universe = list(range(600))
+        sets = [set(rng.choice(universe, size=300, replace=False)) for _ in range(3)]
+        truth = len(set.intersection(*sets)) / len(set.union(*sets))
+        signatures = [MinHash.from_items(s, num_perm=512) for s in sets]
+        estimate = MinHash.jaccard_multiway(signatures)
+        assert abs(estimate - truth) < 4.0 / np.sqrt(512)
+
+    def test_multiway_rejects_incompatible_signatures(self):
+        with pytest.raises(ValueError):
+            MinHash.jaccard_multiway([MinHash(num_perm=32), MinHash(num_perm=64)])
+
+    def test_multiway_edge_cases(self):
+        assert MinHash.jaccard_multiway([]) == 0.0
+        empty = MinHash(num_perm=16)
+        assert MinHash.jaccard_multiway([empty]) == 0.0
+        single = MinHash.from_items(["a"], num_perm=16)
+        assert MinHash.jaccard_multiway([single]) == 1.0
+
+
+class TestSketchJaccardEstimator:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SketchJaccardEstimator(num_perm=4)
+        with pytest.raises(ValueError):
+            SketchJaccardEstimator(max_subset_size=1)
+
+    def test_identical_streams_estimate_one(self):
+        estimator = SketchJaccardEstimator(num_perm=128)
+        for doc_id in range(30):
+            estimator.observe(["a", "b"], doc_id=doc_id)
+        assert estimator.coefficient(["a", "b"]) == 1.0
+
+    def test_estimate_within_error_bound_on_seeded_stream(self):
+        """Estimates stay within the MinHash bound of exact_jaccard."""
+        rng = np.random.default_rng(42)
+        estimator = SketchJaccardEstimator(num_perm=512)
+        tag_documents = {"x": set(), "y": set(), "z": set()}
+        for doc_id in range(2000):
+            tags = [tag for tag in ("x", "y", "z") if rng.random() < 0.4]
+            if not tags:
+                continue
+            estimator.observe(tags, doc_id=doc_id)
+            for tag in tags:
+                tag_documents[tag].add(doc_id)
+        for tagset in (("x", "y"), ("y", "z"), ("x", "y", "z")):
+            truth = exact_jaccard([tag_documents[tag] for tag in tagset])
+            estimate = estimator.coefficient(tagset)
+            assert abs(estimate - truth) < 4.0 * estimator.error_bound
+
+    def test_support_never_underestimates(self):
+        estimator = SketchJaccardEstimator(num_perm=64)
+        for doc_id in range(25):
+            estimator.observe(["a", "b"], doc_id=doc_id)
+        assert estimator.support(["a", "b"]) >= 25
+
+    def test_report_mirrors_exact_interface(self):
+        estimator = SketchJaccardEstimator(num_perm=64)
+        for doc_id in range(10):
+            estimator.observe(["a", "b", "c"], doc_id=doc_id)
+        results = estimator.report(min_size=2, reset=False)
+        tagsets = {result.tagset for result in results}
+        assert frozenset({"a", "b"}) in tagsets
+        assert frozenset({"a", "b", "c"}) in tagsets
+        for result in results:
+            assert result.jaccard == 1.0
+            assert result.support >= 10
+
+    def test_report_reset_clears_state(self):
+        estimator = SketchJaccardEstimator(num_perm=64)
+        estimator.observe(["a", "b"], doc_id=1)
+        assert estimator.observations == 1
+        assert estimator.report(reset=True)
+        assert estimator.observations == 0
+        assert estimator.tracked_tagsets == 0
+        assert estimator.coefficient(["a", "b"]) == 0.0
+        assert estimator.report(reset=True) == []
+
+    def test_subset_size_cap(self):
+        estimator = SketchJaccardEstimator(num_perm=64, max_subset_size=2)
+        estimator.observe(["a", "b", "c"], doc_id=1)
+        sizes = {len(result.tagset) for result in estimator.report(reset=False)}
+        assert sizes == {2}
+
+    def test_unknown_tags_report_zero(self):
+        estimator = SketchJaccardEstimator(num_perm=64)
+        estimator.observe(["a"], doc_id=1)
+        assert estimator.coefficient(["a", "never_seen"]) == 0.0

@@ -187,3 +187,56 @@ class TestClusterExecution:
         cluster = Cluster(self.build_simple(0))
         with pytest.raises(KeyError):
             cluster.tasks_of("nope")
+
+
+class BufferingBolt(Bolt):
+    """Buffers every value and only releases the buffer on flush()."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buffer: list[int] = []
+        self.flushes = 0
+
+    def execute(self, message: TupleMessage) -> None:
+        self._buffer.append(message["value"])
+
+    def flush(self) -> None:
+        self.flushes += 1
+        for value in self._buffer:
+            self.emit({"value": value})
+        self._buffer.clear()
+
+
+class TestEndOfStreamFlush:
+    """The cluster flushes buffering bolts once the spouts are exhausted."""
+
+    def test_buffered_tuples_reach_downstream_consumers(self):
+        builder = TopologyBuilder()
+        builder.set_spout("numbers", lambda: NumberSpout(5))
+        builder.set_bolt("buffer", BufferingBolt).shuffle_grouping("numbers")
+        builder.set_bolt("sink", CollectingBolt).shuffle_grouping("buffer")
+        cluster = run_topology(builder.build())
+        buffer_bolt = cluster.instances_of("buffer")[0]
+        sink = cluster.instances_of("sink")[0]
+        assert buffer_bolt.flushes >= 1
+        assert sorted(sink.values) == [0, 1, 2, 3, 4]
+
+    def test_chained_buffering_bolts_drain_transitively(self):
+        """A bolt that buffers tuples released by an upstream flush still
+        delivers them: flush passes repeat until nothing new is emitted."""
+        builder = TopologyBuilder()
+        builder.set_spout("numbers", lambda: NumberSpout(4))
+        builder.set_bolt("first", BufferingBolt).shuffle_grouping("numbers")
+        builder.set_bolt("second", BufferingBolt).shuffle_grouping("first")
+        builder.set_bolt("sink", CollectingBolt).shuffle_grouping("second")
+        cluster = run_topology(builder.build())
+        sink = cluster.instances_of("sink")[0]
+        assert sorted(sink.values) == [0, 1, 2, 3]
+
+    def test_flush_is_noop_for_plain_bolts(self):
+        builder = TopologyBuilder()
+        builder.set_spout("numbers", lambda: NumberSpout(3))
+        builder.set_bolt("sink", CollectingBolt).shuffle_grouping("numbers")
+        cluster = run_topology(builder.build())
+        sink = cluster.instances_of("sink")[0]
+        assert sorted(sink.values) == [0, 1, 2]

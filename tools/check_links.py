@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Docs link checker: verify that relative links in markdown files resolve.
+
+Scans the given markdown files for inline links and images
+(``[text](target)``), skips external (``http(s)://``, ``mailto:``) and
+pure-anchor targets, and fails if a relative target does not exist on disk
+relative to the file that references it.
+
+Usage::
+
+    python tools/check_links.py README.md docs/ARCHITECTURE.md
+
+Exit code 0 when every link resolves, 1 otherwise (with one line per broken
+link).  Used by the docs job of the CI workflow; run it locally before
+committing documentation changes.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) — excludes reference-style.
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def iter_links(markdown: str):
+    for match in _LINK_PATTERN.finditer(markdown):
+        yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = all good)."""
+    errors = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    for target in iter_links(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+        checked += 1
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} file(s), {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
