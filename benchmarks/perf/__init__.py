@@ -1,0 +1,8 @@
+"""Throughput benchmarks: the repo's performance trajectory over PRs.
+
+Unlike ``benchmarks/test_fig*.py`` (which regenerate the paper's *quality*
+figures), this package measures *speed*: sustained documents/second of the
+end-to-end topology per execution engine, written to ``BENCH_throughput.json``
+at the repository root so every PR has a recorded baseline to beat.  See
+``docs/PERFORMANCE.md`` for how to run and read it.
+"""

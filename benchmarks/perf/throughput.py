@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Seeded end-to-end throughput harness: docs/sec per execution engine.
+
+Measures the sustained document rate of the full Figure-2 topology under the
+``inline`` executor and the ``process`` executor at one or more worker
+counts, on deterministic (seeded) synthetic workloads, and writes the
+results to ``BENCH_throughput.json`` at the repository root — the repo's
+recorded performance trajectory (see docs/PERFORMANCE.md).
+
+Each measurement runs in a fresh forked subprocess so that peak-RSS figures
+(``getrusage`` high-water marks) and allocator state do not bleed between
+runs; workload generation happens inside the subprocess but outside the
+timed region.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/throughput.py                  # full matrix
+    PYTHONPATH=src python benchmarks/perf/throughput.py --workloads small \
+        --workers 2 --repeat 1 --output BENCH_throughput.json            # CI smoke
+
+The committed ``BENCH_throughput.json`` was produced by the full matrix on
+the machine described in its ``host`` block; regenerate it on comparable
+hardware before comparing numbers across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if not any(Path(p).resolve() == _REPO_ROOT / "src" for p in sys.path if p):
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Seeded workload definitions: name -> (documents, generator seed).
+#: ``small`` is the CI smoke size; ``large`` is the acceptance workload for
+#: executor comparisons (big enough that per-run noise is a few percent).
+WORKLOADS = {
+    "small": (3000, 7),
+    "large": (20000, 7),
+}
+
+#: Schema version of BENCH_throughput.json (bump on breaking layout changes).
+SCHEMA_VERSION = 1
+
+
+def _generate_documents(name: str):
+    from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+    n_documents, seed = WORKLOADS[name]
+    config = WorkloadConfig(
+        seed=seed,
+        tweets_per_second=50.0,
+        n_topics=120,
+        tags_per_topic=15,
+        new_topic_rate=5.0,
+        intra_topic_probability=0.92,
+    )
+    return TwitterLikeGenerator(config).generate(n_documents)
+
+
+def _system_config(executor: str, workers: int, algorithm: str, batch_size: int):
+    from repro.pipeline import SystemConfig
+
+    return SystemConfig(
+        algorithm=algorithm,
+        k=8,
+        n_partitioners=5,
+        window_mode="count",
+        window_size=1500,
+        bootstrap_documents=600,
+        quality_check_interval=250,
+        repartition_threshold=0.5,
+        report_interval_seconds=60.0,
+        notification_batch_size=batch_size,
+        executor=executor,
+        workers=workers,
+    )
+
+
+def _measure_worker(outbox, workload: str, executor: str, workers: int,
+                    repeat: int, algorithm: str, batch_size: int) -> None:
+    """Subprocess body: run the system ``repeat`` times, report the best."""
+    try:
+        from repro.pipeline import TagCorrelationSystem
+
+        documents = _generate_documents(workload)
+        elapsed: list[float] = []
+        report = None
+        for _ in range(repeat):
+            system = TagCorrelationSystem(
+                _system_config(executor, workers, algorithm, batch_size)
+            )
+            start = time.perf_counter()
+            report = system.run(documents)
+            elapsed.append(time.perf_counter() - start)
+        assert report is not None
+        usage_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        usage_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS: normalise to MiB.
+        to_mb = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+        best = min(elapsed)
+        outbox.put({
+            "workload": workload,
+            "executor": executor,
+            "requested_workers": workers,
+            "workers": report.executor_workers,
+            "documents": report.documents_processed,
+            "tagged_documents": report.tagged_documents,
+            "repeat": repeat,
+            "elapsed_seconds": [round(value, 4) for value in elapsed],
+            "best_elapsed_seconds": round(best, 4),
+            "docs_per_second": round(report.documents_processed / best, 1),
+            "peak_rss_mb": round(usage_self / to_mb, 1),
+            "peak_worker_rss_mb": round(usage_children / to_mb, 1),
+            "communication_avg": round(report.communication_avg, 4),
+            "notification_messages": report.notification_messages,
+        })
+    except BaseException as exc:  # noqa: BLE001 - surface the failure
+        import traceback
+
+        outbox.put({"error": f"{exc}\n{traceback.format_exc()}"})
+
+
+def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
+            algorithm: str = "DS", batch_size: int = 64) -> dict:
+    """One benchmark cell, isolated in a forked subprocess."""
+    import queue as queue_module
+
+    ctx = multiprocessing.get_context()
+    outbox = ctx.Queue()
+    proc = ctx.Process(
+        target=_measure_worker,
+        args=(outbox, workload, executor, workers, repeat, algorithm, batch_size),
+    )
+    proc.start()
+    while True:
+        try:
+            result = outbox.get(timeout=2.0)
+            break
+        except queue_module.Empty:
+            if not proc.is_alive():
+                # Killed without reporting (OOM, segfault): fail fast
+                # instead of hanging the CI job on a silent queue.
+                raise RuntimeError(
+                    f"benchmark subprocess for {workload}/{executor} died "
+                    f"with exit code {proc.exitcode}"
+                ) from None
+    proc.join()
+    if "error" in result:
+        raise RuntimeError(f"benchmark cell failed: {result['error']}")
+    return result
+
+
+def run_matrix(workloads, worker_counts, repeat=1, algorithm="DS",
+               batch_size=64, verbose=True) -> dict:
+    """The full benchmark matrix: inline plus process at each worker count."""
+    runs = []
+    for workload in workloads:
+        cells = [("inline", 0)] + [("process", n) for n in worker_counts]
+        for executor, workers in cells:
+            if verbose:
+                label = executor if executor == "inline" else f"{executor}({workers}w)"
+                print(f"[bench] {workload:>6} / {label:<12} ...",
+                      end=" ", flush=True)
+            cell = measure(workload, executor, workers, repeat, algorithm, batch_size)
+            runs.append(cell)
+            if verbose:
+                print(f"{cell['docs_per_second']:>8.1f} docs/s "
+                      f"(best of {repeat}: {cell['best_elapsed_seconds']}s, "
+                      f"rss {cell['peak_rss_mb']} MB)")
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "benchmarks/perf/throughput.py",
+        "algorithm": algorithm,
+        "notification_batch_size": batch_size,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workloads": {
+            name: {"documents": WORKLOADS[name][0], "seed": WORKLOADS[name][1]}
+            for name in workloads
+        },
+        "runs": runs,
+        "comparison": _comparison(runs),
+    }
+
+
+def _comparison(runs) -> dict:
+    """Per-workload speedup of every process cell over the inline baseline."""
+    comparison: dict[str, dict[str, float]] = {}
+    by_workload: dict[str, list[dict]] = {}
+    for run in runs:
+        by_workload.setdefault(run["workload"], []).append(run)
+    for workload, cells in by_workload.items():
+        inline = next((c for c in cells if c["executor"] == "inline"), None)
+        if inline is None:
+            continue
+        entry = {"inline_docs_per_second": inline["docs_per_second"]}
+        for cell in cells:
+            if cell["executor"] == "process":
+                # Keyed by the *requested* count: two requests clamping to
+                # the same effective count must not overwrite each other.
+                requested = cell.get("requested_workers", cell["workers"])
+                entry[f"speedup_process_{requested}_workers"] = round(
+                    cell["docs_per_second"] / inline["docs_per_second"], 3
+                )
+        comparison[workload] = entry
+    return comparison
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Seeded throughput benchmark of the tag-correlation system"
+    )
+    parser.add_argument("--workloads", default="small,large",
+                        help="comma-separated workload names "
+                             f"(available: {', '.join(WORKLOADS)})")
+    parser.add_argument("--workers", default="2,4",
+                        help="comma-separated worker counts for the process executor")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timed runs per cell; the best is reported")
+    parser.add_argument("--algorithm", default="DS")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="notification_batch_size (the IPC unit size)")
+    parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_throughput.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    workloads = [name.strip() for name in args.workloads.split(",") if name.strip()]
+    for name in workloads:
+        if name not in WORKLOADS:
+            parser.error(f"unknown workload {name!r} (available: {', '.join(WORKLOADS)})")
+    worker_counts = [int(value) for value in args.workers.split(",") if value.strip()]
+
+    results = run_matrix(workloads, worker_counts, repeat=args.repeat,
+                         algorithm=args.algorithm, batch_size=args.batch_size)
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n",
+                      encoding="utf-8")
+    print(f"[bench] wrote {output}")
+    for workload, entry in results["comparison"].items():
+        print(f"[bench] {workload}: {entry}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

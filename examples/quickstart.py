@@ -33,7 +33,9 @@ def main() -> None:
           f"({sum(1 for d in documents if d.tags)} tagged)")
 
     # 2. Configure the distributed system: 8 Calculators, 5 Partitioners,
-    #    repartition when quality degrades by more than 50 %.
+    #    repartition when quality degrades by more than 50 %.  Swap
+    #    executor="process" (plus workers=N) to shard the Calculator/Tracker
+    #    layer over worker processes — the report below is identical.
     config = SystemConfig(
         algorithm="DS",
         k=8,
@@ -44,6 +46,7 @@ def main() -> None:
         quality_check_interval=250,
         repartition_threshold=0.5,
         report_interval_seconds=60.0,
+        executor="inline",
     )
 
     # 3. Run and inspect the report.
@@ -53,6 +56,9 @@ def main() -> None:
     print("\n--- run report -------------------------------------------")
     print(f"algorithm                 : {report.algorithm}")
     print(f"calculator mode           : {report.calculator_mode}")
+    print(f"execution engine          : {report.executor_mode}"
+          + (f" ({report.executor_workers} workers)"
+             if report.executor_mode == "process" else ""))
     print(f"average communication     : {report.communication_avg:.3f} "
           f"(1.0 = no redundant forwarding)")
     print(f"notification messages     : {report.notification_messages} "

@@ -7,7 +7,9 @@ Provides the handful of workflows a user needs without writing Python:
   (or a freshly generated one) and print the run report.  ``--calculator
   sketch`` switches the Calculators to the MinHash/Count-Min approximate
   tracking mode; ``--batch-size`` controls the Disseminator's notification
-  micro-batches (``1`` disables batching),
+  micro-batches (``1`` disables batching); ``--executor process`` shards the
+  Calculator/Tracker layer across ``--workers`` multiprocessing workers
+  (identical logical metrics, see docs/PERFORMANCE.md),
 * ``repro compare`` — run several partitioning algorithms over the same
   trace and print the evaluation metrics side by side,
 * ``repro connectivity`` — the Figure-7 connectivity analysis of a trace,
@@ -22,6 +24,7 @@ Examples::
 
     python -m repro.cli run --documents 8000 --k 8 --algorithm DS
     python -m repro.cli run --documents 8000 --calculator sketch
+    python -m repro.cli run --documents 8000 --executor process --workers 4
     python -m repro.cli compare --documents 6000 --algorithms DS,SCL
 """
 
@@ -34,6 +37,7 @@ from typing import Sequence
 from .analysis.connectivity import connectivity_by_window_size
 from .core.documents import Document
 from .pipeline import RunReport, SystemConfig, TagCorrelationSystem
+from .streamsim import EXECUTOR_NAMES
 from .theory import WindowModel, communication_sweep, paper_np_table
 from .workloads import (
     TwitterLikeGenerator,
@@ -75,6 +79,13 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--minhash-perms", type=int, default=512,
                         help="MinHash signature width of the sketch mode "
                              "(estimate stddev is about 1/sqrt of this)")
+    parser.add_argument("--executor", choices=EXECUTOR_NAMES, default="inline",
+                        help="execution engine: inline (single-process "
+                             "depth-first loop) or process (Calculator/"
+                             "Tracker layer sharded over worker processes)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes of the process executor "
+                             "(0 = one per CPU core, capped at 4)")
 
 
 def _workload_from_args(args: argparse.Namespace) -> list[Document]:
@@ -101,6 +112,8 @@ def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = N
         calculator=getattr(args, "calculator", "exact"),
         notification_batch_size=getattr(args, "batch_size", 64),
         minhash_permutations=getattr(args, "minhash_perms", 512),
+        executor=getattr(args, "executor", "inline"),
+        workers=getattr(args, "workers", 0),
     )
 
 
@@ -113,6 +126,9 @@ def _load_or_generate(args: argparse.Namespace) -> list[Document]:
 def _print_report(report: RunReport) -> None:
     print(f"algorithm                 : {report.algorithm}")
     print(f"calculator mode           : {report.calculator_mode}")
+    print(f"execution engine          : {report.executor_mode}"
+          + (f" ({report.executor_workers} workers)"
+             if report.executor_mode == "process" else ""))
     print(f"documents processed       : {report.documents_processed}")
     print(f"tagged documents          : {report.tagged_documents}")
     print(f"average communication     : {report.communication_avg:.3f}")
@@ -203,7 +219,9 @@ subcommands:
   generate      write a synthetic Twitter-like trace to a JSONL file
   run           run the distributed tag-correlation system over a trace
                 (use --calculator sketch for the approximate tracking mode,
-                --batch-size to tune the notification micro-batches)
+                --batch-size to tune the notification micro-batches,
+                --executor process --workers N to shard the Calculator/
+                Tracker layer over worker processes)
   compare       run several partitioning algorithms over the same trace and
                 print the evaluation metrics side by side
   connectivity  Figure-7 connectivity analysis of a trace
@@ -216,6 +234,9 @@ examples:
 
   # Approximate tracking mode with batched notifications:
   python -m repro.cli run --documents 8000 --calculator sketch --batch-size 64
+
+  # Shard the Calculator/Tracker layer over 4 worker processes:
+  python -m repro.cli run --documents 8000 --executor process --workers 4
 
   # Paper-style algorithm comparison (Figures 3-6):
   python -m repro.cli compare --documents 8000 --algorithms DS,SCI,SCC,SCL

@@ -10,8 +10,16 @@ paper's ratios.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
+
+from ..streamsim.executors import EXECUTOR_NAMES
+
+#: Auto-sized process executors never spawn more workers than this: beyond a
+#: handful of shards the Disseminator-side driver loop, not the Calculator
+#: layer, is the bottleneck (see docs/PERFORMANCE.md).
+MAX_AUTO_WORKERS = 4
 
 #: Default values taken verbatim from Section 8.2.
 PAPER_DEFAULTS = {
@@ -65,6 +73,15 @@ class SystemConfig:
     #: centralised baseline's cap).
     sketch_max_subset_size: int = 4
 
+    #: Execution engine: ``"inline"`` runs the whole topology depth-first in
+    #: this process; ``"process"`` shards the Calculator/Tracker layer across
+    #: ``multiprocessing`` workers (identical logical metrics, see
+    #: docs/PERFORMANCE.md for when it pays off).
+    executor: str = "inline"
+    #: Worker processes of the process executor; ``0`` = auto (one per CPU
+    #: core, capped at :data:`MAX_AUTO_WORKERS`).  Ignored in inline mode.
+    workers: int = 0
+
     def validate(self) -> None:
         if self.k < 1:
             raise ValueError("k must be at least 1")
@@ -90,6 +107,18 @@ class SystemConfig:
             raise ValueError("countmin_delta must be in (0, 1)")
         if self.sketch_max_subset_size < 2:
             raise ValueError("sketch_max_subset_size must be at least 2")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {', '.join(EXECUTOR_NAMES)}"
+            )
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative (0 = auto)")
+
+    def resolved_workers(self) -> int:
+        """Worker-process count of the process executor (resolves 0 = auto)."""
+        if self.workers > 0:
+            return self.workers
+        return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
 
     def with_overrides(self, **overrides: Any) -> "SystemConfig":
         """A copy of the config with the given fields replaced."""

@@ -15,7 +15,10 @@ every metric of the paper's evaluation into a :class:`RunReport`:
 * Batching — physical notification messages and the amortization factor of
   the batched Disseminator→Calculator engine,
 * Sketch accuracy — MinHash/Count-Min parameters and tracked-key counts
-  when the approximate tracking mode (``calculator="sketch"``) is active.
+  when the approximate tracking mode (``calculator="sketch"``) is active,
+* Execution engine — which executor ran the topology (``executor_mode``)
+  and how many worker processes the Calculator/Tracker layer was sharded
+  over (``executor_workers``); logical metrics are executor-independent.
 """
 
 from __future__ import annotations
@@ -46,8 +49,58 @@ from ..operators import (
 )
 from ..operators import streams
 from ..partitioning import make_partitioner
-from ..streamsim import Cluster, TopologyBuilder
+from ..streamsim import (
+    Cluster,
+    Executor,
+    ShardedProcessExecutor,
+    TopologyBuilder,
+    make_executor,
+)
 from .config import SystemConfig
+
+
+@dataclass(frozen=True)
+class ExactCalculatorFactory:
+    """Picklable factory for exact-mode Calculators.
+
+    The process executor pickles the remote layer's factories into its
+    workers, so the Calculator factory cannot be a closure; a frozen
+    dataclass carrying the constructor arguments is importable and
+    picklable from any process.
+    """
+
+    report_interval: float = 300.0
+    max_tags_per_document: int = 12
+
+    def __call__(self) -> CalculatorBolt:
+        return CalculatorBolt(
+            report_interval=self.report_interval,
+            max_tags_per_document=self.max_tags_per_document,
+        )
+
+
+@dataclass(frozen=True)
+class SketchCalculatorFactory:
+    """Picklable factory for sketch-mode Calculators (see above)."""
+
+    report_interval: float = 300.0
+    max_tags_per_document: int = 12
+    num_perm: int = 512
+    seed: int = 1
+    countmin_epsilon: float = 0.002
+    countmin_delta: float = 0.01
+    max_subset_size: int = 4
+
+    def __call__(self) -> SketchCalculatorBolt:
+        return SketchCalculatorBolt(
+            report_interval=self.report_interval,
+            max_tags_per_document=self.max_tags_per_document,
+            num_perm=self.num_perm,
+            seed=self.seed,
+            countmin_epsilon=self.countmin_epsilon,
+            countmin_delta=self.countmin_delta,
+            max_subset_size=self.max_subset_size,
+        )
 
 
 @dataclass(slots=True)
@@ -84,6 +137,11 @@ class RunReport:
     #: Sketch-mode accuracy/size figures (None in exact mode): MinHash width,
     #: the per-estimate standard error bound and the tracked-key count.
     sketch_stats: dict[str, float] | None = None
+    #: Which execution engine ran the topology: "inline" or "process".
+    executor_mode: str = "inline"
+    #: Worker processes the Calculator/Tracker layer was sharded over
+    #: (1 in inline mode).
+    executor_workers: int = 1
 
     @property
     def jaccard_coverage(self) -> float:
@@ -194,13 +252,21 @@ class TagCorrelationSystem:
                 parallelism=1,
             ).shuffle_grouping(streams.PARSER, streams.TAGSETS)
 
-        return Cluster(builder.build(), tick_interval=config.tick_interval_seconds)
+        return Cluster(
+            builder.build(),
+            tick_interval=config.tick_interval_seconds,
+            executor=self._build_executor(),
+        )
 
     def _calculator_factory(self):
-        """Factory for the configured Calculator mode (exact or sketch)."""
+        """Factory for the configured Calculator mode (exact or sketch).
+
+        Returns a picklable factory object (not a closure): the process
+        executor ships it into worker processes.
+        """
         config = self.config
         if config.calculator == "sketch":
-            return lambda: SketchCalculatorBolt(
+            return SketchCalculatorFactory(
                 report_interval=config.report_interval_seconds,
                 max_tags_per_document=config.max_tags_per_document,
                 num_perm=config.minhash_permutations,
@@ -209,9 +275,22 @@ class TagCorrelationSystem:
                 countmin_delta=config.countmin_delta,
                 max_subset_size=config.sketch_max_subset_size,
             )
-        return lambda: CalculatorBolt(
+        return ExactCalculatorFactory(
             report_interval=config.report_interval_seconds,
             max_tags_per_document=config.max_tags_per_document,
+        )
+
+    def _build_executor(self) -> Executor:
+        """The execution engine selected by ``SystemConfig.executor``.
+
+        In process mode the Calculator/Tracker layer — the only pure sink
+        layer of the Figure-2 topology — is sharded across workers; every
+        upstream operator stays in the driver.
+        """
+        return make_executor(
+            self.config.executor,
+            workers=self.config.resolved_workers(),
+            remote_components=(streams.CALCULATOR, streams.TRACKER),
         )
 
     # ------------------------------------------------------------------ #
@@ -339,6 +418,12 @@ class TagCorrelationSystem:
             notification_messages=notification_messages,
             batch_amortization=batch_amortization,
             sketch_stats=sketch_stats,
+            executor_mode=config.executor,
+            executor_workers=(
+                cluster.executor.effective_workers
+                if isinstance(cluster.executor, ShardedProcessExecutor)
+                else 1
+            ),
         )
 
     def _jaccard_report(

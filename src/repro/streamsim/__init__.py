@@ -1,15 +1,27 @@
-"""A single-process, discrete-event stand-in for the Storm platform.
+"""A discrete-event stand-in for the Storm platform with pluggable engines.
 
 The paper implements its operators on Apache Storm (Section 6).  This
 package reproduces the Storm programming model — spouts, bolts, stream
 groupings, multi-instance components, a topology builder and a cluster that
-executes the topology — as a deterministic in-process simulator with
-per-link message accounting, which is what the paper's metrics are computed
-from.
+executes the topology — as a deterministic simulator with per-link message
+accounting, which is what the paper's metrics are computed from.
+
+Execution is pluggable (``executors.py``): the default ``InlineExecutor``
+runs everything depth-first in one process, while the
+``ShardedProcessExecutor`` shards a sink layer of components (the
+Calculator/Tracker layer in the paper's topology) across ``multiprocessing``
+workers without changing any logical metric.
 """
 
 from .cluster import Cluster, ClusterContext, MessageAccounting, iter_bolts, run_topology
 from .components import Bolt, Component, Spout
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    InlineExecutor,
+    ShardedProcessExecutor,
+    make_executor,
+)
 from .groupings import (
     AllGrouping,
     DirectGrouping,
@@ -30,12 +42,16 @@ __all__ = [
     "ComponentSpec",
     "DEFAULT_STREAM",
     "DirectGrouping",
+    "EXECUTOR_NAMES",
     "Emission",
+    "Executor",
     "FieldsGrouping",
     "Grouping",
+    "InlineExecutor",
     "LocalGrouping",
     "MessageAccounting",
     "OutputCollector",
+    "ShardedProcessExecutor",
     "ShuffleGrouping",
     "Spout",
     "Subscription",
@@ -43,5 +59,6 @@ __all__ = [
     "TopologyBuilder",
     "TupleMessage",
     "iter_bolts",
+    "make_executor",
     "run_topology",
 ]

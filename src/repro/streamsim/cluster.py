@@ -1,4 +1,4 @@
-"""The discrete-event cluster that executes a topology in one process.
+"""The discrete-event cluster that deploys and runs a topology.
 
 The cluster is the reproduction's substitute for a physical Storm cluster.
 It creates one object per task (parallel instance) of every component,
@@ -9,23 +9,33 @@ tuples flowing through the system, and counts every message per
 
 Execution model
 ---------------
-Tuples are processed depth-first in arrival order: the cluster polls one
-spout task, routes everything it emitted, then keeps draining the global
-FIFO queue until no tuple is in flight before polling the next spout.  This
-is equivalent to a Storm cluster that is never backlogged, which is the
-regime the paper's experiments operate in (their metrics are logical counts
-per document, not queueing delays).
+*How* tuples are pushed through the deployed graph is delegated to a
+pluggable :class:`~repro.streamsim.executors.Executor`.  The default
+:class:`~repro.streamsim.executors.InlineExecutor` processes tuples
+depth-first in arrival order in this process: it polls one spout task,
+routes everything it emitted, then keeps draining the global FIFO queue
+until no tuple is in flight before polling the next spout.  This is
+equivalent to a Storm cluster that is never backlogged, which is the regime
+the paper's experiments operate in (their metrics are logical counts per
+document, not queueing delays).  The
+:class:`~repro.streamsim.executors.ShardedProcessExecutor` runs a sink layer
+of components across worker processes while keeping the same logical
+semantics; the cluster consults its executor at delivery, tick and flush
+time so remote tasks are serviced transparently.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from .components import Bolt, Component, Spout
+from .components import Bolt, Component
 from .topology import Topology
 from .tuples import Emission, OutputCollector, TupleMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .executors import Executor
 
 
 @dataclass(slots=True)
@@ -44,6 +54,19 @@ class MessageAccounting:
 
     def link(self, producer: str, consumer: str) -> int:
         return self.per_link.get((producer, consumer), 0)
+
+    def merge(self, other: "MessageAccounting") -> None:
+        """Fold another accounting (e.g. one worker shard's) into this one.
+
+        Counts are additive, so merging is order-independent; the sharded
+        executor still merges shards in shard order for determinism of any
+        future non-commutative bookkeeping.
+        """
+        for key, count in other.per_link.items():
+            self.per_link[key] = self.per_link.get(key, 0) + count
+        for task_id, count in other.per_task.items():
+            self.per_task[task_id] = self.per_task.get(task_id, 0) + count
+        self.total += other.total
 
 
 @dataclass(slots=True)
@@ -79,10 +102,19 @@ class ClusterContext:
 
 
 class Cluster:
-    """Deploys a topology and runs it to completion."""
+    """Deploys a topology and runs it to completion via its executor."""
 
-    def __init__(self, topology: Topology, tick_interval: float = 1.0) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        tick_interval: float = 1.0,
+        executor: "Executor | None" = None,
+    ) -> None:
         topology.validate()
+        if executor is None:
+            from .executors import InlineExecutor
+
+            executor = InlineExecutor()
         self.topology = topology
         self.accounting = MessageAccounting()
         self.current_time = 0.0
@@ -97,6 +129,12 @@ class Cluster:
         self._direct_consumers: dict[tuple[str, str], set[str]] = {}
         self._build_routes()
         self._context = ClusterContext(self)
+        self._executor = executor
+        # The executor claims its remote tasks before any component is
+        # prepared: remote tasks then prepare in their workers only, and
+        # their prepare-time emissions are captured (and later relayed)
+        # worker-side.
+        self._executor.attach(self)
         self._prepare_tasks()
 
     # ------------------------------------------------------------------ #
@@ -132,6 +170,12 @@ class Cluster:
 
     def _prepare_tasks(self) -> None:
         for task in self._tasks:
+            if self._executor.owns(task.task_id):
+                # Remote tasks prepare inside their worker (the driver-side
+                # instance is an inert placeholder, replaced at finalise);
+                # preparing both copies would duplicate prepare-time
+                # emissions.
+                continue
             task.instance.prepare(
                 component_name=task.component,
                 task_index=task.task_index,
@@ -161,12 +205,18 @@ class Cluster:
     def context(self) -> ClusterContext:
         return self._context
 
+    @property
+    def executor(self) -> "Executor":
+        """The execution engine driving this cluster."""
+        return self._executor
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def run(self, max_spout_calls: int | None = None) -> int:
         """Run until every spout is exhausted (or the call budget is spent).
 
+        Delegates to the executor (the inline depth-first loop by default).
         Returns the number of spout invocations that produced output.  A
         budgeted stop is treated as end of stream: buffered bolts (e.g. the
         Disseminator's partial notification micro-batch) are flushed before
@@ -174,38 +224,17 @@ class Cluster:
         physical message counts of a budget-sliced run may therefore exceed
         those of one continuous run.
         """
-        spout_tasks = [
-            task
-            for spec in self.topology.spouts()
-            for task in self.tasks_of(spec.name)
-        ]
-        active = {task.task_id: True for task in spout_tasks}
-        productive_calls = 0
-        calls = 0
-        while any(active.values()):
-            for task in spout_tasks:
-                if not active[task.task_id]:
-                    continue
-                if max_spout_calls is not None and calls >= max_spout_calls:
-                    active = {task_id: False for task_id in active}
-                    break
-                spout = task.instance
-                assert isinstance(spout, Spout)
-                produced = spout.next_tuple()
-                calls += 1
-                if produced:
-                    productive_calls += 1
-                else:
-                    active[task.task_id] = False
-                self._route_emissions(task)
-                self._drain_queue()
-        self._drain_queue()
-        self._flush_bolts()
-        return productive_calls
+        return self._executor.run(self, max_spout_calls=max_spout_calls)
 
     def process(self, message: TupleMessage, component: str, task_index: int = 0) -> None:
         """Inject a tuple directly into one bolt task (useful in tests)."""
         task = self.tasks_of(component)[task_index]
+        if self._executor.owns(task.task_id):
+            raise RuntimeError(
+                f"cannot inject into {component!r}: it is owned by the "
+                f"remote layer of {type(self._executor).__name__}; use the "
+                "inline executor for direct-injection tests"
+            )
         self._deliver(task, message)
         self._drain_queue()
 
@@ -257,9 +286,15 @@ class Cluster:
         while True:
             released = 0
             for task in self._tasks:
+                if self._executor.owns(task.task_id):
+                    continue
                 if isinstance(task.instance, Bolt):
                     task.instance.flush()
                     released += self._route_emissions(task)
+            self._drain_queue()
+            # Remote bolts flush in their workers; their buffered emissions
+            # are relayed here and routed like any other tuple.
+            released += self._executor.flush_remote()
             self._drain_queue()
             if not released:
                 return
@@ -268,6 +303,11 @@ class Cluster:
         bolt = task.instance
         if not isinstance(bolt, Bolt):
             raise RuntimeError(f"cannot deliver tuples to spout {task.component!r}")
+        if self._executor.owns(task.task_id):
+            # Remote tasks account for their own deliveries; the shard's
+            # accounting is merged back at finalisation.
+            self._executor.deliver_remote(task, message)
+            return
         self.accounting.record(message.source_component, task.component, task.task_id)
         bolt.execute(message)
         self._route_emissions(task)
@@ -284,16 +324,24 @@ class Cluster:
 
     def _tick_all(self) -> None:
         for task in self._tasks:
+            if self._executor.owns(task.task_id):
+                continue
             if isinstance(task.instance, Bolt):
                 task.instance.tick(self.current_time)
                 self._route_emissions(task)
+        # Remote bolts receive the tick through their shard queues, in the
+        # same order relative to their deliveries as the inline engine.
+        self._executor.tick_remote(self.current_time)
 
 
 def run_topology(
-    topology: Topology, max_spout_calls: int | None = None, tick_interval: float = 1.0
+    topology: Topology,
+    max_spout_calls: int | None = None,
+    tick_interval: float = 1.0,
+    executor: "Executor | None" = None,
 ) -> Cluster:
     """Deploy and run a topology; returns the cluster for inspection."""
-    cluster = Cluster(topology, tick_interval=tick_interval)
+    cluster = Cluster(topology, tick_interval=tick_interval, executor=executor)
     cluster.run(max_spout_calls=max_spout_calls)
     return cluster
 

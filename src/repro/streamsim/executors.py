@@ -1,0 +1,603 @@
+"""Pluggable execution engines for the stream-processing substrate.
+
+The :class:`~repro.streamsim.cluster.Cluster` *deploys* a topology — creates
+tasks, builds routing tables, prepares components.  How tuples are then
+pushed through the deployed graph is the job of an :class:`Executor`:
+
+* :class:`InlineExecutor` — the original single-process, depth-first loop:
+  poll a spout, drain the global FIFO until nothing is in flight, repeat.
+  This is the reference engine every other executor must be logically
+  equivalent to.
+* :class:`ShardedProcessExecutor` — keeps the upstream operators (Spout →
+  Parser → Partitioner → Merger → Disseminator in the paper's topology) in
+  the driver process and shards a configurable *remote layer* of downstream
+  components (Calculator × k and the Tracker) across ``multiprocessing``
+  workers.
+
+Sharding model
+--------------
+The remote layer must be a pure *sink layer*: nothing upstream may subscribe
+to any of its streams.  That holds for the paper's Figure-2 topology — the
+Calculators only feed the Tracker and the Tracker feeds nobody — and it is
+what makes process-sharding deterministic:
+
+* Tasks of each remote component are assigned round-robin to worker shards
+  (``task_index % workers``); the parallelism-1 Tracker lands on shard 0.
+* Every tuple the driver would deliver to a remote task is shipped to its
+  shard's input queue instead.  The IPC unit is the tuple itself — with the
+  batched notification engine one queue item carries a whole
+  ``notification_batch_size`` micro-batch, which is what amortises pickling.
+* Simulated-clock ticks are broadcast to every shard as control messages on
+  the same FIFO queues, so each remote bolt observes exactly the same
+  interleaving of *driver-routed* deliveries and ticks as it would inline.
+* Remote bolts never route directly; their emissions are buffered in the
+  worker and relayed through the driver at end-of-stream flush, in shard
+  order, through the normal routing (and accounting) machinery.  This is
+  the one semantic difference from inline: a remote bolt consuming another
+  remote bolt's stream (the Tracker consuming Calculator coefficients)
+  receives those tuples after the stream ends rather than interleaved with
+  ticks, so such consumers must be insensitive to delivery time relative
+  to ticks — true for the order-insensitive Tracker, and asserted
+  end-to-end by the executor-equivalence tests.
+* At finalisation each shard returns its bolt instances and its per-shard
+  :class:`~repro.streamsim.cluster.MessageAccounting`; the driver merges the
+  accounting and re-installs the bolts into the cluster, so post-run
+  inspection (``instances_of``, report collection) is executor-agnostic.
+
+Because routing decisions, clock advancement and all driver-side metrics are
+computed before a tuple crosses the process boundary, a sharded run reports
+the same logical metrics as an inline run (asserted by
+``tests/pipeline/test_executor_equivalence.py``).
+
+Operator state that lives in the remote layer must be picklable: worker
+startup pickles the component factories and finalisation pickles the bolts
+back (minus their collector and with a :class:`StaticContext` instead of the
+live cluster context).
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import pickle
+import queue as queue_module
+import traceback
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from .components import Bolt, Spout
+from .tuples import Emission, OutputCollector, TupleMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .cluster import Cluster, MessageAccounting, TaskInfo
+
+#: Wire protocol of the driver→worker queues.
+_MSG = "msg"
+_TICK = "tick"
+_FLUSH = "flush"
+_COLLECT = "collect"
+_FINALIZE = "finalize"
+_STOP = "stop"
+
+
+class Executor(abc.ABC):
+    """Drives a deployed cluster to completion.
+
+    The cluster calls back into its executor at four points: task delivery
+    (:meth:`owns` / :meth:`deliver_remote`), clock ticks
+    (:meth:`tick_remote`) and end-of-stream flushing (:meth:`flush_remote`).
+    The base class implements the no-remote-layer behaviour, so an executor
+    that runs everything in the driver only provides :meth:`run`.
+    """
+
+    #: Registry name, as used by ``SystemConfig.executor`` and the CLI.
+    name: str = "?"
+
+    def attach(self, cluster: "Cluster") -> None:
+        """Called once by the cluster before components are prepared."""
+
+    @abc.abstractmethod
+    def run(self, cluster: "Cluster", max_spout_calls: int | None = None) -> int:
+        """Run until every spout is exhausted; returns productive spout calls."""
+
+    # ------------------------------------------------------------------ #
+    # Remote-layer hooks (no-ops without a remote layer)
+    # ------------------------------------------------------------------ #
+    def owns(self, task_id: int) -> bool:
+        """Whether deliveries to ``task_id`` bypass the inline bolt."""
+        return False
+
+    def deliver_remote(self, task: "TaskInfo", message: TupleMessage) -> None:
+        """Ship one tuple to the remote instance of an owned task."""
+        raise NotImplementedError(f"{type(self).__name__} owns no remote tasks")
+
+    def tick_remote(self, simulation_time: float) -> None:
+        """Propagate a simulated-clock tick to the remote layer."""
+
+    def flush_remote(self) -> int:
+        """Flush the remote layer and relay its buffered emissions.
+
+        Returns the number of emissions released back into the driver (the
+        cluster keeps flushing until a full pass releases nothing anywhere).
+        """
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # The depth-first driver loop shared by all executors
+    # ------------------------------------------------------------------ #
+    def _drive(self, cluster: "Cluster", max_spout_calls: int | None = None) -> int:
+        """Poll spouts depth-first until exhaustion, then flush.
+
+        This is the substrate's reference execution order: one spout call,
+        then drain the global FIFO until no tuple is in flight.  Equivalent
+        to a Storm cluster that is never backlogged (the regime the paper's
+        experiments operate in).
+        """
+        spout_tasks = [
+            task
+            for spec in cluster.topology.spouts()
+            for task in cluster.tasks_of(spec.name)
+        ]
+        active = {task.task_id: True for task in spout_tasks}
+        productive_calls = 0
+        calls = 0
+        while any(active.values()):
+            for task in spout_tasks:
+                if not active[task.task_id]:
+                    continue
+                if max_spout_calls is not None and calls >= max_spout_calls:
+                    active = {task_id: False for task_id in active}
+                    break
+                spout = task.instance
+                assert isinstance(spout, Spout)
+                produced = spout.next_tuple()
+                calls += 1
+                if produced:
+                    productive_calls += 1
+                else:
+                    active[task.task_id] = False
+                cluster._route_emissions(task)
+                cluster._drain_queue()
+        cluster._drain_queue()
+        cluster._flush_bolts()
+        return productive_calls
+
+
+class InlineExecutor(Executor):
+    """The original engine: everything in one process, depth-first."""
+
+    name = "inline"
+
+    def run(self, cluster: "Cluster", max_spout_calls: int | None = None) -> int:
+        return self._drive(cluster, max_spout_calls=max_spout_calls)
+
+
+# --------------------------------------------------------------------- #
+# Sharded multiprocess execution
+# --------------------------------------------------------------------- #
+class StaticContext:
+    """Picklable snapshot of the cluster context shipped to workers.
+
+    Remote bolts are prepared inside the worker process, where the live
+    :class:`~repro.streamsim.cluster.ClusterContext` (which holds the whole
+    cluster) is unavailable.  This snapshot answers the same read-only
+    questions from plain dicts; ``current_time`` tracks the driver clock via
+    the broadcast tick messages.
+    """
+
+    def __init__(
+        self,
+        task_ids_by_component: dict[str, list[int]],
+        components_by_task: dict[int, str],
+    ) -> None:
+        self._task_ids = task_ids_by_component
+        self._components = components_by_task
+        self.current_time = 0.0
+
+    def task_ids(self, component: str) -> list[int]:
+        if component not in self._task_ids:
+            raise KeyError(f"unknown component {component!r}")
+        return list(self._task_ids[component])
+
+    def parallelism(self, component: str) -> int:
+        return len(self.task_ids(component))
+
+    def component_of(self, task_id: int) -> str:
+        return self._components[task_id]
+
+
+@dataclass
+class WorkerSpec:
+    """Everything one shard worker needs to build its slice of the layer."""
+
+    shard_index: int
+    #: ``(task_id, task_index, component)`` of every task this shard owns.
+    tasks: list[tuple[int, int, str]]
+    #: Picklable component factories, keyed by component name.
+    factories: dict[str, Callable[[], Any]]
+    context: StaticContext
+
+
+@dataclass
+class ShardResult:
+    """Final state one shard returns to the driver at finalisation."""
+
+    shard_index: int
+    accounting: "MessageAccounting"
+    #: The shard's bolt instances keyed by global task id (collector
+    #: stripped; the driver re-attaches its own).
+    bolts: dict[int, Bolt]
+
+
+def _shard_worker(spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
+    """Worker-process main loop: build the shard's bolts, then serve requests.
+
+    Requests arrive on ``inbox`` in driver order — tuple deliveries, clock
+    ticks, flush passes, emission collections — and the worker applies them
+    to its bolts exactly as the inline engine would, buffering everything
+    the bolts emit until the driver asks for it.
+    """
+    from .cluster import MessageAccounting
+
+    try:
+        bolts: dict[int, Bolt] = {}
+        components: dict[int, str] = {}
+        emissions: list[tuple[int, Emission]] = []
+        accounting = MessageAccounting()
+
+        def drain(task_id: int) -> None:
+            collector = bolts[task_id].collector
+            assert collector is not None
+            for emission in collector.drain():
+                emissions.append((task_id, emission))
+
+        for task_id, task_index, component in spec.tasks:
+            bolt = spec.factories[component]()
+            if not isinstance(bolt, Bolt):
+                raise TypeError(f"remote component {component!r} is not a bolt")
+            bolt.prepare(
+                component_name=component,
+                task_index=task_index,
+                task_id=task_id,
+                collector=OutputCollector(component, task_id),
+                context=spec.context,
+            )
+            bolts[task_id] = bolt
+            components[task_id] = component
+            drain(task_id)
+
+        while True:
+            request = inbox.get()
+            kind = request[0]
+            if kind == _MSG:
+                _, task_id, message = request
+                accounting.record(
+                    message.source_component, components[task_id], task_id
+                )
+                bolts[task_id].execute(message)
+                drain(task_id)
+            elif kind == _TICK:
+                spec.context.current_time = request[1]
+                for task_id, bolt in bolts.items():
+                    bolt.tick(request[1])
+                    drain(task_id)
+            elif kind == _FLUSH:
+                for task_id, bolt in bolts.items():
+                    bolt.flush()
+                    drain(task_id)
+            elif kind == _COLLECT:
+                outbox.put(("emissions", spec.shard_index, emissions))
+                emissions = []
+            elif kind == _FINALIZE:
+                for bolt in bolts.values():
+                    bolt.collector = None  # the driver re-attaches its own
+                outbox.put(
+                    ("result", spec.shard_index,
+                     ShardResult(spec.shard_index, accounting, bolts))
+                )
+                return
+            elif kind == _STOP:
+                # Abandon-without-result: the driver hit a failure and is
+                # tearing the layer down; exit instead of blocking on get().
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown request {kind!r}")
+    except BaseException:  # noqa: BLE001 - report any failure to the driver
+        outbox.put(("error", spec.shard_index, traceback.format_exc()))
+
+
+class ShardedProcessExecutor(Executor):
+    """Runs a downstream sink layer across ``multiprocessing`` workers.
+
+    Parameters
+    ----------
+    workers:
+        Requested shard count; clamped to the widest remote component's
+        parallelism (a worker with no tasks would only burn a process).
+    remote_components:
+        Component names forming the remote layer.  Must be a sink layer: no
+        driver-side component may subscribe to their streams (their
+        emissions are relayed only at end-of-stream).  Components absent
+        from the topology are ignored; with none present the executor
+        degrades to the inline loop.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default, i.e.
+        ``fork`` on Linux).  All shipped state is picklable, so ``spawn``
+        works too at a higher startup cost.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        remote_components: Sequence[str] = (),
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if not remote_components:
+            raise ValueError(
+                "ShardedProcessExecutor needs at least one remote component"
+            )
+        self.requested_workers = workers
+        self.remote_components = tuple(remote_components)
+        self._start_method = start_method
+        self._cluster: "Cluster | None" = None
+        self._owner: dict[int, int] = {}
+        self._pending: list[list[tuple]] = []
+        self._inboxes: list[Any] = []
+        self._outboxes: list[Any] = []
+        self._procs: list[Any] = []
+        self._started = False
+        self._finished = False
+        #: Shard count actually used (set at attach time).
+        self.effective_workers = 0
+
+    # ------------------------------------------------------------------ #
+    # Cluster-facing hooks
+    # ------------------------------------------------------------------ #
+    def attach(self, cluster: "Cluster") -> None:
+        if self._cluster is not None:
+            raise RuntimeError(
+                "executor already attached; use one executor per cluster"
+            )
+        self._cluster = cluster
+        layers: dict[str, list["TaskInfo"]] = {}
+        for component in self.remote_components:
+            try:
+                layers[component] = cluster.tasks_of(component)
+            except KeyError:
+                continue  # optional component not in this topology
+        if not layers:
+            return  # nothing to shard: behave like the inline engine
+        self._check_layer_is_sink(cluster, layers)
+        widest = max(len(tasks) for tasks in layers.values())
+        n = max(1, min(self.requested_workers, widest))
+        self.effective_workers = n
+        for tasks in layers.values():
+            for task in tasks:
+                self._owner[task.task_id] = task.task_index % n
+        self._pending = [[] for _ in range(n)]
+
+    def owns(self, task_id: int) -> bool:
+        return task_id in self._owner
+
+    def deliver_remote(self, task: "TaskInfo", message: TupleMessage) -> None:
+        self._send(self._owner[task.task_id], (_MSG, task.task_id, message))
+
+    def tick_remote(self, simulation_time: float) -> None:
+        for shard in range(self.effective_workers):
+            self._send(shard, (_TICK, simulation_time))
+
+    def flush_remote(self) -> int:
+        if not self._started:
+            return 0
+        assert self._cluster is not None
+        for inbox in self._inboxes:
+            inbox.put((_FLUSH,))
+            inbox.put((_COLLECT,))
+        released = 0
+        for shard in range(self.effective_workers):
+            for task_id, emission in self._receive(shard, "emissions"):
+                producer = self._cluster.task(task_id).component
+                self._cluster._route(producer, emission)
+                released += 1
+        return released
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, cluster: "Cluster", max_spout_calls: int | None = None) -> int:
+        if cluster is not self._cluster:
+            raise RuntimeError("executor is not attached to this cluster")
+        if not self._owner:
+            return self._drive(cluster, max_spout_calls=max_spout_calls)
+        if self._finished:
+            # A second run would rebuild the workers from their factories
+            # and silently zero the remote state merged back by the first
+            # run; budget-sliced multi-run execution needs the inline engine.
+            raise RuntimeError(
+                "ShardedProcessExecutor runs a cluster once; use the inline "
+                "executor for resumed/budget-sliced runs"
+            )
+        self._finished = True
+        self._start_workers(cluster)
+        try:
+            productive = self._drive(cluster, max_spout_calls=max_spout_calls)
+            self._finalize(cluster)
+            return productive
+        finally:
+            self._shutdown()
+
+    # ------------------------------------------------------------------ #
+    # Worker management
+    # ------------------------------------------------------------------ #
+    def _send(self, shard: int, item: tuple) -> None:
+        if self._finished and not self._started:
+            # Post-run injections would buffer into _pending forever (the
+            # workers are gone); fail loudly instead of dropping silently.
+            raise RuntimeError(
+                "remote layer is shut down (the process executor already "
+                "ran); use the inline executor for post-run injection"
+            )
+        # Deliveries can happen before run() (prepare-time emissions); they
+        # are buffered and replayed, in order, once the workers exist.
+        if self._started:
+            self._inboxes[shard].put(item)
+        else:
+            self._pending[shard].append(item)
+
+    def _start_workers(self, cluster: "Cluster") -> None:
+        ctx = multiprocessing.get_context(self._start_method)
+        context = StaticContext(
+            task_ids_by_component={
+                name: [task.task_id for task in cluster.tasks_of(name)]
+                for name in cluster.topology.components
+            },
+            components_by_task={
+                task.task_id: task.component for task in cluster._tasks
+            },
+        )
+        shard_tasks: list[list[tuple[int, int, str]]] = [
+            [] for _ in range(self.effective_workers)
+        ]
+        shard_components: list[set[str]] = [set() for _ in range(self.effective_workers)]
+        for task_id, shard in sorted(self._owner.items()):
+            task = cluster.task(task_id)
+            shard_tasks[shard].append((task.task_id, task.task_index, task.component))
+            shard_components[shard].add(task.component)
+        for shard in range(self.effective_workers):
+            spec = WorkerSpec(
+                shard_index=shard,
+                tasks=shard_tasks[shard],
+                factories={
+                    name: cluster.topology.components[name].factory
+                    for name in shard_components[shard]
+                },
+                context=context,
+            )
+            try:
+                pickle.dumps(spec)
+            except Exception as exc:
+                raise RuntimeError(
+                    "the process executor requires picklable factories and "
+                    f"state for the remote layer ({sorted(shard_components[shard])}): "
+                    f"{exc}"
+                ) from exc
+            inbox = ctx.Queue()
+            outbox = ctx.Queue()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(spec, inbox, outbox),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            self._inboxes.append(inbox)
+            self._outboxes.append(outbox)
+            self._procs.append(proc)
+        self._started = True
+        for shard, items in enumerate(self._pending):
+            for item in items:
+                self._inboxes[shard].put(item)
+        self._pending = [[] for _ in range(self.effective_workers)]
+
+    def _receive(self, shard: int, expected: str) -> Any:
+        outbox = self._outboxes[shard]
+        while True:
+            try:
+                reply = outbox.get(timeout=1.0)
+            except queue_module.Empty:
+                if not self._procs[shard].is_alive():
+                    raise RuntimeError(
+                        f"shard worker {shard} died without reporting a result"
+                    ) from None
+                continue
+            kind = reply[0]
+            if kind == "error":
+                raise RuntimeError(f"shard worker {shard} failed:\n{reply[2]}")
+            if kind != expected:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"expected {expected!r} from shard {shard}, got {kind!r}")
+            return reply[2]
+
+    def _finalize(self, cluster: "Cluster") -> None:
+        """Deterministically merge per-shard state back into the cluster.
+
+        Shards are drained in shard order, so accounting merges and bolt
+        re-installation do not depend on worker scheduling.
+        """
+        for inbox in self._inboxes:
+            inbox.put((_FINALIZE,))
+        for shard in range(self.effective_workers):
+            result: ShardResult = self._receive(shard, "result")
+            cluster.accounting.merge(result.accounting)
+            for task_id in sorted(result.bolts):
+                bolt = result.bolts[task_id]
+                task = cluster.task(task_id)
+                bolt.collector = task.collector
+                bolt.context = cluster.context
+                task.instance = bolt
+
+    def _shutdown(self) -> None:
+        # On failure paths workers are still blocked in inbox.get(); a stop
+        # sentinel lets them exit immediately instead of burning the join
+        # timeout (finished workers have already left — the put is harmless).
+        for inbox in self._inboxes:
+            try:
+                inbox.put((_STOP,))
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - only on worker hangs
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for channel in (*self._inboxes, *self._outboxes):
+            channel.close()
+            channel.cancel_join_thread()
+        self._inboxes = []
+        self._outboxes = []
+        self._procs = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def _check_layer_is_sink(
+        self, cluster: "Cluster", layers: dict[str, list["TaskInfo"]]
+    ) -> None:
+        """The remote layer's streams may only feed the remote layer itself."""
+        remote = set(layers)
+        for subscription in cluster.topology.subscriptions:
+            if subscription.producer in remote and subscription.consumer not in remote:
+                raise ValueError(
+                    f"remote component {subscription.producer!r} feeds "
+                    f"driver-side component {subscription.consumer!r}; the "
+                    "sharded layer must be a sink layer (its emissions are "
+                    "only relayed at end of stream)"
+                )
+
+
+#: Executor registry used by ``make_executor`` (and mirrored by the CLI).
+EXECUTOR_NAMES = (InlineExecutor.name, ShardedProcessExecutor.name)
+
+
+def make_executor(
+    name: str,
+    workers: int = 2,
+    remote_components: Sequence[str] = (),
+    start_method: str | None = None,
+) -> Executor:
+    """Build an executor by registry name (``"inline"`` or ``"process"``)."""
+    if name == InlineExecutor.name:
+        return InlineExecutor()
+    if name == ShardedProcessExecutor.name:
+        return ShardedProcessExecutor(
+            workers=workers,
+            remote_components=remote_components,
+            start_method=start_method,
+        )
+    raise ValueError(
+        f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
+    )

@@ -51,6 +51,23 @@ class TestRun:
         assert "average communication" in output
         assert "algorithm                 : DS" in output
 
+    def test_run_with_process_executor(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--documents", "800",
+                "--topics", "40",
+                "--k", "2",
+                "--partitioners", "2",
+                "--window", "250",
+                "--bootstrap", "120",
+                "--executor", "process",
+                "--workers", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "execution engine          : process (2 workers)" in capsys.readouterr().out
+
     def test_run_from_trace_file(self, tmp_path, capsys):
         trace = tmp_path / "trace.jsonl"
         main(["generate", "--documents", "800", "--seed", "5", "--output", str(trace)])

@@ -20,6 +20,8 @@ class TestValidation:
             {"window_size": 0},
             {"bootstrap_documents": 0},
             {"repartition_threshold": -0.1},
+            {"executor": "threads"},
+            {"workers": -1},
         ],
     )
     def test_invalid_values_rejected(self, overrides):
@@ -58,3 +60,16 @@ class TestFactories:
         assert changed.k == 7
         assert base.k == 10
         assert changed is not base
+
+
+class TestExecutorConfig:
+    def test_inline_is_default(self):
+        config = SystemConfig()
+        assert config.executor == "inline"
+        assert config.workers == 0
+
+    def test_explicit_workers_resolve_verbatim(self):
+        assert SystemConfig(workers=7).resolved_workers() == 7
+
+    def test_auto_workers_bounded(self):
+        assert 1 <= SystemConfig(workers=0).resolved_workers() <= 4
