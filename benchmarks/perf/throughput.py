@@ -48,7 +48,9 @@ WORKLOADS = {
 }
 
 #: Schema version of BENCH_throughput.json (bump on breaking layout changes).
-SCHEMA_VERSION = 1
+#: v2 added per-cell ``phase_seconds`` (build/stream/reporting breakdown of
+#: the best run) and the top-level/per-cell ``reporting_engine``.
+SCHEMA_VERSION = 2
 
 
 def _generate_documents(name: str):
@@ -66,7 +68,8 @@ def _generate_documents(name: str):
     return TwitterLikeGenerator(config).generate(n_documents)
 
 
-def _system_config(executor: str, workers: int, algorithm: str, batch_size: int):
+def _system_config(executor: str, workers: int, algorithm: str, batch_size: int,
+                   reporting_engine: str = "incremental"):
     from repro.pipeline import SystemConfig
 
     return SystemConfig(
@@ -80,33 +83,46 @@ def _system_config(executor: str, workers: int, algorithm: str, batch_size: int)
         repartition_threshold=0.5,
         report_interval_seconds=60.0,
         notification_batch_size=batch_size,
+        reporting_engine=reporting_engine,
         executor=executor,
         workers=workers,
     )
 
 
 def _measure_worker(outbox, workload: str, executor: str, workers: int,
-                    repeat: int, algorithm: str, batch_size: int) -> None:
+                    repeat: int, algorithm: str, batch_size: int,
+                    reporting_engine: str) -> None:
     """Subprocess body: run the system ``repeat`` times, report the best."""
     try:
         from repro.pipeline import TagCorrelationSystem
 
         documents = _generate_documents(workload)
         elapsed: list[float] = []
+        timings: list[dict] = []
         report = None
         for _ in range(repeat):
             system = TagCorrelationSystem(
-                _system_config(executor, workers, algorithm, batch_size)
+                _system_config(executor, workers, algorithm, batch_size,
+                               reporting_engine)
             )
             start = time.perf_counter()
             report = system.run(documents)
             elapsed.append(time.perf_counter() - start)
+            timings.append(report.timings)
         assert report is not None
         usage_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         usage_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
         # ru_maxrss is KiB on Linux, bytes on macOS: normalise to MiB.
         to_mb = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
-        best = min(elapsed)
+        best_index = min(range(len(elapsed)), key=elapsed.__getitem__)
+        best = elapsed[best_index]
+        # Phase breakdown of the best run: topology assembly, cluster
+        # execution (streaming + in-stream report rounds) and end-of-run
+        # reporting (final drain + metric collection + ground truth).
+        phases = {
+            phase: round(seconds, 4)
+            for phase, seconds in timings[best_index].items()
+        }
         outbox.put({
             "workload": workload,
             "executor": executor,
@@ -118,6 +134,8 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
             "elapsed_seconds": [round(value, 4) for value in elapsed],
             "best_elapsed_seconds": round(best, 4),
             "docs_per_second": round(report.documents_processed / best, 1),
+            "phase_seconds": phases,
+            "reporting_engine": report.reporting_engine,
             "peak_rss_mb": round(usage_self / to_mb, 1),
             "peak_worker_rss_mb": round(usage_children / to_mb, 1),
             "communication_avg": round(report.communication_avg, 4),
@@ -130,7 +148,8 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
 
 
 def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
-            algorithm: str = "DS", batch_size: int = 64) -> dict:
+            algorithm: str = "DS", batch_size: int = 64,
+            reporting_engine: str = "incremental") -> dict:
     """One benchmark cell, isolated in a forked subprocess."""
     import queue as queue_module
 
@@ -138,7 +157,8 @@ def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
     outbox = ctx.Queue()
     proc = ctx.Process(
         target=_measure_worker,
-        args=(outbox, workload, executor, workers, repeat, algorithm, batch_size),
+        args=(outbox, workload, executor, workers, repeat, algorithm,
+              batch_size, reporting_engine),
     )
     proc.start()
     while True:
@@ -160,7 +180,8 @@ def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
 
 
 def run_matrix(workloads, worker_counts, repeat=1, algorithm="DS",
-               batch_size=64, verbose=True) -> dict:
+               batch_size=64, reporting_engine="incremental",
+               verbose=True) -> dict:
     """The full benchmark matrix: inline plus process at each worker count."""
     runs = []
     for workload in workloads:
@@ -170,17 +191,22 @@ def run_matrix(workloads, worker_counts, repeat=1, algorithm="DS",
                 label = executor if executor == "inline" else f"{executor}({workers}w)"
                 print(f"[bench] {workload:>6} / {label:<12} ...",
                       end=" ", flush=True)
-            cell = measure(workload, executor, workers, repeat, algorithm, batch_size)
+            cell = measure(workload, executor, workers, repeat, algorithm,
+                           batch_size, reporting_engine)
             runs.append(cell)
             if verbose:
+                phases = cell["phase_seconds"]
                 print(f"{cell['docs_per_second']:>8.1f} docs/s "
                       f"(best of {repeat}: {cell['best_elapsed_seconds']}s, "
+                      f"stream {phases.get('stream', 0.0)}s / "
+                      f"reporting {phases.get('reporting', 0.0)}s, "
                       f"rss {cell['peak_rss_mb']} MB)")
     return {
         "schema": SCHEMA_VERSION,
         "generated_by": "benchmarks/perf/throughput.py",
         "algorithm": algorithm,
         "notification_batch_size": batch_size,
+        "reporting_engine": reporting_engine,
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -232,6 +258,11 @@ def main(argv=None) -> int:
     parser.add_argument("--algorithm", default="DS")
     parser.add_argument("--batch-size", type=int, default=64,
                         help="notification_batch_size (the IPC unit size)")
+    parser.add_argument("--reporting-engine", default="incremental",
+                        choices=("incremental", "scratch"),
+                        help="exact-mode union computation (incremental = "
+                             "the default engine, scratch = the original "
+                             "per-key re-walk)")
     parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_throughput.json"),
                         help="output JSON path (default: repo root)")
     args = parser.parse_args(argv)
@@ -243,7 +274,8 @@ def main(argv=None) -> int:
     worker_counts = [int(value) for value in args.workers.split(",") if value.strip()]
 
     results = run_matrix(workloads, worker_counts, repeat=args.repeat,
-                         algorithm=args.algorithm, batch_size=args.batch_size)
+                         algorithm=args.algorithm, batch_size=args.batch_size,
+                         reporting_engine=args.reporting_engine)
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n",
                       encoding="utf-8")

@@ -35,7 +35,12 @@ def main() -> None:
     # 2. Configure the distributed system: 8 Calculators, 5 Partitioners,
     #    repartition when quality degrades by more than 50 %.  Swap
     #    executor="process" (plus workers=N) to shard the Calculator/Tracker
-    #    layer over worker processes — the report below is identical.
+    #    layer over worker processes, reporting_engine="scratch" to fall
+    #    back to the original report path, subset_cache_size=N to size the
+    #    Calculators' subset-enumeration LRU, or
+    #    include_centralized_baseline=False to skip the ground-truth bolt —
+    #    the logical metrics below are identical in every case (the last
+    #    one simply omits the error rows).
     config = SystemConfig(
         algorithm="DS",
         k=8,
@@ -56,6 +61,13 @@ def main() -> None:
     print("\n--- run report -------------------------------------------")
     print(f"algorithm                 : {report.algorithm}")
     print(f"calculator mode           : {report.calculator_mode}")
+    print(f"reporting engine          : {report.reporting_engine}")
+    if report.subset_cache_stats is not None:
+        stats = report.subset_cache_stats
+        lookups = stats["hits"] + stats["misses"]
+        hit_rate = stats["hits"] / lookups if lookups else 0.0
+        print(f"subset cache hit rate     : {hit_rate:.1%} "
+              f"({stats['evictions']} evictions)")
     print(f"execution engine          : {report.executor_mode}"
           + (f" ({report.executor_workers} workers)"
              if report.executor_mode == "process" else ""))

@@ -6,10 +6,15 @@ Provides the handful of workflows a user needs without writing Python:
 * ``repro run`` — run the distributed tag-correlation system over a trace
   (or a freshly generated one) and print the run report.  ``--calculator
   sketch`` switches the Calculators to the MinHash/Count-Min approximate
-  tracking mode; ``--batch-size`` controls the Disseminator's notification
-  micro-batches (``1`` disables batching); ``--executor process`` shards the
-  Calculator/Tracker layer across ``--workers`` multiprocessing workers
-  (identical logical metrics, see docs/PERFORMANCE.md),
+  tracking mode; ``--reporting-engine`` picks the exact-mode union
+  computation (``incremental``/``scratch``, identical coefficients);
+  ``--subset-cache`` sizes the Calculators' subset-enumeration LRU;
+  ``--no-baseline`` skips the centralized ground truth (measurement runs
+  that need no error metrics); ``--batch-size`` controls the Disseminator's
+  notification micro-batches (``1`` disables batching); ``--executor
+  process`` shards the Calculator/Tracker layer across ``--workers``
+  multiprocessing workers (identical logical metrics, see
+  docs/PERFORMANCE.md),
 * ``repro compare`` — run several partitioning algorithms over the same
   trace and print the evaluation metrics side by side,
 * ``repro connectivity`` — the Figure-7 connectivity analysis of a trace,
@@ -36,6 +41,7 @@ from typing import Sequence
 
 from .analysis.connectivity import connectivity_by_window_size
 from .core.documents import Document
+from .core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
 from .pipeline import RunReport, SystemConfig, TagCorrelationSystem
 from .streamsim import EXECUTOR_NAMES
 from .theory import WindowModel, communication_sweep, paper_np_table
@@ -73,6 +79,21 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--calculator", choices=("exact", "sketch"), default="exact",
                         help="Calculator mode: exact subset counters or the "
                              "MinHash/Count-Min approximate tracking mode")
+    parser.add_argument("--reporting-engine", choices=REPORTING_ENGINES,
+                        default="incremental",
+                        help="union computation of exact-mode report rounds: "
+                             "incremental (one subset-lattice fold per "
+                             "distinct tagset type, the default) or scratch "
+                             "(the original per-key counter re-walk); both "
+                             "report identical coefficients")
+    parser.add_argument("--subset-cache", type=int, default=DEFAULT_SUBSET_CACHE_SIZE,
+                        help="capacity of each exact Calculator's LRU cache "
+                             "of tagset subset enumerations (default "
+                             f"{DEFAULT_SUBSET_CACHE_SIZE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the centralized exact baseline entirely "
+                             "(no ground truth, no error metrics; the "
+                             "baseline bolt is never constructed)")
     parser.add_argument("--batch-size", type=int, default=64,
                         help="routed tagsets per notification micro-batch "
                              "(1 = one message per routed tagset)")
@@ -110,6 +131,9 @@ def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = N
         quality_check_interval=max(50, args.window // 6),
         report_interval_seconds=60.0,
         calculator=getattr(args, "calculator", "exact"),
+        reporting_engine=getattr(args, "reporting_engine", "incremental"),
+        subset_cache_size=getattr(args, "subset_cache", DEFAULT_SUBSET_CACHE_SIZE),
+        include_centralized_baseline=not getattr(args, "no_baseline", False),
         notification_batch_size=getattr(args, "batch_size", 64),
         minhash_permutations=getattr(args, "minhash_perms", 512),
         executor=getattr(args, "executor", "inline"),
@@ -126,6 +150,15 @@ def _load_or_generate(args: argparse.Namespace) -> list[Document]:
 def _print_report(report: RunReport) -> None:
     print(f"algorithm                 : {report.algorithm}")
     print(f"calculator mode           : {report.calculator_mode}")
+    if report.calculator_mode == "exact":
+        print(f"reporting engine          : {report.reporting_engine}")
+        if report.subset_cache_stats is not None:
+            stats = report.subset_cache_stats
+            lookups = stats["hits"] + stats["misses"]
+            hit_rate = stats["hits"] / lookups if lookups else 0.0
+            print(f"subset cache              : {hit_rate:.1%} hit rate "
+                  f"({stats['hits']} hits, {stats['misses']} misses, "
+                  f"{stats['evictions']} evictions)")
     print(f"execution engine          : {report.executor_mode}"
           + (f" ({report.executor_workers} workers)"
              if report.executor_mode == "process" else ""))
@@ -219,9 +252,12 @@ subcommands:
   generate      write a synthetic Twitter-like trace to a JSONL file
   run           run the distributed tag-correlation system over a trace
                 (use --calculator sketch for the approximate tracking mode,
-                --batch-size to tune the notification micro-batches,
-                --executor process --workers N to shard the Calculator/
-                Tracker layer over worker processes)
+                --reporting-engine scratch to fall back to the original
+                report path, --subset-cache to size the Calculators'
+                subset-enumeration LRU, --no-baseline to skip the
+                centralized ground truth, --batch-size to tune the
+                notification micro-batches, --executor process --workers N
+                to shard the Calculator/Tracker layer over worker processes)
   compare       run several partitioning algorithms over the same trace and
                 print the evaluation metrics side by side
   connectivity  Figure-7 connectivity analysis of a trace
@@ -237,6 +273,13 @@ examples:
 
   # Shard the Calculator/Tracker layer over 4 worker processes:
   python -m repro.cli run --documents 8000 --executor process --workers 4
+
+  # Fastest exact-mode measurement run: incremental reporting engine
+  # (default) without the centralized baseline:
+  python -m repro.cli run --documents 8000 --no-baseline
+
+  # Pin the original reporting path (for equivalence checks):
+  python -m repro.cli run --documents 8000 --reporting-engine scratch
 
   # Paper-style algorithm comparison (Figures 3-6):
   python -m repro.cli compare --documents 8000 --algorithms DS,SCI,SCC,SCL

@@ -9,9 +9,12 @@ the evaluation metrics (communication, Gini load, Jaccard error).
 from .cooccurrence import CooccurrenceStatistics
 from .documents import Document, DocumentBatch, documents_from_tagsets, make_tagset
 from .jaccard import (
+    DEFAULT_SUBSET_CACHE_SIZE,
+    REPORTING_ENGINES,
     JaccardCalculator,
     JaccardResult,
     SubsetCounter,
+    SubsetTupleCache,
     all_nonempty_subsets,
     exact_jaccard,
     union_size_inclusion_exclusion,
@@ -37,6 +40,9 @@ __all__ = [
     "DocumentBatch",
     "documents_from_tagsets",
     "make_tagset",
+    "DEFAULT_SUBSET_CACHE_SIZE",
+    "REPORTING_ENGINES",
+    "SubsetTupleCache",
     "JaccardCalculator",
     "JaccardResult",
     "SubsetCounter",

@@ -11,24 +11,87 @@ via the inclusion–exclusion principle (Equation (2)).
 This module provides:
 
 * :func:`exact_jaccard` — ground truth computed directly from per-tag
-  document sets (used by the centralised baseline and in tests),
-* :class:`SubsetCounter` — the counter table a Calculator maintains,
+  document sets (used in tests and as the reference in property tests),
+* :class:`SubsetTupleCache` — a bounded LRU cache of tagset → subset-tuple
+  enumerations, so repeated (trending) tagsets skip the
+  ``itertools.combinations`` re-enumeration on every observation,
+* :class:`SubsetCounter` — the counter table a Calculator maintains, with
+  two reporting engines (see below),
 * :class:`JaccardCalculator` — counts incoming tagset notifications and
   reports Jaccard coefficients the way the Calculator operator does,
 * :func:`union_size_inclusion_exclusion` — Equation (2) on top of a counter
   table.
 
 Counters are keyed internally by sorted tag tuples rather than frozensets:
-a Calculator evaluates hundreds of thousands of subsets per report round and
-tuple keys shave a large constant factor off that loop.
+a Calculator touches hundreds of thousands of subsets per report round,
+tuples are markedly cheaper to build than frozensets (cache-entry
+construction is the dominant miss cost), and the cached enumeration is
+shared between the observe and report paths so each subset tuple is
+constructed once per cache residency.  Only reported coefficients are
+frozen, one frozenset per emitted result.
+
+Reporting engines
+-----------------
+A report round must produce, for every counted tagset of at least two tags,
+its support (the counter value) and the size of the union of its tags'
+document sets.  Two engines compute the unions:
+
+* ``"scratch"`` — the original path: for every counted key, re-enumerate
+  its subsets with :func:`itertools.combinations` and walk the counter
+  table once per key.  A key of ``m`` tags costs ``2^m − 1`` dictionary
+  lookups, and because every subset of an observed tagset is itself a
+  counted key, one distinct ``m``-tag tagset costs ``Σ_k C(m,k)·2^k ≈ 3^m``
+  lookups per round.
+* ``"incremental"`` (default) — the incremental reporting engine.  At
+  observe time the counter additionally maintains the set of *distinct
+  observed tagset types* — the state, growing with the counters, that
+  tells the report which subset lattices exist.  At report time each
+  distinct type is folded **once**: the counts of all ``2^m`` subsets
+  of an ``m``-tag type are gathered into a subset lattice and a
+  sum-over-subsets (SOS) transform produces the unions of *all* of its
+  subsets simultaneously in ``m·2^m`` additions instead of ``3^m`` lookups.
+  Keys shared by several types (heavily overlapping tagsets) are emitted
+  once.  Both engines produce bit-identical coefficients — the incremental
+  engine rearranges the same exact integer sums (asserted by
+  ``tests/core/test_jaccard.py`` and the pipeline equivalence tests).
+
+Worked inclusion–exclusion example
+----------------------------------
+Observe three notifications: ``{a, b}``, ``{a, b}`` and ``{a, c}``.  The
+counter table becomes::
+
+    (a,): 3    (b,): 2    (c,): 1    (a, b): 2    (a, c): 1
+
+For the tagset ``{a, b}``, Equation (2) gives::
+
+    |T_a ∪ T_b| = |T_a| + |T_b| − |T_a ∩ T_b| = 3 + 2 − 2 = 3
+
+so ``J({a, b}) = CN({a, b}) / |T_a ∪ T_b| = 2 / 3``.  The incremental
+engine reaches the same number through the signed subset lattice of the
+observed type ``(a, b)``: it loads ``f = [0, −3, −2, +2]`` (counts of
+``∅, {a}, {b}, {a,b}`` with sign ``(−1)^{|subset|}``), runs the SOS
+transform to get the signed partial sums of every subset, and negates —
+``union({a,b}) = −(−3 − 2 + 2) = 3`` — computing the unions of ``{a}``,
+``{b}`` and ``{a, b}`` in the same pass.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from itertools import combinations
+from operator import mul
 from typing import Iterable, Mapping
+
+#: Reporting engines of :class:`SubsetCounter` / :class:`JaccardCalculator`
+#: (mirrored by ``SystemConfig.reporting_engine`` and the CLI).
+REPORTING_ENGINES = ("incremental", "scratch")
+
+#: Default capacity of the per-Calculator subset-tuple LRU cache.  Sized for
+#: the distinct-tagset working set of one report round on the benchmark
+#: workloads (a few thousand types per Calculator) with room to keep
+#: trending types warm across rounds.
+DEFAULT_SUBSET_CACHE_SIZE = 4096
 
 
 def exact_jaccard(document_sets: Iterable[set[int]]) -> float:
@@ -86,7 +149,12 @@ def union_size_inclusion_exclusion(
 def _union_size_from_tuple_counts(
     tags: tuple[str, ...], counts: Mapping[tuple[str, ...], int]
 ) -> int:
-    """Inclusion–exclusion over tuple-keyed counters (``tags`` sorted)."""
+    """Inclusion–exclusion over tuple-keyed counters (``tags`` sorted).
+
+    The per-key reference computation: one ``2^m − 1`` walk of the counter
+    table.  Used by the scratch reporting engine, single-key queries and
+    the centralised baseline's ground truth.
+    """
     get = counts.get
     total = 0
     for size in range(1, len(tags) + 1):
@@ -96,6 +164,156 @@ def _union_size_from_tuple_counts(
             subtotal += get(combo, 0)
         total += sign * subtotal
     return total
+
+
+# --------------------------------------------------------------------- #
+# Subset-tuple LRU cache
+# --------------------------------------------------------------------- #
+class SubsetTupleCache:
+    """Bounded LRU cache of tagset → subset-tuple enumerations.
+
+    Enumerating the subsets of an ``m``-tag tagset costs ``2^m`` tuple
+    constructions; on trending streams the same tagsets recur thousands of
+    times per round, so Calculators cache the enumeration per distinct
+    sorted tag tuple.  Entries are evicted least-recently-used once
+    ``capacity`` distinct tagsets are cached; an evicted tagset is simply
+    re-enumerated (and re-cached) on its next occurrence, so eviction never
+    affects correctness — only the hit rate (``stats()``).
+
+    Entries are keyed by the *frozenset* of the tags — ``frozenset(fs)`` is
+    a no-op for an incoming frozenset, so the hot observe path neither sorts
+    nor copies the tagset on a cache hit.  Each entry holds three views of
+    the same enumeration:
+
+    * ``key`` — the canonical sorted tag tuple (computed once, on miss),
+    * ``by_mask`` — subset tuples indexed by bitmask over ``key``
+      (``by_mask[0] == ()``), the layout the incremental reporting engine's
+      lattice transform consumes.  ``None`` when ``max_subset_size`` caps
+      the enumeration (the capped enumeration is not a full lattice).
+    * ``nonempty`` — the non-empty subset tuples as one flat tuple, the
+      layout ``Counter.update`` consumes at observe time.
+    """
+
+    __slots__ = ("_entries", "capacity", "max_subset_size",
+                 "hits", "misses", "evictions")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_SUBSET_CACHE_SIZE,
+        max_subset_size: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if max_subset_size is not None and max_subset_size < 1:
+            raise ValueError("max_subset_size must be at least 1 (or None)")
+        self.capacity = capacity
+        self.max_subset_size = max_subset_size
+        self._entries: OrderedDict[
+            frozenset[str],
+            tuple[
+                tuple[str, ...],
+                tuple[tuple[str, ...], ...] | None,
+                tuple[tuple[str, ...], ...],
+            ],
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(
+        self, tags: Iterable[str]
+    ) -> tuple[
+        tuple[str, ...],
+        tuple[tuple[str, ...], ...] | None,
+        tuple[tuple[str, ...], ...],
+    ]:
+        """The ``(key, by_mask, nonempty)`` enumeration of a tagset."""
+        fs = frozenset(tags)
+        entries = self._entries
+        entry = entries.get(fs)
+        if entry is not None:
+            self.hits += 1
+            entries.move_to_end(fs)
+            return entry
+        self.misses += 1
+        entry = self._build(tuple(sorted(fs)))
+        entries[fs] = entry
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def _build(
+        self, key: tuple[str, ...]
+    ) -> tuple[
+        tuple[str, ...],
+        tuple[tuple[str, ...], ...] | None,
+        tuple[tuple[str, ...], ...],
+    ]:
+        if self.max_subset_size is not None:
+            capped: list[tuple[str, ...]] = []
+            for size in range(1, min(len(key), self.max_subset_size) + 1):
+                capped.extend(combinations(key, size))
+            return key, None, tuple(capped)
+        # Power-set doubling: after processing tag i, by_mask holds the
+        # subsets of key[:i+1] indexed by bitmask (appending tag i maps
+        # block 0..2^i−1 onto block 2^i..2^{i+1}−1), so the lattice layout
+        # falls out of plain list concatenation instead of per-mask bit
+        # tests.
+        by_mask: list[tuple[str, ...]] = [()]
+        for tag in key:
+            by_mask += [subset + (tag,) for subset in by_mask]
+        frozen = tuple(by_mask)
+        return key, frozen, frozen[1:]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, tags: object) -> bool:
+        return tags in self._entries
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction accounting plus the current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (accounting is preserved)."""
+        self._entries.clear()
+
+
+#: Per-arity sign vectors of the subset lattice: ``_SIGNS[m][mask]`` is
+#: ``(−1)^{popcount(mask)}``, the inclusion–exclusion sign of the subset
+#: ``mask`` encodes.  Tiny (``m ≤ max_tags_per_document``) and shared by
+#: every counter in the process.
+_SIGNS: dict[int, tuple[int, ...]] = {}
+
+#: Per-(arity, min-size) mask lists of reportable subsets (popcount ≥ the
+#: report's minimum tagset size), shared like :data:`_SIGNS`.
+_REPORT_MASKS: dict[tuple[int, int], tuple[int, ...]] = {}
+
+
+def _signs(m: int) -> tuple[int, ...]:
+    signs = _SIGNS.get(m)
+    if signs is None:
+        signs = tuple(-1 if mask.bit_count() & 1 else 1 for mask in range(1 << m))
+        _SIGNS[m] = signs
+    return signs
+
+
+def _report_masks(m: int, min_size: int) -> tuple[int, ...]:
+    masks = _REPORT_MASKS.get((m, min_size))
+    if masks is None:
+        masks = tuple(
+            mask for mask in range(1, 1 << m) if mask.bit_count() >= min_size
+        )
+        _REPORT_MASKS[(m, min_size)] = masks
+    return masks
 
 
 @dataclass(slots=True)
@@ -122,25 +340,53 @@ class SubsetCounter:
     ``{a,b}``, ``{a,c}``, ``{b,c}`` and ``{a,b,c}``.  The counter of a set
     therefore equals the number of received documents annotated with all of
     the set's tags.
+
+    Besides the subset counters the table maintains the incremental
+    reporting engine's state: the set of distinct observed tagset *types*
+    (the subset lattices the report must fold — see the module docstring),
+    and the bounded LRU cache of subset enumerations shared by the observe
+    and report paths.
     """
 
-    def __init__(self, max_tags_per_document: int = 12) -> None:
+    def __init__(
+        self,
+        max_tags_per_document: int = 12,
+        subset_cache: SubsetTupleCache | None = None,
+        subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE,
+    ) -> None:
+        if subset_cache is not None and subset_cache.max_subset_size is not None:
+            raise ValueError(
+                "SubsetCounter needs full subset lattices; a cache with "
+                "max_subset_size set cannot back the reporting engines"
+            )
         self._counts: Counter = Counter()
+        #: Distinct observed tagset types (reset per round): the incremental
+        #: engine folds each type's subset lattice exactly once per report.
+        self._types: set[frozenset[str]] = set()
         self._max_tags = max_tags_per_document
+        self._cache = (
+            subset_cache
+            if subset_cache is not None
+            else SubsetTupleCache(subset_cache_size)
+        )
+
+    @property
+    def cache(self) -> SubsetTupleCache:
+        """The subset-enumeration cache (shared with the report path)."""
+        return self._cache
 
     def observe(self, tags: Iterable[str]) -> None:
         """Record one incoming tagset notification."""
-        unique = sorted(set(tags))
-        if not unique:
+        fs = frozenset(tags)  # no-op for the wire format (already frozen)
+        if not fs:
             return
-        if len(unique) > self._max_tags:
+        if len(fs) > self._max_tags:
             # Guard against combinatorial blow-up on pathological documents;
             # real tweets carry < 10 tags (Section 3.1).
-            unique = unique[: self._max_tags]
-        counts = self._counts
-        for size in range(1, len(unique) + 1):
-            for combo in combinations(unique, size):
-                counts[combo] += 1
+            fs = frozenset(sorted(fs)[: self._max_tags])
+        _, _, nonempty = self._cache.lookup(fs)
+        self._counts.update(nonempty)
+        self._types.add(fs)
 
     def count(self, tags: Iterable[str]) -> int:
         """Documents observed that carry all of ``tags``."""
@@ -162,8 +408,13 @@ class SubsetCounter:
         return tuple(sorted(set(tags))) in self._counts  # type: ignore[arg-type]
 
     def clear(self) -> None:
-        """Drop all counters (Calculators do this after each report round)."""
+        """Drop all counters (Calculators do this after each report round).
+
+        The subset-enumeration cache survives the reset on purpose: the
+        trending tagsets of the next round are usually the same types.
+        """
         self._counts.clear()
+        self._types.clear()
 
     def jaccard(self, tags: Iterable[str]) -> float:
         """Jaccard coefficient of ``tags`` from the current counters."""
@@ -176,8 +427,154 @@ class SubsetCounter:
             return 0.0
         return intersection / union
 
+    # ------------------------------------------------------------------ #
+    # Report engines
+    # ------------------------------------------------------------------ #
+    def report_triples(
+        self, min_size: int = 2, engine: str = "incremental"
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """Coefficients as raw ``(tagset, jaccard, support)`` wire triples.
+
+        The hot reporting path: report rounds ship hundreds of thousands of
+        coefficients per run, so the periodic emit, the end-of-run drain
+        and the Tracker all consume these triples directly instead of
+        wrapping each one in a :class:`JaccardResult`.  ``engine`` selects
+        how unions are computed (see the module docstring); both engines
+        return the same coefficients, differing only in result order and
+        cost.
+        """
+        if engine == "incremental":
+            return self._report_incremental(min_size)
+        if engine == "scratch":
+            return self._report_scratch(min_size)
+        raise ValueError(
+            f"unknown reporting engine {engine!r}; "
+            f"available: {', '.join(REPORTING_ENGINES)}"
+        )
+
+    def report_results(
+        self, min_size: int = 2, engine: str = "incremental"
+    ) -> list[JaccardResult]:
+        """Coefficients of every counted tagset of at least ``min_size`` tags."""
+        return [
+            JaccardResult(tagset, jaccard, support)
+            for tagset, jaccard, support in self.report_triples(min_size, engine)
+        ]
+
+    def _report_scratch(
+        self, min_size: int
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """The original engine: one counter-table walk per counted key."""
+        counts = self._counts
+        results = []
+        for key, support in counts.items():
+            if len(key) < min_size or support == 0:
+                continue
+            union = _union_size_from_tuple_counts(key, counts)
+            if union <= 0:
+                continue
+            results.append((frozenset(key), support / union, support))
+        return results
+
+    def _report_incremental(
+        self, min_size: int
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """One subset-lattice fold per distinct observed tagset type.
+
+        Every counted key is a subset of at least one observed type, so
+        folding each type's lattice once covers all keys; keys shared by
+        overlapping types are emitted on first encounter only.  The fold is
+        the sum-over-subsets transform of the signed counts, after which
+        ``union(subset) = −g[mask]`` for every subset of the type (exact
+        integer arithmetic — identical to the scratch engine's sums).
+        """
+        counts = self._counts
+        lookup = counts.__getitem__  # Counter.__missing__ returns 0
+        cache_lookup = self._cache.lookup
+        results: list[tuple[frozenset[str], float, int]] = []
+        append = results.append
+        done: set[tuple[str, ...]] = set()
+        seen = done.add
+        for vtype in self._types:
+            m = len(vtype)
+            if m < min_size:
+                continue  # contributes no reportable keys of its own
+            _, by_mask, _ = cache_lookup(vtype)
+            assert by_mask is not None  # full lattices are never size-capped
+            # Two- and three-tag types — the bulk of a trending stream once
+            # routing splits tagsets per Calculator — fold via unrolled
+            # inclusion–exclusion: the generic lattice machinery costs more
+            # than these few additions.  Only exercised at the default
+            # min_size=2 (reportable keys of 2..m tags).
+            if m == 2 and min_size == 2:
+                pair = by_mask[3]
+                if pair not in done:
+                    seen(pair)
+                    support = lookup(pair)
+                    union = lookup(by_mask[1]) + lookup(by_mask[2]) - support
+                    if support and union > 0:
+                        append((frozenset(pair), support / union, support))
+                continue
+            if m == 3 and min_size == 2:
+                na = lookup(by_mask[1])
+                nb = lookup(by_mask[2])
+                nc = lookup(by_mask[4])
+                nab = lookup(by_mask[3])
+                nac = lookup(by_mask[5])
+                nbc = lookup(by_mask[6])
+                for key, support, union in (
+                    (by_mask[3], nab, na + nb - nab),
+                    (by_mask[5], nac, na + nc - nac),
+                    (by_mask[6], nbc, nb + nc - nbc),
+                    (
+                        by_mask[7],
+                        (nabc := lookup(by_mask[7])),
+                        na + nb + nc - nab - nac - nbc + nabc,
+                    ),
+                ):
+                    if key in done:
+                        continue
+                    seen(key)
+                    if support and union > 0:
+                        append((frozenset(key), support / union, support))
+                continue
+            size = 1 << m
+            # Counts of all subsets of the type (reused as the per-key
+            # supports below), then signed for the fold: g[mask] =
+            # (−1)^{|subset|} · CN(subset) — all via C-level maps.
+            raw = list(map(lookup, by_mask))
+            g = list(map(mul, _signs(m), raw))
+            # Sum-over-subsets: after the i-th pass g[mask] holds the signed
+            # sum over all subsets differing from mask only in bits 0..i.
+            # The lower half-block is untouched within a pass, so larger
+            # blocks fold with one slice assignment.
+            for i in range(m):
+                bit = 1 << i
+                step = bit << 1
+                if bit >= 16:
+                    for base in range(bit, size, step):
+                        upper = base + bit
+                        g[base:upper] = [
+                            x + y for x, y in zip(g[base:upper], g[base - bit:base])
+                        ]
+                else:
+                    for base in range(bit, size, step):
+                        for mask in range(base, base + bit):
+                            g[mask] += g[mask - bit]
+            for mask in _report_masks(m, min_size):
+                key = by_mask[mask]
+                if key in done:
+                    continue
+                seen(key)
+                support = raw[mask]
+                union = -g[mask]
+                if support == 0 or union <= 0:
+                    continue
+                append((frozenset(key), support / union, support))
+        return results
+
     def _raw_items(self) -> Iterable[tuple[tuple[str, ...], int]]:
-        """Internal tuple-keyed view used by the report fast path."""
+        """Internal tuple-keyed counter view used by tests."""
         return self._counts.items()
 
     def _raw_counts(self) -> Mapping[tuple[str, ...], int]:
@@ -188,18 +585,38 @@ class JaccardCalculator:
     """Counts tagset notifications and reports Jaccard coefficients.
 
     This is the algorithmic core of the Calculator operator, factored out so
-    it can be used standalone (e.g. by the centralised baseline or in
-    examples that do not need the full topology).
+    it can be used standalone (e.g. in examples that do not need the full
+    topology).  ``reporting_engine`` selects the union computation of the
+    periodic report — ``"incremental"`` (default) or the original
+    ``"scratch"`` path — and ``subset_cache_size`` bounds the LRU cache of
+    subset enumerations (see the module docstring).
     """
 
-    def __init__(self, max_tags_per_document: int = 12) -> None:
-        self._counter = SubsetCounter(max_tags_per_document)
+    def __init__(
+        self,
+        max_tags_per_document: int = 12,
+        reporting_engine: str = "incremental",
+        subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE,
+    ) -> None:
+        if reporting_engine not in REPORTING_ENGINES:
+            raise ValueError(
+                f"reporting_engine must be one of {', '.join(REPORTING_ENGINES)}"
+            )
+        self._counter = SubsetCounter(
+            max_tags_per_document, subset_cache_size=subset_cache_size
+        )
         self._observations = 0
+        self.reporting_engine = reporting_engine
 
     @property
     def observations(self) -> int:
         """Number of notifications observed since the last report."""
         return self._observations
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction accounting of the subset-tuple LRU cache."""
+        return self._counter.cache.stats()
 
     def observe(self, tags: Iterable[str]) -> None:
         """Record one tagset notification."""
@@ -217,21 +634,18 @@ class JaccardCalculator:
         units the maximum possible number of coefficients is emitted and the
         counters are deleted (``reset=True``).
         """
-        counts = self._counter._raw_counts()
-        results = []
-        for key, support in self._counter._raw_items():
-            if len(key) < min_size or support == 0:
-                continue
-            union = _union_size_from_tuple_counts(key, counts)
-            if union <= 0:
-                continue
-            results.append(
-                JaccardResult(
-                    tagset=frozenset(key),
-                    jaccard=support / union,
-                    support=support,
-                )
-            )
+        return [
+            JaccardResult(tagset, jaccard, support)
+            for tagset, jaccard, support in self.report_triples(min_size, reset)
+        ]
+
+    def report_triples(
+        self, min_size: int = 2, reset: bool = True
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """:meth:`report` as raw wire triples (the Calculator hot path)."""
+        results = self._counter.report_triples(
+            min_size=min_size, engine=self.reporting_engine
+        )
         if reset:
             self._counter.clear()
             self._observations = 0

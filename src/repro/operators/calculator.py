@@ -24,7 +24,11 @@ from __future__ import annotations
 
 import abc
 
-from ..core.jaccard import JaccardCalculator, JaccardResult
+from ..core.jaccard import (
+    DEFAULT_SUBSET_CACHE_SIZE,
+    JaccardCalculator,
+    JaccardResult,
+)
 from ..streamsim.components import Bolt
 from ..streamsim.tuples import TupleMessage
 from .streams import COEFFICIENTS, NOTIFICATIONS
@@ -57,6 +61,18 @@ class BaseCalculatorBolt(Bolt):
     def _report(self, reset: bool) -> list[JaccardResult]:
         """Coefficients of every tracked tagset of at least two tags."""
 
+    def _report_triples(
+        self, reset: bool
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """:meth:`_report` as raw ``(tagset, jaccard, support)`` wire triples.
+
+        The hot reporting path — periodic emits, the end-of-run drain and
+        the Tracker all consume triples.  Modes whose estimator produces
+        triples natively (the exact engine) override this to skip the
+        :class:`JaccardResult` round-trip.
+        """
+        return [(r.tagset, r.jaccard, r.support) for r in self._report(reset=reset)]
+
     @property
     @abc.abstractmethod
     def observations(self) -> int:
@@ -87,33 +103,44 @@ class BaseCalculatorBolt(Bolt):
     def _emit_report(self, timestamp: float) -> None:
         if self.observations == 0:
             return
-        results = self._report(reset=True)
+        results = self._report_triples(reset=True)
         if not results:
             return
         # One batched tuple per report round: shipping hundreds of thousands
         # of individual coefficient tuples through the substrate would
         # dominate the runtime without changing any of the paper's metrics.
         self.emit(
-            {
-                "results": [(r.tagset, r.jaccard, r.support) for r in results],
-                "timestamp": timestamp,
-            },
+            {"results": results, "timestamp": timestamp},
             stream=COEFFICIENTS,
         )
         self.reports_emitted += len(results)
 
-    def drain_results(self) -> list[JaccardResult]:
-        """Report whatever is left in the counters without emitting.
+    def drain_triples(self) -> list[tuple[frozenset[str], float, int]]:
+        """Report whatever is left in the counters, without emitting.
 
-        The pipeline calls this once at the end of a run, because the
-        simulated clock stops advancing when the stream ends and a final
-        tick would otherwise never fire.
+        The pipeline (or, under the process executor, the worker shard)
+        calls this once at the end of a run, because the simulated clock
+        stops advancing when the stream ends and a final tick would
+        otherwise never fire.  Returns wire triples — the format the
+        Tracker ingests.
         """
-        return self._report(reset=True)
+        return self._report_triples(reset=True)
+
+    def drain_results(self) -> list[JaccardResult]:
+        """:meth:`drain_triples`, wrapped as :class:`JaccardResult` objects."""
+        return [JaccardResult(*triple) for triple in self.drain_triples()]
 
 
 class CalculatorBolt(BaseCalculatorBolt):
-    """Exact mode: subset counters and inclusion–exclusion (Equation 2)."""
+    """Exact mode: subset counters and inclusion–exclusion (Equation 2).
+
+    ``reporting_engine`` selects how report rounds recover union sizes —
+    ``"incremental"`` (one subset-lattice fold per distinct observed tagset
+    type) or the original ``"scratch"`` re-walk — and ``subset_cache_size``
+    bounds the LRU cache of subset enumerations shared by the observe and
+    report paths (see :mod:`repro.core.jaccard`).  Both engines report
+    identical coefficients.
+    """
 
     mode = "exact"
 
@@ -121,15 +148,26 @@ class CalculatorBolt(BaseCalculatorBolt):
         self,
         report_interval: float = 300.0,
         max_tags_per_document: int = 12,
+        reporting_engine: str = "incremental",
+        subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE,
     ) -> None:
         super().__init__(report_interval=report_interval)
-        self.calculator = JaccardCalculator(max_tags_per_document)
+        self.calculator = JaccardCalculator(
+            max_tags_per_document,
+            reporting_engine=reporting_engine,
+            subset_cache_size=subset_cache_size,
+        )
 
     def _observe(self, tags, doc_id) -> None:
         self.calculator.observe(tags)
 
     def _report(self, reset: bool) -> list[JaccardResult]:
         return self.calculator.report(min_size=2, reset=reset)
+
+    def _report_triples(
+        self, reset: bool
+    ) -> list[tuple[frozenset[str], float, int]]:
+        return self.calculator.report_triples(min_size=2, reset=reset)
 
     @property
     def observations(self) -> int:

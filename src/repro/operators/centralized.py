@@ -1,18 +1,38 @@
-"""Centralised exact baseline (Section 8.2.3).
+"""Centralised exact baseline (Section 8.2.3), maintained incrementally.
 
 To measure the accuracy loss of the distributed computation, the paper runs
 a centralised approach that receives *all* tagsets and computes their exact
 Jaccard coefficients over the whole run, never resetting its counters.  The
 distributed system's error is the deviation of the Tracker's coefficients
 from this ground truth, restricted to tagsets seen more than ``sn`` times.
+
+The original implementation kept one document-id set per tag and derived
+every ground-truth coefficient from raw set intersections/unions at the end
+of the run — ~1.3 s of every instrumented benchmark run (see
+docs/PERFORMANCE.md).  The incremental rewrite keeps only subset
+*counters*: ``observe`` bumps the counters of all tag combinations of the
+document up to ``max_subset_size`` (sizes 1..s, one C-level
+``Counter.update`` over an ``itertools`` chain per document), and
+``ground_truth`` recovers every union with inclusion–exclusion over those
+counters — at most ``2^s − 1`` dictionary lookups per qualifying tagset
+instead of set algebra over thousands of document ids.  Both paths compute
+the same integers: ``|⋂_{t∈K} T_t|`` is exactly the number of documents
+annotated with all tags of ``K`` (document ids are unique per document),
+and Equation (2) recovers ``|⋃_{t∈K} T_t|`` from the intersection counts
+of ``K``'s subsets.
+
+Unlike the Calculators, the baseline deliberately does *not* use the
+subset-tuple LRU cache: it observes whole-document tagsets (not routed
+sub-tagsets), which rarely repeat exactly, so cached enumerations would
+miss far more often than they hit.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from itertools import combinations
+from itertools import chain, combinations
 
-from ..core.jaccard import exact_jaccard
+from ..core.jaccard import _union_size_from_tuple_counts
 from ..streamsim.components import Bolt
 from ..streamsim.tuples import TupleMessage
 from .streams import TAGSETS
@@ -25,9 +45,11 @@ class CentralizedCalculatorBolt(Bolt):
         super().__init__()
         if min_occurrences < 1:
             raise ValueError("min_occurrences must be at least 1")
+        if max_subset_size < 2:
+            raise ValueError("max_subset_size must be at least 2")
         self.min_occurrences = min_occurrences
         self.max_subset_size = max_subset_size
-        self._tag_documents: dict[str, set[int]] = {}
+        #: ``|⋂_{t∈K} T_t|`` per sorted tag tuple ``K``, sizes 1..s.
         self._subset_counts: Counter = Counter()
         self._documents_seen = 0
 
@@ -35,19 +57,25 @@ class CentralizedCalculatorBolt(Bolt):
         if message.stream != TAGSETS:
             return
         tagset: frozenset[str] = message["tagset"]
-        doc_id = message.get("doc_id", self._documents_seen)
-        self.observe(tagset, doc_id)
+        self.observe(tagset, message.get("doc_id"))
 
-    def observe(self, tagset: frozenset[str], doc_id: int) -> None:
-        """Record one document's tagset (also usable without the topology)."""
+    def observe(self, tagset: frozenset[str], doc_id: object = None) -> None:
+        """Record one document's tagset (also usable without the topology).
+
+        ``doc_id`` is accepted for wire compatibility but unused: the
+        incremental baseline assumes one call per distinct document, which
+        is what the Parser guarantees.
+        """
         self._documents_seen += 1
-        for tag in tagset:
-            self._tag_documents.setdefault(tag, set()).add(doc_id)
-        tags = sorted(tagset)
-        max_size = min(len(tags), self.max_subset_size)
-        for size in range(2, max_size + 1):
-            for combo in combinations(tags, size):
-                self._subset_counts[frozenset(combo)] += 1
+        if not tagset:
+            return
+        key = tuple(sorted(tagset))
+        self._subset_counts.update(
+            chain.from_iterable(
+                combinations(key, size)
+                for size in range(1, min(len(key), self.max_subset_size) + 1)
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Ground truth
@@ -55,23 +83,45 @@ class CentralizedCalculatorBolt(Bolt):
     def qualifying_tagsets(self) -> list[frozenset[str]]:
         """Co-occurring tagsets seen more than ``min_occurrences`` times."""
         return [
-            tagset
-            for tagset, count in self._subset_counts.items()
-            if count > self.min_occurrences
+            frozenset(key)
+            for key, count in self._subset_counts.items()
+            if len(key) >= 2 and count > self.min_occurrences
         ]
 
     def jaccard(self, tagset: frozenset[str]) -> float:
-        """Exact Jaccard coefficient of one tagset over the whole run."""
-        document_sets = [self._tag_documents.get(tag, set()) for tag in tagset]
-        return exact_jaccard(document_sets)
+        """Exact Jaccard coefficient of one tagset over the whole run.
+
+        Computable for tagsets of up to ``max_subset_size`` tags (the cap of
+        the maintained counters — the same cap the qualifying set obeys).
+        """
+        key = tuple(sorted(tagset))
+        if len(key) > self.max_subset_size:
+            raise ValueError(
+                f"tagset has {len(key)} tags but the baseline only maintains "
+                f"counters up to max_subset_size={self.max_subset_size}"
+            )
+        intersection = self._subset_counts.get(key, 0)
+        if intersection == 0:
+            return 0.0
+        union = _union_size_from_tuple_counts(key, self._subset_counts)
+        if union <= 0:
+            return 0.0
+        return intersection / union
 
     def ground_truth(self) -> dict[frozenset[str], float]:
         """Exact coefficients for every qualifying tagset."""
-        return {tagset: self.jaccard(tagset) for tagset in self.qualifying_tagsets()}
+        counts = self._subset_counts
+        truth: dict[frozenset[str], float] = {}
+        for key, count in counts.items():
+            if len(key) < 2 or count <= self.min_occurrences:
+                continue
+            union = _union_size_from_tuple_counts(key, counts)
+            truth[frozenset(key)] = count / union if union > 0 else 0.0
+        return truth
 
     def occurrence_count(self, tagset: frozenset[str]) -> int:
         """How many documents carried all tags of ``tagset``."""
-        return self._subset_counts.get(frozenset(tagset), 0)
+        return self._subset_counts.get(tuple(sorted(tagset)), 0)
 
     @property
     def documents_seen(self) -> int:

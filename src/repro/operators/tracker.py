@@ -9,6 +9,7 @@ tagset, the coefficient supported by the longest-tracked counter (maximum
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..core.jaccard import JaccardResult
 from ..streamsim.components import Bolt
@@ -37,29 +38,41 @@ class TrackerBolt(Bolt):
     def execute(self, message: TupleMessage) -> None:
         if message.stream != COEFFICIENTS:
             return
-        for tagset, jaccard, support in message["results"]:
-            self.observe(
-                JaccardResult(
-                    tagset=frozenset(tagset),
-                    jaccard=float(jaccard),
-                    support=int(support),
+        self.ingest(message["results"])
+
+    def ingest(
+        self, results: "Iterable[tuple[frozenset[str], float, int]]"
+    ) -> None:
+        """Deduplicate a batch of ``(tagset, jaccard, support)`` wire triples.
+
+        The hot path: one batched tuple per Calculator report round (and
+        the end-of-run drain) carries every coefficient of the round, so
+        the dedup loop runs inline on the triples instead of wrapping each
+        in a :class:`JaccardResult`.
+        """
+        best = self._best
+        received = 0
+        duplicates = 0
+        for tagset, jaccard, support in results:
+            received += 1
+            tagset = frozenset(tagset)
+            existing = best.get(tagset)
+            if existing is None:
+                best[tagset] = TrackedCoefficient(
+                    jaccard=float(jaccard), support=int(support)
                 )
-            )
+                continue
+            duplicates += 1
+            existing.reports += 1
+            if support > existing.support:
+                existing.jaccard = float(jaccard)
+                existing.support = int(support)
+        self.reports_received += received
+        self.duplicate_reports += duplicates
 
     def observe(self, result: JaccardResult) -> None:
-        """Record one reported coefficient (also used by the pipeline's flush)."""
-        self.reports_received += 1
-        existing = self._best.get(result.tagset)
-        if existing is None:
-            self._best[result.tagset] = TrackedCoefficient(
-                jaccard=result.jaccard, support=result.support
-            )
-            return
-        self.duplicate_reports += 1
-        existing.reports += 1
-        if result.support > existing.support:
-            existing.jaccard = result.jaccard
-            existing.support = result.support
+        """Record one reported coefficient (kept for single-result callers)."""
+        self.ingest(((result.tagset, result.jaccard, result.support),))
 
     # ------------------------------------------------------------------ #
     # Results

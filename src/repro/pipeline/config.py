@@ -14,6 +14,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from ..core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
 from ..streamsim.executors import EXECUTOR_NAMES
 
 #: Auto-sized process executors never spawn more workers than this: beyond a
@@ -58,6 +59,16 @@ class SystemConfig:
     #: Calculator mode: ``"exact"`` uses the paper's subset counters,
     #: ``"sketch"`` the MinHash/Count-Min approximate tracking mode.
     calculator: str = "exact"
+    #: Union computation of exact-mode report rounds: ``"incremental"``
+    #: folds each distinct observed tagset type's subset lattice once;
+    #: ``"scratch"`` re-walks the counter table per counted key (the
+    #: original path).  Identical coefficients either way — see
+    #: docs/ARCHITECTURE.md "Reporting path".
+    reporting_engine: str = "incremental"
+    #: Capacity of each exact Calculator's LRU cache of tagset →
+    #: subset-tuple enumerations (repeated trending tagsets skip
+    #: ``itertools.combinations`` re-enumeration).
+    subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE
     #: Routed tagsets per notification micro-batch (1 = unbatched legacy
     #: behaviour: one message per routed tagset per Calculator).
     notification_batch_size: int = 64
@@ -97,6 +108,12 @@ class SystemConfig:
             raise ValueError("repartition_threshold must be non-negative")
         if self.calculator not in ("exact", "sketch"):
             raise ValueError("calculator must be 'exact' or 'sketch'")
+        if self.reporting_engine not in REPORTING_ENGINES:
+            raise ValueError(
+                f"reporting_engine must be one of {', '.join(REPORTING_ENGINES)}"
+            )
+        if self.subset_cache_size < 1:
+            raise ValueError("subset_cache_size must be at least 1")
         if self.notification_batch_size < 1:
             raise ValueError("notification_batch_size must be at least 1")
         if self.minhash_permutations < 8:

@@ -23,10 +23,12 @@ every metric of the paper's evaluation into a :class:`RunReport`:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..core.documents import Document
+from ..core.jaccard import DEFAULT_SUBSET_CACHE_SIZE
 from ..core.metrics import (
     JaccardErrorReport,
     gini_coefficient,
@@ -71,11 +73,15 @@ class ExactCalculatorFactory:
 
     report_interval: float = 300.0
     max_tags_per_document: int = 12
+    reporting_engine: str = "incremental"
+    subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE
 
     def __call__(self) -> CalculatorBolt:
         return CalculatorBolt(
             report_interval=self.report_interval,
             max_tags_per_document=self.max_tags_per_document,
+            reporting_engine=self.reporting_engine,
+            subset_cache_size=self.subset_cache_size,
         )
 
 
@@ -142,6 +148,19 @@ class RunReport:
     #: Worker processes the Calculator/Tracker layer was sharded over
     #: (1 in inline mode).
     executor_workers: int = 1
+    #: Union computation of exact-mode report rounds: "incremental" (one
+    #: subset-lattice fold per distinct observed tagset type) or "scratch"
+    #: (the original per-key counter-table re-walk).  Identical
+    #: coefficients either way.
+    reporting_engine: str = "incremental"
+    #: Aggregate hit/miss/eviction accounting of the exact Calculators'
+    #: subset-tuple LRU caches (None in sketch mode).
+    subset_cache_stats: dict[str, int] | None = None
+    #: Wall-clock phase breakdown of this run (seconds): "build" (topology
+    #: assembly), "stream" (cluster execution) and "reporting" (final drain
+    #: + metric collection).  Informational only — excluded from the
+    #: logical-equivalence contract, unlike every field above.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def jaccard_coverage(self) -> float:
@@ -278,6 +297,8 @@ class TagCorrelationSystem:
         return ExactCalculatorFactory(
             report_interval=config.report_interval_seconds,
             max_tags_per_document=config.max_tags_per_document,
+            reporting_engine=config.reporting_engine,
+            subset_cache_size=config.subset_cache_size,
         )
 
     def _build_executor(self) -> Executor:
@@ -297,11 +318,25 @@ class TagCorrelationSystem:
     # Running
     # ------------------------------------------------------------------ #
     def run(self, documents: Sequence[Document] | Iterable[Document]) -> RunReport:
-        """Run the topology over the documents and gather the run report."""
+        """Run the topology over the documents and gather the run report.
+
+        ``RunReport.timings`` records the wall-clock phase breakdown
+        (build / stream / reporting) consumed by the throughput harness.
+        """
+        t0 = time.perf_counter()
         cluster = self.build_cluster(documents)
+        t1 = time.perf_counter()
         cluster.run()
+        t2 = time.perf_counter()
         self._cluster = cluster
-        return self._collect_report(cluster)
+        report = self._collect_report(cluster)
+        t3 = time.perf_counter()
+        report.timings = {
+            "build": t1 - t0,
+            "stream": t2 - t1,
+            "reporting": t3 - t2,
+        }
+        return report
 
     @property
     def cluster(self) -> Cluster | None:
@@ -337,18 +372,29 @@ class TagCorrelationSystem:
         ]
         tracker = trackers[0]
 
-        # Tracked-key count must be sampled before the final drain resets it.
-        sketch_tracked_total = sum(
-            bolt.estimator.tracked_tagsets
-            for bolt in calculators
-            if isinstance(bolt, SketchCalculatorBolt)
-        )
-
-        # Final flush: counters still held by Calculators are reported to the
-        # Tracker directly (the simulated clock stops with the stream).
+        # Final flush: counters still held by Calculators are reported to
+        # the Tracker directly (the simulated clock stops with the stream).
+        # With the process executor the drain already ran inside the worker
+        # shards — the shipped result lists are replayed here in driver task
+        # order, which is exactly the inline drain order.  Tracked-key
+        # counts must be sampled before a drain resets them; worker-drained
+        # runs shipped the pre-drain sample alongside the results.
+        predrained = cluster.executor.drained_results()
+        sketch_tracked_total = 0
+        for bolt in calculators:
+            if not isinstance(bolt, SketchCalculatorBolt):
+                continue
+            drained = predrained.get(bolt.task_id)
+            if drained is not None and drained[1] is not None:
+                sketch_tracked_total += drained[1]
+            else:
+                sketch_tracked_total += bolt.estimator.tracked_tagsets
         for calculator in calculators:
-            for result in calculator.drain_results():
-                tracker.observe(result)
+            drained = predrained.get(calculator.task_id)
+            triples = (
+                drained[0] if drained is not None else calculator.drain_triples()
+            )
+            tracker.ingest(triples)
 
         notifications = 0
         routed = 0
@@ -394,6 +440,17 @@ class TagCorrelationSystem:
                 "tracked_tagsets": float(sketch_tracked_total),
             }
 
+        subset_cache_stats: dict[str, int] | None = None
+        exact_calculators = [
+            bolt for bolt in calculators if isinstance(bolt, CalculatorBolt)
+        ]
+        if exact_calculators:
+            subset_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+            for bolt in exact_calculators:
+                stats = bolt.calculator.cache_stats
+                for key in subset_cache_stats:
+                    subset_cache_stats[key] += stats[key]
+
         return RunReport(
             algorithm=config.algorithm,
             config=config,
@@ -424,6 +481,8 @@ class TagCorrelationSystem:
                 if isinstance(cluster.executor, ShardedProcessExecutor)
                 else 1
             ),
+            reporting_engine=config.reporting_engine,
+            subset_cache_stats=subset_cache_stats,
         )
 
     def _jaccard_report(

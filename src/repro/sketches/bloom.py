@@ -12,6 +12,8 @@ import hashlib
 import math
 from typing import Hashable, Iterable
 
+from .encoding import canonical_bytes
+
 
 def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
     """Optimal (number of bits, number of hash functions) for a Bloom filter."""
@@ -45,7 +47,7 @@ class BloomFilter:
         self._count = 0
 
     def _positions(self, item: Hashable) -> list[int]:
-        digest = hashlib.blake2b(repr(item).encode("utf-8"), digest_size=16).digest()
+        digest = hashlib.blake2b(canonical_bytes(item), digest_size=16).digest()
         first = int.from_bytes(digest[:8], "big")
         second = int.from_bytes(digest[8:], "big") or 1
         return [(first + i * second) % self.n_bits for i in range(self.n_hashes)]

@@ -16,6 +16,8 @@ from typing import Hashable, Iterable
 
 import numpy as np
 
+from .encoding import canonical_bytes
+
 
 class CountMinSketch:
     """A Count-Min sketch with conservative point queries.
@@ -41,7 +43,7 @@ class CountMinSketch:
         self._total = 0
 
     def _columns(self, item: Hashable) -> list[int]:
-        digest = hashlib.blake2b(repr(item).encode("utf-8"), digest_size=16).digest()
+        digest = hashlib.blake2b(canonical_bytes(item), digest_size=16).digest()
         first = int.from_bytes(digest[:8], "big")
         second = int.from_bytes(digest[8:], "big") or 1
         return [(first + row * second) % self.width for row in range(self.depth)]

@@ -1,0 +1,32 @@
+"""Canonical byte encoding of sketch keys.
+
+The sketches index their tables by a blake2b digest of the key.  Digesting
+``repr(item)`` is *not* sound for sets: ``repr`` of a frozenset follows
+iteration order, which depends on the per-process hash salt **and** on
+collision-probing history — two equal frozensets built from differently
+ordered inputs can repr differently within one process.  A sketch then
+indexes different cells in ``add`` and ``estimate``/membership for the
+same logical key, which breaks Count-Min's never-under-estimate guarantee
+and Bloom's no-false-negative guarantee (observed as a rare,
+hash-salt-dependent flake in ``benchmarks/test_sketch_baseline.py``).
+
+``canonical_bytes`` therefore encodes sets as their *sorted* element
+reprs.  Nested containers of sets are not canonicalised (no current sketch
+key shape needs it); everything non-set falls back to plain ``repr``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+#: Unit separator — cannot appear in the repr of the tag strings and small
+#: tuples used as sketch keys, so joined encodings cannot collide by
+#: concatenation.
+_SEP = "\x1f"
+
+
+def canonical_bytes(item: Hashable) -> bytes:
+    """Order-independent UTF-8 encoding of a sketch key."""
+    if isinstance(item, (frozenset, set)):
+        return _SEP.join(sorted(map(repr, item))).encode("utf-8")
+    return repr(item).encode("utf-8")

@@ -21,12 +21,14 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from .encoding import canonical_bytes
+
 _MAX_HASH = (1 << 32) - 1
 
 
 def _stable_hash(value: Hashable) -> int:
     """Deterministic 32-bit hash of an arbitrary hashable value."""
-    digest = hashlib.blake2b(repr(value).encode("utf-8"), digest_size=8).digest()
+    digest = hashlib.blake2b(canonical_bytes(value), digest_size=8).digest()
     return int.from_bytes(digest, "big") & _MAX_HASH
 
 

@@ -39,10 +39,18 @@ what makes process-sharding deterministic:
   ticks, so such consumers must be insensitive to delivery time relative
   to ticks — true for the order-insensitive Tracker, and asserted
   end-to-end by the executor-equivalence tests.
-* At finalisation each shard returns its bolt instances and its per-shard
+* At finalisation each shard first *drains* its bolts in-process: bolts
+  exposing ``drain_triples()`` (the Calculators) report their remaining
+  counters inside the worker, and the shard ships the resulting
+  ``(tagset, jaccard, support)`` triples — small — instead of the counter
+  tables that produced them.  Only then does the shard return its (now-empty) bolt
+  instances and its per-shard
   :class:`~repro.streamsim.cluster.MessageAccounting`; the driver merges the
-  accounting and re-installs the bolts into the cluster, so post-run
-  inspection (``instances_of``, report collection) is executor-agnostic.
+  accounting, re-installs the bolts into the cluster, and exposes the
+  drained results via :meth:`Executor.drained_results` so the pipeline can
+  replay them into the Tracker in driver task order (identical to the
+  inline drain order).  Post-run inspection (``instances_of``, report
+  collection) stays executor-agnostic.
 
 Because routing decisions, clock advancement and all driver-side metrics are
 computed before a tuple crosses the process boundary, a sharded run reports
@@ -76,6 +84,7 @@ _MSG = "msg"
 _TICK = "tick"
 _FLUSH = "flush"
 _COLLECT = "collect"
+_DRAIN = "drain"
 _FINALIZE = "finalize"
 _STOP = "stop"
 
@@ -121,6 +130,19 @@ class Executor(abc.ABC):
         cluster keeps flushing until a full pass releases nothing anywhere).
         """
         return 0
+
+    def drained_results(self) -> dict[int, tuple[list, int | None]]:
+        """End-of-run results drained *inside* the remote layer, per task.
+
+        Maps the task id of every remote bolt exposing ``drain_triples()``
+        (or the legacy ``drain_results()``) to ``(triples, tracked_keys)``,
+        where ``triples`` are ``(tagset, jaccard, support)`` wire triples
+        and ``tracked_keys`` is the
+        sketch estimator's pre-drain tracked-tagset count (``None`` for
+        exact-mode bolts).  Executors without a remote layer return an
+        empty mapping and the pipeline drains driver-side as before.
+        """
+        return {}
 
     # ------------------------------------------------------------------ #
     # The depth-first driver loop shared by all executors
@@ -288,6 +310,28 @@ def _shard_worker(spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
             elif kind == _COLLECT:
                 outbox.put(("emissions", spec.shard_index, emissions))
                 emissions = []
+            elif kind == _DRAIN:
+                # End-of-run drain runs *inside* the worker: the shard ships
+                # final results (small JaccardResult lists) instead of the
+                # counter tables that produced them, and the tables are
+                # emptied before the bolts themselves are pickled back at
+                # finalisation.  Mode-specific state that draining resets
+                # (the sketch estimator's tracked-key count) is sampled
+                # first and shipped alongside.
+                drained: dict[int, Any] = {}
+                for task_id, bolt in bolts.items():
+                    drain = getattr(bolt, "drain_triples", None)
+                    if drain is None:
+                        legacy = getattr(bolt, "drain_results", None)
+                        if legacy is None:
+                            continue
+                        drain = lambda _legacy=legacy: [  # noqa: E731
+                            (r.tagset, r.jaccard, r.support) for r in _legacy()
+                        ]
+                    estimator = getattr(bolt, "estimator", None)
+                    tracked = getattr(estimator, "tracked_tagsets", None)
+                    drained[task_id] = (drain(), tracked)
+                outbox.put(("drained", spec.shard_index, drained))
             elif kind == _FINALIZE:
                 for bolt in bolts.values():
                     bolt.collector = None  # the driver re-attaches its own
@@ -351,6 +395,7 @@ class ShardedProcessExecutor(Executor):
         self._procs: list[Any] = []
         self._started = False
         self._finished = False
+        self._drained: dict[int, tuple[list, int | None]] = {}
         #: Shard count actually used (set at attach time).
         self.effective_workers = 0
 
@@ -521,12 +566,23 @@ class ShardedProcessExecutor(Executor):
                 raise RuntimeError(f"expected {expected!r} from shard {shard}, got {kind!r}")
             return reply[2]
 
+    def drained_results(self) -> dict[int, tuple[list, int | None]]:
+        return self._drained
+
     def _finalize(self, cluster: "Cluster") -> None:
         """Deterministically merge per-shard state back into the cluster.
 
-        Shards are drained in shard order, so accounting merges and bolt
-        re-installation do not depend on worker scheduling.
+        The remote layer is drained worker-side first — each shard ships
+        its bolts' final results (small) rather than the counter tables
+        that produced them — and only then are the (now-empty) bolts and
+        the accounting pickled back.  Shards are processed in shard order,
+        so neither step depends on worker scheduling; the pipeline replays
+        the drained results in driver task order.
         """
+        for inbox in self._inboxes:
+            inbox.put((_DRAIN,))
+        for shard in range(self.effective_workers):
+            self._drained.update(self._receive(shard, "drained"))
         for inbox in self._inboxes:
             inbox.put((_FINALIZE,))
         for shard in range(self.effective_workers):

@@ -1,11 +1,14 @@
 """Unit and property tests for Jaccard computation."""
 
+import random
+
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.jaccard import (
     JaccardCalculator,
     SubsetCounter,
+    SubsetTupleCache,
     all_nonempty_subsets,
     exact_jaccard,
     union_size_inclusion_exclusion,
@@ -125,6 +128,179 @@ class TestSubsetCounter:
         counter.observe(["a", "b"])
         assert ["a", "b"] in counter
         assert ["a", "c"] not in counter
+
+
+class TestSubsetTupleCache:
+    def test_hit_and_miss_accounting(self):
+        cache = SubsetTupleCache(capacity=8)
+        cache.lookup(frozenset({"a", "b"}))
+        cache.lookup(frozenset({"a", "b"}))
+        cache.lookup(["b", "a"])  # same tagset, different input shape
+        cache.lookup(frozenset({"c"}))
+        stats = cache.stats()
+        assert stats["misses"] == 2
+        assert stats["hits"] == 2
+        assert stats["evictions"] == 0
+        assert stats["size"] == 2
+
+    def test_entry_shape(self):
+        cache = SubsetTupleCache()
+        key, by_mask, nonempty = cache.lookup(frozenset({"b", "a"}))
+        assert key == ("a", "b")
+        # Bitmask layout: bit i of the mask selects key[i].
+        assert by_mask == ((), ("a",), ("b",), ("a", "b"))
+        assert nonempty == (("a",), ("b",), ("a", "b"))
+
+    def test_eviction_on_capacity_overflow(self):
+        cache = SubsetTupleCache(capacity=2)
+        first = cache.lookup(frozenset({"a"}))
+        cache.lookup(frozenset({"b"}))
+        cache.lookup(frozenset({"c"}))  # evicts {"a"} (least recently used)
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        assert frozenset({"a"}) not in cache
+        assert frozenset({"c"}) in cache
+
+    def test_lru_order_protects_recently_used(self):
+        cache = SubsetTupleCache(capacity=2)
+        cache.lookup(frozenset({"a"}))
+        cache.lookup(frozenset({"b"}))
+        cache.lookup(frozenset({"a"}))  # refresh {"a"}
+        cache.lookup(frozenset({"c"}))  # must evict {"b"}, not {"a"}
+        assert frozenset({"a"}) in cache
+        assert frozenset({"b"}) not in cache
+
+    def test_evicted_entry_recomputed_identically(self):
+        cache = SubsetTupleCache(capacity=1)
+        tagset = frozenset({"x", "y", "z"})
+        original = cache.lookup(tagset)
+        cache.lookup(frozenset({"other"}))  # evict
+        assert tagset not in cache
+        assert cache.lookup(tagset) == original
+
+    def test_correctness_under_heavy_eviction(self):
+        """A thrashing cache (capacity 1) never changes counter results."""
+        rng = random.Random(3)
+        tags = [f"t{i}" for i in range(8)]
+        observations = [
+            rng.sample(tags, rng.randrange(1, 5)) for _ in range(200)
+        ]
+        tiny = SubsetCounter(subset_cache_size=1)
+        roomy = SubsetCounter(subset_cache_size=4096)
+        for observation in observations:
+            tiny.observe(observation)
+            roomy.observe(observation)
+        assert tiny.cache.stats()["evictions"] > 0
+        tiny_results = {r[0]: r[1:] for r in tiny.report_triples()}
+        roomy_results = {r[0]: r[1:] for r in roomy.report_triples()}
+        assert tiny_results == roomy_results
+
+    def test_max_subset_size_caps_enumeration(self):
+        cache = SubsetTupleCache(max_subset_size=2)
+        key, by_mask, nonempty = cache.lookup(frozenset({"a", "b", "c"}))
+        assert key == ("a", "b", "c")
+        assert by_mask is None  # a capped enumeration is not a full lattice
+        assert max(len(subset) for subset in nonempty) == 2
+        assert len(nonempty) == 6  # 3 singletons + 3 pairs
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SubsetTupleCache(capacity=0)
+
+    def test_injected_empty_cache_is_used(self):
+        """An injected cache must be honored even while empty (len 0)."""
+        cache = SubsetTupleCache(capacity=16)
+        counter = SubsetCounter(subset_cache=cache)
+        assert counter.cache is cache
+        counter.observe(["a", "b"])
+        assert cache.stats()["misses"] == 1
+
+    def test_size_capped_cache_rejected(self):
+        """The reporting engines need full lattices; a capped cache (the
+        centralized baseline's shape) cannot back a SubsetCounter."""
+        with pytest.raises(ValueError):
+            SubsetCounter(subset_cache=SubsetTupleCache(max_subset_size=2))
+
+
+class TestReportingEngineEquivalence:
+    """Incremental and scratch reporting must be bit-identical (the
+    equivalence contract of docs/ARCHITECTURE.md "Reporting path")."""
+
+    @staticmethod
+    def _as_dict(triples):
+        return {tagset: (jaccard, support) for tagset, jaccard, support in triples}
+
+    def test_adversarial_overlapping_tagsets(self):
+        """Heavily overlapping tagsets share keys across lattice types."""
+        counter = SubsetCounter()
+        observations = [
+            ["a", "b", "c", "d"],
+            ["b", "c", "d", "e"],
+            ["a", "c", "e"],
+            ["a", "b"],
+            ["c", "d", "e"],
+            ["a", "b", "c", "d", "e"],
+            ["a"],
+            ["a", "b"],  # repeated type
+        ]
+        for tags in observations:
+            counter.observe(tags)
+        incremental = self._as_dict(counter.report_triples(engine="incremental"))
+        scratch = self._as_dict(counter.report_triples(engine="scratch"))
+        assert incremental == scratch
+        # and against the brute-force Equation (2) reference:
+        for tagset, (jaccard, support) in incremental.items():
+            counts = {
+                frozenset(k): c for k, c in counter._raw_items()
+            }
+            union = union_size_inclusion_exclusion(tagset, counts)
+            assert jaccard == support / union
+
+    @pytest.mark.parametrize("min_size", [1, 2, 3])
+    def test_randomized_streams(self, min_size):
+        rng = random.Random(min_size)
+        tags = [f"t{i}" for i in range(12)]
+        for _ in range(25):
+            counter = SubsetCounter()
+            for _ in range(rng.randrange(1, 50)):
+                counter.observe(rng.sample(tags, rng.randrange(1, 9)))
+            incremental = self._as_dict(
+                counter.report_triples(min_size=min_size, engine="incremental")
+            )
+            scratch = self._as_dict(
+                counter.report_triples(min_size=min_size, engine="scratch")
+            )
+            assert incremental == scratch
+
+    def test_max_tags_truncation_consistent(self):
+        wide = [f"t{i}" for i in range(20)]
+        counter = SubsetCounter(max_tags_per_document=6)
+        counter.observe(wide)
+        counter.observe(wide[:4])
+        incremental = self._as_dict(counter.report_triples(engine="incremental"))
+        scratch = self._as_dict(counter.report_triples(engine="scratch"))
+        assert incremental == scratch
+
+    def test_unknown_engine_rejected(self):
+        counter = SubsetCounter()
+        counter.observe(["a", "b"])
+        with pytest.raises(ValueError):
+            counter.report_triples(engine="nope")
+        with pytest.raises(ValueError):
+            JaccardCalculator(reporting_engine="nope")
+
+    def test_engines_match_after_clear_and_reuse(self):
+        """The cache survives clear(); results must stay identical."""
+        counter = SubsetCounter()
+        for _ in range(2):
+            counter.observe(["a", "b", "c"])
+            counter.observe(["b", "c", "d"])
+            incremental = self._as_dict(counter.report_triples(engine="incremental"))
+            scratch = self._as_dict(counter.report_triples(engine="scratch"))
+            assert incremental == scratch
+            counter.clear()
+        assert counter.cache.stats()["hits"] > 0
 
 
 class TestJaccardCalculator:

@@ -1,0 +1,161 @@
+"""Reporting-engine equivalence: incremental and scratch runs are identical.
+
+The incremental reporting engine changes *how* exact-mode report rounds
+recover union sizes (one subset-lattice fold per distinct observed tagset
+type instead of a per-key counter re-walk), never *what* they compute.
+These tests pin that contract end-to-end: identical Jaccard coefficients in
+the Tracker and identical ``RunReport`` logical metrics, on both execution
+engines (acceptance criterion of the incremental reporting PR; see
+docs/ARCHITECTURE.md "Reporting path").
+"""
+
+import pytest
+
+from repro.operators import TrackerBolt, streams
+from repro.pipeline import SystemConfig, TagCorrelationSystem
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+#: RunReport fields that must be bit-identical across reporting engines
+#: (mirrors the executor-equivalence contract).
+IDENTICAL_FIELDS = (
+    "documents_processed",
+    "tagged_documents",
+    "communication_avg",
+    "calculator_loads",
+    "load_gini",
+    "load_max_share",
+    "n_repartitions",
+    "repartition_reasons",
+    "single_addition_requests",
+    "single_additions_applied",
+    "coefficients_reported",
+    "duplicate_reports",
+    "notification_messages",
+    "batch_amortization",
+)
+
+
+def _workload(n_documents=2000, seed=11):
+    config = WorkloadConfig(
+        seed=seed,
+        tweets_per_second=50.0,
+        n_topics=100,
+        tags_per_topic=14,
+        new_topic_rate=5.0,
+        intra_topic_probability=0.9,
+    )
+    return TwitterLikeGenerator(config).generate(n_documents)
+
+
+def _config(**overrides):
+    base = dict(
+        algorithm="DS",
+        k=4,
+        n_partitioners=3,
+        window_mode="count",
+        window_size=500,
+        bootstrap_documents=200,
+        quality_check_interval=120,
+        repartition_threshold=0.5,
+        report_interval_seconds=30.0,
+    )
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return _workload()
+
+
+def _run(documents, **overrides):
+    system = TagCorrelationSystem(_config(**overrides))
+    report = system.run(documents)
+    tracker = next(
+        bolt
+        for bolt in system.cluster.instances_of(streams.TRACKER)
+        if isinstance(bolt, TrackerBolt)
+    )
+    return system, report, tracker
+
+
+@pytest.fixture(scope="module")
+def engine_runs(documents):
+    """One run per (reporting engine, executor) cell of the grid."""
+    runs = {}
+    for engine in ("incremental", "scratch"):
+        for executor in ("inline", "process"):
+            overrides = {"reporting_engine": engine, "executor": executor}
+            if executor == "process":
+                overrides["workers"] = 2
+            runs[(engine, executor)] = _run(documents, **overrides)
+    return runs
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
+    def test_metrics_identical_across_engines(self, engine_runs, executor, field):
+        _, incremental, _ = engine_runs[("incremental", executor)]
+        _, scratch, _ = engine_runs[("scratch", executor)]
+        assert getattr(incremental, field) == getattr(scratch, field)
+
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_jaccard_values_identical_across_engines(self, engine_runs, executor):
+        """Every tracked coefficient must be bit-identical, not just close:
+        both engines rearrange the same exact integer sums."""
+        _, _, inc_tracker = engine_runs[("incremental", executor)]
+        _, _, scr_tracker = engine_runs[("scratch", executor)]
+        assert inc_tracker.coefficients() == scr_tracker.coefficients()
+        assert inc_tracker.supports() == scr_tracker.supports()
+
+    @pytest.mark.parametrize("engine", ["incremental", "scratch"])
+    def test_jaccard_values_identical_across_executors(self, engine_runs, engine):
+        _, _, inline_tracker = engine_runs[(engine, "inline")]
+        _, _, process_tracker = engine_runs[(engine, "process")]
+        assert inline_tracker.coefficients() == process_tracker.coefficients()
+
+    def test_error_metrics_identical(self, engine_runs):
+        _, incremental, _ = engine_runs[("incremental", "inline")]
+        _, scratch, _ = engine_runs[("scratch", "inline")]
+        assert incremental.jaccard_coverage == scratch.jaccard_coverage
+        assert incremental.jaccard_mean_error == scratch.jaccard_mean_error
+
+    def test_report_records_engine(self, engine_runs):
+        for (engine, _executor), (_, report, _) in engine_runs.items():
+            assert report.reporting_engine == engine
+
+    def test_cache_stats_reported_in_exact_mode(self, engine_runs):
+        _, report, _ = engine_runs[("incremental", "inline")]
+        stats = report.subset_cache_stats
+        assert stats is not None
+        assert stats["hits"] > 0
+        assert stats["misses"] > 0
+
+
+class TestWorkerSideDrain:
+    def test_process_executor_ships_drained_results(self, engine_runs):
+        """Shards ship result triples, not counter tables: the executor
+        holds per-task drained results and the shipped-back Calculators are
+        already empty."""
+        system, report, _ = engine_runs[("incremental", "process")]
+        drained = system.cluster.executor.drained_results()
+        calculator_tasks = {
+            task.task_id for task in system.cluster.tasks_of(streams.CALCULATOR)
+        }
+        assert set(drained) == calculator_tasks
+        for triples, tracked in drained.values():
+            for tagset, jaccard, support in triples:
+                assert isinstance(tagset, frozenset)
+                assert 0.0 < jaccard <= 1.0
+                assert support >= 1
+            assert tracked is None  # exact mode has no sketch estimator
+        # The drain ran inside the workers: the re-installed bolts come
+        # back with their counters already reset.
+        for bolt in system.cluster.instances_of(streams.CALCULATOR):
+            assert bolt.observations == 0
+            assert bolt.drain_triples() == []
+
+    def test_inline_executor_has_no_predrained_results(self, engine_runs):
+        system, _, _ = engine_runs[("incremental", "inline")]
+        assert system.cluster.executor.drained_results() == {}

@@ -73,6 +73,44 @@ class TestTopologyAssembly:
         with pytest.raises(KeyError):
             cluster.tasks_of(streams.CENTRALIZED)
 
+    def test_disabled_baseline_is_a_true_noop(self, small_run, small_config,
+                                              monkeypatch):
+        """With ``include_centralized_baseline=False`` the baseline bolt is
+        never constructed and never observes a single tagset — including in
+        sweep-style reruns of the same config object."""
+        import repro.pipeline.system as system_module
+        from repro.operators.centralized import CentralizedCalculatorBolt
+
+        observes = []
+        original_observe = CentralizedCalculatorBolt.observe
+        constructed = []
+        original_init = CentralizedCalculatorBolt.__init__
+
+        def spy_init(self, *args, **kwargs):
+            constructed.append(self)
+            return original_init(self, *args, **kwargs)
+
+        def spy_observe(self, tagset, doc_id=None):
+            observes.append(tagset)
+            return original_observe(self, tagset, doc_id)
+
+        monkeypatch.setattr(CentralizedCalculatorBolt, "__init__", spy_init)
+        monkeypatch.setattr(CentralizedCalculatorBolt, "observe", spy_observe)
+        monkeypatch.setattr(
+            system_module, "CentralizedCalculatorBolt", CentralizedCalculatorBolt
+        )
+
+        _, _, documents = small_run
+        config = small_config.with_overrides(include_centralized_baseline=False)
+        # Two runs from one config, the shape parameter sweeps reuse.
+        for _ in range(2):
+            report = TagCorrelationSystem(config).run(documents[:800])
+            assert report.jaccard is None
+            assert report.jaccard_coverage == 1.0  # vacuous without a baseline
+            assert report.jaccard_mean_error == 0.0
+        assert constructed == []
+        assert observes == []
+
 
 class TestRunReport:
     def test_report_basics(self, small_run):

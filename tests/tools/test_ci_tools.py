@@ -1,0 +1,140 @@
+"""Unit tests for the CI gate scripts under tools/."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, _TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_links = _load("check_links")
+check_perf = _load("check_perf_regression")
+
+
+class TestLinkChecker:
+    def test_heading_anchors_github_slugs(self):
+        anchors = check_links.heading_anchors(
+            "# Reading BENCH_throughput.json\n"
+            "## Choosing `workers`\n"
+            "## Exact vs. sketch mode\n"
+            "## Dup\n## Dup\n"
+        )
+        assert "reading-bench_throughputjson" in anchors
+        assert "choosing-workers" in anchors
+        assert "exact-vs-sketch-mode" in anchors
+        assert {"dup", "dup-1"} <= anchors
+
+    def test_fenced_code_not_a_heading(self):
+        anchors = check_links.heading_anchors("```bash\n# not a heading\n```\n")
+        assert anchors == set()
+
+    def test_broken_anchor_detected(self, tmp_path):
+        target = tmp_path / "target.md"
+        target.write_text("# Real Section\n", encoding="utf-8")
+        source = tmp_path / "source.md"
+        source.write_text(
+            "[ok](target.md#real-section) [bad](target.md#missing-section)\n",
+            encoding="utf-8",
+        )
+        errors = check_links.check_file(source)
+        assert len(errors) == 1
+        assert "missing-section" in errors[0]
+
+    def test_same_file_anchor(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Alpha\n\n[up](#alpha) [down](#beta)\n", encoding="utf-8")
+        errors = check_links.check_file(doc)
+        assert len(errors) == 1
+        assert "#beta" in errors[0]
+
+    def test_missing_file_detected(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[gone](nowhere.md)\n", encoding="utf-8")
+        errors = check_links.check_file(doc)
+        assert len(errors) == 1
+
+
+def _bench(host, cells):
+    return {
+        "host": host,
+        "runs": [
+            {
+                "workload": workload,
+                "executor": executor,
+                "requested_workers": workers,
+                "docs_per_second": dps,
+            }
+            for workload, executor, workers, dps in cells
+        ],
+    }
+
+
+HOST = {"platform": "Linux-test", "cpu_count": 1}
+OTHER_HOST = {"platform": "Linux-ci", "cpu_count": 4}
+
+
+class TestPerfRegressionGate:
+    def test_no_regression_passes(self, capsys):
+        baseline = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        candidate = _bench(HOST, [("small", "inline", 0, 990.0)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_binding_regression_on_same_host_inline(self):
+        baseline = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        candidate = _bench(HOST, [("small", "inline", 0, 700.0)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
+    def test_process_cells_report_only(self):
+        baseline = _bench(HOST, [("small", "process", 2, 1000.0)])
+        candidate = _bench(HOST, [("small", "process", 2, 100.0)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_different_host_never_binds(self):
+        baseline = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        candidate = _bench(OTHER_HOST, [("small", "inline", 0, 100.0)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_subset_of_cells_compares_cleanly(self):
+        baseline = _bench(
+            HOST,
+            [("small", "inline", 0, 1000.0), ("large", "inline", 0, 500.0)],
+        )
+        candidate = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_disjoint_cells_error_exits_2(self):
+        baseline = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        candidate = _bench(HOST, [("large", "inline", 0, 1000.0)])
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf.compare(baseline, candidate, 0.2)
+        assert excinfo.value.code == 2
+
+    def test_schema_error_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf._load(bad)
+        assert excinfo.value.code == 2
+
+    def test_main_end_to_end(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        cand_path = tmp_path / "cand.json"
+        base_path.write_text(
+            json.dumps(_bench(HOST, [("small", "inline", 0, 1000.0)]))
+        )
+        cand_path.write_text(
+            json.dumps(_bench(HOST, [("small", "inline", 0, 500.0)]))
+        )
+        assert check_perf.main([str(base_path), str(cand_path)]) == 1
+        assert check_perf.main(
+            [str(base_path), str(cand_path), "--tolerance", "0.6"]
+        ) == 0

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Throughput regression gate: diff a fresh BENCH_throughput.json against
+the committed snapshot and fail on large docs/sec regressions.
+
+Usage::
+
+    python tools/check_perf_regression.py BASELINE.json CANDIDATE.json \
+        [--tolerance 0.2]
+
+Cells are matched by ``(workload, executor, requested_workers)``; only the
+intersection of the two files is compared, so a CI smoke run (a subset of
+the full matrix) checks cleanly against a full committed snapshot.
+
+Enforcement is **host-aware**: docs/sec is only comparable between runs of
+the same machine class, so the gate is binding only when the two files'
+``host`` blocks agree on platform and CPU count (e.g. a snapshot
+regenerated on the machine that produced the committed one).  On a
+different host — the usual CI case — every comparison is reported but
+never fails the job; the numbers still land in the job log and the
+uploaded artifact for eyeballing trends on a stable runner pool.
+
+Within a matching host, ``inline`` cells are binding and ``process`` cells
+are report-only: the sharded executor's figures on few-core machines are
+IPC-bound and noisier than the tolerance (see docs/PERFORMANCE.md).
+
+Exit codes: 0 = no binding regression, 1 = binding regression found,
+2 = usage or schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _usage_error(message: str) -> SystemExit:
+    """Exit code 2 (usage/schema), distinct from 1 (binding regression)."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise _usage_error(f"cannot read {path}: {exc}")
+    if "runs" not in data or "host" not in data:
+        raise _usage_error(f"{path} is not a BENCH_throughput.json "
+                           "(missing 'runs'/'host')")
+    return data
+
+
+def _cells(data: dict) -> dict[tuple, dict]:
+    cells = {}
+    for run in data["runs"]:
+        key = (run["workload"], run["executor"], run.get("requested_workers", 0))
+        cells[key] = run
+    return cells
+
+
+def hosts_comparable(baseline: dict, candidate: dict) -> bool:
+    """Same platform string and CPU count — the docs/sec-comparability bar."""
+    base_host, cand_host = baseline["host"], candidate["host"]
+    return (
+        base_host.get("platform") == cand_host.get("platform")
+        and base_host.get("cpu_count") == cand_host.get("cpu_count")
+    )
+
+
+def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
+    """Print the per-cell diff; return the number of binding regressions."""
+    binding = hosts_comparable(baseline, candidate)
+    if not binding:
+        print("note: hosts differ "
+              f"({baseline['host'].get('platform')}/{baseline['host'].get('cpu_count')}cpu "
+              f"vs {candidate['host'].get('platform')}/{candidate['host'].get('cpu_count')}cpu) "
+              "- reporting only, nothing can fail")
+    base_cells = _cells(baseline)
+    cand_cells = _cells(candidate)
+    shared = sorted(set(base_cells) & set(cand_cells))
+    if not shared:
+        raise _usage_error("the two files share no benchmark cells")
+    regressions = 0
+    for key in shared:
+        workload, executor, workers = key
+        old = base_cells[key]["docs_per_second"]
+        new = cand_cells[key]["docs_per_second"]
+        ratio = new / old if old else float("inf")
+        enforced = binding and executor == "inline"
+        regressed = ratio < 1.0 - tolerance
+        status = "ok"
+        if regressed:
+            status = "REGRESSION" if enforced else "regression (report-only)"
+            if enforced:
+                regressions += 1
+        label = executor if executor == "inline" else f"{executor}({workers}w)"
+        print(f"[perf-diff] {workload:>6} / {label:<12} "
+              f"{old:>9.1f} -> {new:>9.1f} docs/s  ({ratio:5.2f}x)  {status}")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh throughput snapshot regresses the "
+                    "committed one beyond the tolerance (same-host runs only)."
+    )
+    parser.add_argument("baseline", type=Path,
+                        help="committed BENCH_throughput.json")
+    parser.add_argument("candidate", type=Path,
+                        help="freshly generated BENCH_throughput.json")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional drop before failing "
+                             "(default 0.2 = 20%%)")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        parser.error("--tolerance must be in (0, 1)")
+
+    regressions = compare(_load(args.baseline), _load(args.candidate),
+                          args.tolerance)
+    if regressions:
+        print(f"[perf-diff] {regressions} binding regression(s) beyond "
+              f"{args.tolerance:.0%}")
+        return 1
+    print("[perf-diff] no binding regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
