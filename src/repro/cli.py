@@ -97,6 +97,10 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batch-size", type=int, default=64,
                         help="routed tagsets per notification micro-batch "
                              "(1 = one message per routed tagset)")
+    parser.add_argument("--link-batch", type=int, default=0,
+                        help="messages per routed link batch of the "
+                             "substrate (0 = unlimited, 1 = per-message "
+                             "delivery; physical only, identical metrics)")
     parser.add_argument("--minhash-perms", type=int, default=512,
                         help="MinHash signature width of the sketch mode "
                              "(estimate stddev is about 1/sqrt of this)")
@@ -135,6 +139,7 @@ def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = N
         subset_cache_size=getattr(args, "subset_cache", DEFAULT_SUBSET_CACHE_SIZE),
         include_centralized_baseline=not getattr(args, "no_baseline", False),
         notification_batch_size=getattr(args, "batch_size", 64),
+        link_batch_size=getattr(args, "link_batch", 0),
         minhash_permutations=getattr(args, "minhash_perms", 512),
         executor=getattr(args, "executor", "inline"),
         workers=getattr(args, "workers", 0),
@@ -256,8 +261,10 @@ subcommands:
                 report path, --subset-cache to size the Calculators'
                 subset-enumeration LRU, --no-baseline to skip the
                 centralized ground truth, --batch-size to tune the
-                notification micro-batches, --executor process --workers N
-                to shard the Calculator/Tracker layer over worker processes)
+                notification micro-batches, --link-batch to cap the
+                substrate's per-link batches (1 = per-message delivery),
+                --executor process --workers N to shard the
+                Calculator/Tracker layer over worker processes)
   compare       run several partitioning algorithms over the same trace and
                 print the evaluation metrics side by side
   connectivity  Figure-7 connectivity analysis of a trace

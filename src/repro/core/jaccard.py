@@ -243,6 +243,27 @@ class SubsetTupleCache:
             self.evictions += 1
         return entry
 
+    def peek(
+        self, tags: Iterable[str]
+    ) -> tuple[
+        tuple[str, ...],
+        tuple[tuple[str, ...], ...] | None,
+        tuple[tuple[str, ...], ...],
+    ] | None:
+        """A resident entry, or ``None`` — never builds, inserts or evicts.
+
+        The scratch reporting engine probes with this: its per-round key
+        working set can exceed the capacity many times over, and populating
+        the LRU from the report path would evict the observe path's hot
+        types without ever producing a future hit.  A resident entry counts
+        as a hit (and is refreshed); absence is not counted as a miss.
+        """
+        entry = self._entries.get(frozenset(tags))
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(frozenset(tags))
+        return entry
+
     def _build(
         self, key: tuple[str, ...]
     ) -> tuple[
@@ -464,13 +485,41 @@ class SubsetCounter:
     def _report_scratch(
         self, min_size: int
     ) -> list[tuple[frozenset[str], float, int]]:
-        """The original engine: one counter-table walk per counted key."""
+        """The reference engine: one union computation per counted key.
+
+        Kept as the bit-identical equivalence reference for the incremental
+        engine, but ported onto the :class:`SubsetTupleCache` enumerations:
+        keys resident in the shared cache (the observe path caches every
+        distinct observed type) skip the per-round
+        :func:`itertools.combinations` re-enumeration and fold their cached
+        ``by_mask`` lattice in one signed pass — the same exact integer sum
+        :func:`_union_size_from_tuple_counts` computes, rearranged.
+        Non-resident keys fall back to the direct walk: the report-side key
+        working set can exceed the cache capacity many times over, and
+        populating the LRU from here would evict the observe path's hot
+        types for no future hit (see :meth:`SubsetTupleCache.peek`).
+        """
         counts = self._counts
+        lookup = counts.__getitem__  # Counter.__missing__ returns 0
+        peek = self._cache.peek
         results = []
         for key, support in counts.items():
             if len(key) < min_size or support == 0:
                 continue
-            union = _union_size_from_tuple_counts(key, counts)
+            # Keys of 2–3 tags — the bulk of real streams — walk directly:
+            # their unions are a handful of lookups, cheaper than any cache
+            # probe.  Larger keys reuse the cached lattice when resident.
+            entry = peek(key) if len(key) >= 4 else None
+            if entry is not None:
+                by_mask = entry[1]
+                assert by_mask is not None  # full lattices, never size-capped
+                # union = -Σ_{∅≠s⊆key} (−1)^{|s|}·CN(s); by_mask[0] is the
+                # empty tuple, which is never a counted key, so the full
+                # signed dot-product over the lattice equals the non-empty
+                # sum.
+                union = -sum(map(mul, _signs(len(key)), map(lookup, by_mask)))
+            else:
+                union = _union_size_from_tuple_counts(key, counts)
             if union <= 0:
                 continue
             results.append((frozenset(key), support / union, support))

@@ -132,6 +132,38 @@ class PartitionAssignment:
                 per_partition.setdefault(index, set()).add(tag)
         return {index: frozenset(tags) for index, tags in per_partition.items()}
 
+    def route_and_covered(
+        self, tagset: Iterable[str]
+    ) -> tuple[dict[int, frozenset[str]], bool]:
+        """:meth:`route` plus whether some partition covers the whole tagset.
+
+        The Disseminator needs both answers for every routed tagset; one
+        pass over the inverted index replaces the separate
+        :meth:`covering_partitions` walk on the hot path.  Identical to
+        calling the two methods separately (the routing dict is built in
+        the same tag/owner iteration order).
+        """
+        index_get = self._index.get
+        per_partition: dict[int, set[str]] = {}
+        covering: set[int] | None = None
+        for tag in tagset:
+            owners = index_get(tag)
+            if owners is None:
+                covering = set()
+                continue
+            for index in owners:
+                bucket = per_partition.get(index)
+                if bucket is None:
+                    per_partition[index] = {tag}
+                else:
+                    bucket.add(tag)
+            if covering is None:
+                covering = set(owners)
+            elif covering:
+                covering &= owners
+        routes = {index: frozenset(tags) for index, tags in per_partition.items()}
+        return routes, bool(covering)
+
     def covering_partitions(self, tagset: Iterable[str]) -> list[int]:
         """Indices of partitions containing *all* tags of ``tagset``."""
         tags = list(tagset)

@@ -17,11 +17,12 @@ from .merger import MergerBolt
 from .parser import ParserBolt, extract_hashtags
 from .partitioner import PartitionerBolt, SlidingWindow
 from .spouts import DocumentSpout, FileSpout
-from .tracker import TrackerBolt
+from .tracker import CoefficientView, TrackerBolt
 from . import streams
 
 __all__ = [
     "BaseCalculatorBolt",
+    "CoefficientView",
     "CalculatorBolt",
     "SketchCalculatorBolt",
     "CentralizedCalculatorBolt",

@@ -7,11 +7,14 @@ the notification; every ``report_interval`` simulated seconds the maximum
 possible number of Jaccard coefficients is computed from the counters, the
 results are emitted to the Tracker and the counters are deleted.
 
-Notifications arrive either as legacy single tuples (``{"tags": ...}``) or —
-with the batched notification engine — as one ``{"batch": [(tags, doc_id),
-...]}`` tuple per Disseminator micro-batch.  :class:`BaseCalculatorBolt`
-unpacks both shapes and drives the periodic reporting; the two concrete
-modes only differ in the estimator behind :meth:`_observe`:
+Notifications arrive as ``NOTIFICATIONS`` slot tuples — ``(batch,
+timestamp)`` where ``batch`` is the list of ``(tags, doc_id)`` entries of
+one Disseminator micro-batch (a single entry per message when
+``notification_batch_size == 1``).  :class:`BaseCalculatorBolt` unpacks the
+batches (overriding :meth:`~repro.streamsim.components.Bolt.execute_batch`
+to amortise per-message dispatch over whole link batches) and drives the
+periodic reporting; the two concrete modes only differ in the estimator
+behind :meth:`_observe`:
 
 * :class:`CalculatorBolt` — the paper's exact subset counters
   (:class:`~repro.core.jaccard.JaccardCalculator`),
@@ -82,17 +85,26 @@ class BaseCalculatorBolt(Bolt):
     # Tuple handling
     # ------------------------------------------------------------------ #
     def execute(self, message: TupleMessage) -> None:
-        if message.stream != NOTIFICATIONS:
-            return
-        batch = message.get("batch")
-        if batch is not None:
+        self.execute_batch((message,))
+
+    def execute_batch(self, messages) -> None:
+        """Unpack a whole delivered link batch of notification tuples.
+
+        The single entry point for notification handling (``execute``
+        delegates here), so the unpack and accounting logic exists once.
+        """
+        observe = self._observe
+        received = 0
+        for message in messages:
+            if message.schema is not NOTIFICATIONS:
+                continue
+            # NOTIFICATIONS slot layout: (batch, timestamp).
+            batch = message.values[0]
             self.batches_received += 1
+            received += len(batch)
             for tags, doc_id in batch:
-                self._observe(tags, doc_id)
-                self.notifications_received += 1
-        else:
-            self._observe(message["tags"], message.get("doc_id"))
-            self.notifications_received += 1
+                observe(tags, doc_id)
+        self.notifications_received += received
 
     def tick(self, simulation_time: float) -> None:
         if simulation_time - self._last_report < self.report_interval:
@@ -109,10 +121,7 @@ class BaseCalculatorBolt(Bolt):
         # One batched tuple per report round: shipping hundreds of thousands
         # of individual coefficient tuples through the substrate would
         # dominate the runtime without changing any of the paper's metrics.
-        self.emit(
-            {"results": results, "timestamp": timestamp},
-            stream=COEFFICIENTS,
-        )
+        self.emit(COEFFICIENTS, results, timestamp)
         self.reports_emitted += len(results)
 
     def drain_triples(self) -> list[tuple[frozenset[str], float, int]]:

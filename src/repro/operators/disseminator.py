@@ -160,21 +160,32 @@ class DisseminatorBolt(Bolt):
     # Tuple handling
     # ------------------------------------------------------------------ #
     def execute(self, message: TupleMessage) -> None:
-        if message.stream == TAGSETS:
+        schema = message.schema
+        if schema is TAGSETS:
             self._handle_tagset(message)
-        elif message.stream == PARTITIONS:
+        elif schema is PARTITIONS:
             self._install_partitions(message)
-        elif message.stream == SINGLE_ADDITIONS:
+        elif schema is SINGLE_ADDITIONS:
             self._apply_single_addition(message)
+
+    def execute_batch(self, messages) -> None:
+        """Parser→Disseminator link batches are almost always tagsets."""
+        handle = self._handle_tagset
+        for message in messages:
+            if message.schema is TAGSETS:
+                handle(message)
+            else:
+                self.execute(message)
 
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
     def _handle_tagset(self, message: TupleMessage) -> None:
         self._documents_seen += 1
-        tagset: frozenset[str] = message["tagset"]
-        timestamp = message.get("timestamp", 0.0)
-        doc_id = message.get("doc_id")
+        # TAGSETS slot layout: (doc_id, timestamp, tagset).
+        doc_id, timestamp, tagset = message.values
+        if timestamp is None:
+            timestamp = 0.0
         if doc_id is None:
             doc_id = (self.task_id, self._documents_seen)
 
@@ -183,9 +194,8 @@ class DisseminatorBolt(Bolt):
             self._maybe_bootstrap(timestamp)
             return
 
-        routes = self._assignment.route(tagset)
-        covering = self._assignment.covering_partitions(tagset)
-        if not covering:
+        routes, covered = self._assignment.route_and_covered(tagset)
+        if not covered:
             self._register_missing(tagset, timestamp)
         if not routes:
             self.metrics.unrouted_tagsets += 1
@@ -214,35 +224,26 @@ class DisseminatorBolt(Bolt):
         """Ship one batched notification tuple per Calculator with pending work.
 
         With ``notification_batch_size == 1`` the engine degrades to the
-        paper's unbatched wire format — one ``{"tags": ...}`` tuple per
-        routed tagset — so the physical message count equals the logical
-        notification count and pre-batching consumers keep working.
+        paper's unbatched cadence — one physical message per routed tagset
+        per Calculator (each carrying a single-entry batch) — so the
+        physical message count equals the logical notification count.
         """
         if not self._pending:
             self._pending_tagsets = 0
             return
         unbatched = self.notification_batch_size == 1
+        timestamp = self._pending_timestamp
         for task_id, entries in self._pending.items():
             if not entries:
                 continue
             if unbatched:
-                for tags, doc_id in entries:
-                    self.emit_direct(
-                        task_id,
-                        {
-                            "tags": tags,
-                            "doc_id": doc_id,
-                            "timestamp": self._pending_timestamp,
-                        },
-                        stream=NOTIFICATIONS,
-                    )
+                # Legacy cadence: one physical message per routed tagset per
+                # Calculator (each carrying a single-entry batch).
+                for entry in entries:
+                    self.emit_direct(task_id, NOTIFICATIONS, [entry], timestamp)
                     self.metrics.notification_messages += 1
             else:
-                self.emit_direct(
-                    task_id,
-                    {"batch": entries, "timestamp": self._pending_timestamp},
-                    stream=NOTIFICATIONS,
-                )
+                self.emit_direct(task_id, NOTIFICATIONS, entries, timestamp)
                 self.metrics.notification_messages += 1
         self._pending = {}
         self._pending_tagsets = 0
@@ -270,30 +271,41 @@ class DisseminatorBolt(Bolt):
     # Partitions and single additions
     # ------------------------------------------------------------------ #
     def _install_partitions(self, message: TupleMessage) -> None:
-        epoch = message.get("epoch", 0)
+        # PARTITIONS slot layout:
+        # (epoch, tag_sets, loads, avg_com, max_load, timestamp).
+        epoch, tag_sets, loads, avg_com, max_load, timestamp = message.values
+        epoch = 0 if epoch is None else epoch
         if epoch <= self._installed_epoch:
             return
-        tag_sets = message["tag_sets"]
-        loads = message.get("loads", [0] * len(tag_sets))
+        if loads is None:
+            loads = [0] * len(tag_sets)
         partitions = PartitionAssignment.from_tag_sets(tag_sets)
         for partition, load in zip(partitions, loads):
             partition.load = int(load)
         self._assignment = partitions
         self._installed_epoch = epoch
         self._awaiting_partitions = False
-        self._reference_avg_com = max(float(message.get("avg_com", 1.0)), 1e-9)
-        self._reference_max_load = max(float(message.get("max_load", 1.0)), 1e-9)
+        self._reference_avg_com = max(
+            float(avg_com) if avg_com is not None else 1.0, 1e-9
+        )
+        self._reference_max_load = max(
+            float(max_load) if max_load is not None else 1.0, 1e-9
+        )
         self._rolling_com.reset()
         self._rolling_load.reset()
         self._missing_counts.clear()
         self._requested_additions.clear()
-        self._record_snapshot(message.get("timestamp", 0.0), reason=None)
+        self._record_snapshot(
+            0.0 if timestamp is None else timestamp, reason=None
+        )
 
     def _apply_single_addition(self, message: TupleMessage) -> None:
         if self._assignment is None:
             return
-        tagset = frozenset(message["tagset"])
-        index = int(message["partition_index"])
+        # SINGLE_ADDITIONS slot layout: (tagset, partition_index, timestamp).
+        raw_tagset, partition_index, _ = message.values
+        tagset = frozenset(raw_tagset)
+        index = int(partition_index)
         if index < self._assignment.k:
             self._assignment.add_tagset(index, tagset)
         self._missing_counts.pop(tagset, None)
@@ -307,10 +319,7 @@ class DisseminatorBolt(Bolt):
         if count >= self.sn:
             self._requested_additions.add(tagset)
             self.metrics.single_addition_requests += 1
-            self.emit(
-                {"tagset": tagset, "count": count, "timestamp": timestamp},
-                stream=MISSING_TAGSETS,
-            )
+            self.emit(MISSING_TAGSETS, tagset, count, timestamp)
 
     # ------------------------------------------------------------------ #
     # Quality monitoring (Section 7.2)
@@ -354,10 +363,7 @@ class DisseminatorBolt(Bolt):
                     reason=reason,
                 )
             )
-        self.emit(
-            {"epoch": self._epoch, "reason": reason, "timestamp": timestamp},
-            stream=REPARTITION_REQUESTS,
-        )
+        self.emit(REPARTITION_REQUESTS, self._epoch, reason, timestamp)
 
     def _record_snapshot(self, timestamp: float, reason: str | None) -> None:
         self.metrics.history.append(

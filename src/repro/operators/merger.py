@@ -82,13 +82,15 @@ class MergerBolt(Bolt):
     # Tuple handling
     # ------------------------------------------------------------------ #
     def execute(self, message: TupleMessage) -> None:
-        if message.stream == PARTIAL_PARTITIONS:
+        schema = message.schema
+        if schema is PARTIAL_PARTITIONS:
             self._collect_partial(message)
-        elif message.stream == MISSING_TAGSETS:
+        elif schema is MISSING_TAGSETS:
             self._single_addition(message)
 
     def _collect_partial(self, message: TupleMessage) -> None:
-        epoch = message.get("epoch", 0)
+        epoch = message.values[0]
+        epoch = 0 if epoch is None else epoch
         bucket = self._pending.setdefault(epoch, [])
         bucket.append(message)
         if len(bucket) >= self._expected_partials:
@@ -103,10 +105,13 @@ class MergerBolt(Bolt):
         window_counts: Counter = Counter()
         timestamp = 0.0
         for partial in partials:
-            timestamp = max(timestamp, partial.get("timestamp", 0.0))
-            for tags, load in zip(partial["tag_sets"], partial["loads"]):
+            # PARTIAL_PARTITIONS slot layout:
+            # (epoch, partitioner_task, tag_sets, loads, window_counts, timestamp).
+            _, _, tag_sets, loads, partial_counts, partial_ts = partial.values
+            timestamp = max(timestamp, partial_ts if partial_ts is not None else 0.0)
+            for tags, load in zip(tag_sets, loads):
                 pieces.append((frozenset(tags), int(load)))
-            for tags, count in partial.get("window_counts", {}).items():
+            for tags, count in (partial_counts or {}).items():
                 window_counts[frozenset(tags)] += int(count)
 
         if not pieces and not window_counts:
@@ -122,15 +127,13 @@ class MergerBolt(Bolt):
         self.merges_performed += 1
         avg_com, max_load = self._reference_quality(assignment, window_counts)
         self.emit(
-            {
-                "epoch": epoch,
-                "tag_sets": [frozenset(p.tags) for p in assignment],
-                "loads": [p.load for p in assignment],
-                "avg_com": avg_com,
-                "max_load": max_load,
-                "timestamp": timestamp,
-            },
-            stream=PARTITIONS,
+            PARTITIONS,
+            epoch,
+            [frozenset(p.tags) for p in assignment],
+            [p.load for p in assignment],
+            avg_com,
+            max_load,
+            timestamp,
         )
 
     def _merge_disjoint_sets(
@@ -181,8 +184,10 @@ class MergerBolt(Bolt):
     # Single additions (Section 7.1)
     # ------------------------------------------------------------------ #
     def _single_addition(self, message: TupleMessage) -> None:
-        tagset = frozenset(message["tagset"])
-        load = int(message.get("count", 1))
+        # MISSING_TAGSETS slot layout: (tagset, count, timestamp).
+        raw_tagset, count, timestamp = message.values
+        tagset = frozenset(raw_tagset)
+        load = 1 if count is None else int(count)
         if self._current_assignment is None or self._current_assignment.k == 0:
             return
         assignment = self._current_assignment
@@ -196,10 +201,8 @@ class MergerBolt(Bolt):
             assignment.add_tagset(index, tagset, load=load)
             self.single_additions += 1
         self.emit(
-            {
-                "tagset": tagset,
-                "partition_index": index,
-                "timestamp": message.get("timestamp", 0.0),
-            },
-            stream=SINGLE_ADDITIONS,
+            SINGLE_ADDITIONS,
+            tagset,
+            index,
+            0.0 if timestamp is None else timestamp,
         )

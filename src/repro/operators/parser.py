@@ -1,10 +1,11 @@
 """The Parser bolt: extracts tagsets from raw tweets.
 
 Parser instances receive tweets via shuffle grouping, extract and normalise
-the hashtags (the reproduction treats the precomputed ``tags`` field as the
+the hashtags (the reproduction treats the precomputed ``tags`` slot as the
 hashtags; a text fallback extracts ``#tokens`` from the tweet body), drop
-documents without tags, and emit ``(timestamp, doc_id, tagset)`` tuples that
-both the Disseminator and the Partitioner subscribe to.
+documents without tags, and emit ``(doc_id, timestamp, tagset)`` slot tuples
+on the ``TAGSETS`` stream that both the Disseminator and the Partitioner
+subscribe to.
 """
 
 from __future__ import annotations
@@ -35,11 +36,12 @@ class ParserBolt(Bolt):
         self.truncated = 0
 
     def execute(self, message: TupleMessage) -> None:
-        tags = message.get("tags")
+        # TWEETS slot layout: (doc_id, timestamp, tags, text).
+        doc_id, timestamp, tags, text = message.values
         if tags:
             tagset = make_tagset(tags)
         else:
-            tagset = extract_hashtags(message.get("text", ""))
+            tagset = extract_hashtags(text or "")
         if not tagset:
             self.dropped_untagged += 1
             return
@@ -49,11 +51,4 @@ class ParserBolt(Bolt):
             tagset = frozenset(sorted(tagset)[: self._max_tags])
             self.truncated += 1
         self.parsed += 1
-        self.emit(
-            {
-                "doc_id": message.get("doc_id"),
-                "timestamp": message.get("timestamp", 0.0),
-                "tagset": tagset,
-            },
-            stream=TAGSETS,
-        )
+        self.emit(TAGSETS, doc_id, 0.0 if timestamp is None else timestamp, tagset)

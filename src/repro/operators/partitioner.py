@@ -130,13 +130,17 @@ class PartitionerBolt(Bolt):
         self._served_epochs: set[int] = set()
 
     def execute(self, message: TupleMessage) -> None:
-        if message.stream == TAGSETS:
-            self.window.add(message.get("timestamp", 0.0), message["tagset"])
-        elif message.stream == REPARTITION_REQUESTS:
+        schema = message.schema
+        if schema is TAGSETS:
+            # TAGSETS slot layout: (doc_id, timestamp, tagset).
+            _, timestamp, tagset = message.values
+            self.window.add(0.0 if timestamp is None else timestamp, tagset)
+        elif schema is REPARTITION_REQUESTS:
             self._create_partitions(message)
 
     def _create_partitions(self, message: TupleMessage) -> None:
-        epoch = message.get("epoch", 0)
+        epoch, _reason, timestamp = message.values
+        epoch = 0 if epoch is None else epoch
         if epoch in self._served_epochs:
             # Every Disseminator instance broadcasts its request; serve each
             # epoch once.
@@ -158,15 +162,13 @@ class PartitionerBolt(Bolt):
             )
         self.partitions_created += 1
         self.emit(
-            {
-                "epoch": epoch,
-                "partitioner_task": self.task_index,
-                "tag_sets": tag_sets,
-                "loads": loads,
-                "window_counts": window_counts,
-                "timestamp": message.get("timestamp", 0.0),
-            },
-            stream=PARTIAL_PARTITIONS,
+            PARTIAL_PARTITIONS,
+            epoch,
+            self.task_index,
+            tag_sets,
+            loads,
+            window_counts,
+            0.0 if timestamp is None else timestamp,
         )
 
     def _partition(

@@ -32,13 +32,11 @@ class DocumentSpout(Spout):
         except StopIteration:
             return False
         self.emit(
-            {
-                "doc_id": document.doc_id,
-                "timestamp": document.timestamp,
-                "tags": document.tags,
-                "text": document.text,
-            },
-            stream=TWEETS,
+            TWEETS,
+            document.doc_id,
+            document.timestamp,
+            document.tags,
+            document.text,
         )
         self.emitted += 1
         return True

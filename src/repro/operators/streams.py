@@ -1,4 +1,4 @@
-"""Names of the components and streams of the Figure-2 topology.
+"""Components and declared stream schemas of the Figure-2 topology.
 
 Keeping the identifiers in one place avoids typo-induced routing bugs and
 documents the dataflow:
@@ -13,7 +13,17 @@ documents the dataflow:
   grouping), missing-tagset reports to ``merger`` and repartition requests
   to all ``partitioner`` instances,
 * ``calculator`` emits Jaccard coefficients to ``tracker``.
+
+Each stream constant is an interned
+:class:`~repro.streamsim.tuples.StreamSchema`: simultaneously the stream's
+name (a ``str`` subclass, so subscriptions and accounting keys are
+unchanged) and its declared slot layout.  Operators emit positionally in
+the declared field order and unpack ``message.values`` the same way; the
+pipeline registers these schemas with the topology builder so fields
+groupings are validated against the layouts at build time.
 """
+
+from repro.streamsim.tuples import stream_schema
 
 # Component names -------------------------------------------------------- #
 SOURCE = "source"
@@ -25,13 +35,33 @@ CALCULATOR = "calculator"
 TRACKER = "tracker"
 CENTRALIZED = "centralized"
 
-# Stream names ----------------------------------------------------------- #
-TWEETS = "tweets"
-TAGSETS = "tagsets"
-PARTIAL_PARTITIONS = "partial_partitions"
-PARTITIONS = "partitions"
-SINGLE_ADDITIONS = "single_additions"
-MISSING_TAGSETS = "missing_tagsets"
-REPARTITION_REQUESTS = "repartition_requests"
-NOTIFICATIONS = "notifications"
-COEFFICIENTS = "coefficients"
+# Stream schemas --------------------------------------------------------- #
+#: Raw tweets replayed by the Source.
+TWEETS = stream_schema("tweets", ("doc_id", "timestamp", "tags", "text"))
+#: Parsed, normalised tagsets (the Parser's output).
+TAGSETS = stream_schema("tagsets", ("doc_id", "timestamp", "tagset"))
+#: Per-Partitioner partial partitions of one repartition epoch.
+PARTIAL_PARTITIONS = stream_schema(
+    "partial_partitions",
+    ("epoch", "partitioner_task", "tag_sets", "loads", "window_counts", "timestamp"),
+)
+#: The Merger's final k partitions plus their reference quality values.
+PARTITIONS = stream_schema(
+    "partitions", ("epoch", "tag_sets", "loads", "avg_com", "max_load", "timestamp")
+)
+#: Single-addition decisions broadcast by the Merger (Section 7.1).
+SINGLE_ADDITIONS = stream_schema(
+    "single_additions", ("tagset", "partition_index", "timestamp")
+)
+#: Uncovered tagsets the Disseminator reports to the Merger.
+MISSING_TAGSETS = stream_schema("missing_tagsets", ("tagset", "count", "timestamp"))
+#: Repartition requests broadcast to all Partitioners (Section 7.2).
+REPARTITION_REQUESTS = stream_schema(
+    "repartition_requests", ("epoch", "reason", "timestamp")
+)
+#: Notification micro-batches shipped to Calculators: ``batch`` is the list
+#: of ``(tags, doc_id)`` entries of one Disseminator micro-batch (a single
+#: entry per message when ``notification_batch_size == 1``).
+NOTIFICATIONS = stream_schema("notifications", ("batch", "timestamp"))
+#: One report round's ``(tagset, jaccard, support)`` wire triples.
+COEFFICIENTS = stream_schema("coefficients", ("results", "timestamp"))

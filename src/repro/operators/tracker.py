@@ -4,12 +4,20 @@ When a tag is replicated across partitions, several Calculators may report a
 Jaccard coefficient for the same tagset.  The Tracker keeps, for every
 tagset, the coefficient supported by the longest-tracked counter (maximum
 ``CN(s_i)``), the heuristic of Section 6.2.
+
+Result access is lazy: :meth:`TrackerBolt.coefficient_view` exposes the
+tracked coefficients as a read-only mapping over the live dedup table and
+:meth:`TrackerBolt.iter_coefficients` streams them — the error report of a
+run probes tens of thousands of tagsets without materialising a dict copy
+per report.  :meth:`TrackerBolt.coefficients` still builds a plain dict for
+callers that want a snapshot.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..core.jaccard import JaccardResult
 from ..streamsim.components import Bolt
@@ -26,6 +34,51 @@ class TrackedCoefficient:
     reports: int = 1
 
 
+class CoefficientView(Mapping):
+    """Read-only mapping view over the Tracker's dedup table.
+
+    Backed directly by the live ``tagset -> TrackedCoefficient`` dict:
+    lookups and membership tests cost one dict probe and **no** per-report
+    dict materialisation (the old ``coefficients()`` built a full copy every
+    time the error report ran).  ``min_support`` filters transparently —
+    filtered entries behave as absent.  Iteration length under a filter is
+    O(n) on first use and cached until the Tracker ingests again.
+    """
+
+    __slots__ = ("_best", "_min_support", "_len", "_stamp", "_tracker")
+
+    def __init__(self, tracker: "TrackerBolt", min_support: int = 0) -> None:
+        self._tracker = tracker
+        self._best = tracker._best
+        self._min_support = min_support
+        self._len: int | None = None
+        self._stamp = tracker.reports_received
+
+    def __getitem__(self, tagset: frozenset[str]) -> float:
+        tracked = self._best[tagset]
+        if tracked.support < self._min_support:
+            raise KeyError(tagset)
+        return tracked.jaccard
+
+    def __contains__(self, tagset: object) -> bool:
+        tracked = self._best.get(tagset)  # type: ignore[arg-type]
+        return tracked is not None and tracked.support >= self._min_support
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        min_support = self._min_support
+        for tagset, tracked in self._best.items():
+            if tracked.support >= min_support:
+                yield tagset
+
+    def __len__(self) -> int:
+        if self._min_support <= 0:
+            return len(self._best)
+        if self._len is None or self._stamp != self._tracker.reports_received:
+            self._stamp = self._tracker.reports_received
+            self._len = sum(1 for _ in self)
+        return self._len
+
+
 class TrackerBolt(Bolt):
     """Selects, per tagset, the reported coefficient with maximum support."""
 
@@ -36,9 +89,10 @@ class TrackerBolt(Bolt):
         self.duplicate_reports = 0
 
     def execute(self, message: TupleMessage) -> None:
-        if message.stream != COEFFICIENTS:
+        if message.schema is not COEFFICIENTS:
             return
-        self.ingest(message["results"])
+        # COEFFICIENTS slot layout: (results, timestamp).
+        self.ingest(message.values[0])
 
     def ingest(
         self, results: "Iterable[tuple[frozenset[str], float, int]]"
@@ -77,13 +131,21 @@ class TrackerBolt(Bolt):
     # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #
+    def coefficient_view(self, min_support: int = 0) -> CoefficientView:
+        """Lazy read-only mapping over the dedup table (no dict copy)."""
+        return CoefficientView(self, min_support)
+
+    def iter_coefficients(
+        self, min_support: int = 0
+    ) -> Iterator[tuple[frozenset[str], float]]:
+        """Stream ``(tagset, coefficient)`` pairs without materialising."""
+        for tagset, tracked in self._best.items():
+            if tracked.support >= min_support:
+                yield tagset, tracked.jaccard
+
     def coefficients(self, min_support: int = 0) -> dict[frozenset[str], float]:
-        """Final coefficient per tagset, optionally filtered by support."""
-        return {
-            tagset: tracked.jaccard
-            for tagset, tracked in self._best.items()
-            if tracked.support >= min_support
-        }
+        """Final coefficient per tagset as a snapshot dict (copies)."""
+        return dict(self.iter_coefficients(min_support))
 
     def supports(self) -> dict[frozenset[str], int]:
         """Supporting counter value per tagset."""

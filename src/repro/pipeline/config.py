@@ -72,6 +72,13 @@ class SystemConfig:
     #: Routed tagsets per notification micro-batch (1 = unbatched legacy
     #: behaviour: one message per routed tagset per Calculator).
     notification_batch_size: int = 64
+    #: Messages per routed link batch of the substrate (the unit one
+    #: grouping call, one accounting update and one ``execute_batch``
+    #: delivery covers): ``0`` = unlimited (one batch per run of
+    #: same-stream emissions of a component invocation, the default),
+    #: ``1`` = per-message delivery (the pre-slot-tuple wire cadence).
+    #: Purely physical — logical metrics are identical at every setting.
+    link_batch_size: int = 0
     #: MinHash signature width of the sketch mode (standard error of each
     #: Jaccard estimate is roughly ``1/sqrt(minhash_permutations)``).
     minhash_permutations: int = 512
@@ -116,6 +123,8 @@ class SystemConfig:
             raise ValueError("subset_cache_size must be at least 1")
         if self.notification_batch_size < 1:
             raise ValueError("notification_batch_size must be at least 1")
+        if self.link_batch_size < 0:
+            raise ValueError("link_batch_size must be non-negative (0 = unlimited)")
         if self.minhash_permutations < 8:
             raise ValueError("minhash_permutations must be at least 8")
         if not 0.0 < self.countmin_epsilon < 1.0:

@@ -202,6 +202,23 @@ class TagCorrelationSystem:
         config = self.config
         builder = TopologyBuilder()
 
+        # Declare the slot layout of every Figure-2 stream up front: the
+        # interned schemas are the wire format (positional emission, slot
+        # tuples) and let the builder validate fields groupings against the
+        # declared fields.
+        for schema in (
+            streams.TWEETS,
+            streams.TAGSETS,
+            streams.PARTIAL_PARTITIONS,
+            streams.PARTITIONS,
+            streams.SINGLE_ADDITIONS,
+            streams.MISSING_TAGSETS,
+            streams.REPARTITION_REQUESTS,
+            streams.NOTIFICATIONS,
+            streams.COEFFICIENTS,
+        ):
+            builder.stream(schema)
+
         builder.set_spout(streams.SOURCE, lambda: DocumentSpout(documents))
 
         builder.set_bolt(
@@ -275,6 +292,7 @@ class TagCorrelationSystem:
             builder.build(),
             tick_interval=config.tick_interval_seconds,
             executor=self._build_executor(),
+            link_batch_size=config.link_batch_size,
         )
 
     def _calculator_factory(self):
@@ -498,7 +516,9 @@ class TagCorrelationSystem:
         if not baselines:
             return None
         ground_truth = baselines[0].ground_truth()
-        return jaccard_error(tracker.coefficients(), ground_truth)
+        # The lazy view probes the Tracker's dedup table in place — no dict
+        # copy of tens of thousands of coefficients per error report.
+        return jaccard_error(tracker.coefficient_view(), ground_truth)
 
 
 def run_system(

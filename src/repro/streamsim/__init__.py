@@ -6,6 +6,13 @@ groupings, multi-instance components, a topology builder and a cluster that
 executes the topology — as a deterministic simulator with per-link message
 accounting, which is what the paper's metrics are computed from.
 
+The wire format is schema-declared (``tuples.py``): every stream's field
+layout is interned once as a ``StreamSchema``, tuples are slot tuples (a
+plain value tuple plus the schema and integer provenance), emission is
+positional (``emit(schema, *values)``) and routing/delivery/IPC all operate
+on per-link ``EmissionBatch`` lists — see docs/ARCHITECTURE.md "Wire
+format".
+
 Execution is pluggable (``executors.py``): the default ``InlineExecutor``
 runs everything depth-first in one process, while the
 ``ShardedProcessExecutor`` shards a sink layer of components (the
@@ -31,7 +38,14 @@ from .groupings import (
     ShuffleGrouping,
 )
 from .topology import ComponentSpec, Subscription, Topology, TopologyBuilder
-from .tuples import DEFAULT_STREAM, Emission, OutputCollector, TupleMessage
+from .tuples import (
+    DEFAULT_STREAM,
+    EmissionBatch,
+    OutputCollector,
+    StreamSchema,
+    TupleMessage,
+    stream_schema,
+)
 
 __all__ = [
     "AllGrouping",
@@ -43,7 +57,7 @@ __all__ = [
     "DEFAULT_STREAM",
     "DirectGrouping",
     "EXECUTOR_NAMES",
-    "Emission",
+    "EmissionBatch",
     "Executor",
     "FieldsGrouping",
     "Grouping",
@@ -54,6 +68,7 @@ __all__ = [
     "ShardedProcessExecutor",
     "ShuffleGrouping",
     "Spout",
+    "StreamSchema",
     "Subscription",
     "Topology",
     "TopologyBuilder",
@@ -61,4 +76,5 @@ __all__ = [
     "iter_bolts",
     "make_executor",
     "run_topology",
+    "stream_schema",
 ]

@@ -3,15 +3,30 @@
 The cluster is the reproduction's substitute for a physical Storm cluster.
 It creates one object per task (parallel instance) of every component,
 routes emitted tuples to subscriber tasks according to the registered
-groupings, keeps a simulated clock driven by the ``timestamp`` field of the
+groupings, keeps a simulated clock driven by the ``timestamp`` slot of the
 tuples flowing through the system, and counts every message per
 (producer component, consumer component) link and per consumer task.
+
+Batch routing
+-------------
+The routing unit is the :class:`~repro.streamsim.tuples.EmissionBatch`: one
+run of same-stream emissions of a single component invocation.  Per batch
+the cluster advances the clock **once** (all messages of a batch share the
+timestamp slot value), consults each subscriber's grouping **once**
+(:meth:`~repro.streamsim.groupings.Grouping.select_batch`), splits the
+batch into per-task sub-batches in first-occurrence order, and delivers
+each sub-batch with **one accounting update** and one
+:meth:`~repro.streamsim.components.Bolt.execute_batch` call.  Messages of a
+batch bound for the same task are therefore delivered contiguously; the
+paper topology's batches never interleave two consumers of one stream, so
+delivery order matches the old per-message routing exactly (pinned by the
+wire-equivalence tests).
 
 Execution model
 ---------------
 *How* tuples are pushed through the deployed graph is delegated to a
 pluggable :class:`~repro.streamsim.executors.Executor`.  The default
-:class:`~repro.streamsim.executors.InlineExecutor` processes tuples
+:class:`~repro.streamsim.executors.InlineExecutor` processes batches
 depth-first in arrival order in this process: it polls one spout task,
 routes everything it emitted, then keeps draining the global FIFO queue
 until no tuple is in flight before polling the next spout.  This is
@@ -19,20 +34,21 @@ equivalent to a Storm cluster that is never backlogged, which is the regime
 the paper's experiments operate in (their metrics are logical counts per
 document, not queueing delays).  The
 :class:`~repro.streamsim.executors.ShardedProcessExecutor` runs a sink layer
-of components across worker processes while keeping the same logical
-semantics; the cluster consults its executor at delivery, tick and flush
-time so remote tasks are serviced transparently.
+of components across worker processes, shipping the same slot-tuple batches
+as its IPC unit; the cluster consults its executor at delivery, tick and
+flush time so remote tasks are serviced transparently.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .components import Bolt, Component
+from .groupings import Grouping
 from .topology import Topology
-from .tuples import Emission, OutputCollector, TupleMessage
+from .tuples import EmissionBatch, OutputCollector, TupleMessage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .executors import Executor
@@ -47,10 +63,18 @@ class MessageAccounting:
     total: int = 0
 
     def record(self, producer: str, consumer: str, task_id: int) -> None:
+        self.record_batch(producer, consumer, task_id, 1)
+
+    def record_batch(
+        self, producer: str, consumer: str, task_id: int, count: int
+    ) -> None:
+        """Account one delivered link batch of ``count`` tuples."""
         key = (producer, consumer)
-        self.per_link[key] = self.per_link.get(key, 0) + 1
-        self.per_task[task_id] = self.per_task.get(task_id, 0) + 1
-        self.total += 1
+        per_link = self.per_link
+        per_link[key] = per_link.get(key, 0) + count
+        per_task = self.per_task
+        per_task[task_id] = per_task.get(task_id, 0) + count
+        self.total += count
 
     def link(self, producer: str, consumer: str) -> int:
         return self.per_link.get((producer, consumer), 0)
@@ -78,6 +102,10 @@ class TaskInfo:
     component: str
     instance: Component
     collector: OutputCollector
+    #: Whether the instance is a bolt (deliverable); set at deployment.
+    is_bolt: bool = False
+    #: Whether the task is owned by the executor's remote layer.
+    is_remote: bool = False
 
 
 class ClusterContext:
@@ -109,23 +137,29 @@ class Cluster:
         topology: Topology,
         tick_interval: float = 1.0,
         executor: "Executor | None" = None,
+        link_batch_size: int = 0,
     ) -> None:
         topology.validate()
         if executor is None:
             from .executors import InlineExecutor
 
             executor = InlineExecutor()
+        if link_batch_size < 0:
+            raise ValueError("link_batch_size must be non-negative (0 = unlimited)")
         self.topology = topology
         self.accounting = MessageAccounting()
         self.current_time = 0.0
+        self.link_batch_size = link_batch_size
         self._tick_interval = tick_interval
         self._last_tick = 0.0
-        self._queue: deque[tuple[int, TupleMessage]] = deque()
+        self._queue: deque[tuple[TaskInfo, list[TupleMessage]]] = deque()
         self._tasks: list[TaskInfo] = []
         self._tasks_by_component: dict[str, list[TaskInfo]] = {}
         self._create_tasks()
-        # Routing table: (producer, stream) -> [(consumer tasks, grouping)].
-        self._routes: dict[tuple[str, str], list[tuple[list[TaskInfo], object]]] = {}
+        # Routing table: producer -> stream name -> [(consumer tasks, grouping)].
+        # Stream keys are plain strings (schemas are str subclasses), so the
+        # lookup works whether a stream was declared with a schema or not.
+        self._routes: dict[str, dict[str, list[tuple[list[TaskInfo], Grouping]]]] = {}
         self._direct_consumers: dict[tuple[str, str], set[str]] = {}
         self._build_routes()
         self._context = ClusterContext(self)
@@ -135,6 +169,8 @@ class Cluster:
         # their prepare-time emissions are captured (and later relayed)
         # worker-side.
         self._executor.attach(self)
+        for task in self._tasks:
+            task.is_remote = self._executor.owns(task.task_id)
         self._prepare_tasks()
 
     # ------------------------------------------------------------------ #
@@ -146,13 +182,16 @@ class Cluster:
             instances = []
             for task_index in range(spec.parallelism):
                 instance = spec.factory()
-                collector = OutputCollector(spec.name, task_id)
+                collector = OutputCollector(
+                    spec.name, task_id, max_batch=self.link_batch_size
+                )
                 info = TaskInfo(
                     task_id=task_id,
                     task_index=task_index,
                     component=spec.name,
                     instance=instance,
                     collector=collector,
+                    is_bolt=isinstance(instance, Bolt),
                 )
                 instances.append(info)
                 self._tasks.append(info)
@@ -161,16 +200,18 @@ class Cluster:
 
     def _build_routes(self) -> None:
         for subscription in self.topology.subscriptions:
-            key = (subscription.producer, subscription.stream)
             consumer_tasks = self._tasks_by_component[subscription.consumer]
-            self._routes.setdefault(key, []).append(
-                (consumer_tasks, subscription.grouping)
-            )
-            self._direct_consumers.setdefault(key, set()).add(subscription.consumer)
+            stream = str(subscription.stream)
+            self._routes.setdefault(subscription.producer, {}).setdefault(
+                stream, []
+            ).append((consumer_tasks, subscription.grouping))
+            self._direct_consumers.setdefault(
+                (subscription.producer, stream), set()
+            ).add(subscription.consumer)
 
     def _prepare_tasks(self) -> None:
         for task in self._tasks:
-            if self._executor.owns(task.task_id):
+            if task.is_remote:
                 # Remote tasks prepare inside their worker (the driver-side
                 # instance is an inert placeholder, replaced at finalise);
                 # preparing both copies would duplicate prepare-time
@@ -229,49 +270,91 @@ class Cluster:
     def process(self, message: TupleMessage, component: str, task_index: int = 0) -> None:
         """Inject a tuple directly into one bolt task (useful in tests)."""
         task = self.tasks_of(component)[task_index]
-        if self._executor.owns(task.task_id):
+        if task.is_remote:
             raise RuntimeError(
                 f"cannot inject into {component!r}: it is owned by the "
                 f"remote layer of {type(self._executor).__name__}; use the "
                 "inline executor for direct-injection tests"
             )
-        self._deliver(task, message)
+        if not task.is_bolt:
+            raise RuntimeError(f"cannot deliver tuples to spout {component!r}")
+        self._deliver(task, [message])
         self._drain_queue()
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _route_emissions(self, task: TaskInfo) -> int:
+        batches = task.collector.drain()
+        if not batches:
+            return 0
         emitted = 0
-        for emission in task.collector.drain():
-            self._route(task.component, emission)
-            emitted += 1
+        component = task.component
+        for batch in batches:
+            emitted += len(batch.messages)
+            self._route_batch(component, batch)
         return emitted
 
-    def _route(self, producer: str, emission: Emission) -> None:
-        message = emission.message
-        self._advance_clock(message)
-        key = (producer, message.stream)
-        if emission.direct_task is not None:
-            target = self._tasks[emission.direct_task]
-            if target.component not in self._direct_consumers.get(key, ()):
-                raise RuntimeError(
-                    f"direct emission from {producer!r} to task of "
-                    f"{target.component!r} without a subscription on stream "
-                    f"{message.stream!r}"
-                )
-            self._queue.append((target.task_id, message))
+    def _route_batch(self, producer: str, batch: EmissionBatch) -> None:
+        """Route one emission batch: clock once, grouping once, enqueue."""
+        timestamp = batch.timestamp
+        if timestamp is not None:
+            self._advance_clock(timestamp)
+        messages = batch.messages
+        targets = batch.targets
+        queue = self._queue
+        tasks = self._tasks
+        if targets is not None:
+            allowed = self._direct_consumers.get((producer, batch.schema), ())
+            per_task: dict[int, list[TupleMessage]] = {}
+            for message, target in zip(messages, targets):
+                if tasks[target].component not in allowed:
+                    raise RuntimeError(
+                        f"direct emission from {producer!r} to task of "
+                        f"{tasks[target].component!r} without a subscription "
+                        f"on stream {batch.schema!r}"
+                    )
+                bucket = per_task.get(target)
+                if bucket is None:
+                    per_task[target] = [message]
+                else:
+                    bucket.append(message)
+            for target, bucket in per_task.items():
+                queue.append((tasks[target], bucket))
             return
-        for consumer_tasks, grouping in self._routes.get(key, ()):
-            indices = grouping.select(message, len(consumer_tasks))
-            for index in indices:
-                self._queue.append((consumer_tasks[index].task_id, message))
+        routes = self._routes.get(producer)
+        if routes is None:
+            return
+        subscribers = routes.get(batch.schema)
+        if subscribers is None:
+            return
+        if len(messages) == 1:
+            # Hot path: the overwhelmingly common single-message batch.
+            message = messages[0]
+            for consumer_tasks, grouping in subscribers:
+                for index in grouping.select(message, len(consumer_tasks)):
+                    queue.append((consumer_tasks[index], messages))
+            return
+        for consumer_tasks, grouping in subscribers:
+            selections = grouping.select_batch(messages, len(consumer_tasks))
+            # Split into per-task sub-batches in first-occurrence order
+            # (dict insertion order), preserving message order per task.
+            per_index: dict[int, list[TupleMessage]] = {}
+            for message, indices in zip(messages, selections):
+                for index in indices:
+                    bucket = per_index.get(index)
+                    if bucket is None:
+                        per_index[index] = [message]
+                    else:
+                        bucket.append(message)
+            for index, bucket in per_index.items():
+                queue.append((consumer_tasks[index], bucket))
 
     def _drain_queue(self) -> None:
-        while self._queue:
-            task_id, message = self._queue.popleft()
-            task = self._tasks[task_id]
-            self._deliver(task, message)
+        queue = self._queue
+        while queue:
+            task, messages = queue.popleft()
+            self._deliver(task, messages)
 
     def _flush_bolts(self) -> None:
         """End-of-stream flush: let every bolt emit buffered output.
@@ -286,36 +369,33 @@ class Cluster:
         while True:
             released = 0
             for task in self._tasks:
-                if self._executor.owns(task.task_id):
+                if task.is_remote or not task.is_bolt:
                     continue
-                if isinstance(task.instance, Bolt):
-                    task.instance.flush()
-                    released += self._route_emissions(task)
+                task.instance.flush()  # type: ignore[union-attr]
+                released += self._route_emissions(task)
             self._drain_queue()
             # Remote bolts flush in their workers; their buffered emissions
-            # are relayed here and routed like any other tuple.
+            # are relayed here and routed like any other batch.
             released += self._executor.flush_remote()
             self._drain_queue()
             if not released:
                 return
 
-    def _deliver(self, task: TaskInfo, message: TupleMessage) -> None:
-        bolt = task.instance
-        if not isinstance(bolt, Bolt):
-            raise RuntimeError(f"cannot deliver tuples to spout {task.component!r}")
-        if self._executor.owns(task.task_id):
+    def _deliver(self, task: TaskInfo, messages: Sequence[TupleMessage]) -> None:
+        if task.is_remote:
             # Remote tasks account for their own deliveries; the shard's
             # accounting is merged back at finalisation.
-            self._executor.deliver_remote(task, message)
+            self._executor.deliver_remote(task, messages)
             return
-        self.accounting.record(message.source_component, task.component, task.task_id)
-        bolt.execute(message)
+        if not task.is_bolt:
+            raise RuntimeError(f"cannot deliver tuples to spout {task.component!r}")
+        self.accounting.record_batch(
+            messages[0].source_component, task.component, task.task_id, len(messages)
+        )
+        task.instance.execute_batch(messages)  # type: ignore[union-attr]
         self._route_emissions(task)
 
-    def _advance_clock(self, message: TupleMessage) -> None:
-        timestamp = message.get("timestamp")
-        if timestamp is None:
-            return
+    def _advance_clock(self, timestamp: float) -> None:
         if timestamp > self.current_time:
             self.current_time = float(timestamp)
         if self.current_time - self._last_tick >= self._tick_interval:
@@ -324,11 +404,10 @@ class Cluster:
 
     def _tick_all(self) -> None:
         for task in self._tasks:
-            if self._executor.owns(task.task_id):
+            if task.is_remote or not task.is_bolt:
                 continue
-            if isinstance(task.instance, Bolt):
-                task.instance.tick(self.current_time)
-                self._route_emissions(task)
+            task.instance.tick(self.current_time)  # type: ignore[union-attr]
+            self._route_emissions(task)
         # Remote bolts receive the tick through their shard queues, in the
         # same order relative to their deliveries as the inline engine.
         self._executor.tick_remote(self.current_time)
@@ -339,9 +418,15 @@ def run_topology(
     max_spout_calls: int | None = None,
     tick_interval: float = 1.0,
     executor: "Executor | None" = None,
+    link_batch_size: int = 0,
 ) -> Cluster:
     """Deploy and run a topology; returns the cluster for inspection."""
-    cluster = Cluster(topology, tick_interval=tick_interval, executor=executor)
+    cluster = Cluster(
+        topology,
+        tick_interval=tick_interval,
+        executor=executor,
+        link_batch_size=link_batch_size,
+    )
     cluster.run(max_spout_calls=max_spout_calls)
     return cluster
 

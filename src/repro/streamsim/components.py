@@ -5,14 +5,23 @@ Application code subclasses :class:`Spout` (stream sources) and
 (parallel instance) of a component gets its own object, created by the
 factory registered with the topology builder, so per-task state needs no
 locking even though the simulator is single-threaded.
+
+Operators speak the slot-tuple wire API: they emit **positionally** against
+a declared :class:`~repro.streamsim.tuples.StreamSchema`
+(``self.emit(TAGSETS, doc_id, timestamp, tagset)``) and receive
+:class:`~repro.streamsim.tuples.TupleMessage` slot tuples, unpacking
+``message.values`` in schema order.  Deliveries arrive in per-link batches:
+:meth:`Bolt.execute_batch` is the delivery entry point, and its default
+simply loops :meth:`Bolt.execute` — override it when processing a whole
+batch at once is cheaper (the Calculator does).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Sequence
 
-from .tuples import OutputCollector, TupleMessage
+from .tuples import OutputCollector, StreamSchema, TupleMessage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .cluster import ClusterContext
@@ -47,14 +56,15 @@ class Component(abc.ABC):
     def on_prepare(self) -> None:
         """Hook for subclasses; runs after the component is wired up."""
 
-    def emit(self, values: dict, stream: str = "default") -> None:
-        """Convenience wrapper around the collector."""
+    def emit(self, schema: StreamSchema, *values: Any) -> None:
+        """Emit one slot tuple on ``schema`` (positional, in field order)."""
         assert self.collector is not None, "component used before prepare()"
-        self.collector.emit(values, stream=stream)
+        self.collector.emit(schema, *values)
 
-    def emit_direct(self, task_id: int, values: dict, stream: str = "default") -> None:
+    def emit_direct(self, task_id: int, schema: StreamSchema, *values: Any) -> None:
+        """Emit one slot tuple directly to the task with global id ``task_id``."""
         assert self.collector is not None, "component used before prepare()"
-        self.collector.emit_direct(task_id, values, stream=stream)
+        self.collector.emit_direct(task_id, schema, *values)
 
 
 class Spout(Component):
@@ -77,6 +87,18 @@ class Bolt(Component):
     @abc.abstractmethod
     def execute(self, message: TupleMessage) -> None:
         """Process one incoming tuple, optionally emitting new ones."""
+
+    def execute_batch(self, messages: Sequence[TupleMessage]) -> None:
+        """Process one delivered link batch (same producer, stream and task).
+
+        The cluster delivers per-edge batches and routes whatever the bolt
+        emitted only after the whole batch is processed.  The default loops
+        :meth:`execute`; bolts that can amortise per-message dispatch (e.g.
+        the Calculator's notification handling) override this.
+        """
+        execute = self.execute
+        for message in messages:
+            execute(message)
 
     def tick(self, simulation_time: float) -> None:
         """Periodic callback driven by the simulated clock.

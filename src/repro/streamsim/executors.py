@@ -23,10 +23,13 @@ what makes process-sharding deterministic:
 
 * Tasks of each remote component are assigned round-robin to worker shards
   (``task_index % workers``); the parallelism-1 Tracker lands on shard 0.
-* Every tuple the driver would deliver to a remote task is shipped to its
-  shard's input queue instead.  The IPC unit is the tuple itself — with the
-  batched notification engine one queue item carries a whole
-  ``notification_batch_size`` micro-batch, which is what amortises pickling.
+* Every link batch the driver would deliver to a remote task is shipped to
+  its shard's input queue instead.  The IPC unit is the slot-tuple batch —
+  the same per-edge message list the inline engine hands to
+  ``execute_batch`` — and slot tuples pickle as plain value tuples plus an
+  interned schema reference, which is what keeps the per-message pickling
+  tax low (a notification batch additionally carries a whole
+  ``notification_batch_size`` micro-batch in one slot).
 * Simulated-clock ticks are broadcast to every shard as control messages on
   the same FIFO queues, so each remote bolt observes exactly the same
   interleaving of *driver-routed* deliveries and ticks as it would inline.
@@ -74,7 +77,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from .components import Bolt, Spout
-from .tuples import Emission, OutputCollector, TupleMessage
+from .tuples import EmissionBatch, OutputCollector, TupleMessage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .cluster import Cluster, MessageAccounting, TaskInfo
@@ -116,8 +119,10 @@ class Executor(abc.ABC):
         """Whether deliveries to ``task_id`` bypass the inline bolt."""
         return False
 
-    def deliver_remote(self, task: "TaskInfo", message: TupleMessage) -> None:
-        """Ship one tuple to the remote instance of an owned task."""
+    def deliver_remote(
+        self, task: "TaskInfo", messages: Sequence[TupleMessage]
+    ) -> None:
+        """Ship one link batch to the remote instance of an owned task."""
         raise NotImplementedError(f"{type(self).__name__} owns no remote tasks")
 
     def tick_remote(self, simulation_time: float) -> None:
@@ -254,24 +259,24 @@ class ShardResult:
 def _shard_worker(spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
     """Worker-process main loop: build the shard's bolts, then serve requests.
 
-    Requests arrive on ``inbox`` in driver order — tuple deliveries, clock
-    ticks, flush passes, emission collections — and the worker applies them
-    to its bolts exactly as the inline engine would, buffering everything
-    the bolts emit until the driver asks for it.
+    Requests arrive on ``inbox`` in driver order — link-batch deliveries,
+    clock ticks, flush passes, emission collections — and the worker applies
+    them to its bolts exactly as the inline engine would, buffering every
+    emission batch the bolts produce until the driver asks for it.
     """
     from .cluster import MessageAccounting
 
     try:
         bolts: dict[int, Bolt] = {}
         components: dict[int, str] = {}
-        emissions: list[tuple[int, Emission]] = []
+        emissions: list[tuple[int, EmissionBatch]] = []
         accounting = MessageAccounting()
 
         def drain(task_id: int) -> None:
             collector = bolts[task_id].collector
             assert collector is not None
-            for emission in collector.drain():
-                emissions.append((task_id, emission))
+            for batch in collector.drain():
+                emissions.append((task_id, batch))
 
         for task_id, task_index, component in spec.tasks:
             bolt = spec.factories[component]()
@@ -292,11 +297,14 @@ def _shard_worker(spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
             request = inbox.get()
             kind = request[0]
             if kind == _MSG:
-                _, task_id, message = request
-                accounting.record(
-                    message.source_component, components[task_id], task_id
+                _, task_id, messages = request
+                accounting.record_batch(
+                    messages[0].source_component,
+                    components[task_id],
+                    task_id,
+                    len(messages),
                 )
-                bolts[task_id].execute(message)
+                bolts[task_id].execute_batch(messages)
                 drain(task_id)
             elif kind == _TICK:
                 spec.context.current_time = request[1]
@@ -428,8 +436,12 @@ class ShardedProcessExecutor(Executor):
     def owns(self, task_id: int) -> bool:
         return task_id in self._owner
 
-    def deliver_remote(self, task: "TaskInfo", message: TupleMessage) -> None:
-        self._send(self._owner[task.task_id], (_MSG, task.task_id, message))
+    def deliver_remote(
+        self, task: "TaskInfo", messages: Sequence[TupleMessage]
+    ) -> None:
+        # One queue item per link batch: the IPC unit is the same slot-tuple
+        # batch the inline engine would hand to execute_batch.
+        self._send(self._owner[task.task_id], (_MSG, task.task_id, messages))
 
     def tick_remote(self, simulation_time: float) -> None:
         for shard in range(self.effective_workers):
@@ -444,10 +456,10 @@ class ShardedProcessExecutor(Executor):
             inbox.put((_COLLECT,))
         released = 0
         for shard in range(self.effective_workers):
-            for task_id, emission in self._receive(shard, "emissions"):
+            for task_id, batch in self._receive(shard, "emissions"):
                 producer = self._cluster.task(task_id).component
-                self._cluster._route(producer, emission)
-                released += 1
+                self._cluster._route_batch(producer, batch)
+                released += len(batch.messages)
         return released
 
     # ------------------------------------------------------------------ #

@@ -5,6 +5,14 @@ component over the multiple task instances of a consuming bolt
 (Section 6.1 of the paper).  The simulator implements the ones the paper's
 topology uses — shuffle, fields, all, direct — plus local grouping, which in
 a single-process simulation behaves like shuffle.
+
+With the slot-tuple wire format the cluster routes :class:`EmissionBatch`
+lists, calling :meth:`Grouping.select_batch` **once per batch** per
+subscriber; fields grouping compiles the field names to slot indices per
+:class:`~repro.streamsim.tuples.StreamSchema` the first time it sees a
+stream, so steady-state routing does no name lookups.  Every grouping
+selects exactly the same tasks as the old dict-backed format (pinned by
+``tests/streamsim/test_groupings.py`` against recorded fixtures).
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ import random
 import zlib
 from typing import Sequence
 
-from .tuples import TupleMessage
+from .tuples import StreamSchema, TupleMessage
 
 
 def stable_hash(value: object) -> int:
@@ -32,6 +40,19 @@ class Grouping(abc.ABC):
     @abc.abstractmethod
     def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
         """Task indices (0-based, within the consumer) receiving ``message``."""
+
+    def select_batch(
+        self, messages: Sequence[TupleMessage], n_tasks: int
+    ) -> list[Sequence[int]]:
+        """Per-message task indices for one emission batch.
+
+        The cluster calls this once per routed batch.  The default defers
+        to :meth:`select` per message; stateful groupings must consume
+        exactly one :meth:`select` step per message so batched and
+        per-message routing pick identical tasks.
+        """
+        select = self.select
+        return [select(message, n_tasks) for message in messages]
 
 
 class ShuffleGrouping(Grouping):
@@ -53,23 +74,81 @@ class ShuffleGrouping(Grouping):
         self._counter += 1
         return [index]
 
+    def select_batch(
+        self, messages: Sequence[TupleMessage], n_tasks: int
+    ) -> list[Sequence[int]]:
+        if n_tasks <= 0:
+            return [[] for _ in messages]
+        counter = self._counter
+        selections = [[(counter + offset) % n_tasks] for offset in range(len(messages))]
+        self._counter = counter + len(messages)
+        return selections
+
 
 class FieldsGrouping(Grouping):
     """Route by the hash of one or more tuple fields.
 
     Tuples with equal values in the grouping fields always reach the same
     task — the property the Partitioner relies on to see consistent tagsets.
+    Field names are compiled to slot indices per stream schema on first
+    contact; a field the schema does not carry hashes as ``None``, exactly
+    like the old dict format's ``message.get``.
     """
+
+    #: Bound on the routing memo (distinct values per grouping); the memo is
+    #: cleared, not evicted, beyond this — selection stays correct either way.
+    _MEMO_LIMIT = 100_000
 
     def __init__(self, fields: Sequence[str]) -> None:
         if not fields:
             raise ValueError("fields grouping needs at least one field")
         self._fields = tuple(fields)
+        #: Per-schema compiled slots (``None`` = field absent from layout).
+        self._slots: dict[StreamSchema, tuple[int | None, ...]] = {}
+        #: Memoised selections of single-field groupings over value types
+        #: whose equality implies equal reprs (str, frozenset): trending
+        #: tagsets recur thousands of times, and one dict probe replaces the
+        #: sorted-repr + CRC walk.  Keyed by (n_tasks, raw value).
+        self._memo: dict[tuple[int, object], int] = {}
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """The grouping fields (topology validation reads these)."""
+        return self._fields
+
+    def _slots_for(self, schema: StreamSchema) -> tuple[int | None, ...]:
+        slots = self._slots.get(schema)
+        if slots is None:
+            index = schema.index
+            slots = tuple(index.get(field) for field in self._fields)
+            self._slots[schema] = slots
+        return slots
 
     def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
         if n_tasks <= 0:
             return []
-        key = tuple(self._hashable(message.get(field)) for field in self._fields)
+        values = message.values
+        slots = self._slots_for(message.schema)
+        if len(slots) == 1:
+            slot = slots[0]
+            raw = values[slot] if slot is not None else None
+            # Memoisation is restricted to types where equal values have
+            # equal reprs, so the cached index is exactly what the hash
+            # walk would recompute.
+            if type(raw) is frozenset or type(raw) is str:
+                memo_key = (n_tasks, raw)
+                index = self._memo.get(memo_key)
+                if index is None:
+                    index = stable_hash((self._hashable(raw),)) % n_tasks
+                    if len(self._memo) >= self._MEMO_LIMIT:
+                        self._memo.clear()
+                    self._memo[memo_key] = index
+                return [index]
+            return [stable_hash((self._hashable(raw),)) % n_tasks]
+        hashable = self._hashable
+        key = tuple(
+            hashable(values[slot]) if slot is not None else None for slot in slots
+        )
         return [stable_hash(key) % n_tasks]
 
     @staticmethod
@@ -84,6 +163,12 @@ class AllGrouping(Grouping):
 
     def select(self, message: TupleMessage, n_tasks: int) -> Sequence[int]:
         return list(range(n_tasks))
+
+    def select_batch(
+        self, messages: Sequence[TupleMessage], n_tasks: int
+    ) -> list[Sequence[int]]:
+        everyone = list(range(n_tasks))
+        return [everyone] * len(messages)
 
 
 class DirectGrouping(Grouping):

@@ -1,10 +1,18 @@
-"""Topology definition: components, parallelism and stream subscriptions.
+"""Topology definition: components, parallelism, streams and subscriptions.
 
 A topology is a directed graph of named components.  Every component is
 registered with a *factory* (so that each parallel task gets its own
 instance and therefore its own state, as in Storm) and a parallelism degree.
 Consumers subscribe to ``(producer, stream)`` pairs with a grouping that
 decides which task receives each tuple.
+
+Streams are declared with their field layout at topology-build time:
+:meth:`TopologyBuilder.stream` registers the interned
+:class:`~repro.streamsim.tuples.StreamSchema` of a stream name, and
+:meth:`Topology.validate` then checks that fields groupings only reference
+declared fields — slot-layout typos fail at build time instead of hashing
+``None`` silently at run time.  Subscriptions to undeclared streams remain
+legal (ad-hoc test topologies route purely by name).
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from .groupings import (
     LocalGrouping,
     ShuffleGrouping,
 )
-from .tuples import DEFAULT_STREAM
+from .tuples import DEFAULT_STREAM, StreamSchema
 
 ComponentFactory = Callable[[], Component]
 
@@ -52,6 +60,8 @@ class Topology:
 
     components: dict[str, ComponentSpec] = field(default_factory=dict)
     subscriptions: list[Subscription] = field(default_factory=list)
+    #: Declared stream layouts, keyed by stream name.
+    streams: dict[str, StreamSchema] = field(default_factory=dict)
 
     def spouts(self) -> list[ComponentSpec]:
         return [spec for spec in self.components.values() if spec.is_spout]
@@ -81,6 +91,15 @@ class Topology:
                 raise ValueError(
                     f"spout {subscription.consumer!r} cannot subscribe to a stream"
                 )
+            schema = self.streams.get(str(subscription.stream))
+            if schema is not None and isinstance(subscription.grouping, FieldsGrouping):
+                unknown = set(subscription.grouping.fields) - set(schema.fields)
+                if unknown:
+                    raise ValueError(
+                        f"fields grouping of {subscription.consumer!r} on stream "
+                        f"{schema.name!r} references undeclared fields "
+                        f"{sorted(unknown)}; layout is {schema.fields}"
+                    )
         if not self.spouts():
             raise ValueError("a topology needs at least one spout")
 
@@ -120,6 +139,31 @@ class TopologyBuilder:
 
     def __init__(self) -> None:
         self._topology = Topology()
+
+    def stream(
+        self, name: str | StreamSchema, fields: tuple[str, ...] | None = None
+    ) -> StreamSchema:
+        """Declare a stream's field layout; returns the interned schema.
+
+        Accepts either ``stream(name, fields=(...))`` or an already-interned
+        :class:`StreamSchema` (``stream(TAGSETS)``).  Re-declaring a name
+        with a different layout is a build error — one topology, one layout
+        per stream.
+        """
+        if isinstance(name, StreamSchema) and fields is None:
+            schema = name
+        else:
+            if fields is None:
+                raise ValueError(f"stream {name!r} needs a field layout")
+            schema = StreamSchema(str(name), tuple(fields))
+        existing = self._topology.streams.get(schema.name)
+        if existing is not None and existing is not schema:
+            raise ValueError(
+                f"stream {schema.name!r} declared twice with different "
+                f"layouts: {existing.fields} vs {schema.fields}"
+            )
+        self._topology.streams[schema.name] = schema
+        return schema
 
     def set_spout(
         self, name: str, factory: ComponentFactory, parallelism: int = 1

@@ -257,6 +257,25 @@ class TestReportingEngineEquivalence:
             union = union_size_inclusion_exclusion(tagset, counts)
             assert jaccard == support / union
 
+    def test_scratch_engine_reuses_observe_path_cache(self):
+        """Counted keys of ≥ 4 tags resident in the shared SubsetTupleCache
+        (the observed types) fold their cached lattice instead of
+        re-enumerating ``itertools.combinations`` — and the report never
+        churns the LRU."""
+        counter = SubsetCounter()
+        counter.observe(["a", "b", "c", "d"])
+        counter.observe(["b", "c", "d", "e"])
+        stats = counter.cache.stats()
+        before_hits, before_misses = stats["hits"], stats["misses"]
+        counter.report_triples(engine="scratch")
+        stats = counter.cache.stats()
+        # Both observed types were found resident...
+        assert stats["hits"] >= before_hits + 2
+        # ...and non-resident subset keys did NOT populate (or evict) the
+        # cache: the report path only peeks.
+        assert stats["misses"] == before_misses
+        assert stats["size"] == 2
+
     @pytest.mark.parametrize("min_size", [1, 2, 3])
     def test_randomized_streams(self, min_size):
         rng = random.Random(min_size)

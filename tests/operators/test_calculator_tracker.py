@@ -6,7 +6,9 @@ from repro.core.jaccard import JaccardResult
 from repro.operators.calculator import CalculatorBolt
 from repro.operators.streams import COEFFICIENTS, NOTIFICATIONS
 from repro.operators.tracker import TrackerBolt
-from repro.streamsim.tuples import OutputCollector, TupleMessage
+from repro.streamsim.tuples import OutputCollector, stream_schema
+
+OTHER = stream_schema("other", ("batch", "results"))
 
 
 def make_calculator(report_interval=10.0):
@@ -17,8 +19,9 @@ def make_calculator(report_interval=10.0):
 
 
 def notification(tags, timestamp=0.0):
-    return TupleMessage(
-        values={"tags": frozenset(tags), "timestamp": timestamp}, stream=NOTIFICATIONS
+    """A single-tagset notification message (a one-entry batch)."""
+    return NOTIFICATIONS.message(
+        batch=[(frozenset(tags), None)], timestamp=timestamp
     )
 
 
@@ -34,20 +37,46 @@ class TestCalculatorBolt:
         assert bolt.notifications_received == 2
         assert bolt.calculator.coefficient(["a", "b"]) == 1.0
 
+    def test_execute_batch_unpacks_link_batches(self):
+        bolt, _ = make_calculator()
+        bolt.execute_batch(
+            [notification(["a", "b"]), notification(["a", "c"])]
+        )
+        assert bolt.notifications_received == 2
+        assert bolt.batches_received == 2
+
+    def test_multi_entry_batches_unpacked(self):
+        bolt, _ = make_calculator()
+        bolt.execute(
+            NOTIFICATIONS.message(
+                batch=[
+                    (frozenset({"a", "b"}), 1),
+                    (frozenset({"a", "b"}), 2),
+                    (frozenset({"c"}), 3),
+                ],
+                timestamp=0.0,
+            )
+        )
+        assert bolt.notifications_received == 3
+        assert bolt.batches_received == 1
+        assert bolt.calculator.coefficient(["a", "b"]) == 1.0
+
     def test_other_streams_ignored(self):
         bolt, _ = make_calculator()
-        bolt.execute(TupleMessage(values={"tags": ["a"]}, stream="other"))
+        bolt.execute(OTHER.message(batch=[(frozenset({"a"}), None)]))
+        bolt.execute_batch([OTHER.message(batch=[(frozenset({"a"}), None)])])
         assert bolt.notifications_received == 0
 
     def test_tick_emits_batched_report_and_resets(self):
         bolt, collector = make_calculator(report_interval=10.0)
         bolt.execute(notification(["a", "b"], timestamp=1.0))
         bolt.tick(5.0)
-        assert collector.drain() == []  # interval not reached
+        assert list(collector.drain()) == []  # interval not reached
         bolt.tick(11.0)
-        (emission,) = collector.drain()
-        assert emission.message.stream == COEFFICIENTS
-        results = emission.message["results"]
+        (batch,) = collector.drain()
+        (message,) = batch.messages
+        assert message.stream == COEFFICIENTS
+        results = message["results"]
         assert (frozenset({"a", "b"}), 1.0, 1) in results
         # counters were reset
         assert bolt.calculator.observations == 0
@@ -55,7 +84,7 @@ class TestCalculatorBolt:
     def test_no_report_when_nothing_observed(self):
         bolt, collector = make_calculator(report_interval=1.0)
         bolt.tick(100.0)
-        assert collector.drain() == []
+        assert list(collector.drain()) == []
 
     def test_drain_results_returns_remaining(self):
         bolt, _ = make_calculator()
@@ -79,15 +108,12 @@ class TestTrackerBolt:
     def test_execute_unpacks_batches(self):
         tracker = TrackerBolt()
         tracker.execute(
-            TupleMessage(
-                values={
-                    "results": [
-                        (frozenset({"a", "b"}), 0.5, 3),
-                        (frozenset({"c", "d"}), 0.25, 1),
-                    ],
-                    "timestamp": 0.0,
-                },
-                stream=COEFFICIENTS,
+            COEFFICIENTS.message(
+                results=[
+                    (frozenset({"a", "b"}), 0.5, 3),
+                    (frozenset({"c", "d"}), 0.25, 1),
+                ],
+                timestamp=0.0,
             )
         )
         assert len(tracker) == 2
@@ -101,5 +127,59 @@ class TestTrackerBolt:
 
     def test_other_streams_ignored(self):
         tracker = TrackerBolt()
-        tracker.execute(TupleMessage(values={"results": []}, stream="other"))
+        tracker.execute(OTHER.message(results=[]))
         assert tracker.reports_received == 0
+
+
+class TestCoefficientView:
+    """The lazy mapping view over the Tracker's dedup table."""
+
+    def _tracker(self):
+        tracker = TrackerBolt()
+        tracker.ingest(
+            [
+                (frozenset({"a", "b"}), 0.5, 3),
+                (frozenset({"c", "d"}), 0.25, 1),
+                (frozenset({"e", "f"}), 0.75, 6),
+            ]
+        )
+        return tracker
+
+    def test_view_probes_without_copying(self):
+        tracker = self._tracker()
+        view = tracker.coefficient_view()
+        assert view[frozenset({"a", "b"})] == 0.5
+        assert frozenset({"c", "d"}) in view
+        assert frozenset({"x"}) not in view
+        assert len(view) == 3
+        assert dict(view) == tracker.coefficients()
+
+    def test_view_reflects_later_ingests(self):
+        tracker = self._tracker()
+        view = tracker.coefficient_view()
+        tracker.ingest([(frozenset({"a", "b"}), 0.9, 10)])
+        assert view[frozenset({"a", "b"})] == 0.9  # live, not a snapshot
+
+    def test_min_support_filters_transparently(self):
+        tracker = self._tracker()
+        view = tracker.coefficient_view(min_support=3)
+        assert frozenset({"c", "d"}) not in view
+        with pytest.raises(KeyError):
+            view[frozenset({"c", "d"})]
+        assert len(view) == 2
+        assert set(view) == {frozenset({"a", "b"}), frozenset({"e", "f"})}
+
+    def test_filtered_length_recomputed_after_ingest(self):
+        tracker = self._tracker()
+        view = tracker.coefficient_view(min_support=3)
+        assert len(view) == 2
+        tracker.ingest([(frozenset({"g", "h"}), 0.1, 9)])
+        assert len(view) == 3
+
+    def test_iter_coefficients_streams_pairs(self):
+        tracker = self._tracker()
+        pairs = dict(tracker.iter_coefficients(min_support=2))
+        assert pairs == {
+            frozenset({"a", "b"}): 0.5,
+            frozenset({"e", "f"}): 0.75,
+        }

@@ -4,14 +4,13 @@ import pytest
 
 from repro.operators.centralized import CentralizedCalculatorBolt
 from repro.operators.streams import TAGSETS
-from repro.streamsim.tuples import TupleMessage
+from repro.streamsim.tuples import stream_schema
+
+OTHER = stream_schema("x", ("doc_id", "timestamp", "tagset"))
 
 
 def tagset_message(tags, doc_id):
-    return TupleMessage(
-        values={"tagset": frozenset(tags), "doc_id": doc_id, "timestamp": 0.0},
-        stream=TAGSETS,
-    )
+    return TAGSETS.message(tagset=frozenset(tags), doc_id=doc_id, timestamp=0.0)
 
 
 class TestCentralizedCalculator:
@@ -65,5 +64,5 @@ class TestCentralizedCalculator:
 
     def test_other_streams_ignored(self):
         baseline = CentralizedCalculatorBolt()
-        baseline.execute(TupleMessage(values={"tagset": frozenset({"a"})}, stream="x"))
+        baseline.execute(OTHER.message(tagset=frozenset({"a"})))
         assert baseline.documents_seen == 0

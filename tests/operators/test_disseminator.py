@@ -16,7 +16,7 @@ from repro.operators.streams import (
     SINGLE_ADDITIONS,
     TAGSETS,
 )
-from repro.streamsim.tuples import OutputCollector, TupleMessage
+from repro.streamsim.tuples import OutputCollector
 
 
 def make_disseminator(k=2, calculator_tasks=(100, 101), **kwargs):
@@ -34,23 +34,37 @@ def make_disseminator(k=2, calculator_tasks=(100, 101), **kwargs):
     return bolt, collector
 
 
+def drain_flat(collector):
+    """Flatten drained emission batches to (message, direct_target) pairs."""
+    flat = []
+    for batch in collector.drain():
+        targets = batch.targets or [None] * len(batch.messages)
+        flat.extend(zip(batch.messages, targets))
+    return flat
+
+
+def on_stream(pairs, schema):
+    return [(message, target) for message, target in pairs if message.schema is schema]
+
+
+def notification_tags(message):
+    """The routed sub-tagset of a single-entry notification message."""
+    (entry,) = message["batch"]
+    return entry[0]
+
+
 def tagset_message(tags, timestamp=0.0):
-    return TupleMessage(
-        values={"tagset": frozenset(tags), "timestamp": timestamp}, stream=TAGSETS
-    )
+    return TAGSETS.message(tagset=frozenset(tags), timestamp=timestamp)
 
 
 def partitions_message(tag_sets, avg_com=1.0, max_load=0.5, epoch=1):
-    return TupleMessage(
-        values={
-            "epoch": epoch,
-            "tag_sets": [frozenset(t) for t in tag_sets],
-            "loads": [1] * len(tag_sets),
-            "avg_com": avg_com,
-            "max_load": max_load,
-            "timestamp": 0.0,
-        },
-        stream=PARTITIONS,
+    return PARTITIONS.message(
+        epoch=epoch,
+        tag_sets=[frozenset(t) for t in tag_sets],
+        loads=[1] * len(tag_sets),
+        avg_com=avg_com,
+        max_load=max_load,
+        timestamp=0.0,
     )
 
 
@@ -72,10 +86,9 @@ class TestBootstrap:
         bolt, collector = make_disseminator(bootstrap_documents=3)
         for i in range(3):
             bolt.execute(tagset_message(["a"], timestamp=float(i)))
-        emissions = collector.drain()
-        requests = [e for e in emissions if e.message.stream == REPARTITION_REQUESTS]
+        requests = on_stream(drain_flat(collector), REPARTITION_REQUESTS)
         assert len(requests) == 1
-        assert requests[0].message["reason"] == REASON_BOOTSTRAP
+        assert requests[0][0]["reason"] == REASON_BOOTSTRAP
         # Bootstrap does not count as a repartition in the metrics.
         assert bolt.metrics.repartitions == []
 
@@ -83,9 +96,7 @@ class TestBootstrap:
         bolt, collector = make_disseminator(bootstrap_documents=2)
         for i in range(6):
             bolt.execute(tagset_message(["a"]))
-        requests = [
-            e for e in collector.drain() if e.message.stream == REPARTITION_REQUESTS
-        ]
+        requests = on_stream(drain_flat(collector), REPARTITION_REQUESTS)
         assert len(requests) == 1
 
     def test_unrouted_documents_counted(self):
@@ -99,11 +110,11 @@ class TestRouting:
         bolt, collector = make_disseminator()
         install(bolt, collector, [{"a", "b"}, {"b", "c"}])
         bolt.execute(tagset_message(["a", "b", "c"]))
-        notifications = [
-            e for e in collector.drain() if e.message.stream == NOTIFICATIONS
-        ]
+        notifications = on_stream(drain_flat(collector), NOTIFICATIONS)
         assert len(notifications) == 2
-        targets = {e.direct_task: e.message["tags"] for e in notifications}
+        targets = {
+            target: notification_tags(message) for message, target in notifications
+        }
         assert targets[100] == frozenset({"a", "b"})
         assert targets[101] == frozenset({"b", "c"})
         assert bolt.metrics.communication.average == pytest.approx(2.0)
@@ -113,7 +124,7 @@ class TestRouting:
         bolt, collector = make_disseminator()
         install(bolt, collector, [{"a"}, {"b"}])
         bolt.execute(tagset_message(["zzz"]))
-        assert [e for e in collector.drain() if e.message.stream == NOTIFICATIONS] == []
+        assert on_stream(drain_flat(collector), NOTIFICATIONS) == []
         assert bolt.metrics.unrouted_tagsets == 1
 
     def test_stale_partition_epoch_ignored(self):
@@ -130,11 +141,9 @@ class TestSingleAdditionFlow:
         install(bolt, collector, [{"a"}, {"b"}])
         for _ in range(3):
             bolt.execute(tagset_message(["a", "b"]))
-        missing = [
-            e for e in collector.drain() if e.message.stream == MISSING_TAGSETS
-        ]
+        missing = on_stream(drain_flat(collector), MISSING_TAGSETS)
         assert len(missing) == 1
-        assert missing[0].message["tagset"] == frozenset({"a", "b"})
+        assert missing[0][0]["tagset"] == frozenset({"a", "b"})
         assert bolt.metrics.single_addition_requests == 1
 
     def test_not_rerequested_while_pending(self):
@@ -142,29 +151,26 @@ class TestSingleAdditionFlow:
         install(bolt, collector, [{"a"}, {"b"}])
         for _ in range(6):
             bolt.execute(tagset_message(["a", "b"]))
-        missing = [
-            e for e in collector.drain() if e.message.stream == MISSING_TAGSETS
-        ]
+        missing = on_stream(drain_flat(collector), MISSING_TAGSETS)
         assert len(missing) == 1
 
     def test_single_addition_updates_index(self):
         bolt, collector = make_disseminator()
         install(bolt, collector, [{"a"}, {"b"}])
         bolt.execute(
-            TupleMessage(
-                values={"tagset": frozenset({"a", "b"}), "partition_index": 0},
-                stream=SINGLE_ADDITIONS,
+            SINGLE_ADDITIONS.message(
+                tagset=frozenset({"a", "b"}), partition_index=0, timestamp=0.0
             )
         )
         assert bolt.assignment.covers({"a", "b"})
         bolt.execute(tagset_message(["a", "b"]))
-        notifications = [
-            e for e in collector.drain() if e.message.stream == NOTIFICATIONS
-        ]
+        notifications = on_stream(drain_flat(collector), NOTIFICATIONS)
         # Calculator 100 now owns both tags and receives the full tagset, so
         # the coefficient becomes computable; calculator 101 still owns "b"
         # and keeps receiving its share of the document.
-        targets = {e.direct_task: e.message["tags"] for e in notifications}
+        targets = {
+            target: notification_tags(message) for message, target in notifications
+        }
         assert targets[100] == frozenset({"a", "b"})
         assert targets.get(101, frozenset()) <= frozenset({"b"})
 
@@ -181,8 +187,7 @@ class TestQualityMonitoring:
         )
         for i in range(5):
             bolt.execute(tagset_message(["shared"], timestamp=float(i)))
-        emissions = collector.drain()
-        requests = [e for e in emissions if e.message.stream == REPARTITION_REQUESTS]
+        requests = on_stream(drain_flat(collector), REPARTITION_REQUESTS)
         assert len(requests) == 1
         assert bolt.metrics.repartitions[0].reason == REASON_COMMUNICATION
 
@@ -194,9 +199,7 @@ class TestQualityMonitoring:
         # All documents go to partition 0 -> max load share 1.0 > 0.75.
         for i in range(5):
             bolt.execute(tagset_message(["a"], timestamp=float(i)))
-        requests = [
-            e for e in collector.drain() if e.message.stream == REPARTITION_REQUESTS
-        ]
+        requests = on_stream(drain_flat(collector), REPARTITION_REQUESTS)
         assert len(requests) == 1
         assert bolt.metrics.repartitions[0].reason == REASON_LOAD
 
@@ -207,10 +210,7 @@ class TestQualityMonitoring:
         install(bolt, collector, [{"a"}, {"b"}], avg_com=1.0, max_load=0.6)
         for tags in (["a"], ["b"], ["a"], ["b"]):
             bolt.execute(tagset_message(tags))
-        requests = [
-            e for e in collector.drain() if e.message.stream == REPARTITION_REQUESTS
-        ]
-        assert requests == []
+        assert on_stream(drain_flat(collector), REPARTITION_REQUESTS) == []
         # A snapshot is still recorded for the time series.
         assert len(bolt.metrics.history) >= 2
 

@@ -10,7 +10,7 @@ from repro.operators.streams import (
     SINGLE_ADDITIONS,
 )
 from repro.partitioning import DisjointSetsPartitioner, SCLPartitioner
-from repro.streamsim.tuples import OutputCollector, TupleMessage
+from repro.streamsim.tuples import OutputCollector
 
 
 def make_merger(algorithm, k=2, expected_partials=1):
@@ -22,24 +22,24 @@ def make_merger(algorithm, k=2, expected_partials=1):
 
 
 def partial_message(tag_sets, loads, window_counts, epoch=1, timestamp=0.0):
-    return TupleMessage(
-        values={
-            "epoch": epoch,
-            "partitioner_task": 0,
-            "tag_sets": [frozenset(t) for t in tag_sets],
-            "loads": loads,
-            "window_counts": window_counts,
-            "timestamp": timestamp,
-        },
-        stream=PARTIAL_PARTITIONS,
+    return PARTIAL_PARTITIONS.message(
+        epoch=epoch,
+        partitioner_task=0,
+        tag_sets=[frozenset(t) for t in tag_sets],
+        loads=loads,
+        window_counts=window_counts,
+        timestamp=timestamp,
     )
 
 
 def missing_message(tags, count=3):
-    return TupleMessage(
-        values={"tagset": frozenset(tags), "count": count, "timestamp": 0.0},
-        stream=MISSING_TAGSETS,
-    )
+    return MISSING_TAGSETS.message(tagset=frozenset(tags), count=count, timestamp=0.0)
+
+
+def drain_one(collector):
+    (batch,) = collector.drain()
+    (message,) = batch.messages
+    return message
 
 
 class TestDisjointSetsMerging:
@@ -51,14 +51,13 @@ class TestDisjointSetsMerging:
         merger.execute(
             partial_message([{"a", "b"}], [3], {("a", "b"): 3}, epoch=1)
         )
-        assert collector.drain() == []  # waiting for the second partial
+        assert list(collector.drain()) == []  # waiting for the second partial
         merger.execute(
             partial_message(
                 [{"b", "c"}, {"x", "y"}], [2, 4], {("b", "c"): 2, ("x", "y"): 4}, epoch=1
             )
         )
-        (emission,) = collector.drain()
-        message = emission.message
+        message = drain_one(collector)
         assert message.stream == PARTITIONS
         groups = sorted(sorted(tags) for tags in message["tag_sets"] if tags)
         assert groups == [["a", "b", "c"], ["x", "y"]]
@@ -70,15 +69,15 @@ class TestDisjointSetsMerging:
                 [{"a", "b"}, {"x", "y"}], [3, 2], {("a", "b"): 3, ("x", "y"): 2}
             )
         )
-        (emission,) = collector.drain()
-        assert emission.message["avg_com"] == pytest.approx(1.0)
-        assert 0.0 < emission.message["max_load"] <= 1.0
+        message = drain_one(collector)
+        assert message["avg_com"] == pytest.approx(1.0)
+        assert 0.0 < message["max_load"] <= 1.0
 
     def test_empty_partials_emit_empty_assignment(self):
         merger, collector = make_merger(DisjointSetsPartitioner(), k=3)
         merger.execute(partial_message([], [], {}))
-        (emission,) = collector.drain()
-        assert emission.message["tag_sets"] == [frozenset()] * 3
+        message = drain_one(collector)
+        assert message["tag_sets"] == [frozenset()] * 3
 
 
 class TestSetCoverMerging:
@@ -91,8 +90,8 @@ class TestSetCoverMerging:
                 {("a", "b"): 5, ("c", "d"): 4, ("e", "f"): 3},
             )
         )
-        (emission,) = collector.drain()
-        tag_sets = [tags for tags in emission.message["tag_sets"] if tags]
+        message = drain_one(collector)
+        tag_sets = [tags for tags in message["tag_sets"] if tags]
         assert len(tag_sets) == 2
         covered = set().union(*tag_sets)
         assert covered == {"a", "b", "c", "d", "e", "f"}
@@ -102,7 +101,7 @@ class TestSingleAdditions:
     def test_before_any_merge_is_ignored(self):
         merger, collector = make_merger(DisjointSetsPartitioner(), k=2)
         merger.execute(missing_message({"new", "pair"}))
-        assert collector.drain() == []
+        assert list(collector.drain()) == []
         assert merger.single_additions == 0
 
     def test_addition_assigns_and_notifies(self):
@@ -114,9 +113,9 @@ class TestSingleAdditions:
         )
         collector.drain()
         merger.execute(missing_message({"a", "newtag"}))
-        (emission,) = collector.drain()
-        assert emission.message.stream == SINGLE_ADDITIONS
-        assert emission.message["tagset"] == frozenset({"a", "newtag"})
+        message = drain_one(collector)
+        assert message.stream == SINGLE_ADDITIONS
+        assert message["tagset"] == frozenset({"a", "newtag"})
         assert merger.single_additions == 1
         # The merger's own assignment now covers the tagset.
         assert merger._current_assignment.covers({"a", "newtag"})
@@ -128,6 +127,6 @@ class TestSingleAdditions:
         )
         collector.drain()
         merger.execute(missing_message({"a", "b"}))
-        (emission,) = collector.drain()
-        assert emission.message.stream == SINGLE_ADDITIONS
+        message = drain_one(collector)
+        assert message.stream == SINGLE_ADDITIONS
         assert merger.single_additions == 0  # nothing new was added

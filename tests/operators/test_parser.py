@@ -1,8 +1,8 @@
 """Unit tests for the Parser bolt."""
 
 from repro.operators.parser import ParserBolt, extract_hashtags
-from repro.operators.streams import TAGSETS
-from repro.streamsim.tuples import OutputCollector, TupleMessage
+from repro.operators.streams import TAGSETS, TWEETS
+from repro.streamsim.tuples import OutputCollector
 
 
 def make_parser(**kwargs):
@@ -26,34 +26,29 @@ class TestExtractHashtags:
 class TestParserBolt:
     def test_emits_tagset_tuple(self):
         parser, collector = make_parser()
-        parser.execute(
-            TupleMessage(values={"doc_id": 1, "timestamp": 2.0, "tags": ["A", "#b"]})
-        )
-        (emission,) = collector.drain()
-        assert emission.message.stream == TAGSETS
-        assert emission.message["tagset"] == frozenset({"a", "b"})
-        assert emission.message["timestamp"] == 2.0
+        parser.execute(TWEETS.message(doc_id=1, timestamp=2.0, tags=["A", "#b"]))
+        (batch,) = collector.drain()
+        (message,) = batch.messages
+        assert message.stream == TAGSETS
+        assert message["tagset"] == frozenset({"a", "b"})
+        assert message["timestamp"] == 2.0
         assert parser.parsed == 1
 
     def test_untagged_documents_dropped(self):
         parser, collector = make_parser()
-        parser.execute(TupleMessage(values={"doc_id": 1, "tags": [], "text": "hi"}))
-        assert collector.drain() == []
+        parser.execute(TWEETS.message(doc_id=1, tags=[], text="hi"))
+        assert list(collector.drain()) == []
         assert parser.dropped_untagged == 1
 
     def test_falls_back_to_text_hashtags(self):
         parser, collector = make_parser()
-        parser.execute(
-            TupleMessage(values={"doc_id": 1, "tags": [], "text": "hello #World"})
-        )
-        (emission,) = collector.drain()
-        assert emission.message["tagset"] == frozenset({"world"})
+        parser.execute(TWEETS.message(doc_id=1, tags=[], text="hello #World"))
+        (batch,) = collector.drain()
+        assert batch.messages[0]["tagset"] == frozenset({"world"})
 
     def test_truncates_spammy_documents(self):
         parser, collector = make_parser(max_tags_per_document=3)
-        parser.execute(
-            TupleMessage(values={"doc_id": 1, "tags": [f"t{i}" for i in range(10)]})
-        )
-        (emission,) = collector.drain()
-        assert len(emission.message["tagset"]) == 3
+        parser.execute(TWEETS.message(doc_id=1, tags=[f"t{i}" for i in range(10)]))
+        (batch,) = collector.drain()
+        assert len(batch.messages[0]["tagset"]) == 3
         assert parser.truncated == 1

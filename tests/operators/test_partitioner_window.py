@@ -5,7 +5,7 @@ import pytest
 from repro.operators.partitioner import PartitionerBolt, SlidingWindow
 from repro.operators.streams import PARTIAL_PARTITIONS, REPARTITION_REQUESTS, TAGSETS
 from repro.partitioning import DisjointSetsPartitioner, SCCPartitioner
-from repro.streamsim.tuples import OutputCollector, TupleMessage
+from repro.streamsim.tuples import OutputCollector
 
 
 class TestSlidingWindow:
@@ -53,15 +53,17 @@ def make_partitioner_bolt(algorithm, k=2, window_size=100):
 
 
 def tagset_message(tags, timestamp=0.0):
-    return TupleMessage(
-        values={"tagset": frozenset(tags), "timestamp": timestamp}, stream=TAGSETS
-    )
+    return TAGSETS.message(tagset=frozenset(tags), timestamp=timestamp)
 
 
 def repartition_message(epoch=1):
-    return TupleMessage(
-        values={"epoch": epoch, "timestamp": 0.0}, stream=REPARTITION_REQUESTS
-    )
+    return REPARTITION_REQUESTS.message(epoch=epoch, timestamp=0.0)
+
+
+def drain_one(collector):
+    (batch,) = collector.drain()
+    (message,) = batch.messages
+    return message
 
 
 class TestPartitionerBolt:
@@ -71,8 +73,7 @@ class TestPartitionerBolt:
         bolt.execute(tagset_message(["b", "c"]))
         bolt.execute(tagset_message(["x", "y"]))
         bolt.execute(repartition_message())
-        (emission,) = collector.drain()
-        message = emission.message
+        message = drain_one(collector)
         assert message.stream == PARTIAL_PARTITIONS
         groups = sorted(sorted(tags) for tags in message["tag_sets"])
         assert groups == [["a", "b", "c"], ["x", "y"]]
@@ -82,16 +83,17 @@ class TestPartitionerBolt:
         for tags in (["a", "b"], ["b", "c"], ["x", "y"], ["y", "z"]):
             bolt.execute(tagset_message(tags))
         bolt.execute(repartition_message())
-        (emission,) = collector.drain()
-        assert len(emission.message["tag_sets"]) <= 2
-        assert emission.message["window_counts"]
+        message = drain_one(collector)
+        assert len(message["tag_sets"]) <= 2
+        assert message["window_counts"]
 
     def test_duplicate_epoch_served_once(self):
         bolt, collector = make_partitioner_bolt(DisjointSetsPartitioner())
         bolt.execute(tagset_message(["a"]))
         bolt.execute(repartition_message(epoch=5))
         bolt.execute(repartition_message(epoch=5))
-        assert len(collector.drain()) == 1
+        (batch,) = collector.drain()
+        assert len(batch.messages) == 1
         assert bolt.partitions_created == 1
 
     def test_window_counts_match_window(self):
@@ -99,15 +101,13 @@ class TestPartitionerBolt:
         bolt.execute(tagset_message(["a", "b"]))
         bolt.execute(tagset_message(["a", "b"]))
         bolt.execute(repartition_message())
-        (emission,) = collector.drain()
-        counts = emission.message["window_counts"]
+        counts = drain_one(collector)["window_counts"]
         assert counts[("a", "b")] == 2
 
     def test_empty_window_emits_empty_partial(self):
         bolt, collector = make_partitioner_bolt(DisjointSetsPartitioner())
         bolt.execute(repartition_message())
-        (emission,) = collector.drain()
-        assert emission.message["tag_sets"] == []
+        assert drain_one(collector)["tag_sets"] == []
 
 
 class TestApproximateWindowCounts:
@@ -137,6 +137,5 @@ class TestApproximateWindowCounts:
         bolt.execute(tagset_message(["a", "b"]))
         bolt.execute(tagset_message(["a", "b"]))
         bolt.execute(repartition_message())
-        (emission,) = collector.drain()
-        counts = emission.message["window_counts"]
+        counts = drain_one(collector)["window_counts"]
         assert counts[("a", "b")] >= 2

@@ -7,7 +7,9 @@ from repro.core.jaccard import exact_jaccard
 from repro.operators.calculator import CalculatorBolt
 from repro.operators.sketch_calculator import SketchCalculatorBolt
 from repro.operators.streams import COEFFICIENTS, NOTIFICATIONS
-from repro.streamsim.tuples import OutputCollector, TupleMessage
+from repro.streamsim.tuples import OutputCollector, stream_schema
+
+OTHER = stream_schema("other", ("batch",))
 
 
 def make_bolt(report_interval=10.0, num_perm=512):
@@ -17,20 +19,16 @@ def make_bolt(report_interval=10.0, num_perm=512):
     return bolt, collector
 
 
-def notification(tags, doc_id, timestamp=0.0):
-    return TupleMessage(
-        values={"tags": frozenset(tags), "doc_id": doc_id, "timestamp": timestamp},
-        stream=NOTIFICATIONS,
+def notification(tags, doc_id=None, timestamp=0.0):
+    return NOTIFICATIONS.message(
+        batch=[(frozenset(tags), doc_id)], timestamp=timestamp
     )
 
 
 def batch(entries, timestamp=0.0):
-    return TupleMessage(
-        values={
-            "batch": [(frozenset(tags), doc_id) for tags, doc_id in entries],
-            "timestamp": timestamp,
-        },
-        stream=NOTIFICATIONS,
+    return NOTIFICATIONS.message(
+        batch=[(frozenset(tags), doc_id) for tags, doc_id in entries],
+        timestamp=timestamp,
     )
 
 
@@ -65,12 +63,7 @@ class TestSketchCalculatorBolt:
             if len(tags) < 1:
                 continue
             bolt.execute(notification(tags, doc_id=doc_id))
-            exact.execute(
-                TupleMessage(
-                    values={"tags": frozenset(tags), "timestamp": 0.0},
-                    stream=NOTIFICATIONS,
-                )
-            )
+            exact.execute(notification(tags))
             for tag in tags:
                 tag_documents.setdefault(tag, set()).add(doc_id)
         bound = 4.0 * bolt.estimator.error_bound
@@ -87,11 +80,12 @@ class TestSketchCalculatorBolt:
         bolt, collector = make_bolt(report_interval=10.0)
         bolt.execute(notification(["a", "b"], doc_id=1, timestamp=1.0))
         bolt.tick(5.0)
-        assert collector.drain() == []
+        assert list(collector.drain()) == []
         bolt.tick(11.0)
-        (emission,) = collector.drain()
-        assert emission.message.stream == COEFFICIENTS
-        results = emission.message["results"]
+        (batch_out,) = collector.drain()
+        (message,) = batch_out.messages
+        assert message.stream == COEFFICIENTS
+        results = message["results"]
         assert (frozenset({"a", "b"}), 1.0, 1) in results
         assert bolt.observations == 0
 
@@ -105,23 +99,13 @@ class TestSketchCalculatorBolt:
 
     def test_missing_doc_id_gets_unique_synthetic_id(self):
         bolt, _ = make_bolt()
-        bolt.execute(
-            TupleMessage(
-                values={"tags": frozenset({"a", "b"}), "timestamp": 0.0},
-                stream=NOTIFICATIONS,
-            )
-        )
-        bolt.execute(
-            TupleMessage(
-                values={"tags": frozenset({"a", "b"}), "timestamp": 0.0},
-                stream=NOTIFICATIONS,
-            )
-        )
+        bolt.execute(notification({"a", "b"}))
+        bolt.execute(notification({"a", "b"}))
         # Two distinct synthetic documents, both carrying {a, b}: J = 1.
         assert bolt.estimator.support(["a", "b"]) >= 2
         assert bolt.estimator.coefficient(["a", "b"]) == 1.0
 
     def test_other_streams_ignored(self):
         bolt, _ = make_bolt()
-        bolt.execute(TupleMessage(values={"tags": ["a"]}, stream="other"))
+        bolt.execute(OTHER.message(batch=[(frozenset({"a"}), None)]))
         assert bolt.notifications_received == 0

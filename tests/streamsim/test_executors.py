@@ -15,7 +15,10 @@ from repro.streamsim.executors import (
     make_executor,
 )
 from repro.streamsim.topology import TopologyBuilder
-from repro.streamsim.tuples import TupleMessage
+from repro.streamsim.tuples import TupleMessage, stream_schema
+
+NUMBERS = stream_schema("default", ("value", "timestamp"))
+TOTALS = stream_schema("totals", ("total",))
 
 
 class NumberSpout(Spout):
@@ -29,7 +32,7 @@ class NumberSpout(Spout):
     def next_tuple(self) -> bool:
         if self._next >= self._n:
             return False
-        self.emit({"value": self._next, "timestamp": float(self._next)})
+        self.emit(NUMBERS, self._next, float(self._next))
         self._next += 1
         return True
 
@@ -53,7 +56,7 @@ class CountingSink(Bolt):
         if self._flushed or not self.values:
             return
         self._flushed = True
-        self.emit({"total": sum(self.values)}, stream="totals")
+        self.emit(TOTALS, sum(self.values))
 
 
 class TotalsBolt(Bolt):
@@ -199,12 +202,10 @@ class TestShardedProcessExecutor:
             cluster.run()
 
     def test_direct_injection_into_remote_task_rejected(self):
-        from repro.streamsim.tuples import TupleMessage
-
         executor = ShardedProcessExecutor(workers=2, remote_components=("sink",))
         cluster = Cluster(_build_topology(4), executor=executor)
         with pytest.raises(RuntimeError, match="remote layer"):
-            cluster.process(TupleMessage({"value": 1}), "sink")
+            cluster.process(NUMBERS.message(value=1), "sink")
 
     def test_post_run_routing_to_remote_layer_rejected(self):
         # After the workers are gone, anything routed to the remote layer

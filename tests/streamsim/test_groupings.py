@@ -1,4 +1,12 @@
-"""Unit tests for stream groupings."""
+"""Unit tests for stream groupings over slot tuples.
+
+``TestDictFormatFixtures`` pins the task selections against fixtures
+recorded under the dict-backed ``TupleMessage`` format (PR 3): the
+slot-tuple wire redesign must route every tuple to exactly the same tasks.
+"""
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -10,17 +18,27 @@ from repro.streamsim.groupings import (
     ShuffleGrouping,
     stable_hash,
 )
-from repro.streamsim.tuples import TupleMessage
+from repro.streamsim.tuples import stream_schema
+
+FIXTURE = json.loads(
+    (Path(__file__).parent / "fixtures" / "groupings_dict_format.json").read_text(
+        encoding="utf-8"
+    )
+)
+
+TAGSET_STREAM = stream_schema("grouping-tagsets", ("tagset",))
+KEYED_STREAM = stream_schema("grouping-keyed", ("key", "count"))
+EMPTY_STREAM = stream_schema("grouping-empty", ())
 
 
-def message(values):
-    return TupleMessage(values=values)
+def tagset_message(tags):
+    return TAGSET_STREAM.message(tagset=frozenset(tags))
 
 
 class TestShuffleGrouping:
     def test_single_target_per_tuple(self):
         grouping = ShuffleGrouping(seed=0)
-        targets = grouping.select(message({"x": 1}), 4)
+        targets = grouping.select(tagset_message(["x"]), 4)
         assert len(targets) == 1
         assert 0 <= targets[0] < 4
 
@@ -28,25 +46,37 @@ class TestShuffleGrouping:
         grouping = ShuffleGrouping(seed=0)
         counts = [0, 0, 0, 0]
         for i in range(400):
-            (index,) = grouping.select(message({"x": i}), 4)
+            (index,) = grouping.select(tagset_message([str(i)]), 4)
             counts[index] += 1
         assert counts == [100, 100, 100, 100]
 
     def test_no_tasks(self):
-        assert ShuffleGrouping().select(message({}), 0) == []
+        assert ShuffleGrouping().select(EMPTY_STREAM.message(), 0) == []
+
+    def test_select_batch_advances_like_select(self):
+        """Batched and per-message routing must pick identical tasks."""
+        messages = [tagset_message([str(i)]) for i in range(7)]
+        one_by_one = ShuffleGrouping(seed=3)
+        batched = ShuffleGrouping(seed=3)
+        expected = [list(one_by_one.select(m, 3)) for m in messages]
+        assert [list(s) for s in batched.select_batch(messages, 3)] == expected
+        # Counters stay in lockstep afterwards, too.
+        probe = tagset_message(["p"])
+        assert list(one_by_one.select(probe, 3)) == list(batched.select(probe, 3))
 
 
 class TestFieldsGrouping:
     def test_same_value_same_task(self):
         grouping = FieldsGrouping(["tagset"])
-        first = grouping.select(message({"tagset": frozenset({"a", "b"})}), 7)
-        second = grouping.select(message({"tagset": frozenset({"b", "a"})}), 7)
+        first = grouping.select(tagset_message({"a", "b"}), 7)
+        second = grouping.select(tagset_message({"b", "a"}), 7)
         assert first == second
 
     def test_different_values_may_differ(self):
         grouping = FieldsGrouping(["key"])
         targets = {
-            grouping.select(message({"key": f"value{i}"}), 5)[0] for i in range(50)
+            grouping.select(KEYED_STREAM.message(key=f"value{i}"), 5)[0]
+            for i in range(50)
         }
         assert len(targets) > 1
 
@@ -55,10 +85,24 @@ class TestFieldsGrouping:
             FieldsGrouping([])
 
     def test_multiple_fields(self):
-        grouping = FieldsGrouping(["a", "b"])
-        first = grouping.select(message({"a": 1, "b": 2}), 3)
-        second = grouping.select(message({"a": 1, "b": 2}), 3)
+        grouping = FieldsGrouping(["key", "count"])
+        first = grouping.select(KEYED_STREAM.message(key="k", count=2), 3)
+        second = grouping.select(KEYED_STREAM.message(key="k", count=2), 3)
         assert first == second
+
+    def test_missing_field_hashes_as_none(self):
+        """A field absent from the schema selects like the dict format's
+        ``message.get`` returning None."""
+        grouping = FieldsGrouping(["absent"])
+        selected = grouping.select(tagset_message({"a"}), 5)
+        assert selected == [stable_hash((None,)) % 5]
+
+    def test_memoised_selection_is_stable(self):
+        grouping = FieldsGrouping(["tagset"])
+        tagset = frozenset({"memo", "hit"})
+        first = grouping.select(tagset_message(tagset), 6)
+        for _ in range(3):
+            assert grouping.select(tagset_message(tagset), 6) == first
 
     def test_stable_hash_is_process_independent(self):
         # The value is a fixed constant so that a regression (e.g. going back
@@ -70,18 +114,87 @@ class TestFieldsGrouping:
 class TestAllGrouping:
     def test_broadcasts_to_every_task(self):
         grouping = AllGrouping()
-        assert list(grouping.select(message({}), 5)) == [0, 1, 2, 3, 4]
+        assert list(grouping.select(EMPTY_STREAM.message(), 5)) == [0, 1, 2, 3, 4]
+
+    def test_select_batch_broadcasts_each_message(self):
+        grouping = AllGrouping()
+        messages = [tagset_message([str(i)]) for i in range(3)]
+        assert [list(s) for s in grouping.select_batch(messages, 2)] == [
+            [0, 1],
+            [0, 1],
+            [0, 1],
+        ]
 
 
 class TestDirectGrouping:
     def test_non_direct_emission_rejected(self):
         grouping = DirectGrouping()
         with pytest.raises(RuntimeError):
-            grouping.select(message({}), 3)
+            grouping.select(EMPTY_STREAM.message(), 3)
 
 
 class TestLocalGrouping:
     def test_behaves_like_shuffle(self):
         grouping = LocalGrouping(seed=1)
-        (index,) = grouping.select(message({}), 3)
+        (index,) = grouping.select(EMPTY_STREAM.message(), 3)
         assert 0 <= index < 3
+
+
+class TestDictFormatFixtures:
+    """Slot-tuple groupings select the same tasks the dict format recorded."""
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in FIXTURE["cases"] if c["grouping"] == "fields" and "tagsets" in c],
+        ids=lambda c: f"fields-tagset-{c['n_tasks']}tasks",
+    )
+    def test_fields_grouping_on_tagsets(self, case):
+        grouping = FieldsGrouping(case["fields"])
+        selected = [
+            list(grouping.select(tagset_message(frozenset(tags)), case["n_tasks"]))
+            for tags in case["tagsets"]
+        ]
+        assert selected == case["selected"]
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in FIXTURE["cases"] if c["grouping"] == "fields" and "pairs" in c],
+        ids=lambda c: f"fields-multi-{c['n_tasks']}tasks",
+    )
+    def test_fields_grouping_on_multiple_fields(self, case):
+        grouping = FieldsGrouping(case["fields"])
+        selected = [
+            list(
+                grouping.select(
+                    KEYED_STREAM.message(key=key, count=count), case["n_tasks"]
+                )
+            )
+            for key, count in case["pairs"]
+        ]
+        assert selected == case["selected"]
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in FIXTURE["cases"] if c["grouping"] == "shuffle"],
+        ids=lambda c: f"shuffle-seed{c['seed']}",
+    )
+    def test_shuffle_grouping_sequence(self, case):
+        grouping = ShuffleGrouping(seed=case["seed"])
+        selected = [
+            list(grouping.select(tagset_message([str(i)]), case["n_tasks"]))
+            for i in range(case["n_messages"])
+        ]
+        assert selected == case["selected"]
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in FIXTURE["cases"] if c["grouping"] == "shuffle"],
+        ids=lambda c: f"shuffle-batch-seed{c['seed']}",
+    )
+    def test_shuffle_select_batch_matches_fixture(self, case):
+        grouping = ShuffleGrouping(seed=case["seed"])
+        messages = [tagset_message([str(i)]) for i in range(case["n_messages"])]
+        selected = [
+            list(s) for s in grouping.select_batch(messages, case["n_tasks"])
+        ]
+        assert selected == case["selected"]

@@ -5,7 +5,10 @@ import pytest
 from repro.streamsim.cluster import Cluster, run_topology
 from repro.streamsim.components import Bolt, Spout
 from repro.streamsim.topology import TopologyBuilder
-from repro.streamsim.tuples import TupleMessage
+from repro.streamsim.tuples import TupleMessage, stream_schema
+
+NUMBERS = stream_schema("default", ("value", "timestamp"))
+ROUTED = stream_schema("routed", ("value",))
 
 
 class NumberSpout(Spout):
@@ -19,7 +22,7 @@ class NumberSpout(Spout):
     def next_tuple(self) -> bool:
         if self._next >= self._n:
             return False
-        self.emit({"value": self._next, "timestamp": float(self._next)})
+        self.emit(NUMBERS, self._next, float(self._next))
         self._next += 1
         return True
 
@@ -34,9 +37,10 @@ class CollectingBolt(Bolt):
         self._forward = forward
 
     def execute(self, message: TupleMessage) -> None:
-        self.values.append(message["value"])
+        value, timestamp = message.values
+        self.values.append(value)
         if self._forward:
-            self.emit({"value": message["value"] * 2, "timestamp": message.get("timestamp")})
+            self.emit(NUMBERS, value * 2, timestamp)
 
     def tick(self, simulation_time: float) -> None:
         self.ticks.append(simulation_time)
@@ -49,8 +53,20 @@ class DirectBolt(Bolt):
         self._targets = self.context.task_ids("sink")
 
     def execute(self, message: TupleMessage) -> None:
-        target = self._targets[message["value"] % len(self._targets)]
-        self.emit_direct(target, {"value": message["value"]}, stream="routed")
+        value = message["value"]
+        target = self._targets[value % len(self._targets)]
+        self.emit_direct(target, ROUTED, value)
+
+
+class RoutedSink(Bolt):
+    """Collects values from the direct-grouped ``routed`` stream."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: list[int] = []
+
+    def execute(self, message: TupleMessage) -> None:
+        self.values.append(message["value"])
 
 
 class TestTopologyBuilder:
@@ -85,10 +101,34 @@ class TestTopologyBuilder:
         with pytest.raises(ValueError):
             builder.build()
 
+    def test_stream_declaration_interned_and_recorded(self):
+        builder = TopologyBuilder()
+        schema = builder.stream("default", ("value", "timestamp"))
+        assert schema is NUMBERS
+        assert builder.stream(NUMBERS) is NUMBERS  # idempotent re-declaration
+        builder.set_spout("s", lambda: NumberSpout(1))
+        topology = builder.build()
+        assert topology.streams["default"] is NUMBERS
+
+    def test_conflicting_stream_layout_rejected(self):
+        builder = TopologyBuilder()
+        builder.stream("default", ("value", "timestamp"))
+        with pytest.raises(ValueError, match="declared twice"):
+            builder.stream("default", ("other",))
+
+    def test_fields_grouping_validated_against_declared_layout(self):
+        builder = TopologyBuilder()
+        builder.stream(NUMBERS)
+        builder.set_spout("s", lambda: NumberSpout(1))
+        builder.set_bolt("b", CollectingBolt).fields_grouping("s", ["no_such_field"])
+        with pytest.raises(ValueError, match="undeclared fields"):
+            builder.build()
+
 
 class TestClusterExecution:
     def build_simple(self, n=10, bolt_parallelism=1):
         builder = TopologyBuilder()
+        builder.stream(NUMBERS)
         builder.set_spout("numbers", lambda: NumberSpout(n))
         builder.set_bolt(
             "collector", CollectingBolt, parallelism=bolt_parallelism
@@ -140,7 +180,7 @@ class TestClusterExecution:
         builder = TopologyBuilder()
         builder.set_spout("numbers", lambda: NumberSpout(10))
         builder.set_bolt("router", DirectBolt).shuffle_grouping("numbers")
-        builder.set_bolt("sink", CollectingBolt, parallelism=2).direct_grouping(
+        builder.set_bolt("sink", RoutedSink, parallelism=2).direct_grouping(
             "router", "routed"
         )
         cluster = run_topology(builder.build())
@@ -152,7 +192,7 @@ class TestClusterExecution:
         class BadBolt(Bolt):
             def execute(self, message: TupleMessage) -> None:
                 # Task 0 is the spout itself -> no subscription exists.
-                self.emit_direct(0, {"value": 1}, stream="bogus")
+                self.emit_direct(0, ROUTED, 1)
 
         builder = TopologyBuilder()
         builder.set_spout("numbers", lambda: NumberSpout(1))
@@ -172,7 +212,7 @@ class TestClusterExecution:
 
     def test_process_injects_tuple_directly(self):
         cluster = Cluster(self.build_simple(0))
-        cluster.process(TupleMessage(values={"value": 42}), "collector")
+        cluster.process(NUMBERS.message(value=42), "collector")
         (bolt,) = cluster.instances_of("collector")
         assert bolt.values == [42]
 
@@ -189,21 +229,73 @@ class TestClusterExecution:
             cluster.tasks_of("nope")
 
 
+class BatchCountingBolt(Bolt):
+    """Records how deliveries arrive: one execute_batch call per link batch."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.batch_sizes: list[int] = []
+        self.values: list[int] = []
+
+    def execute(self, message: TupleMessage) -> None:
+        self.values.append(message["value"])
+
+    def execute_batch(self, messages) -> None:
+        self.batch_sizes.append(len(messages))
+        super().execute_batch(messages)
+
+
+class FanOutBolt(Bolt):
+    """Re-emits each received value three times on the same stream."""
+
+    def execute(self, message: TupleMessage) -> None:
+        value, timestamp = message.values
+        for offset in range(3):
+            self.emit(NUMBERS, value * 10 + offset, timestamp)
+
+
+class TestLinkBatching:
+    def _run(self, link_batch_size=0):
+        builder = TopologyBuilder()
+        builder.set_spout("numbers", lambda: NumberSpout(4))
+        builder.set_bolt("fan", FanOutBolt).shuffle_grouping("numbers")
+        builder.set_bolt("sink", BatchCountingBolt).shuffle_grouping("fan")
+        return run_topology(builder.build(), link_batch_size=link_batch_size)
+
+    def test_fan_out_delivers_as_one_batch(self):
+        cluster = self._run()
+        (sink,) = cluster.instances_of("sink")
+        assert sink.batch_sizes == [3, 3, 3, 3]
+        assert len(sink.values) == 12
+        assert cluster.accounting.link("fan", "sink") == 12
+
+    def test_link_batch_size_one_restores_per_message_delivery(self):
+        batched = self._run()
+        unbatched = self._run(link_batch_size=1)
+        (sink,) = unbatched.instances_of("sink")
+        assert sink.batch_sizes == [1] * 12
+        # Identical delivered values and accounting either way.
+        assert sink.values == batched.instances_of("sink")[0].values
+        assert unbatched.accounting.per_link == batched.accounting.per_link
+        assert unbatched.accounting.per_task == batched.accounting.per_task
+
+
 class BufferingBolt(Bolt):
     """Buffers every value and only releases the buffer on flush()."""
 
     def __init__(self) -> None:
         super().__init__()
-        self._buffer: list[int] = []
+        self._buffer: list[tuple[int, float]] = []
         self.flushes = 0
 
     def execute(self, message: TupleMessage) -> None:
-        self._buffer.append(message["value"])
+        value, timestamp = message.values
+        self._buffer.append((value, timestamp))
 
     def flush(self) -> None:
         self.flushes += 1
-        for value in self._buffer:
-            self.emit({"value": value})
+        for value, timestamp in self._buffer:
+            self.emit(NUMBERS, value, timestamp)
         self._buffer.clear()
 
 

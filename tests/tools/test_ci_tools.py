@@ -78,6 +78,24 @@ def _bench(host, cells):
     }
 
 
+def _bench_with_phases(host, cells):
+    """Cells as (workload, executor, workers, dps, documents, stream_seconds)."""
+    return {
+        "host": host,
+        "runs": [
+            {
+                "workload": workload,
+                "executor": executor,
+                "requested_workers": workers,
+                "docs_per_second": dps,
+                "documents": documents,
+                "phase_seconds": {"stream": stream, "reporting": 0.1},
+            }
+            for workload, executor, workers, dps, documents, stream in cells
+        ],
+    }
+
+
 HOST = {"platform": "Linux-test", "cpu_count": 1}
 OTHER_HOST = {"platform": "Linux-ci", "cpu_count": 4}
 
@@ -124,6 +142,51 @@ class TestPerfRegressionGate:
         with pytest.raises(SystemExit) as excinfo:
             check_perf._load(bad)
         assert excinfo.value.code == 2
+
+    def test_stream_phase_regression_binds_on_inline(self):
+        """Overall docs/s holds but the stream phase collapsed: fail."""
+        baseline = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 0.2)]
+        )
+        candidate = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 0.4)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
+    def test_stream_phase_improvement_passes(self):
+        baseline = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 0.4)]
+        )
+        candidate = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 0.2)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_stream_phase_report_only_on_process_cells(self):
+        baseline = _bench_with_phases(
+            HOST, [("small", "process", 2, 1000.0, 3000, 0.2)]
+        )
+        candidate = _bench_with_phases(
+            HOST, [("small", "process", 2, 1000.0, 3000, 0.8)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_stream_phase_skipped_without_phase_seconds(self):
+        """Schema-1 snapshots (no phase breakdown) only gate overall docs/s."""
+        baseline = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        candidate = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 9.9)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_overall_and_stream_regressions_both_counted(self):
+        baseline = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 0.2)]
+        )
+        candidate = _bench_with_phases(
+            HOST, [("small", "inline", 0, 500.0, 3000, 0.8)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 2
 
     def test_main_end_to_end(self, tmp_path):
         base_path = tmp_path / "base.json"

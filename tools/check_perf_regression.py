@@ -23,6 +23,14 @@ Within a matching host, ``inline`` cells are binding and ``process`` cells
 are report-only: the sharded executor's figures on few-core machines are
 IPC-bound and noisier than the tolerance (see docs/PERFORMANCE.md).
 
+Besides overall docs/sec, the gate checks the **per-phase breakdown**
+(schema 2's ``phase_seconds``): the ``stream`` phase of binding cells is
+compared as stream-phase docs/sec (documents / stream seconds) under the
+same tolerance, so a regression in the substrate hot path cannot hide
+behind an improvement in the reporting phase (or vice versa).  Cells
+missing ``phase_seconds`` on either side (schema-1 snapshots) skip the
+phase check.
+
 Exit codes: 0 = no binding regression, 1 = binding regression found,
 2 = usage or schema error.
 """
@@ -69,6 +77,18 @@ def hosts_comparable(baseline: dict, candidate: dict) -> bool:
     )
 
 
+def _stream_docs_per_second(cell: dict) -> float | None:
+    """Stream-phase throughput of one cell; None when unavailable."""
+    phases = cell.get("phase_seconds")
+    if not phases:
+        return None
+    stream = phases.get("stream")
+    documents = cell.get("documents")
+    if not stream or not documents:
+        return None
+    return documents / stream
+
+
 def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
     """Print the per-cell diff; return the number of binding regressions."""
     binding = hosts_comparable(baseline, candidate)
@@ -98,6 +118,23 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
         label = executor if executor == "inline" else f"{executor}({workers}w)"
         print(f"[perf-diff] {workload:>6} / {label:<12} "
               f"{old:>9.1f} -> {new:>9.1f} docs/s  ({ratio:5.2f}x)  {status}")
+        # Per-phase breakdown: the stream phase binds like the overall rate.
+        old_stream = _stream_docs_per_second(base_cells[key])
+        new_stream = _stream_docs_per_second(cand_cells[key])
+        if old_stream is None or new_stream is None:
+            continue
+        stream_ratio = new_stream / old_stream if old_stream else float("inf")
+        stream_regressed = stream_ratio < 1.0 - tolerance
+        stream_status = "ok"
+        if stream_regressed:
+            stream_status = (
+                "REGRESSION" if enforced else "regression (report-only)"
+            )
+            if enforced:
+                regressions += 1
+        print(f"[perf-diff] {workload:>6} / {label:<12} "
+              f"{old_stream:>9.1f} -> {new_stream:>9.1f} docs/s "
+              f"({stream_ratio:5.2f}x)  [stream phase]  {stream_status}")
     return regressions
 
 
