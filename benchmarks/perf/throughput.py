@@ -12,11 +12,18 @@ Each measurement runs in a fresh forked subprocess so that peak-RSS figures
 runs; workload generation happens inside the subprocess but outside the
 timed region.
 
+Every (workload, executor) cell runs once per reporting engine in
+``--engines`` (default ``incremental,delta``), so the recorded snapshot
+carries the engine matrix; per-cell ``report_rounds`` attributes the
+in-stream report cost (rounds, wall-clock, dirty/clean type split).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/throughput.py                  # full matrix
     PYTHONPATH=src python benchmarks/perf/throughput.py --workloads small \
         --workers 2 --repeat 1 --output BENCH_throughput.json            # CI smoke
+    PYTHONPATH=src python benchmarks/perf/throughput.py --engines incremental \
+        --output /tmp/inc.json                                           # one engine
 
 The committed ``BENCH_throughput.json`` was produced by the full matrix on
 the machine described in its ``host`` block; regenerate it on comparable
@@ -49,7 +56,11 @@ WORKLOADS = {
 
 #: Schema version of BENCH_throughput.json (bump on breaking layout changes).
 #: v2 added per-cell ``phase_seconds`` (build/stream/reporting breakdown of
-#: the best run) and the top-level/per-cell ``reporting_engine``.
+#: the best run) and the top-level/per-cell ``reporting_engine``; the
+#: reporting-engine matrix (one cell per engine in ``--engines``) and the
+#: per-cell ``report_rounds`` block (in-stream round count/wall-clock and
+#: the dirty/clean type split from ``RunReport.report_round_stats``) are
+#: additive, so the schema stays 2.
 SCHEMA_VERSION = 2
 
 
@@ -99,6 +110,7 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
         documents = _generate_documents(workload)
         elapsed: list[float] = []
         timings: list[dict] = []
+        round_stats_runs: list[dict | None] = []
         report = None
         for _ in range(repeat):
             system = TagCorrelationSystem(
@@ -109,6 +121,7 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
             report = system.run(documents)
             elapsed.append(time.perf_counter() - start)
             timings.append(report.timings)
+            round_stats_runs.append(report.report_round_stats)
         assert report is not None
         usage_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         usage_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
@@ -123,6 +136,19 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
             phase: round(seconds, 4)
             for phase, seconds in timings[best_index].items()
         }
+        # In-stream report attribution (rounds, wall-clock, dirty/clean
+        # type split) of the best run — each repeat builds a fresh system,
+        # so the per-run counters align with the per-run phase breakdown.
+        round_stats = round_stats_runs[best_index]
+        report_rounds = None
+        if round_stats is not None:
+            report_rounds = {
+                "rounds": int(round_stats["rounds"]),
+                "report_seconds": round(round_stats["report_seconds"], 4),
+                "dirty_types": int(round_stats["dirty_types"]),
+                "clean_types": int(round_stats["clean_types"]),
+                "deferred_triples": int(round_stats["deferred_triples"]),
+            }
         outbox.put({
             "workload": workload,
             "executor": executor,
@@ -135,6 +161,7 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
             "best_elapsed_seconds": round(best, 4),
             "docs_per_second": round(report.documents_processed / best, 1),
             "phase_seconds": phases,
+            "report_rounds": report_rounds,
             "reporting_engine": report.reporting_engine,
             "peak_rss_mb": round(usage_self / to_mb, 1),
             "peak_worker_rss_mb": round(usage_children / to_mb, 1),
@@ -180,33 +207,37 @@ def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
 
 
 def run_matrix(workloads, worker_counts, repeat=1, algorithm="DS",
-               batch_size=64, reporting_engine="incremental",
+               batch_size=64, reporting_engines=("incremental",),
                verbose=True) -> dict:
-    """The full benchmark matrix: inline plus process at each worker count."""
+    """The full benchmark matrix: (inline + process × workers) × engines."""
     runs = []
     for workload in workloads:
         cells = [("inline", 0)] + [("process", n) for n in worker_counts]
         for executor, workers in cells:
-            if verbose:
-                label = executor if executor == "inline" else f"{executor}({workers}w)"
-                print(f"[bench] {workload:>6} / {label:<12} ...",
-                      end=" ", flush=True)
-            cell = measure(workload, executor, workers, repeat, algorithm,
-                           batch_size, reporting_engine)
-            runs.append(cell)
-            if verbose:
-                phases = cell["phase_seconds"]
-                print(f"{cell['docs_per_second']:>8.1f} docs/s "
-                      f"(best of {repeat}: {cell['best_elapsed_seconds']}s, "
-                      f"stream {phases.get('stream', 0.0)}s / "
-                      f"reporting {phases.get('reporting', 0.0)}s, "
-                      f"rss {cell['peak_rss_mb']} MB)")
+            for engine in reporting_engines:
+                if verbose:
+                    label = executor if executor == "inline" else f"{executor}({workers}w)"
+                    print(f"[bench] {workload:>6} / {label:<12} / {engine:<11} ...",
+                          end=" ", flush=True)
+                cell = measure(workload, executor, workers, repeat, algorithm,
+                               batch_size, engine)
+                runs.append(cell)
+                if verbose:
+                    phases = cell["phase_seconds"]
+                    rounds = cell.get("report_rounds") or {}
+                    print(f"{cell['docs_per_second']:>8.1f} docs/s "
+                          f"(best of {repeat}: {cell['best_elapsed_seconds']}s, "
+                          f"stream {phases.get('stream', 0.0)}s / "
+                          f"in-stream reports {rounds.get('report_seconds', 0.0)}s / "
+                          f"reporting {phases.get('reporting', 0.0)}s, "
+                          f"rss {cell['peak_rss_mb']} MB)")
     return {
         "schema": SCHEMA_VERSION,
         "generated_by": "benchmarks/perf/throughput.py",
         "algorithm": algorithm,
         "notification_batch_size": batch_size,
-        "reporting_engine": reporting_engine,
+        "reporting_engine": reporting_engines[0],
+        "reporting_engines": list(reporting_engines),
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -222,24 +253,40 @@ def run_matrix(workloads, worker_counts, repeat=1, algorithm="DS",
 
 
 def _comparison(runs) -> dict:
-    """Per-workload speedup of every process cell over the inline baseline."""
+    """Per-workload speedups: process cells over the inline baseline (at
+    the baseline engine) and every non-baseline engine's inline cell over
+    the baseline engine's inline cell."""
     comparison: dict[str, dict[str, float]] = {}
     by_workload: dict[str, list[dict]] = {}
     for run in runs:
         by_workload.setdefault(run["workload"], []).append(run)
     for workload, cells in by_workload.items():
-        inline = next((c for c in cells if c["executor"] == "inline"), None)
+        def engine_of(cell):
+            return cell.get("reporting_engine", "incremental")
+
+        inline_cells = [c for c in cells if c["executor"] == "inline"]
+        baseline_engine = engine_of(cells[0])
+        inline = next(
+            (c for c in inline_cells if engine_of(c) == baseline_engine), None
+        )
         if inline is None:
             continue
         entry = {"inline_docs_per_second": inline["docs_per_second"]}
         for cell in cells:
-            if cell["executor"] == "process":
+            if cell["executor"] == "process" and engine_of(cell) == baseline_engine:
                 # Keyed by the *requested* count: two requests clamping to
                 # the same effective count must not overwrite each other.
                 requested = cell.get("requested_workers", cell["workers"])
                 entry[f"speedup_process_{requested}_workers"] = round(
                     cell["docs_per_second"] / inline["docs_per_second"], 3
                 )
+        for cell in inline_cells:
+            engine = engine_of(cell)
+            if engine == baseline_engine:
+                continue
+            entry[f"speedup_{engine}_engine"] = round(
+                cell["docs_per_second"] / inline["docs_per_second"], 3
+            )
         comparison[workload] = entry
     return comparison
 
@@ -258,11 +305,13 @@ def main(argv=None) -> int:
     parser.add_argument("--algorithm", default="DS")
     parser.add_argument("--batch-size", type=int, default=64,
                         help="notification_batch_size (the IPC unit size)")
-    parser.add_argument("--reporting-engine", default="incremental",
-                        choices=("incremental", "scratch"),
-                        help="exact-mode union computation (incremental = "
-                             "the default engine, scratch = the original "
-                             "per-key re-walk)")
+    parser.add_argument("--engines", "--reporting-engine",
+                        dest="engines", default="incremental,delta",
+                        help="comma-separated exact-mode reporting engines; "
+                             "every (workload, executor) cell runs once per "
+                             "engine (incremental = the per-round default, "
+                             "delta = cross-round dirty-type folding, "
+                             "scratch = the original per-key re-walk)")
     parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_throughput.json"),
                         help="output JSON path (default: repo root)")
     args = parser.parse_args(argv)
@@ -272,10 +321,20 @@ def main(argv=None) -> int:
         if name not in WORKLOADS:
             parser.error(f"unknown workload {name!r} (available: {', '.join(WORKLOADS)})")
     worker_counts = [int(value) for value in args.workers.split(",") if value.strip()]
+    engines = tuple(
+        name.strip() for name in args.engines.split(",") if name.strip()
+    )
+    if not engines:
+        parser.error("--engines needs at least one reporting engine")
+    from repro.core.jaccard import REPORTING_ENGINES
+    for engine in engines:
+        if engine not in REPORTING_ENGINES:
+            parser.error(f"unknown reporting engine {engine!r} "
+                         f"(available: {', '.join(REPORTING_ENGINES)})")
 
     results = run_matrix(workloads, worker_counts, repeat=args.repeat,
                          algorithm=args.algorithm, batch_size=args.batch_size,
-                         reporting_engine=args.reporting_engine)
+                         reporting_engines=engines)
     output = Path(args.output)
     output.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n",
                       encoding="utf-8")

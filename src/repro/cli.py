@@ -83,9 +83,13 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
                         default="incremental",
                         help="union computation of exact-mode report rounds: "
                              "incremental (one subset-lattice fold per "
-                             "distinct tagset type, the default) or scratch "
-                             "(the original per-key counter re-walk); both "
-                             "report identical coefficients")
+                             "distinct tagset type, the default), delta "
+                             "(cross-round: fold only changed types, carry "
+                             "clean recurring ones) or scratch (the "
+                             "original per-key counter re-walk); all three "
+                             "report identical coefficients — see the "
+                             "decision table in docs/ARCHITECTURE.md "
+                             "\"Reporting path\"")
     parser.add_argument("--subset-cache", type=int, default=DEFAULT_SUBSET_CACHE_SIZE,
                         help="capacity of each exact Calculator's LRU cache "
                              "of tagset subset enumerations (default "
@@ -164,6 +168,11 @@ def _print_report(report: RunReport) -> None:
             print(f"subset cache              : {hit_rate:.1%} hit rate "
                   f"({stats['hits']} hits, {stats['misses']} misses, "
                   f"{stats['evictions']} evictions)")
+            if report.reporting_engine == "delta":
+                print(f"delta carry table         : {stats['carry_hits']} hits, "
+                      f"{stats['carry_misses']} misses, "
+                      f"{stats['carry_invalidations']} invalidations, "
+                      f"{stats['carry_evictions']} evictions")
     print(f"execution engine          : {report.executor_mode}"
           + (f" ({report.executor_workers} workers)"
              if report.executor_mode == "process" else ""))
@@ -284,6 +293,11 @@ examples:
   # Fastest exact-mode measurement run: incremental reporting engine
   # (default) without the centralized baseline:
   python -m repro.cli run --documents 8000 --no-baseline
+
+  # Cross-round delta reporting engine (cheapest in-stream report rounds;
+  # scratch / incremental / delta decision table: docs/ARCHITECTURE.md
+  # "Reporting path"):
+  python -m repro.cli run --documents 8000 --reporting-engine delta
 
   # Pin the original reporting path (for equivalence checks):
   python -m repro.cli run --documents 8000 --reporting-engine scratch

@@ -34,7 +34,7 @@ Reporting engines
 -----------------
 A report round must produce, for every counted tagset of at least two tags,
 its support (the counter value) and the size of the union of its tags'
-document sets.  Two engines compute the unions:
+document sets.  Three engines compute the unions:
 
 * ``"scratch"`` — the original path: for every counted key, re-enumerate
   its subsets with :func:`itertools.combinations` and walk the counter
@@ -43,17 +43,37 @@ document sets.  Two engines compute the unions:
   counted key, one distinct ``m``-tag tagset costs ``Σ_k C(m,k)·2^k ≈ 3^m``
   lookups per round.
 * ``"incremental"`` (default) — the incremental reporting engine.  At
-  observe time the counter additionally maintains the set of *distinct
-  observed tagset types* — the state, growing with the counters, that
-  tells the report which subset lattices exist.  At report time each
-  distinct type is folded **once**: the counts of all ``2^m`` subsets
-  of an ``m``-tag type are gathered into a subset lattice and a
-  sum-over-subsets (SOS) transform produces the unions of *all* of its
-  subsets simultaneously in ``m·2^m`` additions instead of ``3^m`` lookups.
-  Keys shared by several types (heavily overlapping tagsets) are emitted
-  once.  Both engines produce bit-identical coefficients — the incremental
-  engine rearranges the same exact integer sums (asserted by
-  ``tests/core/test_jaccard.py`` and the pipeline equivalence tests).
+  observe time the counter additionally maintains the distinct observed
+  tagset *types* — the state, growing with the counters, that tells the
+  report which subset lattices exist.  At report time each distinct type
+  is folded **once**: the counts of all ``2^m`` subsets of an ``m``-tag
+  type are gathered into a subset lattice and a sum-over-subsets (SOS)
+  transform produces the unions of *all* of its subsets simultaneously in
+  ``m·2^m`` additions instead of ``3^m`` lookups.  Keys shared by several
+  types (heavily overlapping tagsets) are emitted once.
+* ``"delta"`` — the cross-round delta engine.  The incremental engine is
+  incremental *within* a round but folds every type from zero on every
+  round; the delta engine makes report rounds proportional to *change*.
+  Observe time additionally maintains per-type observation
+  multiplicities; at report time the multiplicities are diffed against
+  the previous round, every tag of a changed type is marked dirty, and a
+  type none of whose tags is dirty is **clean**: its subset lattice (and
+  therefore every one of its coefficients) is provably unchanged, so its
+  triples are re-asserted from a generation-stamped *carry table* — one
+  dict hit instead of an ``m·2^m`` fold.  Dirty types are refolded
+  through a per-type fold program precompiled on first encounter and
+  carried across ``clear()`` resets: the interned subset enumeration,
+  the reportable keys as cached frozensets (no per-round tuple or
+  frozenset churn), fused allocation-free paths for 2- and 3-tag types,
+  and a vectorised lattice fold for larger types when numpy is present.
+  :meth:`SubsetCounter.report_delta_triples` additionally splits a
+  round's results into *(changed, unchanged)* so the Calculator can ship
+  only changed triples in-stream and re-assert the unchanged ones at
+  drain time.
+
+All engines produce bit-identical coefficients — they rearrange the same
+exact integer sums (asserted by ``tests/core/test_jaccard.py`` and the
+pipeline equivalence tests).
 
 Worked inclusion–exclusion example
 ----------------------------------
@@ -80,12 +100,17 @@ from __future__ import annotations
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from itertools import combinations
-from operator import mul
+from operator import itemgetter, mul
 from typing import Iterable, Mapping
+
+try:  # The delta engine vectorises large lattice folds when numpy exists;
+    import numpy as _np  # the pure-python fold below is the gated fallback.
+except ImportError:  # pragma: no cover - numpy is in the default toolchain
+    _np = None
 
 #: Reporting engines of :class:`SubsetCounter` / :class:`JaccardCalculator`
 #: (mirrored by ``SystemConfig.reporting_engine`` and the CLI).
-REPORTING_ENGINES = ("incremental", "scratch")
+REPORTING_ENGINES = ("incremental", "scratch", "delta")
 
 #: Default capacity of the per-Calculator subset-tuple LRU cache.  Sized for
 #: the distinct-tagset working set of one report round on the benchmark
@@ -337,6 +362,83 @@ def _report_masks(m: int, min_size: int) -> tuple[int, ...]:
     return masks
 
 
+#: Type size at which the delta engine's vectorised lattice fold beats the
+#: pure-python sum-over-subsets (below it, the fused unrolled paths win on
+#: constant factors; measured on the bench workloads).  Only consulted when
+#: numpy imported.
+_VECTOR_FOLD_MIN_TAGS = 6
+
+#: Per-SubsetCounter cap on the tuple-key → frozenset memo (entries are
+#: dropped wholesale beyond it; the memo is rebuilt lazily).
+_FROZEN_MEMO_LIMIT = 1 << 17
+
+#: numpy mirrors of :data:`_SIGNS` / :data:`_REPORT_MASKS`, shared like them.
+_NP_SIGNS: dict[int, "object"] = {}
+_NP_MASKS: dict[tuple[int, int], "object"] = {}
+
+#: Per-(arity, min-size) C-level extractors of the reportable positions of
+#: a lattice-ordered sequence (``by_mask``, the raw counts or the folded
+#: sums) — the delta fold's *signed index lists*, shared like
+#: :data:`_SIGNS`.  ``None`` marks a (m, min_size) with no reportable
+#: subsets at all.
+_REPORT_GETTERS: dict[tuple[int, int], "object"] = {}
+
+
+def _np_signs(m: int):
+    signs = _NP_SIGNS.get(m)
+    if signs is None:
+        signs = _np.array(_signs(m), dtype=_np.int64)
+        _NP_SIGNS[m] = signs
+    return signs
+
+
+def _np_masks(m: int, min_size: int):
+    masks = _NP_MASKS.get((m, min_size))
+    if masks is None:
+        masks = _np.array(_report_masks(m, min_size), dtype=_np.intp)
+        _NP_MASKS[(m, min_size)] = masks
+    return masks
+
+
+def _report_getter(m: int, min_size: int):
+    key = (m, min_size)
+    if key not in _REPORT_GETTERS:
+        masks = _report_masks(m, min_size)
+        if not masks:
+            getter = None
+        elif len(masks) == 1:
+            only = masks[0]
+            getter = lambda seq, _i=only: (seq[_i],)  # noqa: E731
+        else:
+            getter = itemgetter(*masks)
+        _REPORT_GETTERS[key] = getter
+    return _REPORT_GETTERS[key]
+
+
+class _DeltaCarryEntry:
+    """One type's slot in the delta engine's carry table.
+
+    Carries, across ``clear()`` resets, everything a report round needs for
+    the type: the fold *program* (a precompiled, allocation-free recipe over
+    the interned cache enumeration — see ``SubsetCounter._build_program``)
+    and the last fold's emissions — the wire ``triples`` plus the parallel
+    subset-tuple ``keys`` for dedup — reusable verbatim while the type
+    stays clean.  ``gen`` stamps the last delta report that folded or
+    revalidated the entry: results are only reusable when the stamp is
+    exactly the previous report's (an unbroken chain of clean rounds) —
+    anything older is invalidated and refolded.
+    """
+
+    __slots__ = ("gen", "min_size", "program", "keys", "triples")
+
+    def __init__(self, gen: int, min_size: int, program: tuple) -> None:
+        self.gen = gen
+        self.min_size = min_size
+        self.program = program
+        self.keys: list[tuple[str, ...]] = []
+        self.triples: list[tuple[frozenset[str], float, int]] = []
+
+
 @dataclass(slots=True)
 class JaccardResult:
     """A reported Jaccard coefficient.
@@ -362,11 +464,13 @@ class SubsetCounter:
     therefore equals the number of received documents annotated with all of
     the set's tags.
 
-    Besides the subset counters the table maintains the incremental
-    reporting engine's state: the set of distinct observed tagset *types*
-    (the subset lattices the report must fold — see the module docstring),
-    and the bounded LRU cache of subset enumerations shared by the observe
-    and report paths.
+    Besides the subset counters the table maintains the reporting engines'
+    state: the distinct observed tagset *types* with their observation
+    multiplicities (the subset lattices the report must fold, and the
+    delta engine's change signal — see the module docstring), the bounded
+    LRU cache of subset enumerations shared by the observe and report
+    paths, and — for the delta engine — the generation-stamped carry table
+    of per-type fold programs and results that survives ``clear()``.
     """
 
     def __init__(
@@ -381,15 +485,36 @@ class SubsetCounter:
                 "max_subset_size set cannot back the reporting engines"
             )
         self._counts: Counter = Counter()
-        #: Distinct observed tagset types (reset per round): the incremental
-        #: engine folds each type's subset lattice exactly once per report.
-        self._types: set[frozenset[str]] = set()
+        #: Distinct observed tagset types → observation multiplicity (reset
+        #: per round): the incremental and delta engines fold each type's
+        #: subset lattice at most once per report, and the delta engine
+        #: diffs the multiplicities across rounds to find clean types.
+        self._mults: dict[frozenset[str], int] = {}
         self._max_tags = max_tags_per_document
         self._cache = (
             subset_cache
             if subset_cache is not None
             else SubsetTupleCache(subset_cache_size)
         )
+        # --- delta-engine state (carried across clear() resets) ---------- #
+        #: Multiplicities at the last delta report (the diff baseline).
+        self._prev_mults: dict[frozenset[str], int] = {}
+        #: Generation-stamped carry table: type → fold program + last fold.
+        self._carry: dict[frozenset[str], _DeltaCarryEntry] = {}
+        self._delta_generation = 0
+        #: Subset-tuple → frozenset memo shared by the delta fold programs
+        #: and the read-path APIs (one frozenset per reported key per cache
+        #: residency instead of per round).
+        self._frozen: dict[tuple[str, ...], frozenset[str]] = {}
+        # --- report accounting (cumulative, survives clear()) ------------ #
+        self.carry_hits = 0
+        self.carry_misses = 0
+        self.carry_invalidations = 0
+        self.carry_evictions = 0
+        #: Types whose lattice was folded / reused verbatim, across rounds
+        #: (the dirty/clean split the perf harness attributes wins with).
+        self.types_folded = 0
+        self.types_reused = 0
 
     @property
     def cache(self) -> SubsetTupleCache:
@@ -407,20 +532,37 @@ class SubsetCounter:
             fs = frozenset(sorted(fs)[: self._max_tags])
         _, _, nonempty = self._cache.lookup(fs)
         self._counts.update(nonempty)
-        self._types.add(fs)
+        mults = self._mults
+        mults[fs] = mults.get(fs, 0) + 1
 
     def count(self, tags: Iterable[str]) -> int:
         """Documents observed that carry all of ``tags``."""
         return self._counts.get(tuple(sorted(set(tags))), 0)
 
     def counted_tagsets(self, min_size: int = 2) -> list[frozenset[str]]:
-        """All counted tag combinations with at least ``min_size`` tags."""
-        return [frozenset(key) for key in self._counts if len(key) >= min_size]
+        """All counted tag combinations with at least ``min_size`` tags.
+
+        Keys whose frozenset is resident in the report path's memo (every
+        key a delta fold ever reported) are returned as the *cached* object
+        instead of a fresh ``frozenset`` per key per call.
+        """
+        frozen = self._frozen
+        get = frozen.get
+        return [
+            get(key) or frozenset(key)  # counted keys are never empty
+            for key in self._counts
+            if len(key) >= min_size
+        ]
 
     def items(self) -> Iterable[tuple[frozenset[str], int]]:
-        """(tagset, count) pairs for all counted combinations."""
+        """(tagset, count) pairs for all counted combinations.
+
+        Like :meth:`counted_tagsets`, reuses memoised frozensets where
+        resident instead of building a fresh one per key per call.
+        """
+        get = self._frozen.get
         for key, count in self._counts.items():
-            yield frozenset(key), count
+            yield (get(key) or frozenset(key)), count
 
     def __len__(self) -> int:
         return len(self._counts)
@@ -431,11 +573,12 @@ class SubsetCounter:
     def clear(self) -> None:
         """Drop all counters (Calculators do this after each report round).
 
-        The subset-enumeration cache survives the reset on purpose: the
-        trending tagsets of the next round are usually the same types.
+        The subset-enumeration cache, the delta engine's carry table and
+        the multiplicity diff baseline all survive the reset on purpose:
+        the trending tagsets of the next round are usually the same types.
         """
         self._counts.clear()
-        self._types.clear()
+        self._mults = {}
 
     def jaccard(self, tags: Iterable[str]) -> float:
         """Jaccard coefficient of ``tags`` from the current counters."""
@@ -468,10 +611,31 @@ class SubsetCounter:
             return self._report_incremental(min_size)
         if engine == "scratch":
             return self._report_scratch(min_size)
+        if engine == "delta":
+            changed, unchanged = self._report_delta(min_size)
+            return changed + unchanged
         raise ValueError(
             f"unknown reporting engine {engine!r}; "
             f"available: {', '.join(REPORTING_ENGINES)}"
         )
+
+    def report_delta_triples(
+        self, min_size: int = 2
+    ) -> tuple[
+        list[tuple[frozenset[str], float, int]],
+        list[tuple[frozenset[str], float, int]],
+    ]:
+        """The delta engine's round, split into ``(changed, unchanged)``.
+
+        ``changed`` holds the triples of dirty types (folded this round);
+        ``unchanged`` the triples re-asserted from the carry table for
+        clean types — each of those is bit-identical to a triple already
+        produced by an earlier round, which is what lets the Calculator
+        defer shipping them until drain time (see
+        ``operators/calculator.py``).  ``changed + unchanged`` is exactly
+        the round's full result set (the other engines' output).
+        """
+        return self._report_delta(min_size)
 
     def report_results(
         self, min_size: int = 2, engine: str = "incremental"
@@ -544,10 +708,11 @@ class SubsetCounter:
         append = results.append
         done: set[tuple[str, ...]] = set()
         seen = done.add
-        for vtype in self._types:
+        for vtype in self._mults:
             m = len(vtype)
             if m < min_size:
                 continue  # contributes no reportable keys of its own
+            self.types_folded += 1
             _, by_mask, _ = cache_lookup(vtype)
             assert by_mask is not None  # full lattices are never size-capped
             # Two- and three-tag types — the bulk of a trending stream once
@@ -622,6 +787,294 @@ class SubsetCounter:
                 append((frozenset(key), support / union, support))
         return results
 
+    # ------------------------------------------------------------------ #
+    # The delta engine
+    # ------------------------------------------------------------------ #
+    def _report_delta(
+        self, min_size: int
+    ) -> tuple[
+        list[tuple[frozenset[str], float, int]],
+        list[tuple[frozenset[str], float, int]],
+    ]:
+        """One delta round: fold dirty types, re-assert clean ones.
+
+        A type is *clean* when no type sharing a tag with it changed its
+        observation multiplicity since the previous delta report: every
+        count in its subset lattice is a sum of multiplicities of types
+        containing that subset, so unchanged overlapping multiplicities
+        imply an unchanged lattice — supports, unions and coefficients are
+        all provably identical to the previous round and the carry table's
+        cached results are re-emitted verbatim.  The check is conservative
+        (tag-level), so reuse is always sound; a changed type merely dirties
+        every type it overlaps.
+        """
+        mults = self._mults
+        prev = self._prev_mults
+        gen = self._delta_generation + 1
+        self._delta_generation = gen
+        # Tags touched by any type whose multiplicity changed since the
+        # previous report (absent = multiplicity 0).
+        dirty_tags: set[str] = set()
+        mark = dirty_tags.update
+        for fs, count in mults.items():
+            if prev.get(fs) != count:
+                mark(fs)
+        for fs in prev:
+            if fs not in mults:
+                mark(fs)
+        carry = self._carry
+        changed: list[tuple[frozenset[str], float, int]] = []
+        unchanged: list[tuple[frozenset[str], float, int]] = []
+        emit_unchanged = unchanged.append
+        done: set[tuple[str, ...]] = set()
+        seen = done.add
+        disjoint = dirty_tags.isdisjoint
+        previous_gen = gen - 1
+        for vtype in mults:
+            m = len(vtype)
+            if m < min_size:
+                continue  # contributes no reportable keys of its own
+            entry = carry.get(vtype)
+            if entry is None:
+                self.carry_misses += 1
+                entry = _DeltaCarryEntry(
+                    gen, min_size, self._build_program(vtype, m, min_size)
+                )
+                carry[vtype] = entry
+            elif (
+                entry.gen == previous_gen
+                and entry.min_size == min_size
+                and disjoint(vtype)
+            ):
+                # Clean: one dict hit replaces the whole fold.
+                self.carry_hits += 1
+                self.types_reused += 1
+                entry.gen = gen
+                for key, triple in zip(entry.keys, entry.triples):
+                    if key not in done:
+                        seen(key)
+                        emit_unchanged(triple)
+                continue
+            else:
+                self.carry_invalidations += 1
+                entry.gen = gen
+                if entry.min_size != min_size:
+                    entry.min_size = min_size
+                    entry.program = self._build_program(vtype, m, min_size)
+            self.types_folded += 1
+            # The fold applies (and advances) the done-filter itself, so a
+            # type's cached emissions are exactly what it emitted — see the
+            # coverage argument in _fold_program's docstring.
+            self._fold_program(entry.program, done, entry)
+            changed.extend(entry.triples)
+        # Bound the carry: drop entries not validated this round once the
+        # table outgrows the live type set.  These are types that simply
+        # stopped recurring — counted as evictions, not invalidations, so
+        # the thrash diagnostic (invalidations = refolds of stale entries)
+        # stays meaningful.
+        if len(carry) > 2 * len(mults) + 256:
+            stale = [vtype for vtype, entry in carry.items() if entry.gen != gen]
+            for vtype in stale:
+                del carry[vtype]
+            self.carry_evictions += len(stale)
+        self._prev_mults = dict(mults)
+        return changed, unchanged
+
+    def _build_program(
+        self, vtype: frozenset[str], m: int, min_size: int
+    ) -> tuple:
+        """Precompile one type's fold into an allocation-free program.
+
+        Built once per carry residency (not per round) and deliberately
+        cheap — one LRU resolution plus one C-level extraction of the
+        reportable keys from the interned enumeration (all selector state —
+        masks, signs, index getters — is shared per arity).  Refolding a
+        dirty type thereafter touches no LRU, enumerates no combinations
+        and builds no per-round tuples; frozensets are memoised at emit
+        time, only for keys actually emitted.
+        """
+        _, by_mask, _ = self._cache.lookup(vtype)
+        assert by_mask is not None  # full lattices are never size-capped
+        if m == 2 and min_size == 2:
+            return ("2", by_mask[1], by_mask[2], by_mask[3])
+        if m == 3 and min_size == 2:
+            return ("3", by_mask)
+        getter = _report_getter(m, min_size)
+        if getter is None:
+            return ("empty",)
+        keys = getter(by_mask)
+        if _np is not None and m >= _VECTOR_FOLD_MIN_TAGS:
+            return ("np", m, by_mask, keys, getter,
+                    _np_masks(m, min_size), _np_signs(m))
+        return ("py", m, by_mask, keys, getter)
+
+    def _fold_program(
+        self, program: tuple, done: set, entry: _DeltaCarryEntry
+    ) -> None:
+        """Run one precompiled fold, filling ``entry.keys``/``entry.triples``
+        with the type's emissions and advancing ``done``.
+
+        Every path rearranges the same exact integer sums as the scratch
+        engine (bit-identical coefficients); they differ only in constant
+        factors.  Two invariants carry the hot loops:
+
+        * every reportable subset of an observed type was incremented by
+          that type's own observations, so ``support ≥ 1`` and ``union ≥
+          support > 0`` always hold — no dead filter branches;
+        * keys already claimed by an earlier type this round (``done``)
+          are skipped *before* any construction, exactly like the
+          incremental engine.  The done-filtered emission list is cached
+          on the carry entry and re-used while the type stays clean: any
+          key this type skipped was emitted (and cached) by the claiming
+          type, which shares the key's tags and therefore can only be
+          clean when this type's view of the key is clean too — so across
+          the clean types' caches every key stays covered exactly once.
+
+        Emitted keys resolve their frozenset through the ``_frozen`` memo
+        (inlined — this loop runs a few hundred thousand times per large
+        run), so recurring keys freeze once per memo residency and the
+        read-path APIs can reuse the same objects.
+        """
+        lookup = self._counts.__getitem__  # Counter.__missing__ returns 0
+        frozen = self._frozen
+        frozen_get = frozen.get
+        seen = done.add
+        kind = program[0]
+        entry.keys = keys_out = []
+        entry.triples = triples_out = []
+        emit_key = keys_out.append
+        emit = triples_out.append
+        if kind == "2":
+            _, key_a, key_b, pair = program
+            if pair not in done:
+                seen(pair)
+                support = lookup(pair)
+                fs = frozen_get(pair)
+                if fs is None:
+                    if len(frozen) >= _FROZEN_MEMO_LIMIT:
+                        frozen.clear()
+                    fs = frozenset(pair)
+                    frozen[pair] = fs
+                emit_key(pair)
+                emit((fs, support / (lookup(key_a) + lookup(key_b) - support),
+                      support))
+            return
+        if kind == "3":
+            _, by_mask = program
+            na = lookup(by_mask[1])
+            nb = lookup(by_mask[2])
+            nc = lookup(by_mask[4])
+            nab = lookup(by_mask[3])
+            nac = lookup(by_mask[5])
+            nbc = lookup(by_mask[6])
+            for key, support, union in (
+                (by_mask[3], nab, na + nb - nab),
+                (by_mask[5], nac, na + nc - nac),
+                (by_mask[6], nbc, nb + nc - nbc),
+                (
+                    by_mask[7],
+                    (nabc := lookup(by_mask[7])),
+                    na + nb + nc - nab - nac - nbc + nabc,
+                ),
+            ):
+                if key not in done:
+                    seen(key)
+                    fs = frozen_get(key)
+                    if fs is None:
+                        if len(frozen) >= _FROZEN_MEMO_LIMIT:
+                            frozen.clear()
+                        fs = frozenset(key)
+                        frozen[key] = fs
+                    emit_key(key)
+                    emit((fs, support / union, support))
+            return
+        if kind == "empty":
+            return
+        if kind == "np":
+            _, m, by_mask, keys, getter, masks, signs = program
+            raw = list(map(lookup, by_mask))
+            g = _np.array(raw, dtype=_np.int64)
+            g *= signs
+            lattice = g.reshape((2,) * m)
+            # Sum-over-subsets, one vectorised add per tag axis; the adds
+            # are the same integers the python transform sums.
+            for axis in range(m):
+                index: list = [slice(None)] * m
+                index[axis] = 1
+                upper = tuple(index)
+                index[axis] = 0
+                lattice[upper] += lattice[tuple(index)]
+            unions = (-g[masks]).tolist()  # python ints: exact division below
+            for key, support, union in zip(keys, getter(raw), unions):
+                if key not in done:
+                    seen(key)
+                    fs = frozen_get(key)
+                    if fs is None:
+                        if len(frozen) >= _FROZEN_MEMO_LIMIT:
+                            frozen.clear()
+                        fs = frozenset(key)
+                        frozen[key] = fs
+                    emit_key(key)
+                    emit((fs, support / union, support))
+            return
+        # kind == "py": the pure-python sum-over-subsets transform.
+        _, m, by_mask, keys, getter = program
+        size = 1 << m
+        raw = list(map(lookup, by_mask))
+        g = list(map(mul, _signs(m), raw))
+        for i in range(m):
+            bit = 1 << i
+            step = bit << 1
+            if bit >= 16:
+                for base in range(bit, size, step):
+                    upper = base + bit
+                    g[base:upper] = [
+                        x + y for x, y in zip(g[base:upper], g[base - bit:base])
+                    ]
+            else:
+                for base in range(bit, size, step):
+                    for mask in range(base, base + bit):
+                        g[mask] += g[mask - bit]
+        for key, support, gval in zip(keys, getter(raw), getter(g)):
+            if key not in done:
+                seen(key)
+                fs = frozen_get(key)
+                if fs is None:
+                    if len(frozen) >= _FROZEN_MEMO_LIMIT:
+                        frozen.clear()
+                    fs = frozenset(key)
+                    frozen[key] = fs
+                emit_key(key)
+                emit((fs, support / -gval, support))
+
+    def carry_stats(self) -> dict[str, int]:
+        """Delta carry-table accounting.
+
+        ``carry_invalidations`` counts stale entries that had to be
+        *refolded* (the thrash signal); ``carry_evictions`` counts entries
+        swept because their type stopped recurring (a normal consequence
+        of churn, never refolded).
+        """
+        return {
+            "carry_hits": self.carry_hits,
+            "carry_misses": self.carry_misses,
+            "carry_invalidations": self.carry_invalidations,
+            "carry_evictions": self.carry_evictions,
+            "carry_size": len(self._carry),
+        }
+
+    def release_delta_state(self) -> None:
+        """Drop the carry table, diff baseline and frozenset memo.
+
+        Called after the final drain (worker-side under the process
+        executor) so finished counters — and the bolts they are pickled
+        back inside — carry no dead fold programs.  Accounting is
+        preserved, like :meth:`SubsetTupleCache.clear`.
+        """
+        self._carry.clear()
+        self._prev_mults = {}
+        self._frozen.clear()
+
     def _raw_items(self) -> Iterable[tuple[tuple[str, ...], int]]:
         """Internal tuple-keyed counter view used by tests."""
         return self._counts.items()
@@ -636,9 +1089,10 @@ class JaccardCalculator:
     This is the algorithmic core of the Calculator operator, factored out so
     it can be used standalone (e.g. in examples that do not need the full
     topology).  ``reporting_engine`` selects the union computation of the
-    periodic report — ``"incremental"`` (default) or the original
-    ``"scratch"`` path — and ``subset_cache_size`` bounds the LRU cache of
-    subset enumerations (see the module docstring).
+    periodic report — ``"incremental"`` (default), the cross-round
+    ``"delta"`` engine or the original ``"scratch"`` path — and
+    ``subset_cache_size`` bounds the LRU cache of subset enumerations (see
+    the module docstring).
     """
 
     def __init__(
@@ -666,6 +1120,20 @@ class JaccardCalculator:
     def cache_stats(self) -> dict[str, int]:
         """Hit/miss/eviction accounting of the subset-tuple LRU cache."""
         return self._counter.cache.stats()
+
+    @property
+    def carry_stats(self) -> dict[str, int]:
+        """Delta carry-table accounting (all zero for the other engines)."""
+        return self._counter.carry_stats()
+
+    @property
+    def counter(self) -> SubsetCounter:
+        """The underlying counter table (report accounting lives there)."""
+        return self._counter
+
+    def release_delta_state(self) -> None:
+        """Drop the delta engine's carried state (see ``SubsetCounter``)."""
+        self._counter.release_delta_state()
 
     def observe(self, tags: Iterable[str]) -> None:
         """Record one tagset notification."""
@@ -699,3 +1167,54 @@ class JaccardCalculator:
             self._counter.clear()
             self._observations = 0
         return results
+
+    def drain_triples(
+        self, min_size: int = 2
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """Final-flush triples: :meth:`report_triples` with ``reset=True``,
+        except the delta engine folds through the *incremental* path — a
+        one-shot final fold would build carry programs it can never reuse.
+        The triples are identical either way, and the untouched delta
+        state (diff baseline, generations) stays internally consistent for
+        any later rounds.
+        """
+        engine = (
+            "incremental"
+            if self.reporting_engine == "delta"
+            else self.reporting_engine
+        )
+        counter = self._counter
+        folded_before = counter.types_folded
+        results = counter.report_triples(min_size=min_size, engine=engine)
+        # The dirty/clean fold split attributes *in-stream* rounds (see
+        # RunReport.report_round_stats); the one-shot drain fold is not one.
+        counter.types_folded = folded_before
+        counter.clear()
+        self._observations = 0
+        return results
+
+    def report_round_triples(
+        self, min_size: int = 2, reset: bool = True
+    ) -> tuple[
+        list[tuple[frozenset[str], float, int]],
+        list[tuple[frozenset[str], float, int]],
+    ]:
+        """One report round, split into ``(shipped, deferrable)`` triples.
+
+        Under the delta engine, ``deferrable`` holds the clean types'
+        triples — each one bit-identical to a triple already produced (and
+        shipped) by an earlier round, so in-stream rounds may defer
+        re-shipping them until drain time.  The other engines never defer:
+        everything lands in ``shipped``.
+        """
+        if self.reporting_engine == "delta":
+            shipped, deferrable = self._counter.report_delta_triples(min_size)
+        else:
+            shipped = self._counter.report_triples(
+                min_size=min_size, engine=self.reporting_engine
+            )
+            deferrable = []
+        if reset:
+            self._counter.clear()
+            self._observations = 0
+        return shipped, deferrable

@@ -124,6 +124,44 @@ class TrackerBolt(Bolt):
         self.reports_received += received
         self.duplicate_reports += duplicates
 
+    def ingest_repeated(
+        self,
+        pairs: "Iterable[tuple[tuple[frozenset[str], float, int], int]]",
+    ) -> None:
+        """Ingest ``(triple, count)`` pairs — each triple ``count`` times.
+
+        The delta reporting engine defers shipping triples whose value is
+        bit-identical to one it already shipped; at drain time the deferred
+        triples arrive here in compact form.  The effect on the dedup table
+        and on the received/duplicate accounting is exactly that of calling
+        :meth:`ingest` with the triple repeated ``count`` times — repeats
+        of an identical triple never change the winning coefficient (equal
+        support never displaces), they only count as duplicates — but the
+        cost is one update per *distinct* triple.
+        """
+        best = self._best
+        received = 0
+        duplicates = 0
+        for (tagset, jaccard, support), count in pairs:
+            if count <= 0:
+                continue
+            received += count
+            tagset = frozenset(tagset)
+            existing = best.get(tagset)
+            if existing is None:
+                best[tagset] = TrackedCoefficient(
+                    jaccard=float(jaccard), support=int(support), reports=count
+                )
+                duplicates += count - 1
+                continue
+            duplicates += count
+            existing.reports += count
+            if support > existing.support:
+                existing.jaccard = float(jaccard)
+                existing.support = int(support)
+        self.reports_received += received
+        self.duplicate_reports += duplicates
+
     def observe(self, result: JaccardResult) -> None:
         """Record one reported coefficient (kept for single-result callers)."""
         self.ingest(((result.tagset, result.jaccard, result.support),))

@@ -60,9 +60,13 @@ class SystemConfig:
     #: ``"sketch"`` the MinHash/Count-Min approximate tracking mode.
     calculator: str = "exact"
     #: Union computation of exact-mode report rounds: ``"incremental"``
-    #: folds each distinct observed tagset type's subset lattice once;
-    #: ``"scratch"`` re-walks the counter table per counted key (the
-    #: original path).  Identical coefficients either way — see
+    #: folds each distinct observed tagset type's subset lattice once per
+    #: round; ``"delta"`` makes rounds incremental *across* rounds (folds
+    #: only types whose observation context changed, re-asserts clean
+    #: recurring types from a carry table and defers shipping their
+    #: unchanged coefficients to the drain); ``"scratch"`` re-walks the
+    #: counter table per counted key (the original path).  Identical
+    #: coefficients in all three — see the decision table in
     #: docs/ARCHITECTURE.md "Reporting path".
     reporting_engine: str = "incremental"
     #: Capacity of each exact Calculator's LRU cache of tagset →

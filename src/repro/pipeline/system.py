@@ -149,13 +149,22 @@ class RunReport:
     #: (1 in inline mode).
     executor_workers: int = 1
     #: Union computation of exact-mode report rounds: "incremental" (one
-    #: subset-lattice fold per distinct observed tagset type) or "scratch"
-    #: (the original per-key counter-table re-walk).  Identical
-    #: coefficients either way.
+    #: subset-lattice fold per distinct observed tagset type), "delta"
+    #: (cross-round: fold only dirty types, re-assert clean ones from the
+    #: carry table) or "scratch" (the original per-key counter-table
+    #: re-walk).  Identical coefficients in all three.
     reporting_engine: str = "incremental"
     #: Aggregate hit/miss/eviction accounting of the exact Calculators'
-    #: subset-tuple LRU caches (None in sketch mode).
+    #: subset-tuple LRU caches plus the delta engine's carry-table
+    #: hits/misses/invalidations (None in sketch mode).
     subset_cache_stats: dict[str, int] | None = None
+    #: In-stream report-round attribution, aggregated over Calculators:
+    #: ``rounds`` executed, their total wall-clock ``report_seconds``, the
+    #: ``dirty_types``/``clean_types`` fold-vs-reuse split and the
+    #: ``deferred_triples`` whose shipping moved to the drain.  Wall-clock
+    #: content, so — like ``timings`` — informational only and excluded
+    #: from the logical-equivalence contract (None without Calculators).
+    report_round_stats: dict[str, float] | None = None
     #: Wall-clock phase breakdown of this run (seconds): "build" (topology
     #: assembly), "stream" (cluster execution) and "reporting" (final drain
     #: + metric collection).  Informational only — excluded from the
@@ -403,16 +412,29 @@ class TagCorrelationSystem:
             if not isinstance(bolt, SketchCalculatorBolt):
                 continue
             drained = predrained.get(bolt.task_id)
-            if drained is not None and drained[1] is not None:
-                sketch_tracked_total += drained[1]
+            if drained is not None and drained[2] is not None:
+                sketch_tracked_total += drained[2]
             else:
                 sketch_tracked_total += bolt.estimator.tracked_tagsets
         for calculator in calculators:
             drained = predrained.get(calculator.task_id)
-            triples = (
-                drained[0] if drained is not None else calculator.drain_triples()
-            )
+            if drained is not None:
+                triples, replays, _ = drained
+            else:
+                triples, replays = calculator.drain_payload()
+                # Mirror the worker-side drain: drop the delta engine's
+                # carried fold state now that no further round can reuse
+                # it (accounting survives; see release_delta_state).
+                release = getattr(calculator, "release_delta_state", None)
+                if release is not None:
+                    release()
             tracker.ingest(triples)
+            if replays:
+                # Coefficients the delta engine suppressed in-stream
+                # (identical-value repeats), re-asserted with their
+                # suppression counts so the Tracker's dedup table and
+                # duplicate accounting match the ship-everything engines.
+                tracker.ingest_repeated(replays)
 
         notifications = 0
         routed = 0
@@ -463,11 +485,37 @@ class TagCorrelationSystem:
             bolt for bolt in calculators if isinstance(bolt, CalculatorBolt)
         ]
         if exact_calculators:
-            subset_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
+            subset_cache_stats = {
+                "hits": 0, "misses": 0, "evictions": 0,
+                "carry_hits": 0, "carry_misses": 0,
+                "carry_invalidations": 0, "carry_evictions": 0,
+            }
             for bolt in exact_calculators:
                 stats = bolt.calculator.cache_stats
-                for key in subset_cache_stats:
+                for key in ("hits", "misses", "evictions"):
                     subset_cache_stats[key] += stats[key]
+                carry = bolt.calculator.carry_stats
+                for key in ("carry_hits", "carry_misses",
+                            "carry_invalidations", "carry_evictions"):
+                    subset_cache_stats[key] += carry[key]
+
+        report_round_stats: dict[str, float] | None = None
+        if calculators:
+            report_round_stats = {
+                "rounds": float(sum(b.report_rounds for b in calculators)),
+                "report_seconds": sum(b.report_seconds for b in calculators),
+                "dirty_types": float(sum(
+                    b.calculator.counter.types_folded
+                    for b in exact_calculators
+                )),
+                "clean_types": float(sum(
+                    b.calculator.counter.types_reused
+                    for b in exact_calculators
+                )),
+                "deferred_triples": float(sum(
+                    b.coefficients_deferred for b in calculators
+                )),
+            }
 
         return RunReport(
             algorithm=config.algorithm,
@@ -501,6 +549,7 @@ class TagCorrelationSystem:
             ),
             reporting_engine=config.reporting_engine,
             subset_cache_stats=subset_cache_stats,
+            report_round_stats=report_round_stats,
         )
 
     def _jaccard_report(

@@ -43,10 +43,13 @@ what makes process-sharding deterministic:
   to ticks — true for the order-insensitive Tracker, and asserted
   end-to-end by the executor-equivalence tests.
 * At finalisation each shard first *drains* its bolts in-process: bolts
-  exposing ``drain_triples()`` (the Calculators) report their remaining
+  exposing ``drain_payload()`` (the Calculators) report their remaining
   counters inside the worker, and the shard ships the resulting
   ``(tagset, jaccard, support)`` triples — small — instead of the counter
-  tables that produced them.  Only then does the shard return its (now-empty) bolt
+  tables that produced them, plus the delta reporting engine's deferred
+  coefficients as compact ``(triple, count)`` replays (and drops the
+  delta fold state so the bolts pickle back slim).  Only then does the
+  shard return its (now-empty) bolt
   instances and its per-shard
   :class:`~repro.streamsim.cluster.MessageAccounting`; the driver merges the
   accounting, re-installs the bolts into the cluster, and exposes the
@@ -136,16 +139,20 @@ class Executor(abc.ABC):
         """
         return 0
 
-    def drained_results(self) -> dict[int, tuple[list, int | None]]:
+    def drained_results(self) -> dict[int, tuple[list, list, int | None]]:
         """End-of-run results drained *inside* the remote layer, per task.
 
-        Maps the task id of every remote bolt exposing ``drain_triples()``
-        (or the legacy ``drain_results()``) to ``(triples, tracked_keys)``,
-        where ``triples`` are ``(tagset, jaccard, support)`` wire triples
-        and ``tracked_keys`` is the
-        sketch estimator's pre-drain tracked-tagset count (``None`` for
-        exact-mode bolts).  Executors without a remote layer return an
-        empty mapping and the pipeline drains driver-side as before.
+        Maps the task id of every remote bolt exposing ``drain_payload()``
+        (or the legacy ``drain_triples()``/``drain_results()``) to
+        ``(triples, replays, tracked_keys)``, where ``triples`` are
+        ``(tagset, jaccard, support)`` wire triples, ``replays`` are
+        ``(triple, count)`` pairs of coefficients whose in-stream shipping
+        the delta reporting engine deferred (re-asserted driver-side via
+        ``TrackerBolt.ingest_repeated``; empty for the other engines), and
+        ``tracked_keys`` is the sketch estimator's pre-drain tracked-tagset
+        count (``None`` for exact-mode bolts).  Executors without a remote
+        layer return an empty mapping and the pipeline drains driver-side
+        as before.
         """
         return {}
 
@@ -320,25 +327,40 @@ def _shard_worker(spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
                 emissions = []
             elif kind == _DRAIN:
                 # End-of-run drain runs *inside* the worker: the shard ships
-                # final results (small JaccardResult lists) instead of the
-                # counter tables that produced them, and the tables are
-                # emptied before the bolts themselves are pickled back at
+                # final results (small triple lists) instead of the counter
+                # tables that produced them, and the tables are emptied
+                # before the bolts themselves are pickled back at
                 # finalisation.  Mode-specific state that draining resets
                 # (the sketch estimator's tracked-key count) is sampled
-                # first and shipped alongside.
+                # first and shipped alongside.  Delta-engine Calculators
+                # additionally ship their deferred coefficients compactly
+                # as (triple, count) replays — replayed driver-side in
+                # driver task order, so the drain stays deterministic —
+                # and drop their carried fold state before pickling back.
                 drained: dict[int, Any] = {}
                 for task_id, bolt in bolts.items():
-                    drain = getattr(bolt, "drain_triples", None)
-                    if drain is None:
-                        legacy = getattr(bolt, "drain_results", None)
-                        if legacy is None:
-                            continue
-                        drain = lambda _legacy=legacy: [  # noqa: E731
-                            (r.tagset, r.jaccard, r.support) for r in _legacy()
-                        ]
                     estimator = getattr(bolt, "estimator", None)
                     tracked = getattr(estimator, "tracked_tagsets", None)
-                    drained[task_id] = (drain(), tracked)
+                    payload = getattr(bolt, "drain_payload", None)
+                    if payload is not None:
+                        triples, replays = payload()
+                    else:
+                        drain = getattr(bolt, "drain_triples", None)
+                        if drain is not None:
+                            triples, replays = drain(), []
+                        else:
+                            legacy = getattr(bolt, "drain_results", None)
+                            if legacy is None:
+                                continue
+                            triples = [
+                                (r.tagset, r.jaccard, r.support)
+                                for r in legacy()
+                            ]
+                            replays = []
+                    release = getattr(bolt, "release_delta_state", None)
+                    if release is not None:
+                        release()
+                    drained[task_id] = (triples, replays, tracked)
                 outbox.put(("drained", spec.shard_index, drained))
             elif kind == _FINALIZE:
                 for bolt in bolts.values():
@@ -403,7 +425,7 @@ class ShardedProcessExecutor(Executor):
         self._procs: list[Any] = []
         self._started = False
         self._finished = False
-        self._drained: dict[int, tuple[list, int | None]] = {}
+        self._drained: dict[int, tuple[list, list, int | None]] = {}
         #: Shard count actually used (set at attach time).
         self.effective_workers = 0
 
@@ -578,7 +600,7 @@ class ShardedProcessExecutor(Executor):
                 raise RuntimeError(f"expected {expected!r} from shard {shard}, got {kind!r}")
             return reply[2]
 
-    def drained_results(self) -> dict[int, tuple[list, int | None]]:
+    def drained_results(self) -> dict[int, tuple[list, list, int | None]]:
         return self._drained
 
     def _finalize(self, cluster: "Cluster") -> None:

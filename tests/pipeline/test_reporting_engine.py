@@ -1,11 +1,13 @@
-"""Reporting-engine equivalence: incremental and scratch runs are identical.
+"""Reporting-engine equivalence: incremental, delta and scratch identical.
 
-The incremental reporting engine changes *how* exact-mode report rounds
-recover union sizes (one subset-lattice fold per distinct observed tagset
-type instead of a per-key counter re-walk), never *what* they compute.
-These tests pin that contract end-to-end: identical Jaccard coefficients in
-the Tracker and identical ``RunReport`` logical metrics, on both execution
-engines (acceptance criterion of the incremental reporting PR; see
+The reporting engines change *how* exact-mode report rounds recover union
+sizes — one subset-lattice fold per distinct observed tagset type
+(incremental), cross-round dirty-type folding with a carry table and
+deferred shipping of unchanged coefficients (delta), or a per-key counter
+re-walk (scratch) — never *what* they compute.  These tests pin that
+contract end-to-end: identical Jaccard coefficients in the Tracker and
+identical ``RunReport`` logical metrics, on both execution engines
+(acceptance criteria of the incremental and delta reporting PRs; see
 docs/ARCHITECTURE.md "Reporting path").
 """
 
@@ -79,11 +81,14 @@ def _run(documents, **overrides):
     return system, report, tracker
 
 
+ENGINES = ("incremental", "scratch", "delta")
+
+
 @pytest.fixture(scope="module")
 def engine_runs(documents):
     """One run per (reporting engine, executor) cell of the grid."""
     runs = {}
-    for engine in ("incremental", "scratch"):
+    for engine in ENGINES:
         for executor in ("inline", "process"):
             overrides = {"reporting_engine": engine, "executor": executor}
             if executor == "process":
@@ -93,33 +98,40 @@ def engine_runs(documents):
 
 
 class TestEngineEquivalence:
+    @pytest.mark.parametrize("engine", ["incremental", "delta"])
     @pytest.mark.parametrize("executor", ["inline", "process"])
     @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
-    def test_metrics_identical_across_engines(self, engine_runs, executor, field):
-        _, incremental, _ = engine_runs[("incremental", executor)]
+    def test_metrics_identical_across_engines(
+        self, engine_runs, engine, executor, field
+    ):
+        _, candidate, _ = engine_runs[(engine, executor)]
         _, scratch, _ = engine_runs[("scratch", executor)]
-        assert getattr(incremental, field) == getattr(scratch, field)
+        assert getattr(candidate, field) == getattr(scratch, field)
 
+    @pytest.mark.parametrize("engine", ["incremental", "delta"])
     @pytest.mark.parametrize("executor", ["inline", "process"])
-    def test_jaccard_values_identical_across_engines(self, engine_runs, executor):
+    def test_jaccard_values_identical_across_engines(
+        self, engine_runs, engine, executor
+    ):
         """Every tracked coefficient must be bit-identical, not just close:
-        both engines rearrange the same exact integer sums."""
-        _, _, inc_tracker = engine_runs[("incremental", executor)]
+        the engines rearrange the same exact integer sums."""
+        _, _, candidate_tracker = engine_runs[(engine, executor)]
         _, _, scr_tracker = engine_runs[("scratch", executor)]
-        assert inc_tracker.coefficients() == scr_tracker.coefficients()
-        assert inc_tracker.supports() == scr_tracker.supports()
+        assert candidate_tracker.coefficients() == scr_tracker.coefficients()
+        assert candidate_tracker.supports() == scr_tracker.supports()
 
-    @pytest.mark.parametrize("engine", ["incremental", "scratch"])
+    @pytest.mark.parametrize("engine", ENGINES)
     def test_jaccard_values_identical_across_executors(self, engine_runs, engine):
         _, _, inline_tracker = engine_runs[(engine, "inline")]
         _, _, process_tracker = engine_runs[(engine, "process")]
         assert inline_tracker.coefficients() == process_tracker.coefficients()
 
-    def test_error_metrics_identical(self, engine_runs):
-        _, incremental, _ = engine_runs[("incremental", "inline")]
+    @pytest.mark.parametrize("engine", ["incremental", "delta"])
+    def test_error_metrics_identical(self, engine_runs, engine):
+        _, candidate, _ = engine_runs[(engine, "inline")]
         _, scratch, _ = engine_runs[("scratch", "inline")]
-        assert incremental.jaccard_coverage == scratch.jaccard_coverage
-        assert incremental.jaccard_mean_error == scratch.jaccard_mean_error
+        assert candidate.jaccard_coverage == scratch.jaccard_coverage
+        assert candidate.jaccard_mean_error == scratch.jaccard_mean_error
 
     def test_report_records_engine(self, engine_runs):
         for (engine, _executor), (_, report, _) in engine_runs.items():
@@ -131,6 +143,33 @@ class TestEngineEquivalence:
         assert stats is not None
         assert stats["hits"] > 0
         assert stats["misses"] > 0
+
+    def test_carry_stats_reported_for_delta(self, engine_runs):
+        """The delta engine accounts its carry table; the others never
+        touch it."""
+        _, delta_report, _ = engine_runs[("delta", "inline")]
+        stats = delta_report.subset_cache_stats
+        assert stats["carry_misses"] > 0
+        assert stats["carry_hits"] >= 0
+        _, incremental_report, _ = engine_runs[("incremental", "inline")]
+        inc = incremental_report.subset_cache_stats
+        assert inc["carry_hits"] == inc["carry_misses"] == 0
+
+    def test_report_round_stats_recorded(self, engine_runs):
+        """Per-round report attribution (rounds, wall-clock, dirty/clean
+        split) is surfaced for every exact-mode run."""
+        for (engine, _executor), (_, report, _) in engine_runs.items():
+            stats = report.report_round_stats
+            assert stats is not None
+            assert stats["rounds"] > 0
+            assert stats["report_seconds"] > 0.0
+            if engine != "scratch":
+                # Type-granular engines attribute their folds; scratch
+                # walks keys, not types.
+                assert stats["dirty_types"] > 0
+            if engine != "delta":
+                assert stats["clean_types"] == 0
+                assert stats["deferred_triples"] == 0
 
 
 class TestWorkerSideDrain:
@@ -144,11 +183,12 @@ class TestWorkerSideDrain:
             task.task_id for task in system.cluster.tasks_of(streams.CALCULATOR)
         }
         assert set(drained) == calculator_tasks
-        for triples, tracked in drained.values():
+        for triples, replays, tracked in drained.values():
             for tagset, jaccard, support in triples:
                 assert isinstance(tagset, frozenset)
                 assert 0.0 < jaccard <= 1.0
                 assert support >= 1
+            assert replays == []  # only the delta engine defers
             assert tracked is None  # exact mode has no sketch estimator
         # The drain ran inside the workers: the re-installed bolts come
         # back with their counters already reset.
@@ -156,6 +196,55 @@ class TestWorkerSideDrain:
             assert bolt.observations == 0
             assert bolt.drain_triples() == []
 
+    def test_delta_drain_ships_compact_replays_and_slim_bolts(self, engine_runs):
+        """Delta shards ship deferred coefficients as (triple, count) pairs
+        and drop the carried fold state before pickling the bolts back."""
+        system, report, _ = engine_runs[("delta", "process")]
+        drained = system.cluster.executor.drained_results()
+        total_replayed = 0
+        for _triples, replays, _tracked in drained.values():
+            for (tagset, jaccard, support), count in replays:
+                assert isinstance(tagset, frozenset)
+                assert 0.0 < jaccard <= 1.0
+                assert support >= 1 and count >= 1
+                total_replayed += count
+        deferred = report.report_round_stats["deferred_triples"]
+        assert total_replayed == deferred
+        for bolt in system.cluster.instances_of(streams.CALCULATOR):
+            assert bolt.calculator.carry_stats["carry_size"] == 0
+
     def test_inline_executor_has_no_predrained_results(self, engine_runs):
         system, _, _ = engine_runs[("incremental", "inline")]
         assert system.cluster.executor.drained_results() == {}
+
+
+class TestClearHeavyMultiRound:
+    """A clear()-heavy pipeline — many short report rounds, so the carry
+    table crosses many resets — must stay bit-identical to scratch."""
+
+    @pytest.fixture(scope="class")
+    def multi_round_runs(self, documents):
+        runs = {}
+        for engine in ("scratch", "delta"):
+            runs[engine] = _run(
+                documents,
+                reporting_engine=engine,
+                report_interval_seconds=5.0,  # ~8x the rounds of the grid
+            )
+        return runs
+
+    def test_many_rounds_ran(self, multi_round_runs):
+        _, report, _ = multi_round_runs["delta"]
+        assert report.report_round_stats["rounds"] >= 10
+
+    @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
+    def test_metrics_identical(self, multi_round_runs, field):
+        _, delta, _ = multi_round_runs["delta"]
+        _, scratch, _ = multi_round_runs["scratch"]
+        assert getattr(delta, field) == getattr(scratch, field)
+
+    def test_coefficients_identical(self, multi_round_runs):
+        _, _, delta_tracker = multi_round_runs["delta"]
+        _, _, scratch_tracker = multi_round_runs["scratch"]
+        assert delta_tracker.coefficients() == scratch_tracker.coefficients()
+        assert delta_tracker.supports() == scratch_tracker.supports()

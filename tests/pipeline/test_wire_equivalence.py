@@ -71,11 +71,24 @@ class TestGridPinnedAgainstPR3:
 
     def test_fixture_covers_the_full_grid(self):
         assert set(FIXTURE["cells"]) == set(_recorder.CELLS)
-        # The grid spans both executors, both calculator modes and both
-        # exact-mode reporting engines.
+        # The grid spans both executors, both calculator modes and all
+        # three exact-mode reporting engines.
         assert any("process" in name for name in _recorder.CELLS)
         assert any("sketch" in name for name in _recorder.CELLS)
         assert any("scratch" in name for name in _recorder.CELLS)
+        assert any("delta" in name for name in _recorder.CELLS)
+
+    def test_delta_cells_pin_the_scratch_recording(self):
+        """The delta engine is pinned against the PR 3 scratch records —
+        byte-for-byte, digests included."""
+        assert (
+            FIXTURE["cells"]["exact-delta-inline"]
+            == FIXTURE["cells"]["exact-scratch-inline"]
+        )
+        assert (
+            FIXTURE["cells"]["exact-delta-process"]
+            == FIXTURE["cells"]["exact-scratch-process"]
+        )
 
 
 class TestLinkBatchKnob:

@@ -96,6 +96,32 @@ def _bench_with_phases(host, cells):
     }
 
 
+def _bench_with_report_rounds(host, cells):
+    """Cells as (workload, engine, dps, stream_seconds, report_seconds)."""
+    return {
+        "host": host,
+        "runs": [
+            {
+                "workload": workload,
+                "executor": "inline",
+                "requested_workers": 0,
+                "reporting_engine": engine,
+                "docs_per_second": dps,
+                "documents": 3000,
+                "phase_seconds": {"stream": stream, "reporting": 0.1},
+                "report_rounds": {
+                    "rounds": 5,
+                    "report_seconds": report,
+                    "dirty_types": 100,
+                    "clean_types": 0,
+                    "deferred_triples": 0,
+                },
+            }
+            for workload, engine, dps, stream, report in cells
+        ],
+    }
+
+
 HOST = {"platform": "Linux-test", "cpu_count": 1}
 OTHER_HOST = {"platform": "Linux-ci", "cpu_count": 4}
 
@@ -146,28 +172,40 @@ class TestPerfRegressionGate:
     def test_stream_phase_regression_binds_on_inline(self):
         """Overall docs/s holds but the stream phase collapsed: fail."""
         baseline = _bench_with_phases(
-            HOST, [("small", "inline", 0, 1000.0, 3000, 0.2)]
+            HOST, [("small", "inline", 0, 1000.0, 3000, 2.0)]
         )
         candidate = _bench_with_phases(
-            HOST, [("small", "inline", 0, 1000.0, 3000, 0.4)]
+            HOST, [("small", "inline", 0, 1000.0, 3000, 4.0)]
         )
         assert check_perf.compare(baseline, candidate, 0.2) == 1
 
-    def test_stream_phase_improvement_passes(self):
+    def test_short_stream_phase_below_noise_floor_never_binds(self):
+        """A sub-half-second baseline stream phase (the small workload)
+        swings beyond any tolerance between a best-of-N snapshot and a
+        single smoke run: reported, never failing."""
         baseline = _bench_with_phases(
-            HOST, [("small", "inline", 0, 1000.0, 3000, 0.4)]
+            HOST, [("small", "inline", 0, 1000.0, 3000, 0.12)]
         )
         candidate = _bench_with_phases(
-            HOST, [("small", "inline", 0, 1000.0, 3000, 0.2)]
+            HOST, [("small", "inline", 0, 1000.0, 3000, 0.18)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_stream_phase_improvement_passes(self):
+        baseline = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 4.0)]
+        )
+        candidate = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 2.0)]
         )
         assert check_perf.compare(baseline, candidate, 0.2) == 0
 
     def test_stream_phase_report_only_on_process_cells(self):
         baseline = _bench_with_phases(
-            HOST, [("small", "process", 2, 1000.0, 3000, 0.2)]
+            HOST, [("small", "process", 2, 1000.0, 3000, 2.0)]
         )
         candidate = _bench_with_phases(
-            HOST, [("small", "process", 2, 1000.0, 3000, 0.8)]
+            HOST, [("small", "process", 2, 1000.0, 3000, 8.0)]
         )
         assert check_perf.compare(baseline, candidate, 0.2) == 0
 
@@ -181,12 +219,90 @@ class TestPerfRegressionGate:
 
     def test_overall_and_stream_regressions_both_counted(self):
         baseline = _bench_with_phases(
-            HOST, [("small", "inline", 0, 1000.0, 3000, 0.2)]
+            HOST, [("small", "inline", 0, 1000.0, 3000, 2.0)]
         )
         candidate = _bench_with_phases(
-            HOST, [("small", "inline", 0, 500.0, 3000, 0.8)]
+            HOST, [("small", "inline", 0, 500.0, 3000, 8.0)]
         )
         assert check_perf.compare(baseline, candidate, 0.2) == 2
+
+    def test_engine_cells_keyed_separately(self):
+        """An incremental and a delta cell of the same workload must not
+        collide: the slower delta baseline may not mask an incremental
+        regression (and vice versa)."""
+        baseline = _bench_with_report_rounds(
+            HOST,
+            [("small", "incremental", 1000.0, 3.0, 1.0),
+             ("small", "delta", 1200.0, 2.5, 0.5)],
+        )
+        candidate = _bench_with_report_rounds(
+            HOST,
+            [("small", "incremental", 1000.0, 3.0, 1.0),
+             ("small", "delta", 700.0, 4.5, 0.5)],  # delta regressed
+        )
+        # The delta cell regressed both overall and in the stream phase —
+        # two binding findings; the untouched incremental cell contributes
+        # none (no collision between the engines' cells).
+        assert check_perf.compare(baseline, candidate, 0.2) == 2
+
+    def test_legacy_snapshot_defaults_to_incremental_key(self):
+        """Pre-matrix snapshots (no per-cell reporting_engine) compare
+        against the candidate's incremental cells."""
+        baseline = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        candidate = _bench_with_report_rounds(
+            HOST, [("small", "incremental", 500.0, 3.0, 1.0)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
+    def test_report_share_regression_binds_on_matching_host(self):
+        """Overall and stream docs/s hold, but in-stream report rounds ate
+        a third of the stream phase: fail."""
+        baseline = _bench_with_report_rounds(
+            HOST, [("small", "delta", 1000.0, 3.0, 0.6)]  # 20% share
+        )
+        candidate = _bench_with_report_rounds(
+            HOST, [("small", "delta", 1000.0, 3.0, 1.8)]  # 60% share
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
+    def test_report_share_within_tolerance_passes(self):
+        baseline = _bench_with_report_rounds(
+            HOST, [("small", "delta", 1000.0, 3.0, 0.6)]  # 20% share
+        )
+        candidate = _bench_with_report_rounds(
+            HOST, [("small", "delta", 1000.0, 3.0, 0.72)]  # 24% share
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_report_share_tolerance_is_relative_to_the_baseline(self):
+        """A small baseline share must not triple just because the absolute
+        growth stays under the tolerance: 10% -> 29% fails at 0.2."""
+        baseline = _bench_with_report_rounds(
+            HOST, [("small", "delta", 1000.0, 6.0, 0.6)]  # 10% share
+        )
+        candidate = _bench_with_report_rounds(
+            HOST, [("small", "delta", 1000.0, 6.0, 1.74)]  # 29% share
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
+    def test_report_share_never_binds_on_other_host(self):
+        baseline = _bench_with_report_rounds(
+            OTHER_HOST, [("small", "delta", 1000.0, 3.0, 0.6)]
+        )
+        candidate = _bench_with_report_rounds(
+            HOST, [("small", "delta", 1000.0, 3.0, 2.5)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_report_share_skipped_without_attribution(self):
+        """Snapshots without the report_rounds block only gate docs/s."""
+        baseline = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 3.0)]
+        )
+        candidate = _bench_with_report_rounds(
+            HOST, [("small", "incremental", 1000.0, 3.0, 2.9)]
+        )
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
 
     def test_main_end_to_end(self, tmp_path):
         base_path = tmp_path / "base.json"

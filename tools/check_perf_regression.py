@@ -7,9 +7,11 @@ Usage::
     python tools/check_perf_regression.py BASELINE.json CANDIDATE.json \
         [--tolerance 0.2]
 
-Cells are matched by ``(workload, executor, requested_workers)``; only the
-intersection of the two files is compared, so a CI smoke run (a subset of
-the full matrix) checks cleanly against a full committed snapshot.
+Cells are matched by ``(workload, executor, requested_workers,
+reporting_engine)``; only the intersection of the two files is compared, so
+a CI smoke run (a subset of the full matrix) checks cleanly against a full
+committed snapshot, and snapshots recorded before the engine matrix default
+to the ``incremental`` engine key.
 
 Enforcement is **host-aware**: docs/sec is only comparable between runs of
 the same machine class, so the gate is binding only when the two files'
@@ -28,8 +30,18 @@ Besides overall docs/sec, the gate checks the **per-phase breakdown**
 compared as stream-phase docs/sec (documents / stream seconds) under the
 same tolerance, so a regression in the substrate hot path cannot hide
 behind an improvement in the reporting phase (or vice versa).  Cells
-missing ``phase_seconds`` on either side (schema-1 snapshots) skip the
-phase check.
+carrying the ``report_rounds`` attribution additionally gate the
+**report-round share** of the stream phase (in-stream report seconds /
+stream seconds; the share may grow by at most ``tolerance`` *relative to
+the baseline share*, with a 5-share-point noise floor): a creeping
+in-stream report cost fails even while total stream docs/sec still
+squeaks past.  Both phase gates only *bind* when the baseline phase
+lasted at least ``MIN_BINDING_PHASE_SECONDS`` (0.5 s): shorter phases —
+the small workload's ~0.13 s stream phase — swing beyond any usable
+tolerance between a best-of-N snapshot and a single smoke run on a
+shared host, so they are reported without failing the job.  Cells
+missing ``phase_seconds`` or ``report_rounds`` on either side (older
+snapshots) skip the respective check.
 
 Exit codes: 0 = no binding regression, 1 = binding regression found,
 2 = usage or schema error.
@@ -63,7 +75,12 @@ def _load(path: Path) -> dict:
 def _cells(data: dict) -> dict[tuple, dict]:
     cells = {}
     for run in data["runs"]:
-        key = (run["workload"], run["executor"], run.get("requested_workers", 0))
+        key = (
+            run["workload"],
+            run["executor"],
+            run.get("requested_workers", 0),
+            run.get("reporting_engine", "incremental"),
+        )
         cells[key] = run
     return cells
 
@@ -77,6 +94,19 @@ def hosts_comparable(baseline: dict, candidate: dict) -> bool:
     )
 
 
+#: Phase gates only bind when the baseline phase lasted at least this long:
+#: on a shared host, a sub-half-second phase swings well beyond any usable
+#: tolerance between a best-of-N snapshot and a single smoke run (the small
+#: workload's ~0.13 s stream phase reads ±30% across minutes), so shorter
+#: phases are reported without ever failing the job.
+MIN_BINDING_PHASE_SECONDS = 0.5
+
+
+def _stream_seconds(cell: dict) -> float | None:
+    phases = cell.get("phase_seconds")
+    return phases.get("stream") if phases else None
+
+
 def _stream_docs_per_second(cell: dict) -> float | None:
     """Stream-phase throughput of one cell; None when unavailable."""
     phases = cell.get("phase_seconds")
@@ -87,6 +117,20 @@ def _stream_docs_per_second(cell: dict) -> float | None:
     if not stream or not documents:
         return None
     return documents / stream
+
+
+def _report_share(cell: dict) -> float | None:
+    """In-stream report rounds' share of the stream phase; None when the
+    cell lacks the ``report_rounds`` attribution or a stream time."""
+    rounds = cell.get("report_rounds")
+    phases = cell.get("phase_seconds")
+    if not rounds or not phases:
+        return None
+    report_seconds = rounds.get("report_seconds")
+    stream = phases.get("stream")
+    if report_seconds is None or not stream:
+        return None
+    return report_seconds / stream
 
 
 def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
@@ -104,7 +148,7 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
         raise _usage_error("the two files share no benchmark cells")
     regressions = 0
     for key in shared:
-        workload, executor, workers = key
+        workload, executor, workers, engine = key
         old = base_cells[key]["docs_per_second"]
         new = cand_cells[key]["docs_per_second"]
         ratio = new / old if old else float("inf")
@@ -116,25 +160,60 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
             if enforced:
                 regressions += 1
         label = executor if executor == "inline" else f"{executor}({workers}w)"
-        print(f"[perf-diff] {workload:>6} / {label:<12} "
+        label = f"{label}/{engine}"
+        print(f"[perf-diff] {workload:>6} / {label:<24} "
               f"{old:>9.1f} -> {new:>9.1f} docs/s  ({ratio:5.2f}x)  {status}")
-        # Per-phase breakdown: the stream phase binds like the overall rate.
+        # Per-phase breakdown: the stream phase binds like the overall
+        # rate, but only when the baseline phase clears the noise floor.
+        base_seconds = _stream_seconds(base_cells[key])
+        phase_binding = (
+            enforced
+            and base_seconds is not None
+            and base_seconds >= MIN_BINDING_PHASE_SECONDS
+        )
         old_stream = _stream_docs_per_second(base_cells[key])
         new_stream = _stream_docs_per_second(cand_cells[key])
-        if old_stream is None or new_stream is None:
-            continue
-        stream_ratio = new_stream / old_stream if old_stream else float("inf")
-        stream_regressed = stream_ratio < 1.0 - tolerance
-        stream_status = "ok"
-        if stream_regressed:
-            stream_status = (
-                "REGRESSION" if enforced else "regression (report-only)"
+        if old_stream is not None and new_stream is not None:
+            stream_ratio = new_stream / old_stream if old_stream else float("inf")
+            stream_regressed = stream_ratio < 1.0 - tolerance
+            stream_status = "ok"
+            if stream_regressed:
+                if phase_binding:
+                    stream_status = "REGRESSION"
+                    regressions += 1
+                elif enforced:
+                    stream_status = "regression (below noise floor)"
+                else:
+                    stream_status = "regression (report-only)"
+            print(f"[perf-diff] {workload:>6} / {label:<24} "
+                  f"{old_stream:>9.1f} -> {new_stream:>9.1f} docs/s "
+                  f"({stream_ratio:5.2f}x)  [stream phase]  {stream_status}")
+        # Report-round share of the stream phase: a creeping in-stream
+        # report cost must not hide inside an otherwise-passing stream
+        # phase.  The share is a ratio of two same-run wall-clocks, so it
+        # is steadier than docs/sec — but still only binding on a matching
+        # host.  The tolerance is read as absolute share points.
+        old_share = _report_share(base_cells[key])
+        new_share = _report_share(cand_cells[key])
+        if old_share is not None and new_share is not None:
+            # Relative tolerance with a 5-share-point noise floor: a small
+            # baseline share (say 10%) must not be allowed to triple just
+            # because the absolute growth stays under the tolerance.
+            share_regressed = (
+                new_share - old_share > max(0.05, tolerance * old_share)
             )
-            if enforced:
-                regressions += 1
-        print(f"[perf-diff] {workload:>6} / {label:<12} "
-              f"{old_stream:>9.1f} -> {new_stream:>9.1f} docs/s "
-              f"({stream_ratio:5.2f}x)  [stream phase]  {stream_status}")
+            share_status = "ok"
+            if share_regressed:
+                if phase_binding:
+                    share_status = "REGRESSION"
+                    regressions += 1
+                elif enforced:
+                    share_status = "regression (below noise floor)"
+                else:
+                    share_status = "regression (report-only)"
+            print(f"[perf-diff] {workload:>6} / {label:<24} "
+                  f"{old_share:>8.1%} -> {new_share:>8.1%} of stream "
+                  f"[report-round share]  {share_status}")
     return regressions
 
 

@@ -57,8 +57,11 @@ BASE_CONFIG = dict(
     report_interval_seconds=30.0,
 )
 
-#: The grid: cell name -> config overrides.  The scratch engine only exists
-#: in exact mode, so the sketch cells run the default engine only.
+#: The grid: cell name -> config overrides.  The reporting engines only
+#: exist in exact mode, so the sketch cells run the default engine only.
+#: The delta cells were appended when the engine landed; their records are
+#: byte-for-byte the scratch cells' (the engines are pinned bit-identical),
+#: so delta is still pinned against the PR 3 recording.
 CELLS = {
     "exact-incremental-inline": dict(calculator="exact", reporting_engine="incremental"),
     "exact-incremental-process": dict(
@@ -67,6 +70,10 @@ CELLS = {
     "exact-scratch-inline": dict(calculator="exact", reporting_engine="scratch"),
     "exact-scratch-process": dict(
         calculator="exact", reporting_engine="scratch", executor="process", workers=2
+    ),
+    "exact-delta-inline": dict(calculator="exact", reporting_engine="delta"),
+    "exact-delta-process": dict(
+        calculator="exact", reporting_engine="delta", executor="process", workers=2
     ),
     "sketch-inline": dict(calculator="sketch"),
     "sketch-process": dict(calculator="sketch", executor="process", workers=2),
