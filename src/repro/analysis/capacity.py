@@ -21,11 +21,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.jaccard import JaccardCalculator
 from ..core.metrics import load_shares
-from ..pipeline.system import RunReport
+
+if TYPE_CHECKING:  # annotation-only: avoids a cycle with the operator layer,
+    # which reuses the pure cost helpers below for online decisions.
+    from ..pipeline.system import RunReport
 
 
 def calibrate_updates_per_second(
@@ -71,6 +74,48 @@ def notification_cost(mean_tags_per_notification: float) -> float:
     return max(2.0**mean_tags_per_notification - 1.0, 1.0)
 
 
+def per_document_update_cost(
+    communication: float,
+    max_load_share: float,
+    k: int,
+    mean_tags_per_notification: float = 2.5,
+) -> float:
+    """Counter updates the most loaded Calculator performs per tagged document.
+
+    The pure core of the capacity model, shared by the offline
+    :func:`estimate_capacity` analysis and the online
+    ``RepartitionController`` capacity policy: the bottleneck node receives
+    ``communication * max_load_share`` notifications per document, each
+    costing ``2^m - 1`` updates.  Inputs are clamped to the model's floors
+    (fan-out at least 1 notification, share at least ``1/k``).
+    """
+    communication = max(float(communication), 1.0)
+    max_share = max(float(max_load_share), 1.0 / max(k, 1))
+    return communication * max_share * notification_cost(mean_tags_per_notification)
+
+
+def sustainable_rate(
+    updates_per_second_per_node: float,
+    communication: float,
+    max_load_share: float,
+    k: int,
+    mean_tags_per_notification: float = 2.5,
+) -> float:
+    """Sustainable tagged-document arrival rate of one deployment state.
+
+    Inverse of :func:`per_document_update_cost` scaled by node throughput.
+    The online capacity policy compares this quantity between the reference
+    (post-install) state and the rolling window — note the node throughput
+    and the notification-cost factor cancel in that ratio, so the policy
+    reduces to comparing ``communication * max_load_share`` products.
+    """
+    if updates_per_second_per_node <= 0:
+        raise ValueError("updates_per_second_per_node must be positive")
+    return updates_per_second_per_node / per_document_update_cost(
+        communication, max_load_share, k, mean_tags_per_notification
+    )
+
+
 def estimate_capacity(
     report: RunReport,
     updates_per_second_per_node: float,
@@ -86,12 +131,13 @@ def estimate_capacity(
         raise ValueError("updates_per_second_per_node must be positive")
     communication = max(report.communication_avg, 1.0)
     max_share = max(report.load_max_share, 1.0 / max(report.config.k, 1))
-    per_document_updates = (
-        communication
-        * max_share
-        * notification_cost(mean_tags_per_notification)
+    sustainable = sustainable_rate(
+        updates_per_second_per_node,
+        communication,
+        max_share,
+        report.config.k,
+        mean_tags_per_notification,
     )
-    sustainable = updates_per_second_per_node / per_document_updates
     return CapacityEstimate(
         k=report.config.k,
         communication=communication,

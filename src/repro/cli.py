@@ -42,6 +42,7 @@ from typing import Sequence
 from .analysis.connectivity import connectivity_by_window_size
 from .core.documents import Document
 from .core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
+from .operators.controller import REPARTITION_POLICIES
 from .pipeline import RunReport, SystemConfig, TagCorrelationSystem
 from .streamsim import EXECUTOR_NAMES
 from .theory import WindowModel, communication_sweep, paper_np_table
@@ -70,8 +71,27 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--k", type=int, default=10, help="number of Calculators")
     parser.add_argument("--partitioners", type=int, default=10,
                         help="number of Partitioner instances")
-    parser.add_argument("--threshold", type=float, default=0.5,
+    parser.add_argument("--threshold", "--repartition-threshold",
+                        dest="threshold", type=float, default=0.5,
                         help="repartition threshold thr")
+    parser.add_argument("--repartition-policy", choices=REPARTITION_POLICIES,
+                        default="threshold",
+                        help="when the Disseminator requests a full swap: "
+                             "threshold (the paper's either-or quality "
+                             "rule, the default), capacity (combined "
+                             "per-document update cost of the capacity "
+                             "model degraded by thr), fixed (swap at the "
+                             "--repartition-at document counts) or never "
+                             "(Single Additions only)")
+    parser.add_argument("--repartition-at", default="",
+                        help="comma-separated document counts at which the "
+                             "fixed policy forces a swap, e.g. 2000,5000")
+    parser.add_argument("--repartition-handoff", choices=("none", "migrate"),
+                        default="none",
+                        help="Calculator state on a mid-stream swap: none "
+                             "(install immediately, keep counters) or "
+                             "migrate (coordinated quiesce -> drain "
+                             "counters to the Tracker -> install)")
     parser.add_argument("--window", type=int, default=1500,
                         help="partitioning window size in documents")
     parser.add_argument("--bootstrap", type=int, default=600,
@@ -127,12 +147,24 @@ def _workload_from_args(args: argparse.Namespace) -> list[Document]:
     return TwitterLikeGenerator(config).generate(args.documents)
 
 
+def _repartition_points(raw: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(
+            f"--repartition-at expects comma-separated integers, got {raw!r}"
+        ) from None
+
+
 def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = None) -> SystemConfig:
     return SystemConfig(
         algorithm=algorithm or args.algorithm,
         k=args.k,
         n_partitioners=args.partitioners,
         repartition_threshold=args.threshold,
+        repartition_policy=getattr(args, "repartition_policy", "threshold"),
+        repartition_at=_repartition_points(getattr(args, "repartition_at", "")),
+        repartition_handoff=getattr(args, "repartition_handoff", "none"),
         window_mode="count",
         window_size=args.window,
         bootstrap_documents=args.bootstrap,
@@ -184,6 +216,14 @@ def _print_report(report: RunReport) -> None:
     print(f"load Gini coefficient     : {report.load_gini:.3f}")
     print(f"max Calculator load share : {report.load_max_share:.3f}")
     print(f"repartitions              : {report.n_repartitions} {report.repartition_reasons}")
+    if report.migration_stats is not None:
+        stats = report.migration_stats
+        print(f"state migrations          : {int(stats['handoffs'])} handoffs "
+              f"({int(stats['aborted'])} aborted), "
+              f"{int(stats['migrated_triples'])} triples migrated, "
+              f"{stats['stall_seconds']*1000:.1f} ms stalled")
+    for failure in report.migration_failures:
+        print(f"migration failure         : {failure.splitlines()[0]}")
     print(f"single additions          : {report.single_additions_applied}")
     print(f"coefficients reported     : {report.coefficients_reported}")
     if report.jaccard is not None:
@@ -301,6 +341,17 @@ examples:
 
   # Pin the original reporting path (for equivalence checks):
   python -m repro.cli run --documents 8000 --reporting-engine scratch
+
+  # Live repartitioning with state migration: force swaps at two points
+  # and drain the Calculators' counters through a coordinated handoff
+  # (quiesce -> migrate -> install; see docs/ARCHITECTURE.md "Live
+  # repartitioning"):
+  python -m repro.cli run --documents 8000 --repartition-policy fixed \\
+      --repartition-at 3000,6000 --repartition-handoff migrate
+
+  # Capacity-model repartition policy (trigger on the combined
+  # per-document update cost instead of the either-or quality rule):
+  python -m repro.cli run --documents 8000 --repartition-policy capacity
 
   # Paper-style algorithm comparison (Figures 3-6):
   python -m repro.cli compare --documents 8000 --algorithms DS,SCI,SCC,SCL

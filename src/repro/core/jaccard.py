@@ -1193,6 +1193,42 @@ class JaccardCalculator:
         self._observations = 0
         return results
 
+    def migration_triples(
+        self, min_size: int = 2
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """Side-effect-free migration payload: the triples a drain would
+        ship, with the counters left untouched.
+
+        This is phase one of the two-phase state handoff: the payload is
+        computed without mutating anything (same engine choice and
+        ``types_folded`` compensation as :meth:`drain_triples`), so a
+        migration aborted after this call leaves the Calculator exactly as
+        it was.  Phase two — :meth:`reset_counts` — only runs once every
+        participant prepared successfully.
+        """
+        engine = (
+            "incremental"
+            if self.reporting_engine == "delta"
+            else self.reporting_engine
+        )
+        counter = self._counter
+        folded_before = counter.types_folded
+        results = counter.report_triples(min_size=min_size, engine=engine)
+        counter.types_folded = folded_before
+        return results
+
+    def reset_counts(self) -> None:
+        """Commit a migration: drop the counted window, keep derived state.
+
+        Equivalent to the reset a report/drain performs — ``clear()`` drops
+        the counts and multiplicities but deliberately preserves the subset
+        cache and the delta engine's carry table/diff baseline, which are
+        determined by the observation history and stay consistent across
+        the handoff.
+        """
+        self._counter.clear()
+        self._observations = 0
+
     def report_round_triples(
         self, min_size: int = 2, reset: bool = True
     ) -> tuple[

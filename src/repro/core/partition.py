@@ -14,6 +14,40 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 
+@dataclass(frozen=True, slots=True)
+class PartitionSeed:
+    """A serialisable snapshot of an installed assignment plus its quality.
+
+    Captures everything the runtime needs to resume under a known map: the
+    tag sets and bookkeeping loads of every partition, and the reference
+    quality (average communication, maximum load) the Disseminator compares
+    rolling statistics against.  Produced from a recorded
+    ``PartitionInstall`` and consumed by ``SystemConfig.initial_partitions``
+    — the splice-equivalence suites use it to start a fresh run exactly
+    where a live repartition left off.
+    """
+
+    tag_sets: tuple[frozenset[str], ...]
+    loads: tuple[int, ...]
+    avg_com: float
+    max_load: float
+
+    def __post_init__(self) -> None:
+        if len(self.tag_sets) != len(self.loads):
+            raise ValueError("tag_sets and loads must have the same length")
+
+    @property
+    def k(self) -> int:
+        return len(self.tag_sets)
+
+    def build_assignment(self) -> "PartitionAssignment":
+        """Materialise the assignment, restoring per-partition loads."""
+        assignment = PartitionAssignment.from_tag_sets(self.tag_sets)
+        for partition, load in zip(assignment.partitions, self.loads):
+            partition.load = load
+        return assignment
+
+
 @dataclass(slots=True)
 class Partition:
     """A single tag partition ``pr_i`` together with its bookkeeping load.

@@ -3,14 +3,18 @@
 from .calculator import BaseCalculatorBolt, CalculatorBolt
 from .sketch_calculator import SketchCalculatorBolt
 from .centralized import CentralizedCalculatorBolt
+from .controller import REPARTITION_POLICIES, RepartitionController
 from .disseminator import (
     DisseminatorBolt,
     DisseminatorMetrics,
+    MigrationRecord,
+    PartitionInstall,
     QualitySnapshot,
     RepartitionEvent,
     REASON_BOOTSTRAP,
     REASON_BOTH,
     REASON_COMMUNICATION,
+    REASON_FORCED,
     REASON_LOAD,
 )
 from .merger import MergerBolt
@@ -31,13 +35,18 @@ __all__ = [
     "DocumentSpout",
     "FileSpout",
     "MergerBolt",
+    "MigrationRecord",
     "ParserBolt",
+    "PartitionInstall",
     "PartitionerBolt",
     "QualitySnapshot",
     "REASON_BOOTSTRAP",
     "REASON_BOTH",
     "REASON_COMMUNICATION",
+    "REASON_FORCED",
     "REASON_LOAD",
+    "REPARTITION_POLICIES",
+    "RepartitionController",
     "RepartitionEvent",
     "SlidingWindow",
     "TrackerBolt",

@@ -64,6 +64,10 @@ class BaseCalculatorBolt(Bolt):
         #: ``coefficients_deferred``; pending replays in ``_deferred``.
         self.coefficients_deferred = 0
         self._deferred: dict[tuple, int] = {}
+        #: State-handoff accounting (live repartitioning): completed
+        #: migrations and total triples shipped out of this bolt by them.
+        self.migrations_completed = 0
+        self.migrated_triples = 0
 
     # ------------------------------------------------------------------ #
     # Mode-specific estimator interface
@@ -204,6 +208,51 @@ class BaseCalculatorBolt(Bolt):
         """:meth:`drain_triples`, wrapped as :class:`JaccardResult` objects."""
         return [JaccardResult(*triple) for triple in self.drain_triples()]
 
+    # ------------------------------------------------------------------ #
+    # State migration (live repartitioning handoff)
+    # ------------------------------------------------------------------ #
+    def prepare_migration(self) -> list[tuple[frozenset[str], float, int]]:
+        """Phase one of the two-phase handoff: compute the migration payload
+        without mutating any state.
+
+        The payload is exactly what a drain would ship for the counted
+        window.  Nothing is reset here — if any participant of the handoff
+        fails to prepare, the coordinator aborts and this bolt continues
+        under the old assignment as if nothing happened.  Deferred replays
+        (``_deferred``) are *not* part of the payload: they re-assert
+        triples already shipped in earlier rounds and stay queued for the
+        end-of-run drain regardless of migrations in between.
+        """
+        return self._report_triples(reset=False)
+
+    def commit_migration(
+        self, payload: list[tuple[frozenset[str], float, int]], timestamp: float
+    ) -> int:
+        """Phase two: ship the prepared payload and reset the counted window.
+
+        Emits the payload as one batched ``COEFFICIENTS`` tuple (the same
+        shape as a report round), resets the mode's estimator the way a
+        resetting report would, and rewinds the report clock to the
+        fresh-bolt origin so the post-handoff cadence matches a run started
+        under the new assignment.  Returns the number of migrated triples.
+        """
+        if payload:
+            self.emit(COEFFICIENTS, payload, timestamp)
+        self._migration_reset()
+        self._last_report = 0.0
+        self.migrations_completed += 1
+        self.migrated_triples += len(payload)
+        return len(payload)
+
+    def abort_migration(self) -> None:
+        """Phase-one failure: nothing was mutated, so nothing to undo."""
+
+    def _migration_reset(self) -> None:
+        """Drop the counted window after its payload shipped (mode hook)."""
+        raise NotImplementedError(
+            f"calculator mode {self.mode!r} does not support state migration"
+        )
+
 
 class CalculatorBolt(BaseCalculatorBolt):
     """Exact mode: subset counters and inclusion–exclusion (Equation 2).
@@ -260,6 +309,15 @@ class CalculatorBolt(BaseCalculatorBolt):
     def release_delta_state(self) -> None:
         """Drop the delta engine's carried fold state (post-drain slimming)."""
         self.calculator.release_delta_state()
+
+    def prepare_migration(self) -> list[tuple[frozenset[str], float, int]]:
+        # The base default (a non-resetting report) would route the delta
+        # engine through its diffing path and mutate the carry baseline;
+        # ``migration_triples`` is the side-effect-free drain equivalent.
+        return self.calculator.migration_triples(min_size=2)
+
+    def _migration_reset(self) -> None:
+        self.calculator.reset_counts()
 
     @property
     def observations(self) -> int:

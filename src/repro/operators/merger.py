@@ -29,7 +29,7 @@ from collections import Counter
 
 from ..core.cooccurrence import CooccurrenceStatistics
 from ..core.metrics import max_load_share
-from ..core.partition import PartitionAssignment
+from ..core.partition import PartitionAssignment, PartitionSeed
 from ..partitioning import (
     DisjointSet,
     DisjointSetsPartitioner,
@@ -58,7 +58,12 @@ def _statistics_from_weighted_tagsets(
 class MergerBolt(Bolt):
     """Collects partial partitions, emits final partitions, handles additions."""
 
-    def __init__(self, algorithm: Partitioner, k: int) -> None:
+    def __init__(
+        self,
+        algorithm: Partitioner,
+        k: int,
+        initial_partitions: PartitionSeed | None = None,
+    ) -> None:
         super().__init__()
         self.algorithm = algorithm
         self.k = k
@@ -67,6 +72,14 @@ class MergerBolt(Bolt):
         self._pending: dict[int, list[TupleMessage]] = {}
         self._current_assignment: PartitionAssignment | None = None
         self._expected_partials = 1
+        if initial_partitions is not None:
+            # A seeded run (SystemConfig.initial_partitions) resumes under a
+            # known assignment: the Merger must own it from the start so
+            # Single Additions are placed against the same map (with the
+            # same loads) a continued run would use — without a copy here,
+            # MISSING_TAGSETS would be dropped silently until the first
+            # merge.
+            self._current_assignment = initial_partitions.build_assignment()
 
     def on_prepare(self) -> None:
         assert self.context is not None

@@ -63,6 +63,11 @@ class SketchCalculatorBolt(BaseCalculatorBolt):
     def _report(self, reset: bool) -> list[JaccardResult]:
         return self.estimator.report(min_size=2, reset=reset)
 
+    def _migration_reset(self) -> None:
+        # Same reset a resetting report performs: drop the signatures,
+        # tracked keys and Count-Min counters wholesale.
+        self.estimator.clear()
+
     @property
     def observations(self) -> int:
         return self.estimator.observations

@@ -189,5 +189,21 @@ class TrackerBolt(Bolt):
         """Supporting counter value per tagset."""
         return {tagset: tracked.support for tagset, tracked in self._best.items()}
 
+    def export_triples(self) -> list[tuple[frozenset[str], float, int]]:
+        """The dedup table as ``(tagset, jaccard, support)`` wire triples.
+
+        In insertion order, so re-ingesting the export into a fresh Tracker
+        reproduces this one's winning coefficients exactly: the dedup rule
+        (maximum support wins, equal support never displaces) makes ingest
+        associative over concatenation of report streams.  The
+        splice-equivalence suites use this to merge the trackers of a
+        prefix run and a suffix run into the state one continuous run
+        would hold.
+        """
+        return [
+            (tagset, tracked.jaccard, tracked.support)
+            for tagset, tracked in self._best.items()
+        ]
+
     def __len__(self) -> int:
         return len(self._best)

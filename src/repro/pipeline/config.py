@@ -15,6 +15,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
+from ..core.partition import PartitionSeed
+from ..operators.controller import REPARTITION_POLICIES
 from ..streamsim.executors import EXECUTOR_NAMES
 
 #: Auto-sized process executors never spawn more workers than this: beyond a
@@ -45,6 +47,28 @@ class SystemConfig:
     n_parsers: int = 1
     n_disseminators: int = 1
     repartition_threshold: float = 0.5
+    #: How the Disseminator's controller decides to ask for a full swap:
+    #: ``"threshold"`` is the paper's either-or quality rule (avgCom or
+    #: maxLoad degraded by more than ``thr``); ``"capacity"`` triggers on
+    #: the combined per-document update cost of ``analysis.capacity``
+    #: degrading by more than ``thr``; ``"fixed"`` swaps at the document
+    #: counts of ``repartition_at``; ``"never"`` disables swaps (Single
+    #: Additions still apply).
+    repartition_policy: str = "threshold"
+    #: Document counts at which the ``"fixed"`` policy forces a swap.
+    repartition_at: tuple[int, ...] = ()
+    #: What happens to Calculator state when a new partition map arrives
+    #: mid-stream: ``"none"`` installs the map immediately and keeps the
+    #: counters (the legacy behaviour); ``"migrate"`` runs the coordinated
+    #: quiesce → migrate → install handoff (the counters are reported to
+    #: the Tracker and reset, so post-swap state matches a fresh start
+    #: under the new map).
+    repartition_handoff: str = "none"
+    #: Optional pre-installed partition map: the run starts with this
+    #: assignment (epoch 0) instead of bootstrapping one, exactly as a run
+    #: resumed after a migration would.  Used by the splice-equivalence
+    #: suites.
+    initial_partitions: PartitionSeed | None = None
     single_addition_threshold: int = 3
     quality_check_interval: int = 1000
     report_interval_seconds: float = 300.0
@@ -117,6 +141,24 @@ class SystemConfig:
             raise ValueError("bootstrap_documents must be at least 1")
         if self.repartition_threshold < 0:
             raise ValueError("repartition_threshold must be non-negative")
+        if self.repartition_policy not in REPARTITION_POLICIES:
+            raise ValueError(
+                "repartition_policy must be one of "
+                f"{', '.join(REPARTITION_POLICIES)}"
+            )
+        if any(point < 1 for point in self.repartition_at):
+            raise ValueError("repartition_at points must be positive document counts")
+        if self.repartition_at and self.repartition_policy != "fixed":
+            raise ValueError(
+                "repartition_at requires repartition_policy='fixed'"
+            )
+        if self.repartition_handoff not in ("none", "migrate"):
+            raise ValueError("repartition_handoff must be 'none' or 'migrate'")
+        if self.initial_partitions is not None and self.initial_partitions.k != self.k:
+            raise ValueError(
+                f"initial_partitions has {self.initial_partitions.k} partitions "
+                f"but k={self.k}"
+            )
         if self.calculator not in ("exact", "sketch"):
             raise ValueError("calculator must be 'exact' or 'sketch'")
         if self.reporting_engine not in REPORTING_ENGINES:

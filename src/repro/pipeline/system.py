@@ -42,7 +42,9 @@ from ..operators import (
     DisseminatorBolt,
     DocumentSpout,
     MergerBolt,
+    MigrationRecord,
     ParserBolt,
+    PartitionInstall,
     PartitionerBolt,
     QualitySnapshot,
     RepartitionEvent,
@@ -133,6 +135,17 @@ class RunReport:
     jaccard: JaccardErrorReport | None
     history: list[QualitySnapshot] = field(default_factory=list)
     repartition_events: list[RepartitionEvent] = field(default_factory=list)
+    #: Every partition map installed over the run (epoch, seed values and
+    #: whether a coordinated state migration preceded the install).
+    partition_installs: list[PartitionInstall] = field(default_factory=list)
+    #: Coordinated state-migration handoffs (committed and aborted), with
+    #: per-handoff migrated-triple counts and wall-clock stall.
+    migrations: list[MigrationRecord] = field(default_factory=list)
+    #: Aggregate migration accounting (None when no handoff ran):
+    #: ``handoffs``, ``aborted``, ``migrated_triples``, ``stall_seconds``.
+    migration_stats: dict[str, float] | None = None
+    #: Error descriptions of aborted migrations (old map stayed in force).
+    migration_failures: list[str] = field(default_factory=list)
 
     #: Which Calculator implementation ran: "exact" or "sketch".
     calculator_mode: str = "exact"
@@ -257,6 +270,7 @@ class TagCorrelationSystem:
             lambda: MergerBolt(
                 algorithm=make_partitioner(config.algorithm, **config.algorithm_options),
                 k=config.k,
+                initial_partitions=config.initial_partitions,
             ),
             parallelism=1,
         ).shuffle_grouping(streams.PARTITIONER, streams.PARTIAL_PARTITIONS).shuffle_grouping(
@@ -272,6 +286,10 @@ class TagCorrelationSystem:
                 quality_check_interval=config.quality_check_interval,
                 bootstrap_documents=config.bootstrap_documents,
                 notification_batch_size=config.notification_batch_size,
+                repartition_policy=config.repartition_policy,
+                repartition_at=config.repartition_at,
+                repartition_handoff=config.repartition_handoff,
+                initial_partitions=config.initial_partitions,
             ),
             parallelism=config.n_disseminators,
         ).shuffle_grouping(streams.PARSER, streams.TAGSETS).all_grouping(
@@ -362,6 +380,11 @@ class TagCorrelationSystem:
             "build": t1 - t0,
             "stream": t2 - t1,
             "reporting": t3 - t2,
+            # Wall-clock the stream phase spent inside coordinated state
+            # handoffs (quiesce → migrate → install); 0.0 without any.
+            # A subset of "stream", reported separately so the perf
+            # harness can attribute it.
+            "migration_stall": cluster.migration_stall_seconds,
         }
         return report
 
@@ -443,6 +466,8 @@ class TagCorrelationSystem:
         loads = [0] * config.k
         repartition_events: list[RepartitionEvent] = []
         history: list[QualitySnapshot] = []
+        partition_installs: list[PartitionInstall] = []
+        migrations: list[MigrationRecord] = []
         single_addition_requests = 0
         for disseminator in disseminators:
             metrics = disseminator.metrics
@@ -454,9 +479,24 @@ class TagCorrelationSystem:
                 loads[index] += load
             repartition_events.extend(metrics.repartitions)
             history.extend(metrics.history)
+            partition_installs.extend(metrics.installs)
+            migrations.extend(metrics.migrations)
             single_addition_requests += metrics.single_addition_requests
         repartition_events.sort(key=lambda event: event.documents_processed)
         history.sort(key=lambda snapshot: snapshot.documents_processed)
+        partition_installs.sort(key=lambda install: install.documents_processed)
+        migrations.sort(key=lambda record: record.documents_processed)
+
+        migration_stats: dict[str, float] | None = None
+        if migrations:
+            migration_stats = {
+                "handoffs": float(len(migrations)),
+                "aborted": float(sum(1 for m in migrations if m.aborted)),
+                "migrated_triples": float(
+                    sum(m.migrated_triples for m in migrations)
+                ),
+                "stall_seconds": sum(m.stall_seconds for m in migrations),
+            }
 
         communication_avg = notifications / routed if routed else 0.0
         reasons: dict[str, int] = {}
@@ -537,6 +577,10 @@ class TagCorrelationSystem:
             jaccard=jaccard_report,
             history=history,
             repartition_events=repartition_events,
+            partition_installs=partition_installs,
+            migrations=migrations,
+            migration_stats=migration_stats,
+            migration_failures=list(cluster.migration_failures),
             calculator_mode=config.calculator,
             notification_messages=notification_messages,
             batch_amortization=batch_amortization,

@@ -41,6 +41,7 @@ flush time so remote tasks are serviced transparently.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Sequence
@@ -128,6 +129,16 @@ class ClusterContext:
     def current_time(self) -> float:
         return self._cluster.current_time
 
+    def request_handoff(self, task_id: int, components: Sequence[str]) -> None:
+        """Ask the cluster for a coordinated state handoff (live repartition).
+
+        Queued, not immediate: the handoff runs at the next quiescent point
+        (the in-flight queue empty), where the cluster quiesces the listed
+        component layers, two-phase-migrates their state and then calls the
+        requesting bolt's ``commit_staged``/``abort_staged`` callback.
+        """
+        self._cluster._request_handoff(task_id, tuple(components))
+
 
 class Cluster:
     """Deploys a topology and runs it to completion via its executor."""
@@ -153,6 +164,11 @@ class Cluster:
         self._tick_interval = tick_interval
         self._last_tick = 0.0
         self._queue: deque[tuple[TaskInfo, list[TupleMessage]]] = deque()
+        #: Pending coordinated-handoff requests (live repartitioning) and
+        #: their run-level accounting, read by the pipeline after the run.
+        self._handoff_requests: deque[tuple[int, tuple[str, ...]]] = deque()
+        self.migration_stall_seconds = 0.0
+        self.migration_failures: list[str] = []
         self._tasks: list[TaskInfo] = []
         self._tasks_by_component: dict[str, list[TaskInfo]] = {}
         self._create_tasks()
@@ -351,6 +367,24 @@ class Cluster:
                 queue.append((consumer_tasks[index], bucket))
 
     def _drain_queue(self) -> None:
+        """Deliver until nothing is in flight, then serve handoff requests.
+
+        Handoffs deliberately wait for the queue to empty: with the inline
+        depth-first discipline (one spout document per drain cycle) the
+        empty queue is a clean per-document boundary, so a swap staged
+        while document *r* cascaded takes effect before document *r + 1*
+        is routed — exactly the semantics the splice-equivalence suites
+        pin.  Coordination itself emits and enqueues (migration payloads
+        travelling to the Tracker), hence the outer loop.
+        """
+        while True:
+            self._drain_basic()
+            if not self._handoff_requests:
+                return
+            self._run_handoffs()
+
+    def _drain_basic(self) -> None:
+        """The plain delivery loop, never entering handoff coordination."""
         queue = self._queue
         while queue:
             task, messages = queue.popleft()
@@ -378,6 +412,113 @@ class Cluster:
             # are relayed here and routed like any other batch.
             released += self._executor.flush_remote()
             self._drain_queue()
+            if not released:
+                return
+
+    # ------------------------------------------------------------------ #
+    # Coordinated state handoff (live repartitioning)
+    # ------------------------------------------------------------------ #
+    def _request_handoff(self, task_id: int, components: tuple[str, ...]) -> None:
+        self._handoff_requests.append((task_id, components))
+
+    def _run_handoffs(self) -> None:
+        while self._handoff_requests:
+            task_id, components = self._handoff_requests.popleft()
+            self._coordinate_handoff(self._tasks[task_id], components)
+
+    def _coordinate_handoff(
+        self, requester: TaskInfo, components: tuple[str, ...]
+    ) -> None:
+        """Quiesce → two-phase migrate → install → resume, or abort cleanly.
+
+        The protocol is duck-typed against the requesting bolt
+        (``staged_handoff`` / ``commit_staged`` / ``abort_staged``) and the
+        migrating layers' bolts (``prepare_migration`` / ``commit_migration``
+        / ``abort_migration``); remote layers go through the executor's
+        ``migrate_prepare`` / ``migrate_commit`` / ``migrate_abort`` hooks.
+
+        Phase 1 (*prepare*) is side-effect-free on every participant, so a
+        raise — or a dead worker — aborts the whole handoff with all state
+        and the old assignment intact.  Phase 2 (*commit*) ships each
+        payload to its subscribers (the Tracker) and resets the counters;
+        only then is the staged assignment installed on the requester.  No
+        clock tick can fire during coordination: every batch routed here
+        carries a timestamp at or below the current simulation time.
+        """
+        bolt = requester.instance
+        staged = getattr(bolt, "staged_handoff", None)
+        if staged is None:
+            # A second request for an already-resolved handoff (e.g. two
+            # staging bolts racing in one drain window) is a no-op.
+            return
+        started = time.perf_counter()
+        # Quiesce: everything in flight — including buffered notification
+        # micro-batches — is delivered under the old assignment first.
+        self._quiesce()
+        local_tasks: list[TaskInfo] = []
+        remote_tasks: list[TaskInfo] = []
+        for name in components:
+            for task in self.tasks_of(name):
+                (remote_tasks if task.is_remote else local_tasks).append(task)
+        payloads: dict[int, list] = {}
+        error: str | None = None
+        for task in local_tasks:
+            try:
+                payloads[task.task_id] = task.instance.prepare_migration()
+            except Exception as exc:  # noqa: BLE001 - abort on any failure
+                error = (
+                    f"prepare_migration failed on {task.component}"
+                    f"[task {task.task_id}]: {exc!r}"
+                )
+                break
+        if error is None and remote_tasks:
+            error = self._executor.migrate_prepare(
+                [task.task_id for task in remote_tasks]
+            )
+        if error is not None:
+            for task in local_tasks:
+                if task.task_id in payloads:
+                    task.instance.abort_migration()
+            if remote_tasks:
+                self._executor.migrate_abort()
+            stall = time.perf_counter() - started
+            bolt.abort_staged(error, stall)
+            self.migration_failures.append(error)
+            self.migration_stall_seconds += stall
+            return
+        migrated = 0
+        for task in local_tasks:
+            migrated += task.instance.commit_migration(
+                payloads[task.task_id], staged.timestamp
+            )
+            self._route_emissions(task)
+        if remote_tasks:
+            migrated += self._executor.migrate_commit(staged.timestamp)
+        # Migrated coefficients reach the Tracker before routing resumes
+        # under the new map.
+        self._drain_basic()
+        stall = time.perf_counter() - started
+        bolt.commit_staged(migrated, stall)
+        self.migration_stall_seconds += stall
+
+    def _quiesce(self) -> None:
+        """Flush-and-deliver until quiet, without re-entering handoffs.
+
+        The same repeat-until-quiet discipline as the end-of-stream
+        :meth:`_flush_bolts`, but built on :meth:`_drain_basic`: a handoff
+        request queued by a delivery during the quiesce must wait for the
+        current coordination to finish, not nest inside it.
+        """
+        while True:
+            released = 0
+            for task in self._tasks:
+                if task.is_remote or not task.is_bolt:
+                    continue
+                task.instance.flush()  # type: ignore[union-attr]
+                released += self._route_emissions(task)
+            self._drain_basic()
+            released += self._executor.flush_remote()
+            self._drain_basic()
             if not released:
                 return
 

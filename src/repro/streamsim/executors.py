@@ -93,6 +93,12 @@ _COLLECT = "collect"
 _DRAIN = "drain"
 _FINALIZE = "finalize"
 _STOP = "stop"
+#: Two-phase state migration (live repartitioning): prepare computes the
+#: payloads side-effect-free (a failure is reported softly and the worker
+#: keeps serving), commit ships them and resets, abort drops them.
+_MIGRATE_PREPARE = "migrate_prepare"
+_MIGRATE_COMMIT = "migrate_commit"
+_MIGRATE_ABORT = "migrate_abort"
 
 
 class Executor(abc.ABC):
@@ -155,6 +161,31 @@ class Executor(abc.ABC):
         as before.
         """
         return {}
+
+    # ------------------------------------------------------------------ #
+    # Live-repartitioning state migration (no-ops without a remote layer)
+    # ------------------------------------------------------------------ #
+    def migrate_prepare(self, task_ids: Sequence[int]) -> str | None:
+        """Phase 1 of a state handoff: compute payloads for the given tasks.
+
+        Side-effect-free on the bolts — a failure here must leave the run
+        able to continue under the old partition map.  Returns an error
+        description, or ``None`` on success (staged payloads are kept in
+        the remote layer until :meth:`migrate_commit` or
+        :meth:`migrate_abort`).
+        """
+        return None
+
+    def migrate_commit(self, timestamp: float) -> int:
+        """Phase 2: ship the staged payloads and reset the migrated bolts.
+
+        Relays the resulting emissions through the driver's routing (and
+        accounting) machinery; returns the number of migrated triples.
+        """
+        return 0
+
+    def migrate_abort(self) -> None:
+        """Drop any staged migration payloads without touching bolt state."""
 
     # ------------------------------------------------------------------ #
     # The depth-first driver loop shared by all executors
@@ -277,6 +308,7 @@ def _shard_worker(spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
         bolts: dict[int, Bolt] = {}
         components: dict[int, str] = {}
         emissions: list[tuple[int, EmissionBatch]] = []
+        staged_migration: dict[int, Any] | None = None
         accounting = MessageAccounting()
 
         def drain(task_id: int) -> None:
@@ -325,6 +357,47 @@ def _shard_worker(spec: WorkerSpec, inbox: Any, outbox: Any) -> None:
             elif kind == _COLLECT:
                 outbox.put(("emissions", spec.shard_index, emissions))
                 emissions = []
+            elif kind == _MIGRATE_PREPARE:
+                # Phase 1 of a live-repartitioning handoff.  Payloads are
+                # computed side-effect-free and staged locally; a failure is
+                # reported *softly* (the worker keeps serving) so the driver
+                # can abort the handoff and resume under the old map.
+                _, task_ids = request
+                staged: dict[int, Any] = {}
+                try:
+                    for task_id in task_ids:
+                        staged[task_id] = bolts[task_id].prepare_migration()  # type: ignore[attr-defined]
+                except Exception:
+                    staged_migration = None
+                    outbox.put(
+                        ("migrated", spec.shard_index,
+                         {"ok": False, "error": traceback.format_exc()})
+                    )
+                else:
+                    staged_migration = staged
+                    outbox.put(("migrated", spec.shard_index, {"ok": True}))
+            elif kind == _MIGRATE_COMMIT:
+                # Phase 2: emit the staged payloads and reset the bolts, in
+                # task-id order (matching the inline coordinator).  The
+                # whole emission buffer ships back with the reply — the
+                # commit emissions plus any earlier in-stream report batches
+                # — and the driver routes it exactly like a _COLLECT relay.
+                _, timestamp = request
+                migrated = 0
+                for task_id in sorted(staged_migration or {}):
+                    assert staged_migration is not None
+                    migrated += bolts[task_id].commit_migration(  # type: ignore[attr-defined]
+                        staged_migration[task_id], timestamp
+                    )
+                    drain(task_id)
+                staged_migration = None
+                outbox.put(
+                    ("migrated", spec.shard_index,
+                     {"ok": True, "migrated": migrated, "emissions": emissions})
+                )
+                emissions = []
+            elif kind == _MIGRATE_ABORT:
+                staged_migration = None
             elif kind == _DRAIN:
                 # End-of-run drain runs *inside* the worker: the shard ships
                 # final results (small triple lists) instead of the counter
@@ -483,6 +556,53 @@ class ShardedProcessExecutor(Executor):
                 self._cluster._route_batch(producer, batch)
                 released += len(batch.messages)
         return released
+
+    # ------------------------------------------------------------------ #
+    # Live-repartitioning state migration
+    # ------------------------------------------------------------------ #
+    def migrate_prepare(self, task_ids: Sequence[int]) -> str | None:
+        if not self._started:
+            return None
+        by_shard: dict[int, list[int]] = {}
+        for task_id in task_ids:
+            by_shard.setdefault(self._owner[task_id], []).append(task_id)
+        shards = sorted(by_shard)
+        for shard in shards:
+            self._inboxes[shard].put((_MIGRATE_PREPARE, by_shard[shard]))
+        # Every asked shard replies exactly once; collect them all (even
+        # after a failure) so the reply streams stay aligned.  A worker that
+        # *dies* here (rather than raising) surfaces as the usual
+        # RuntimeError from _receive — there is no old state to resume.
+        error: str | None = None
+        for shard in shards:
+            reply = self._receive(shard, "migrated")
+            if not reply["ok"] and error is None:
+                error = f"shard worker {shard}: {reply['error']}"
+        return error
+
+    def migrate_commit(self, timestamp: float) -> int:
+        if not self._started:
+            return 0
+        assert self._cluster is not None
+        for inbox in self._inboxes:
+            inbox.put((_MIGRATE_COMMIT, timestamp))
+        migrated = 0
+        for shard in range(self.effective_workers):
+            reply = self._receive(shard, "migrated")
+            migrated += reply["migrated"]
+            # Relay the shard's buffered emissions (the migration payloads
+            # plus any earlier in-stream report batches) through the normal
+            # routing and accounting machinery, exactly like flush_remote.
+            for task_id, batch in reply["emissions"]:
+                producer = self._cluster.task(task_id).component
+                self._cluster._route_batch(producer, batch)
+        return migrated
+
+    def migrate_abort(self) -> None:
+        if not self._started:
+            return
+        for inbox in self._inboxes:
+            inbox.put((_MIGRATE_ABORT,))
 
     # ------------------------------------------------------------------ #
     # Execution

@@ -60,6 +60,9 @@ class TestGridPinnedAgainstPR3:
             assert captured[field] == recorded[field], field
         assert captured["jaccard_coverage"] == recorded["jaccard_coverage"]
         assert captured["jaccard_mean_error"] == recorded["jaccard_mean_error"]
+        # The repartition cells additionally pin their migration records
+        # (epoch, document position, migrated triples, aborted flag).
+        assert captured.get("migrations") == recorded.get("migrations")
 
     @pytest.mark.parametrize("cell", sorted(_recorder.CELLS))
     def test_coefficient_digests_bit_identical(self, captured_cells, cell):
@@ -77,6 +80,21 @@ class TestGridPinnedAgainstPR3:
         assert any("sketch" in name for name in _recorder.CELLS)
         assert any("scratch" in name for name in _recorder.CELLS)
         assert any("delta" in name for name in _recorder.CELLS)
+
+    def test_repartition_cells_cover_the_migration_handoff(self):
+        """The ``-repartition`` cells force two mid-stream swaps with the
+        coordinated state-migration handoff, and record non-trivial,
+        committed migrations."""
+        repartition_cells = [
+            name for name in _recorder.CELLS if name.endswith("-repartition")
+        ]
+        assert repartition_cells
+        for name in repartition_cells:
+            migrations = FIXTURE["cells"][name]["migrations"]
+            assert len(migrations) == 2, name
+            for _epoch, _documents, migrated, aborted in migrations:
+                assert migrated > 0, name
+                assert aborted is False, name
 
     def test_delta_cells_pin_the_scratch_recording(self):
         """The delta engine is pinned against the PR 3 scratch records —

@@ -122,6 +122,28 @@ def _bench_with_report_rounds(host, cells):
     }
 
 
+def _bench_with_stall(host, cells):
+    """Cells as (workload, dps, stream_seconds, stall_seconds)."""
+    return {
+        "host": host,
+        "runs": [
+            {
+                "workload": workload,
+                "executor": "inline",
+                "requested_workers": 0,
+                "docs_per_second": dps,
+                "documents": 3000,
+                "phase_seconds": {
+                    "stream": stream,
+                    "migration_stall": stall,
+                    "reporting": 0.1,
+                },
+            }
+            for workload, dps, stream, stall in cells
+        ],
+    }
+
+
 HOST = {"platform": "Linux-test", "cpu_count": 1}
 OTHER_HOST = {"platform": "Linux-ci", "cpu_count": 4}
 
@@ -303,6 +325,41 @@ class TestPerfRegressionGate:
             HOST, [("small", "incremental", 1000.0, 3.0, 2.9)]
         )
         assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_stall_share_regression_binds_on_matching_host(self):
+        """Migration stall creeping from 5% to 20% of the stream fails."""
+        baseline = _bench_with_stall(HOST, [("small", 1000.0, 3.0, 0.15)])
+        candidate = _bench_with_stall(HOST, [("small", 1000.0, 3.0, 0.6)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
+    def test_stall_share_within_tolerance_passes(self):
+        baseline = _bench_with_stall(HOST, [("small", 1000.0, 3.0, 0.3)])
+        candidate = _bench_with_stall(HOST, [("small", 1000.0, 3.0, 0.32)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_stall_share_skipped_when_baseline_predates_the_phase(self):
+        """Old snapshots lack migration_stall: stall is reported nowhere,
+        and the candidate's stall still counts against stream docs/sec via
+        the net-stream subtraction (here it improves the rate)."""
+        baseline = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 3.0)]
+        )
+        candidate = _bench_with_stall(HOST, [("small", 1000.0, 3.3, 0.4)])
+        assert check_perf.compare(baseline, candidate, 0.2) == 0
+
+    def test_stall_subtracted_from_stream_phase_rate(self):
+        """A run whose extra wall-clock is all handoff stall does not fail
+        the stream-phase gate — but the same slowdown without the stall
+        attribution does."""
+        baseline = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 3.0)]
+        )
+        stalled = _bench_with_stall(HOST, [("small", 1000.0, 4.0, 1.0)])
+        assert check_perf.compare(baseline, stalled, 0.2) == 0
+        slower = _bench_with_phases(
+            HOST, [("small", "inline", 0, 1000.0, 3000, 4.0)]
+        )
+        assert check_perf.compare(baseline, slower, 0.2) == 1
 
     def test_main_end_to_end(self, tmp_path):
         base_path = tmp_path / "base.json"

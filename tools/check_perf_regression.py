@@ -35,7 +35,10 @@ carrying the ``report_rounds`` attribution additionally gate the
 stream seconds; the share may grow by at most ``tolerance`` *relative to
 the baseline share*, with a 5-share-point noise floor): a creeping
 in-stream report cost fails even while total stream docs/sec still
-squeaks past.  Both phase gates only *bind* when the baseline phase
+squeaks past.  Cells that record a ``migration_stall`` phase (runs with
+live-repartitioning handoffs) gate the **migration-stall share** the same
+way, and the stall is subtracted from the stream seconds first so stream
+docs/sec stays a pure hot-path number.  The phase gates only *bind* when the baseline phase
 lasted at least ``MIN_BINDING_PHASE_SECONDS`` (0.5 s): shorter phases —
 the small workload's ~0.13 s stream phase — swing beyond any usable
 tolerance between a best-of-N snapshot and a single smoke run on a
@@ -103,16 +106,26 @@ MIN_BINDING_PHASE_SECONDS = 0.5
 
 
 def _stream_seconds(cell: dict) -> float | None:
-    phases = cell.get("phase_seconds")
-    return phases.get("stream") if phases else None
+    """Net stream seconds: the stream phase minus migration stall time.
 
-
-def _stream_docs_per_second(cell: dict) -> float | None:
-    """Stream-phase throughput of one cell; None when unavailable."""
+    Repartition handoffs stall the stream while Calculator state migrates;
+    that time is gated separately (as the stall share below), so it is
+    subtracted here to keep stream docs/sec a pure substrate-hot-path
+    number.  Cells recorded before the live-repartitioning PR have no
+    ``migration_stall`` key and default to zero stall.
+    """
     phases = cell.get("phase_seconds")
     if not phases:
         return None
     stream = phases.get("stream")
+    if stream is None:
+        return None
+    return stream - phases.get("migration_stall", 0.0)
+
+
+def _stream_docs_per_second(cell: dict) -> float | None:
+    """Stream-phase throughput of one cell; None when unavailable."""
+    stream = _stream_seconds(cell)
     documents = cell.get("documents")
     if not stream or not documents:
         return None
@@ -123,14 +136,29 @@ def _report_share(cell: dict) -> float | None:
     """In-stream report rounds' share of the stream phase; None when the
     cell lacks the ``report_rounds`` attribution or a stream time."""
     rounds = cell.get("report_rounds")
-    phases = cell.get("phase_seconds")
-    if not rounds or not phases:
+    if not rounds:
         return None
     report_seconds = rounds.get("report_seconds")
-    stream = phases.get("stream")
+    stream = _stream_seconds(cell)
     if report_seconds is None or not stream:
         return None
     return report_seconds / stream
+
+
+def _stall_share(cell: dict) -> float | None:
+    """Migration stall time as a share of the (net) stream phase.
+
+    ``None`` when the cell predates the stall attribution — distinguishing
+    "recorded as zero" from "not recorded", so the gate only compares cells
+    that actually carry the phase on both sides.
+    """
+    phases = cell.get("phase_seconds")
+    if not phases or "migration_stall" not in phases:
+        return None
+    stream = _stream_seconds(cell)
+    if not stream:
+        return None
+    return phases["migration_stall"] / stream
 
 
 def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
@@ -214,6 +242,27 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
             print(f"[perf-diff] {workload:>6} / {label:<24} "
                   f"{old_share:>8.1%} -> {new_share:>8.1%} of stream "
                   f"[report-round share]  {share_status}")
+        # Migration stall share: repartition handoffs are allowed to stall
+        # the stream, but the stall must not creep — same relative
+        # tolerance and noise floor as the report-round share.
+        old_stall = _stall_share(base_cells[key])
+        new_stall = _stall_share(cand_cells[key])
+        if old_stall is not None and new_stall is not None:
+            stall_regressed = (
+                new_stall - old_stall > max(0.05, tolerance * old_stall)
+            )
+            stall_status = "ok"
+            if stall_regressed:
+                if phase_binding:
+                    stall_status = "REGRESSION"
+                    regressions += 1
+                elif enforced:
+                    stall_status = "regression (below noise floor)"
+                else:
+                    stall_status = "regression (report-only)"
+            print(f"[perf-diff] {workload:>6} / {label:<24} "
+                  f"{old_stall:>8.1%} -> {new_stall:>8.1%} of stream "
+                  f"[migration-stall share]  {stall_status}")
     return regressions
 
 

@@ -57,11 +57,23 @@ BASE_CONFIG = dict(
     report_interval_seconds=30.0,
 )
 
+#: Overrides of the ``-repartition`` cells: two forced mid-stream swaps
+#: with the coordinated state-migration handoff.  These cells pin the
+#: handoff protocol itself — the quiesce, the Calculator drains and the
+#: migration records all have to replay bit-identically.
+_REPARTITION = dict(
+    repartition_policy="fixed",
+    repartition_at=(700, 1400),
+    repartition_handoff="migrate",
+)
+
 #: The grid: cell name -> config overrides.  The reporting engines only
 #: exist in exact mode, so the sketch cells run the default engine only.
 #: The delta cells were appended when the engine landed; their records are
 #: byte-for-byte the scratch cells' (the engines are pinned bit-identical),
-#: so delta is still pinned against the PR 3 recording.
+#: so delta is still pinned against the PR 3 recording.  The
+#: ``-repartition`` cells were appended with the live-repartitioning PR;
+#: the original eight records are untouched.
 CELLS = {
     "exact-incremental-inline": dict(calculator="exact", reporting_engine="incremental"),
     "exact-incremental-process": dict(
@@ -77,6 +89,17 @@ CELLS = {
     ),
     "sketch-inline": dict(calculator="sketch"),
     "sketch-process": dict(calculator="sketch", executor="process", workers=2),
+    "exact-incremental-inline-repartition": dict(
+        calculator="exact", reporting_engine="incremental", **_REPARTITION
+    ),
+    "exact-incremental-process-repartition": dict(
+        calculator="exact", reporting_engine="incremental",
+        executor="process", workers=2, **_REPARTITION,
+    ),
+    "exact-delta-inline-repartition": dict(
+        calculator="exact", reporting_engine="delta", **_REPARTITION
+    ),
+    "sketch-inline-repartition": dict(calculator="sketch", **_REPARTITION),
 }
 
 #: RunReport fields pinned bit-identically per cell.
@@ -139,6 +162,13 @@ def capture_cell(documents, overrides) -> dict:
         tracker.coefficients().items()
     )
     record["supports_sha256"] = coefficient_digest(tracker.supports().items())
+    if report.migrations:
+        # Only the repartition cells migrate; omitting the key elsewhere
+        # keeps the original records byte-identical to the PR 3 fixture.
+        record["migrations"] = [
+            [m.epoch, m.documents_processed, m.migrated_triples, m.aborted]
+            for m in report.migrations
+        ]
     return record
 
 
