@@ -15,7 +15,15 @@ timed region.
 Every (workload, executor) cell runs once per reporting engine in
 ``--engines`` (default ``incremental,delta``), so the recorded snapshot
 carries the engine matrix; per-cell ``report_rounds`` attributes the
-in-stream report cost (rounds, wall-clock, dirty/clean type split).
+in-stream report cost (rounds, wall-clock, dirty/clean type split and the
+delta engine's ``carry_clean_rate``).
+
+Besides the legacy ``small``/``large`` workloads, the matrix covers the
+scenario presets of ``workloads.scenarios`` (``trending``, ``burst``,
+``diurnal``, ``adversarial``): those cells run inline-only per engine plus
+one live-repartition cell (``repartition_handoff="migrate"`` under the
+threshold policy), keyed by the ``scenario``/``repartition_handoff`` fields
+so ``tools/check_perf_regression.py`` compares like against like.
 
 Usage::
 
@@ -46,12 +54,43 @@ _REPO_ROOT = Path(__file__).resolve().parents[2]
 if not any(Path(p).resolve() == _REPO_ROOT / "src" for p in sys.path if p):
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-#: Seeded workload definitions: name -> (documents, generator seed).
+#: Seeded legacy workload definitions: name -> (documents, generator seed).
 #: ``small`` is the CI smoke size; ``large`` is the acceptance workload for
 #: executor comparisons (big enough that per-run noise is a few percent).
 WORKLOADS = {
     "small": (3000, 7),
     "large": (20000, 7),
+}
+
+#: Scenario workloads (``workloads.scenarios`` presets): name -> documents.
+#: Scenario cells run inline-only (the engine story, not the executor
+#: story) plus one live-repartition cell per scenario, so the engine/policy
+#: decision tables in docs/ARCHITECTURE.md are backed by numbers per
+#: workload shape instead of the single churny legacy point.
+SCENARIO_WORKLOADS = {
+    "trending": 24000,
+    "burst": 9000,
+    "diurnal": 9000,
+    "adversarial": 9000,
+}
+#: Seed shared by every scenario workload (mirrors the legacy cells').
+SCENARIO_SEED = 7
+#: Per-scenario preset overrides for bench-scale runs.  Report-round
+#: boundaries at the Calculator drift forward by ~0.1 s per 60 s round
+#: (ticks fire at document-timestamp granularity and ``_last_report``
+#: absorbs the overshoot), so per-round anchor multiplicities are only
+#: stable when same-slot anchor spacing is large against that drift: the
+#: trending cell thins the anchor cadence to one position per 60
+#: documents (6 s same-slot spacing — a boundary crosses an anchor
+#: position once per ~45 rounds instead of every ~2) and stretches the
+#: plateau to 240 s so each trend's anchor tagset spans several full
+#: rounds, making the committed ``carry_clean_rate`` structurally
+#: nonzero rather than alignment luck.
+SCENARIO_OVERRIDES = {
+    "trending": {
+        "trend_plateau_seconds": 240.0,
+        "trend_anchor_share": 1.0 / 60.0,
+    },
 }
 
 #: Schema version of BENCH_throughput.json (bump on breaking layout changes).
@@ -64,7 +103,23 @@ WORKLOADS = {
 SCHEMA_VERSION = 2
 
 
+def _workload_scenario(name: str) -> str:
+    """The scenario a workload name maps to (legacy cells stay "legacy")."""
+    return name if name in SCENARIO_WORKLOADS else "legacy"
+
+
 def _generate_documents(name: str):
+    if name in SCENARIO_WORKLOADS:
+        from repro.workloads import make_generator, scenario_preset
+
+        config = scenario_preset(
+            name,
+            seed=SCENARIO_SEED,
+            tweets_per_second=50.0,
+            **SCENARIO_OVERRIDES.get(name, {}),
+        )
+        return make_generator(config).generate(SCENARIO_WORKLOADS[name])
+
     from repro.workloads import TwitterLikeGenerator, WorkloadConfig
 
     n_documents, seed = WORKLOADS[name]
@@ -80,7 +135,10 @@ def _generate_documents(name: str):
 
 
 def _system_config(executor: str, workers: int, algorithm: str, batch_size: int,
-                   reporting_engine: str = "incremental"):
+                   reporting_engine: str = "incremental",
+                   scenario: str = "legacy",
+                   repartition_handoff: str = "none",
+                   repartition_points: tuple = ()):
     from repro.pipeline import SystemConfig
 
     return SystemConfig(
@@ -92,9 +150,16 @@ def _system_config(executor: str, workers: int, algorithm: str, batch_size: int,
         bootstrap_documents=600,
         quality_check_interval=250,
         repartition_threshold=0.5,
+        # Live-repartition cells pin swaps to fixed document counts: the
+        # threshold policy happens not to fire on these workload shapes,
+        # and a migration cell that never migrates measures nothing.
+        repartition_policy="fixed" if repartition_points else "threshold",
+        repartition_at=tuple(repartition_points),
         report_interval_seconds=60.0,
         notification_batch_size=batch_size,
         reporting_engine=reporting_engine,
+        scenario=scenario,
+        repartition_handoff=repartition_handoff,
         executor=executor,
         workers=workers,
     )
@@ -102,7 +167,9 @@ def _system_config(executor: str, workers: int, algorithm: str, batch_size: int,
 
 def _measure_worker(outbox, workload: str, executor: str, workers: int,
                     repeat: int, algorithm: str, batch_size: int,
-                    reporting_engine: str) -> None:
+                    reporting_engine: str,
+                    repartition_handoff: str = "none",
+                    repartition_points: tuple = ()) -> None:
     """Subprocess body: run the system ``repeat`` times, report the best."""
     try:
         from repro.pipeline import TagCorrelationSystem
@@ -115,7 +182,10 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
         for _ in range(repeat):
             system = TagCorrelationSystem(
                 _system_config(executor, workers, algorithm, batch_size,
-                               reporting_engine)
+                               reporting_engine,
+                               scenario=_workload_scenario(workload),
+                               repartition_handoff=repartition_handoff,
+                               repartition_points=repartition_points)
             )
             start = time.perf_counter()
             report = system.run(documents)
@@ -142,15 +212,23 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
         round_stats = round_stats_runs[best_index]
         report_rounds = None
         if round_stats is not None:
+            folded = round_stats["dirty_types"] + round_stats["clean_types"]
             report_rounds = {
                 "rounds": int(round_stats["rounds"]),
                 "report_seconds": round(round_stats["report_seconds"], 4),
                 "dirty_types": int(round_stats["dirty_types"]),
                 "clean_types": int(round_stats["clean_types"]),
                 "deferred_triples": int(round_stats["deferred_triples"]),
+                # Fraction of in-stream type folds the delta engine's carry
+                # table replaced with re-assertions (0.0 for other engines).
+                "carry_clean_rate": round(
+                    round_stats["clean_types"] / folded if folded else 0.0, 4
+                ),
             }
         outbox.put({
             "workload": workload,
+            "scenario": _workload_scenario(workload),
+            "repartition_handoff": repartition_handoff,
             "executor": executor,
             "requested_workers": workers,
             "workers": report.executor_workers,
@@ -167,6 +245,10 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
             "peak_worker_rss_mb": round(usage_children / to_mb, 1),
             "communication_avg": round(report.communication_avg, 4),
             "notification_messages": report.notification_messages,
+            "repartitions": report.n_repartitions,
+            "migration_stall_seconds": round(
+                report.migration_stats["stall_seconds"], 4
+            ) if report.migration_stats else 0.0,
         })
     except BaseException as exc:  # noqa: BLE001 - surface the failure
         import traceback
@@ -176,7 +258,9 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
 
 def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
             algorithm: str = "DS", batch_size: int = 64,
-            reporting_engine: str = "incremental") -> dict:
+            reporting_engine: str = "incremental",
+            repartition_handoff: str = "none",
+            repartition_points: tuple = ()) -> dict:
     """One benchmark cell, isolated in a forked subprocess."""
     import queue as queue_module
 
@@ -185,7 +269,8 @@ def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
     proc = ctx.Process(
         target=_measure_worker,
         args=(outbox, workload, executor, workers, repeat, algorithm,
-              batch_size, reporting_engine),
+              batch_size, reporting_engine, repartition_handoff,
+              repartition_points),
     )
     proc.start()
     while True:
@@ -209,28 +294,74 @@ def measure(workload: str, executor: str, workers: int = 0, repeat: int = 1,
 def run_matrix(workloads, worker_counts, repeat=1, algorithm="DS",
                batch_size=64, reporting_engines=("incremental",),
                verbose=True) -> dict:
-    """The full benchmark matrix: (inline + process × workers) × engines."""
+    """The full benchmark matrix.
+
+    Legacy workloads run (inline + process × workers) × engines — the
+    executor story.  Scenario workloads run inline × engines plus one
+    live-repartition cell (delta engine, ``repartition_handoff="migrate"``)
+    — the workload-shape story: per-scenario report-round attribution
+    (``carry_clean_rate``) and the migration cost under that drift.
+    """
+    def _print_cell(label, engine, cell, handoff="none"):
+        phases = cell["phase_seconds"]
+        rounds = cell.get("report_rounds") or {}
+        suffix = "" if handoff == "none" else f" +{handoff}"
+        print(f"{cell['docs_per_second']:>8.1f} docs/s "
+              f"(best of {repeat}: {cell['best_elapsed_seconds']}s, "
+              f"stream {phases.get('stream', 0.0)}s / "
+              f"in-stream reports {rounds.get('report_seconds', 0.0)}s / "
+              f"reporting {phases.get('reporting', 0.0)}s, "
+              f"carry-clean {rounds.get('carry_clean_rate', 0.0):.1%}, "
+              f"rss {cell['peak_rss_mb']} MB){suffix}")
+
     runs = []
     for workload in workloads:
-        cells = [("inline", 0)] + [("process", n) for n in worker_counts]
+        scenario_cell = workload in SCENARIO_WORKLOADS
+        if scenario_cell:
+            cells = [("inline", 0)]
+        else:
+            cells = [("inline", 0)] + [("process", n) for n in worker_counts]
         for executor, workers in cells:
             for engine in reporting_engines:
+                label = executor if executor == "inline" else f"{executor}({workers}w)"
                 if verbose:
-                    label = executor if executor == "inline" else f"{executor}({workers}w)"
-                    print(f"[bench] {workload:>6} / {label:<12} / {engine:<11} ...",
+                    print(f"[bench] {workload:>11} / {label:<12} / {engine:<11} ...",
                           end=" ", flush=True)
                 cell = measure(workload, executor, workers, repeat, algorithm,
                                batch_size, engine)
                 runs.append(cell)
                 if verbose:
-                    phases = cell["phase_seconds"]
-                    rounds = cell.get("report_rounds") or {}
-                    print(f"{cell['docs_per_second']:>8.1f} docs/s "
-                          f"(best of {repeat}: {cell['best_elapsed_seconds']}s, "
-                          f"stream {phases.get('stream', 0.0)}s / "
-                          f"in-stream reports {rounds.get('report_seconds', 0.0)}s / "
-                          f"reporting {phases.get('reporting', 0.0)}s, "
-                          f"rss {cell['peak_rss_mb']} MB)")
+                    _print_cell(label, engine, cell)
+        if scenario_cell:
+            # The drifting-workload repartition cell: the delta engine with
+            # coordinated state migration, swaps pinned to fixed document
+            # counts (1/3 and 2/3 of the stream) so the cell always pays —
+            # and therefore always measures — two real migrations.
+            n_documents = SCENARIO_WORKLOADS[workload]
+            points = (n_documents // 3, 2 * n_documents // 3)
+            if verbose:
+                print(f"[bench] {workload:>11} / {'inline':<12} / "
+                      f"{'delta+migr':<11} ...", end=" ", flush=True)
+            cell = measure(workload, "inline", 0, repeat, algorithm,
+                           batch_size, "delta", repartition_handoff="migrate",
+                           repartition_points=points)
+            runs.append(cell)
+            if verbose:
+                _print_cell("inline", "delta", cell, handoff="migrate")
+    workload_block = {}
+    for name in workloads:
+        if name in SCENARIO_WORKLOADS:
+            workload_block[name] = {
+                "documents": SCENARIO_WORKLOADS[name],
+                "seed": SCENARIO_SEED,
+                "scenario": name,
+            }
+        else:
+            workload_block[name] = {
+                "documents": WORKLOADS[name][0],
+                "seed": WORKLOADS[name][1],
+                "scenario": "legacy",
+            }
     return {
         "schema": SCHEMA_VERSION,
         "generated_by": "benchmarks/perf/throughput.py",
@@ -243,10 +374,7 @@ def run_matrix(workloads, worker_counts, repeat=1, algorithm="DS",
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
         },
-        "workloads": {
-            name: {"documents": WORKLOADS[name][0], "seed": WORKLOADS[name][1]}
-            for name in workloads
-        },
+        "workloads": workload_block,
         "runs": runs,
         "comparison": _comparison(runs),
     }
@@ -259,6 +387,10 @@ def _comparison(runs) -> dict:
     comparison: dict[str, dict[str, float]] = {}
     by_workload: dict[str, list[dict]] = {}
     for run in runs:
+        # Repartition cells measure migration cost, not engine/executor
+        # speedups — they would collide with the plain delta cell here.
+        if run.get("repartition_handoff", "none") != "none":
+            continue
         by_workload.setdefault(run["workload"], []).append(run)
     for workload, cells in by_workload.items():
         def engine_of(cell):
@@ -295,9 +427,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Seeded throughput benchmark of the tag-correlation system"
     )
-    parser.add_argument("--workloads", default="small,large",
+    all_workloads = list(WORKLOADS) + list(SCENARIO_WORKLOADS)
+    parser.add_argument("--workloads",
+                        default=",".join(all_workloads),
                         help="comma-separated workload names "
-                             f"(available: {', '.join(WORKLOADS)})")
+                             f"(available: {', '.join(all_workloads)}; "
+                             "legacy cells run the full executor matrix, "
+                             "scenario cells run inline x engines plus a "
+                             "live-repartition cell)")
     parser.add_argument("--workers", default="2,4",
                         help="comma-separated worker counts for the process executor")
     parser.add_argument("--repeat", type=int, default=2,
@@ -318,8 +455,9 @@ def main(argv=None) -> int:
 
     workloads = [name.strip() for name in args.workloads.split(",") if name.strip()]
     for name in workloads:
-        if name not in WORKLOADS:
-            parser.error(f"unknown workload {name!r} (available: {', '.join(WORKLOADS)})")
+        if name not in WORKLOADS and name not in SCENARIO_WORKLOADS:
+            parser.error(f"unknown workload {name!r} "
+                         f"(available: {', '.join(all_workloads)})")
     worker_counts = [int(value) for value in args.workers.split(",") if value.strip()]
     engines = tuple(
         name.strip() for name in args.engines.split(",") if name.strip()

@@ -3,6 +3,8 @@
 Provides the handful of workflows a user needs without writing Python:
 
 * ``repro generate`` — write a synthetic Twitter-like trace to a JSONL file,
+* ``repro record`` — record a scenario workload (``--scenario trending/
+  burst/diurnal/adversarial``) as a replayable repro-trace file,
 * ``repro run`` — run the distributed tag-correlation system over a trace
   (or a freshly generated one) and print the run report.  ``--calculator
   sketch`` switches the Calculators to the MinHash/Count-Min approximate
@@ -30,6 +32,9 @@ Examples::
     python -m repro.cli run --documents 8000 --k 8 --algorithm DS
     python -m repro.cli run --documents 8000 --calculator sketch
     python -m repro.cli run --documents 8000 --executor process --workers 4
+    python -m repro.cli run --documents 8000 --scenario trending --reporting-engine delta
+    python -m repro.cli record --documents 6000 --scenario burst --output burst.trace.jsonl
+    python -m repro.cli run --trace burst.trace.jsonl
     python -m repro.cli compare --documents 6000 --algorithms DS,SCL
 """
 
@@ -47,10 +52,14 @@ from .pipeline import RunReport, SystemConfig, TagCorrelationSystem
 from .streamsim import EXECUTOR_NAMES
 from .theory import WindowModel, communication_sweep, paper_np_table
 from .workloads import (
-    TwitterLikeGenerator,
+    SCENARIO_NAMES,
     WorkloadConfig,
     load_documents,
+    load_trace,
+    make_generator,
+    scenario_preset,
     write_documents,
+    write_trace,
 )
 
 
@@ -63,6 +72,16 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
                         help="number of topics in the synthetic workload")
     parser.add_argument("--tags-per-topic", type=int, default=18)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--scenario", choices=SCENARIO_NAMES, default="legacy",
+                        help="workload scenario preset: legacy (the original "
+                             "churny synthetic point), trending (persistent "
+                             "topics with rise/plateau/decay trends — the "
+                             "delta engine's carry-friendly shape), burst "
+                             "(flash-crowd spikes), diurnal (sinusoidal "
+                             "rate + topic-mix cycle) or adversarial "
+                             "(worst-case type churn for the carry table); "
+                             "see docs/ARCHITECTURE.md \"Workload "
+                             "scenarios\"")
 
 
 def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
@@ -137,14 +156,22 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
                              "(0 = one per CPU core, capped at 4)")
 
 
-def _workload_from_args(args: argparse.Namespace) -> list[Document]:
-    config = WorkloadConfig(
+def _workload_config_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    # Explicit CLI knobs override the scenario preset's values; the
+    # shape-critical preset fields (topic churn, intra-topic mix, ...)
+    # have no CLI flag and always come from the preset.
+    return scenario_preset(
+        getattr(args, "scenario", "legacy"),
         tweets_per_second=args.tps,
         n_topics=args.topics,
         tags_per_topic=args.tags_per_topic,
         seed=args.seed,
     )
-    return TwitterLikeGenerator(config).generate(args.documents)
+
+
+def _workload_from_args(args: argparse.Namespace) -> list[Document]:
+    config = _workload_config_from_args(args)
+    return make_generator(config).generate(args.documents)
 
 
 def _repartition_points(raw: str) -> tuple[int, ...]:
@@ -182,14 +209,26 @@ def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = N
     )
 
 
-def _load_or_generate(args: argparse.Namespace) -> list[Document]:
+def _load_or_generate(args: argparse.Namespace) -> tuple[list[Document], str | None]:
+    """The document stream plus its scenario provenance (None = unknown).
+
+    ``--trace`` replays a recorded trace file (scenario read from the
+    header), ``--input`` loads a plain tweet file (unknown provenance),
+    otherwise the stream is generated live from the workload arguments.
+    """
+    if getattr(args, "trace", None):
+        header, documents = load_trace(args.trace)
+        scenario = header.get("scenario")
+        return documents, scenario if scenario in SCENARIO_NAMES else None
     if getattr(args, "input", None):
-        return load_documents(args.input)
-    return _workload_from_args(args)
+        return load_documents(args.input), None
+    return _workload_from_args(args), getattr(args, "scenario", "legacy")
 
 
 def _print_report(report: RunReport) -> None:
     print(f"algorithm                 : {report.algorithm}")
+    if report.workload_scenario is not None:
+        print(f"workload scenario         : {report.workload_scenario}")
     print(f"calculator mode           : {report.calculator_mode}")
     if report.calculator_mode == "exact":
         print(f"reporting engine          : {report.reporting_engine}")
@@ -246,20 +285,30 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_record(args: argparse.Namespace) -> int:
+    config = _workload_config_from_args(args)
+    documents = make_generator(config).generate(args.documents)
+    written = write_trace(documents, args.output, config)
+    print(f"recorded {written} {config.scenario} documents to {args.output}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    documents = _load_or_generate(args)
-    report = TagCorrelationSystem(_system_config_from_args(args)).run(documents)
+    documents, scenario = _load_or_generate(args)
+    config = _system_config_from_args(args).with_overrides(scenario=scenario)
+    report = TagCorrelationSystem(config).run(documents)
     _print_report(report)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    documents = _load_or_generate(args)
+    documents, scenario = _load_or_generate(args)
     algorithms = [name.strip().upper() for name in args.algorithms.split(",") if name.strip()]
     print(f"{'algorithm':>10} {'comm':>8} {'gini':>8} {'maxload':>9} "
           f"{'repart':>8} {'error':>8} {'coverage':>10}")
     for algorithm in algorithms:
         config = _system_config_from_args(args, algorithm=algorithm)
+        config = config.with_overrides(scenario=scenario)
         report = TagCorrelationSystem(config).run(documents)
         print(
             f"{algorithm:>10} {report.communication_avg:>8.3f} {report.load_gini:>8.3f} "
@@ -270,7 +319,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_connectivity(args: argparse.Namespace) -> int:
-    documents = _load_or_generate(args)
+    documents, _ = _load_or_generate(args)
     window_minutes = [float(value) for value in args.windows.split(",")]
     reports = connectivity_by_window_size(documents, window_minutes)
     print(f"{'window (min)':>14} {'max tags %':>12} {'max load %':>12} {'#components':>14}")
@@ -304,6 +353,9 @@ def cmd_theory(args: argparse.Namespace) -> int:
 _EPILOG = """\
 subcommands:
   generate      write a synthetic Twitter-like trace to a JSONL file
+  record        record a scenario run as a replayable repro-trace file
+                (header with scenario + workload config, then document
+                records; replay with run/compare --trace)
   run           run the distributed tag-correlation system over a trace
                 (use --calculator sketch for the approximate tracking mode,
                 --reporting-engine scratch to fall back to the original
@@ -353,6 +405,22 @@ examples:
   # per-document update cost instead of the either-or quality rule):
   python -m repro.cli run --documents 8000 --repartition-policy capacity
 
+  # Trending workload scenario (persistent rise/plateau/decay trends):
+  # the delta engine's carry table finally sees recurring clean types --
+  # watch the "delta carry table" hits in the report:
+  python -m repro.cli run --documents 8000 --scenario trending \\
+      --reporting-engine delta
+
+  # Adversarial churn (worst case for the carry table) under live
+  # repartitioning:
+  python -m repro.cli run --documents 8000 --scenario adversarial \\
+      --repartition-handoff migrate
+
+  # Record a burst-scenario trace, then replay it bit-for-bit:
+  python -m repro.cli record --documents 6000 --scenario burst \\
+      --output burst.trace.jsonl
+  python -m repro.cli run --trace burst.trace.jsonl --k 8
+
   # Paper-style algorithm comparison (Figures 3-6):
   python -m repro.cli compare --documents 8000 --algorithms DS,SCI,SCC,SCL
 
@@ -374,16 +442,33 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--output", required=True, help="output JSONL file")
     generate.set_defaults(handler=cmd_generate)
 
+    record = subparsers.add_parser(
+        "record", help="record a scenario run as a replayable trace file"
+    )
+    _add_workload_arguments(record)
+    record.add_argument("--output", required=True,
+                        help="output trace file (repro-trace JSONL: header "
+                             "line with scenario + workload config, then "
+                             "one document record per line)")
+    record.set_defaults(handler=cmd_record)
+
     run = subparsers.add_parser("run", help="run the distributed system")
     _add_workload_arguments(run)
     _add_system_arguments(run)
-    run.add_argument("--input", help="JSONL trace to replay (otherwise generate)")
+    run.add_argument("--input", help="plain JSONL tweet file to replay "
+                                     "(otherwise generate)")
+    run.add_argument("--trace", help="repro-trace file to replay (recorded "
+                                     "with `repro record`; scenario "
+                                     "provenance is read from the header)")
     run.set_defaults(handler=cmd_run)
 
     compare = subparsers.add_parser("compare", help="compare algorithms on one trace")
     _add_workload_arguments(compare)
     _add_system_arguments(compare)
-    compare.add_argument("--input", help="JSONL trace to replay (otherwise generate)")
+    compare.add_argument("--input", help="plain JSONL tweet file to replay "
+                                         "(otherwise generate)")
+    compare.add_argument("--trace", help="repro-trace file to replay "
+                                         "(recorded with `repro record`)")
     compare.add_argument(
         "--algorithms", default="DS,SCI,SCC,SCL", help="comma-separated algorithm names"
     )

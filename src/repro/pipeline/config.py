@@ -18,6 +18,7 @@ from ..core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
 from ..core.partition import PartitionSeed
 from ..operators.controller import REPARTITION_POLICIES
 from ..streamsim.executors import EXECUTOR_NAMES
+from ..workloads.generator import SCENARIO_NAMES
 
 #: Auto-sized process executors never spawn more workers than this: beyond a
 #: handful of shards the Disseminator-side driver loop, not the Calculator
@@ -119,6 +120,14 @@ class SystemConfig:
     #: centralised baseline's cap).
     sketch_max_subset_size: int = 4
 
+    #: Which workload scenario produced the document stream this run
+    #: consumes (``workloads.SCENARIO_NAMES``), or ``None`` when unknown
+    #: (externally supplied documents).  Pure provenance metadata: it does
+    #: not change pipeline behaviour, but is stamped into
+    #: ``RunReport.workload_scenario`` so bench cells, traces and
+    #: equivalence fixtures stay attributable to their workload shape.
+    scenario: str | None = None
+
     #: Execution engine: ``"inline"`` runs the whole topology depth-first in
     #: this process; ``"process"`` shards the Calculator/Tracker layer across
     #: ``multiprocessing`` workers (identical logical metrics, see
@@ -179,6 +188,10 @@ class SystemConfig:
             raise ValueError("countmin_delta must be in (0, 1)")
         if self.sketch_max_subset_size < 2:
             raise ValueError("sketch_max_subset_size must be at least 2")
+        if self.scenario is not None and self.scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"scenario must be one of {', '.join(SCENARIO_NAMES)} (or None)"
+            )
         if self.executor not in EXECUTOR_NAMES:
             raise ValueError(
                 f"executor must be one of {', '.join(EXECUTOR_NAMES)}"

@@ -147,6 +147,9 @@ class RunReport:
     #: Error descriptions of aborted migrations (old map stayed in force).
     migration_failures: list[str] = field(default_factory=list)
 
+    #: Which workload scenario produced the consumed document stream
+    #: (``SystemConfig.scenario`` provenance; None when unknown).
+    workload_scenario: str | None = None
     #: Which Calculator implementation ran: "exact" or "sketch".
     calculator_mode: str = "exact"
     #: Physical batched notification tuples shipped Disseminator→Calculators.
@@ -581,6 +584,7 @@ class TagCorrelationSystem:
             migrations=migrations,
             migration_stats=migration_stats,
             migration_failures=list(cluster.migration_failures),
+            workload_scenario=config.scenario,
             calculator_mode=config.calculator,
             notification_messages=notification_messages,
             batch_amortization=batch_amortization,

@@ -1,6 +1,11 @@
-"""Synthetic Twitter-like workloads, file I/O and workload statistics."""
+"""Synthetic Twitter-like workloads, scenarios, traces and statistics."""
 
-from .generator import TwitterLikeGenerator, WorkloadConfig, generate_documents
+from .generator import (
+    SCENARIO_NAMES,
+    TwitterLikeGenerator,
+    WorkloadConfig,
+    generate_documents,
+)
 from .io import (
     document_to_record,
     load_documents,
@@ -8,12 +13,37 @@ from .io import (
     record_to_document,
     write_documents,
 )
+from .replay import (
+    load_trace,
+    read_trace,
+    read_trace_header,
+    record_trace,
+    replay_documents,
+    write_trace,
+)
+from .scenarios import (
+    SCENARIO_GENERATORS,
+    AdversarialChurnGenerator,
+    BurstGenerator,
+    DiurnalGenerator,
+    ScenarioGenerator,
+    TrendingGenerator,
+    make_generator,
+    scenario_preset,
+)
 from .stats import WorkloadStatistics, compute_statistics, tags_per_tweet_frequencies
 from .topics import Topic, TopicModel, uniform_topics
 
 __all__ = [
+    "SCENARIO_GENERATORS",
+    "SCENARIO_NAMES",
+    "AdversarialChurnGenerator",
+    "BurstGenerator",
+    "DiurnalGenerator",
+    "ScenarioGenerator",
     "Topic",
     "TopicModel",
+    "TrendingGenerator",
     "TwitterLikeGenerator",
     "WorkloadConfig",
     "WorkloadStatistics",
@@ -21,9 +51,17 @@ __all__ = [
     "document_to_record",
     "generate_documents",
     "load_documents",
+    "load_trace",
+    "make_generator",
     "read_documents",
+    "read_trace",
+    "read_trace_header",
     "record_to_document",
+    "record_trace",
+    "replay_documents",
+    "scenario_preset",
     "tags_per_tweet_frequencies",
     "uniform_topics",
     "write_documents",
+    "write_trace",
 ]

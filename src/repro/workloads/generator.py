@@ -29,6 +29,12 @@ from ..core.documents import Document
 from ..theory.zipf_model import PAPER_MMAX, PAPER_SKEW, zipf_frequencies
 from .topics import TopicModel
 
+#: Every workload scenario a :class:`WorkloadConfig` may name.  The
+#: generator classes live in ``workloads/scenarios.py`` (``legacy`` is
+#: :class:`TwitterLikeGenerator` below); construct through
+#: ``scenarios.make_generator``.
+SCENARIO_NAMES = ("legacy", "trending", "burst", "diurnal", "adversarial")
+
 
 @dataclass(slots=True)
 class WorkloadConfig:
@@ -53,10 +59,20 @@ class WorkloadConfig:
         them simply makes every generated document useful.
     new_topic_rate:
         Expected number of newly born topics per minute (trend dynamics).
+        ``0`` disables topic births entirely (a fixed topic population).
     topic_decay_rate:
         Exponential decay rate (per second) applied to newly born topics.
+    scenario:
+        Which scenario generator interprets this config: ``"legacy"`` (the
+        original churny synthetic point) or one of the scenario presets in
+        ``workloads.scenarios`` (``trending``, ``burst``, ``diurnal``,
+        ``adversarial``).  Construct via ``scenarios.make_generator``.
     seed:
         Master seed; every run with the same config is identical.
+
+    The ``trend_*`` / ``burst_*`` / ``diurnal_*`` / ``adversarial_*``
+    fields parameterise the respective scenario generators and are ignored
+    by the others; see ``workloads/scenarios.py`` for their semantics.
     """
 
     tweets_per_second: float = 1300.0
@@ -70,7 +86,52 @@ class WorkloadConfig:
     untagged_allowed: bool = True
     new_topic_rate: float = 0.5
     topic_decay_rate: float = 0.0005
+    scenario: str = "legacy"
     seed: int = 42
+
+    # --- trending scenario -------------------------------------------- #
+    #: Number of anchor slots / concurrently live trends (sets the birth
+    #: cadence).  For maximal carry reuse pick it so that
+    #: ``round(1 / trend_anchor_share) * trend_pool`` divides the number
+    #: of documents per report round (``tweets_per_second *
+    #: report_interval_seconds``); the default 5 pairs with the default
+    #: anchor share (cadence 3) to divide any multiple of 15.
+    trend_pool: int = 5
+    #: Hazard-curve phase durations of one trend (seconds).
+    trend_rise_seconds: float = 30.0
+    trend_plateau_seconds: float = 90.0
+    trend_decay_seconds: float = 45.0
+    #: Fraction of documents that are deterministic anchor re-emissions of
+    #: a plateau trend's signature tagset (the carry-friendly recurrence).
+    trend_anchor_share: float = 0.3
+    #: Probability that a non-anchor document is about a live trend
+    #: (sampled from its non-anchor vocabulary) instead of a base topic.
+    trend_mix: float = 0.35
+
+    # --- burst / flash-crowd scenario --------------------------------- #
+    #: Expected burst starts per minute of stream time.
+    burst_rate_per_minute: float = 2.0
+    #: Lifetime of one burst (seconds).
+    burst_duration_seconds: float = 15.0
+    #: Arrival-rate multiplier while at least one burst is live.
+    burst_intensity: float = 4.0
+    #: Probability that a document arriving during a burst is about the
+    #: burst's flash-crowd topic.
+    burst_share: float = 0.7
+
+    # --- diurnal scenario --------------------------------------------- #
+    #: Period of the sinusoidal rate/topic-mix cycle (a simulated "day").
+    diurnal_period_seconds: float = 240.0
+    #: Relative swing of the arrival rate around ``tweets_per_second``
+    #: (must stay below 1 so the rate never reaches zero).
+    diurnal_amplitude: float = 0.6
+
+    # --- adversarial-churn scenario ----------------------------------- #
+    #: Fraction of documents that re-emit a recently created tagset type
+    #: (everything else is a brand-new, never-recurring type).
+    adversarial_repeat_fraction: float = 0.12
+    #: How many recent types stay eligible for re-emission.
+    adversarial_repeat_window: int = 40
 
     def validate(self) -> None:
         if self.tweets_per_second <= 0:
@@ -81,6 +142,43 @@ class WorkloadConfig:
             raise ValueError("max_tags_per_tweet must be at least 1")
         if self.n_topics < 1 or self.tags_per_topic < 1:
             raise ValueError("need at least one topic with at least one tag")
+        # new_topic_rate=0 must mean "no births" (birth gap = infinity), so
+        # the field has to be a finite non-negative number: a negative or
+        # NaN rate would silently disable births while *looking* like a
+        # configured trend dynamic, and +inf would spin the birth loop.
+        if not self.new_topic_rate >= 0 or self.new_topic_rate == float("inf"):
+            raise ValueError("new_topic_rate must be a finite number >= 0")
+        if not self.topic_decay_rate >= 0 or self.topic_decay_rate == float("inf"):
+            raise ValueError("topic_decay_rate must be a finite number >= 0")
+        if self.scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"scenario must be one of {', '.join(SCENARIO_NAMES)}"
+            )
+        if self.trend_pool < 1:
+            raise ValueError("trend_pool must be at least 1")
+        if (self.trend_rise_seconds <= 0 or self.trend_plateau_seconds <= 0
+                or self.trend_decay_seconds <= 0):
+            raise ValueError("trend phase durations must be positive")
+        if not 0.0 <= self.trend_anchor_share < 1.0:
+            raise ValueError("trend_anchor_share must lie in [0, 1)")
+        if not 0.0 <= self.trend_mix <= 1.0:
+            raise ValueError("trend_mix must lie in [0, 1]")
+        if self.burst_rate_per_minute < 0:
+            raise ValueError("burst_rate_per_minute must be non-negative")
+        if self.burst_duration_seconds <= 0:
+            raise ValueError("burst_duration_seconds must be positive")
+        if self.burst_intensity < 1.0:
+            raise ValueError("burst_intensity must be at least 1")
+        if not 0.0 <= self.burst_share <= 1.0:
+            raise ValueError("burst_share must lie in [0, 1]")
+        if self.diurnal_period_seconds <= 0:
+            raise ValueError("diurnal_period_seconds must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must lie in [0, 1)")
+        if not 0.0 <= self.adversarial_repeat_fraction < 1.0:
+            raise ValueError("adversarial_repeat_fraction must lie in [0, 1)")
+        if self.adversarial_repeat_window < 1:
+            raise ValueError("adversarial_repeat_window must be at least 1")
 
 
 class TwitterLikeGenerator:
@@ -160,6 +258,14 @@ class TwitterLikeGenerator:
             topic.decay_rate = self.config.topic_decay_rate
             self._next_topic_birth = self._sample_topic_birth_gap()
 
+    def _advance_dynamics(self) -> None:
+        """Per-document population dynamics hook (scenario override point)."""
+        self._maybe_spawn_topics()
+
+    def _next_interarrival(self) -> float:
+        """Gap to the next arrival (scenario generators modulate the rate)."""
+        return self._interarrival
+
     def _sample_n_tags(self) -> int:
         pick = self._rng.random()
         cumulative = 0.0
@@ -186,7 +292,7 @@ class TwitterLikeGenerator:
         return frozenset(tags)
 
     def _next_document(self) -> Document:
-        self._maybe_spawn_topics()
+        self._advance_dynamics()
         n_tags = self._sample_n_tags()
         tags = self._sample_tags(n_tags)
         document = Document(
@@ -195,7 +301,7 @@ class TwitterLikeGenerator:
             timestamp=self._clock,
         )
         self._next_doc_id += 1
-        self._clock += self._interarrival
+        self._clock += self._next_interarrival()
         return document
 
 

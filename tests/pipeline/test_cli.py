@@ -4,6 +4,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.workloads.io import load_documents
+from repro.workloads.replay import read_trace_header
 
 
 class TestParser:
@@ -84,6 +85,76 @@ class TestRun:
         )
         assert exit_code == 0
         assert "documents processed       : 800" in capsys.readouterr().out
+
+
+class TestScenarios:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "frobnicate"])
+
+    def test_run_with_scenario_preset(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--documents", "1200",
+                "--scenario", "trending",
+                "--reporting-engine", "delta",
+                "--k", "3",
+                "--partitioners", "2",
+                "--window", "300",
+                "--bootstrap", "150",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "workload scenario         : trending" in output
+        assert "documents processed       : 1200" in output
+
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "burst.trace.jsonl"
+        exit_code = main(
+            [
+                "record",
+                "--documents", "900",
+                "--scenario", "burst",
+                "--seed", "9",
+                "--output", str(trace),
+            ]
+        )
+        assert exit_code == 0
+        assert "recorded 900 burst documents" in capsys.readouterr().out
+        header = read_trace_header(trace)
+        assert header["scenario"] == "burst"
+        assert header["n_documents"] == 900
+        exit_code = main(
+            [
+                "run",
+                "--trace", str(trace),
+                "--k", "2",
+                "--partitioners", "2",
+                "--window", "250",
+                "--bootstrap", "120",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        # Replayed runs inherit the trace's recorded scenario provenance.
+        assert "workload scenario         : burst" in output
+        assert "documents processed       : 900" in output
+
+    def test_run_rejects_plain_tweet_file_as_trace(self, tmp_path, capsys):
+        plain = tmp_path / "plain.jsonl"
+        main(["generate", "--documents", "50", "--output", str(plain)])
+        capsys.readouterr()
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            main(
+                [
+                    "run",
+                    "--trace", str(plain),
+                    "--k", "2",
+                    "--partitioners", "2",
+                ]
+            )
 
 
 class TestCompare:

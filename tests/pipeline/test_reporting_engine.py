@@ -248,3 +248,134 @@ class TestClearHeavyMultiRound:
         _, _, scratch_tracker = multi_round_runs["scratch"]
         assert delta_tracker.coefficients() == scratch_tracker.coefficients()
         assert delta_tracker.supports() == scratch_tracker.supports()
+
+
+# --------------------------------------------------------------------- #
+# Scenario workloads
+# --------------------------------------------------------------------- #
+
+#: Scenario workloads of the equivalence matrix.  The trending stream
+#: thins its anchor cadence (same-slot spacing 3 s) and stretches the
+#: plateau so anchor multiplicities stay stable against the per-round
+#: report-boundary drift — the shape the delta engine's carry table is
+#: built for; the adversarial stream is the carry table's worst case
+#: (almost every type is brand new every round).
+SCENARIO_RUNS = {
+    "trending": dict(
+        n_documents=9000,
+        overrides={"trend_anchor_share": 1.0 / 30.0,
+                   "trend_plateau_seconds": 120.0},
+    ),
+    "adversarial": dict(n_documents=4000, overrides={}),
+}
+
+
+def _scenario_workload(scenario):
+    from repro.workloads import make_generator, scenario_preset
+
+    spec = SCENARIO_RUNS[scenario]
+    config = scenario_preset(
+        scenario, seed=11, tweets_per_second=50.0, **spec["overrides"]
+    )
+    return make_generator(config).generate(spec["n_documents"])
+
+
+class TestScenarioEquivalence:
+    """Engines × executors equivalence holds per workload *shape*, not just
+    on the legacy stream — and the delta engine's carry behaviour flips
+    between the carry-friendly and carry-hostile shapes as designed."""
+
+    @pytest.fixture(scope="class")
+    def scenario_runs(self):
+        runs = {}
+        for scenario in SCENARIO_RUNS:
+            documents = _scenario_workload(scenario)
+            for engine in ENGINES:
+                for executor in ("inline", "process"):
+                    overrides = {
+                        "reporting_engine": engine,
+                        "executor": executor,
+                        "scenario": scenario,
+                    }
+                    if executor == "process":
+                        overrides["workers"] = 2
+                    runs[(scenario, engine, executor)] = _run(
+                        documents, **overrides
+                    )
+        return runs
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_RUNS))
+    @pytest.mark.parametrize("engine", ["incremental", "delta"])
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
+    def test_metrics_identical_across_engines(
+        self, scenario_runs, scenario, engine, executor, field
+    ):
+        _, candidate, _ = scenario_runs[(scenario, engine, executor)]
+        _, scratch, _ = scenario_runs[(scenario, "scratch", executor)]
+        assert getattr(candidate, field) == getattr(scratch, field)
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_RUNS))
+    @pytest.mark.parametrize("engine", ["incremental", "delta"])
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_coefficients_identical_across_engines(
+        self, scenario_runs, scenario, engine, executor
+    ):
+        _, _, candidate_tracker = scenario_runs[(scenario, engine, executor)]
+        _, _, scratch_tracker = scenario_runs[(scenario, "scratch", executor)]
+        assert candidate_tracker.coefficients() == scratch_tracker.coefficients()
+        assert candidate_tracker.supports() == scratch_tracker.supports()
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_RUNS))
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_executors_agree_on_coverage_and_totals(
+        self, scenario_runs, scenario, engine
+    ):
+        """Executors track the same coefficient key set and processing
+        totals on every scenario.  Coefficient *values* are only compared
+        per executor (the cross-engine tests above): over many report
+        rounds the sharded executor's tick delivery shifts a handful of
+        boundary documents between rounds, so last-reported values may
+        differ in either executor — on the legacy stream by a coefficient
+        or two, amplified on scenario streams."""
+        _, inline_report, inline_tracker = scenario_runs[
+            (scenario, engine, "inline")
+        ]
+        _, process_report, process_tracker = scenario_runs[
+            (scenario, engine, "process")
+        ]
+        assert set(inline_tracker.coefficients()) == set(
+            process_tracker.coefficients()
+        )
+        for field in ("documents_processed", "tagged_documents",
+                      "notification_messages"):
+            assert getattr(inline_report, field) == getattr(
+                process_report, field
+            )
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIO_RUNS))
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_report_stamps_workload_scenario(
+        self, scenario_runs, scenario, executor
+    ):
+        _, report, _ = scenario_runs[(scenario, "delta", executor)]
+        assert report.workload_scenario == scenario
+
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_trending_stream_produces_carry_hits(self, scenario_runs, executor):
+        """The carry-friendly recurrence actually pays off end to end:
+        stable anchor multiplicities let the delta engine re-assert whole
+        types without refolding them."""
+        _, report, _ = scenario_runs[("trending", "delta", executor)]
+        assert report.subset_cache_stats["carry_hits"] > 0
+
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_adversarial_stream_defeats_the_carry(self, scenario_runs, executor):
+        """Churning types never recur with stable multiplicities, so the
+        carry table cannot re-assert anything — the delta engine must
+        degrade to fold-everything, never to wrong results (the
+        equivalence tests above pin the latter)."""
+        _, report, _ = scenario_runs[("adversarial", "delta", executor)]
+        assert report.subset_cache_stats["carry_hits"] == 0
+        _, scratch, _ = scenario_runs[("adversarial", "scratch", executor)]
+        assert report.coefficients_reported == scratch.coefficients_reported

@@ -276,6 +276,46 @@ class TestPerfRegressionGate:
         )
         assert check_perf.compare(baseline, candidate, 0.2) == 1
 
+    def test_scenario_cells_keyed_separately(self):
+        """A trending cell never compares against a legacy cell: files
+        whose only cells differ in scenario share nothing (a schema
+        mismatch, exit 2), rather than silently diffing across shapes."""
+        baseline = _bench(HOST, [("trending", "inline", 0, 1000.0)])
+        for run in baseline["runs"]:
+            run["scenario"] = "trending"
+        candidate = _bench(HOST, [("trending", "inline", 0, 400.0)])
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf.compare(baseline, candidate, 0.2)
+        assert excinfo.value.code == 2
+
+    def test_handoff_cells_keyed_separately(self):
+        """The live-repartition cell (which pays migration stalls) is its
+        own cell: a regression there binds without touching its plain
+        twin, and vice versa."""
+        def snapshot(plain_dps, migrate_dps):
+            data = _bench(HOST, [("trending", "inline", 0, plain_dps),
+                                 ("trending", "inline", 0, migrate_dps)])
+            for run in data["runs"]:
+                run["scenario"] = "trending"
+            data["runs"][1]["repartition_handoff"] = "migrate"
+            return data
+
+        baseline = snapshot(1000.0, 800.0)
+        candidate = snapshot(1000.0, 500.0)  # only the migrate cell regressed
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
+    def test_pre_scenario_snapshot_defaults_to_legacy_key(self):
+        """Snapshots recorded before the scenario matrix (no scenario or
+        handoff fields) keep comparing against explicit legacy/none
+        candidate cells."""
+        baseline = _bench(HOST, [("small", "inline", 0, 1000.0)])
+        candidate = _bench(HOST, [("small", "inline", 0, 400.0)])
+        for run in candidate["runs"]:
+            run["scenario"] = "legacy"
+            run["repartition_handoff"] = "none"
+            run["reporting_engine"] = "incremental"
+        assert check_perf.compare(baseline, candidate, 0.2) == 1
+
     def test_report_share_regression_binds_on_matching_host(self):
         """Overall and stream docs/s hold, but in-stream report rounds ate
         a third of the stream phase: fail."""

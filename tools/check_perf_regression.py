@@ -7,11 +7,13 @@ Usage::
     python tools/check_perf_regression.py BASELINE.json CANDIDATE.json \
         [--tolerance 0.2]
 
-Cells are matched by ``(workload, executor, requested_workers,
-reporting_engine)``; only the intersection of the two files is compared, so
-a CI smoke run (a subset of the full matrix) checks cleanly against a full
-committed snapshot, and snapshots recorded before the engine matrix default
-to the ``incremental`` engine key.
+Cells are matched by ``(workload, scenario, repartition_handoff, executor,
+requested_workers, reporting_engine)``; only the intersection of the two
+files is compared, so a CI smoke run (a subset of the full matrix) checks
+cleanly against a full committed snapshot.  Snapshots recorded before the
+engine matrix default to the ``incremental`` engine key; snapshots recorded
+before the scenario matrix default to the ``legacy`` scenario and ``none``
+handoff keys.
 
 Enforcement is **host-aware**: docs/sec is only comparable between runs of
 the same machine class, so the gate is binding only when the two files'
@@ -80,6 +82,14 @@ def _cells(data: dict) -> dict[tuple, dict]:
     for run in data["runs"]:
         key = (
             run["workload"],
+            # Scenario + handoff key the workload-shape cells: a trending
+            # cell must never be compared against a legacy cell of the
+            # same name, and a live-repartition cell (which pays migration
+            # stalls) must never be compared against its plain twin.
+            # Snapshots recorded before the scenario matrix carry neither
+            # field and default to the legacy/no-handoff key.
+            run.get("scenario", "legacy"),
+            run.get("repartition_handoff", "none"),
             run["executor"],
             run.get("requested_workers", 0),
             run.get("reporting_engine", "incremental"),
@@ -176,7 +186,7 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
         raise _usage_error("the two files share no benchmark cells")
     regressions = 0
     for key in shared:
-        workload, executor, workers, engine = key
+        workload, scenario, handoff, executor, workers, engine = key
         old = base_cells[key]["docs_per_second"]
         new = cand_cells[key]["docs_per_second"]
         ratio = new / old if old else float("inf")
@@ -189,6 +199,10 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
                 regressions += 1
         label = executor if executor == "inline" else f"{executor}({workers}w)"
         label = f"{label}/{engine}"
+        if handoff != "none":
+            label = f"{label}+{handoff}"
+        if scenario != "legacy" and scenario != workload:
+            label = f"{label} [{scenario}]"
         print(f"[perf-diff] {workload:>6} / {label:<24} "
               f"{old:>9.1f} -> {new:>9.1f} docs/s  ({ratio:5.2f}x)  {status}")
         # Per-phase breakdown: the stream phase binds like the overall
