@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Service-mode latency/throughput harness: the cost of always-on serving.
+
+Runs a live :class:`~repro.service.ServiceDaemon` over loopback TCP and
+measures, per cell, the three numbers that characterise the serving surface
+(see docs/ARCHITECTURE.md "Service mode"):
+
+* **served docs/sec** — end-to-end ingest throughput: wall-clock from the
+  first ingest request to the completed drain, over the whole workload.
+  Comparable (same topology, same documents) to the batch executors'
+  figures in ``BENCH_throughput.json``; the gap is the price of the wire
+  round-trip plus the per-batch snapshot publication.
+* **ingest ack latency** — per-request round-trip of a blocking ingest
+  (client send → daemon queue admission → ack line), p50/p95/max in ms.
+* **query latency under load** — round-trip of ``top_k`` + ``stats``
+  queries issued from concurrent connections *while ingest is running*,
+  p50/p95/max in ms.  This is the number the snapshot design buys: queries
+  never wait for the writer.
+
+Results land in ``BENCH_service_latency.json`` at the repository root;
+``tools/check_perf_regression.py`` diffs a fresh run against the committed
+snapshot (throughput binds like an inline cell, latencies bind upward) on
+matching hosts only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/service_latency.py             # full
+    PYTHONPATH=src python benchmarks/perf/service_latency.py \
+        --documents 3000 --output BENCH_new.json                         # smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if not any(Path(p).resolve() == _REPO_ROOT / "src" for p in sys.path if p):
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Schema version of BENCH_service_latency.json.
+SCHEMA_VERSION = 1
+
+#: Workload seed/shape (mirrors the throughput harness's legacy cells).
+SEED = 7
+
+#: Documents per ingest request.
+INGEST_BATCH = 250
+
+#: Concurrent query connections hammering the daemon during ingest.
+N_QUERY_CLIENTS = 2
+
+
+def _generate_documents(n_documents: int):
+    from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+    config = WorkloadConfig(
+        seed=SEED,
+        tweets_per_second=50.0,
+        n_topics=120,
+        tags_per_topic=15,
+        new_topic_rate=5.0,
+        intra_topic_probability=0.92,
+    )
+    return TwitterLikeGenerator(config).generate(n_documents)
+
+
+def _system_config(queue_limit: int):
+    from repro.pipeline import SystemConfig
+
+    return SystemConfig(
+        algorithm="DS",
+        k=8,
+        n_partitioners=5,
+        window_mode="count",
+        window_size=1500,
+        bootstrap_documents=600,
+        quality_check_interval=250,
+        repartition_threshold=0.5,
+        report_interval_seconds=60.0,
+        executor="service",
+        service_queue_limit=queue_limit,
+    )
+
+
+def _percentiles(samples: list[float]) -> dict:
+    """p50/p95/max of latency samples, in milliseconds."""
+    if not samples:
+        return {"p50_ms": None, "p95_ms": None, "max_ms": None, "samples": 0}
+    ordered = sorted(samples)
+
+    def at(fraction: float) -> float:
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    return {
+        "p50_ms": round(at(0.50) * 1000.0, 3),
+        "p95_ms": round(at(0.95) * 1000.0, 3),
+        "max_ms": round(ordered[-1] * 1000.0, 3),
+        "samples": len(ordered),
+    }
+
+
+class _QueryLoadThread(threading.Thread):
+    """One persistent connection alternating top_k/stats until stopped."""
+
+    def __init__(self, address, halt: threading.Event, index: int) -> None:
+        super().__init__(name=f"latency-query-{index}", daemon=True)
+        self._address = address
+        self._halt = halt
+        self.latencies: list[float] = []
+        self.error: str | None = None
+
+    def run(self) -> None:
+        from repro.service import ServiceClient
+
+        try:
+            host, port = self._address
+            with ServiceClient(host=host, port=port) as client:
+                flip = False
+                while not self._halt.is_set():
+                    start = time.perf_counter()
+                    if flip:
+                        client.stats()
+                    else:
+                        client.top_k(k=10)
+                    self.latencies.append(time.perf_counter() - start)
+                    flip = not flip
+        except BaseException as exc:  # noqa: BLE001 - recorded, not raised
+            self.error = f"{type(exc).__name__}: {exc}"
+
+
+def measure(n_documents: int, queue_limit: int) -> dict:
+    """One served run: throughput + ingest-ack + under-load query latency."""
+    from repro.service import ServiceClient, ServiceDaemon
+
+    documents = _generate_documents(n_documents)
+    halt = threading.Event()
+    with ServiceDaemon(_system_config(queue_limit)) as daemon:
+        address = daemon.address
+        queriers = [
+            _QueryLoadThread(address, halt, index)
+            for index in range(N_QUERY_CLIENTS)
+        ]
+        for querier in queriers:
+            querier.start()
+        host, port = address
+        ingest_latencies: list[float] = []
+        with ServiceClient(host=host, port=port) as feeder:
+            started = time.perf_counter()
+            for start in range(0, len(documents), INGEST_BATCH):
+                batch = documents[start : start + INGEST_BATCH]
+                sent = time.perf_counter()
+                feeder.ingest(batch, block=True, timeout=120.0)
+                ingest_latencies.append(time.perf_counter() - sent)
+            halt.set()
+            for querier in queriers:
+                querier.join(timeout=60.0)
+            feeder.shutdown()
+            elapsed = time.perf_counter() - started
+    report = daemon.final_report
+    assert report is not None and report.documents_processed == n_documents
+    for querier in queriers:
+        if querier.error is not None:
+            raise RuntimeError(f"query load thread failed: {querier.error}")
+    query_latencies = [
+        sample for querier in queriers for sample in querier.latencies
+    ]
+    return {
+        "cell": f"served-{n_documents}docs",
+        "documents": n_documents,
+        "ingest_batch": INGEST_BATCH,
+        "queue_limit": queue_limit,
+        "query_clients": N_QUERY_CLIENTS,
+        "rounds": daemon.current_round,
+        "elapsed_seconds": round(elapsed, 4),
+        "docs_per_second": round(n_documents / elapsed, 1),
+        "ingest_ack": _percentiles(ingest_latencies),
+        "query_under_load": _percentiles(query_latencies),
+        "coefficients_reported": report.coefficients_reported,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Service-mode latency/throughput benchmark"
+    )
+    parser.add_argument("--documents", default="6000",
+                        help="comma-separated workload sizes (one cell each)")
+    parser.add_argument("--queue-limit", type=int, default=8,
+                        help="service ingest queue limit (batches)")
+    parser.add_argument("--output",
+                        default=str(_REPO_ROOT / "BENCH_service_latency.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    sizes = [int(value) for value in args.documents.split(",") if value.strip()]
+    runs = []
+    for n_documents in sizes:
+        print(f"[bench] serve {n_documents} docs "
+              f"(batch {INGEST_BATCH}, {N_QUERY_CLIENTS} query clients) ...",
+              end=" ", flush=True)
+        cell = measure(n_documents, args.queue_limit)
+        runs.append(cell)
+        print(f"{cell['docs_per_second']:>8.1f} docs/s, "
+              f"ingest p95 {cell['ingest_ack']['p95_ms']} ms, "
+              f"query p95 {cell['query_under_load']['p95_ms']} ms "
+              f"({cell['query_under_load']['samples']} queries, "
+              f"{cell['rounds']} rounds)")
+
+    results = {
+        "schema": SCHEMA_VERSION,
+        "generated_by": "benchmarks/perf/service_latency.py",
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "runs": runs,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n",
+                      encoding="utf-8")
+    print(f"[bench] wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,16 +76,15 @@ SCENARIO_WORKLOADS = {
 #: Seed shared by every scenario workload (mirrors the legacy cells').
 SCENARIO_SEED = 7
 #: Per-scenario preset overrides for bench-scale runs.  Report-round
-#: boundaries at the Calculator drift forward by ~0.1 s per 60 s round
-#: (ticks fire at document-timestamp granularity and ``_last_report``
-#: absorbs the overshoot), so per-round anchor multiplicities are only
-#: stable when same-slot anchor spacing is large against that drift: the
-#: trending cell thins the anchor cadence to one position per 60
-#: documents (6 s same-slot spacing — a boundary crosses an anchor
-#: position once per ~45 rounds instead of every ~2) and stretches the
-#: plateau to 240 s so each trend's anchor tagset spans several full
-#: rounds, making the committed ``carry_clean_rate`` structurally
-#: nonzero rather than alignment luck.
+#: boundaries are grid-aligned (``_last_report`` advances by whole
+#: interval multiples, so a round fires at the first document on or past
+#: each interval boundary — no cumulative drift), but ticks still fire at
+#: document-timestamp granularity: the trending cell thins the anchor
+#: cadence to one position per 60 documents (6 s same-slot spacing, large
+#: against the sub-interval boundary jitter) and stretches the plateau to
+#: 240 s so each trend's anchor tagset spans several full rounds, making
+#: the committed ``carry_clean_rate`` structurally nonzero rather than
+#: alignment luck.
 SCENARIO_OVERRIDES = {
     "trending": {
         "trend_plateau_seconds": 240.0,

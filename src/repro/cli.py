@@ -20,7 +20,14 @@ Provides the handful of workflows a user needs without writing Python:
 * ``repro compare`` — run several partitioning algorithms over the same
   trace and print the evaluation metrics side by side,
 * ``repro connectivity`` — the Figure-7 connectivity analysis of a trace,
-* ``repro theory`` — print the Section-5 analytic tables.
+* ``repro theory`` — print the Section-5 analytic tables,
+* ``repro serve`` — start the always-on service daemon: a long-lived
+  process owning the cluster, ingesting document batches over a TCP or
+  Unix socket and answering concurrent queries between rounds (see
+  docs/ARCHITECTURE.md "Service mode"),
+* ``repro client`` — talk to a running daemon: ``ping``, ``ingest`` a
+  JSONL file, ``top-k`` / ``coefficient`` / ``tracked`` / ``stats``
+  queries, ``track`` standing tagsets, and graceful ``shutdown``.
 
 Invoke as ``python -m repro.cli <command> ...`` (or wire the ``repro``
 entry point in your environment); ``--help`` on the top level and on every
@@ -332,6 +339,105 @@ def cmd_connectivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceDaemon
+
+    config = _system_config_from_args(args).with_overrides(
+        executor="service", service_queue_limit=args.queue_limit
+    )
+    daemon = ServiceDaemon(
+        config,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket or None,
+    ).start()
+    address = daemon.address
+    if isinstance(address, tuple):
+        print(f"serving on {address[0]}:{address[1]}", flush=True)
+    else:
+        print(f"serving on unix socket {address}", flush=True)
+    try:
+        # Run until a client's shutdown request drains the cluster.
+        while not daemon.wait_for_shutdown(timeout=0.5):
+            pass
+    except KeyboardInterrupt:
+        print("interrupted; draining...", flush=True)
+        daemon.executor.request_drain()
+    finally:
+        daemon.close()
+    report = daemon.final_report
+    if report is not None:
+        print()
+        _print_report(report)
+    return 0
+
+
+def _client_from_args(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    if args.socket:
+        return ServiceClient(socket_path=args.socket)
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _parse_tags(raw: str) -> list[str]:
+    tags = [tag.strip() for tag in raw.split(",") if tag.strip()]
+    if not tags:
+        raise SystemExit("--tags expects a comma-separated tag list")
+    return tags
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from .service import ServiceError
+
+    try:
+        client = _client_from_args(args)
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot connect to the service: {exc}", file=sys.stderr)
+        return 1
+    try:
+        op = args.operation
+        if op == "ping":
+            response = client.ping()
+        elif op == "ingest":
+            if not args.input:
+                raise SystemExit("ingest requires --input <jsonl file>")
+            documents = load_documents(args.input)
+            total = 0
+            for start in range(0, len(documents), args.ingest_batch):
+                response = client.ingest(
+                    documents[start : start + args.ingest_batch], block=True
+                )
+                total += response["accepted"]
+            print(f"ingested {total} documents "
+                  f"({response['pending_batches']} batches pending)")
+            return 0
+        elif op == "top-k":
+            response = client.top_k(k=args.k, min_support=args.min_support)
+            print(f"round {response['round']}:")
+            for tags, jaccard, support in response["results"]:
+                print(f"  {','.join(tags):<40} jaccard={jaccard:.4f} "
+                      f"support={support}")
+            return 0
+        elif op == "coefficient":
+            response = client.coefficient(_parse_tags(args.tags or ""))
+        elif op == "tracked":
+            response = client.tracked()
+        elif op == "stats":
+            response = client.stats()
+        elif op == "track":
+            response = client.track([_parse_tags(args.tags or "")])
+        else:  # shutdown
+            response = client.shutdown()
+        print(response)
+        return 0
+    except ServiceError as exc:
+        print(f"service error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
 def cmd_theory(args: argparse.Namespace) -> int:
     print("Section 5.1 - Erdos-Renyi n*p of the tag co-occurrence graph")
     for (window, mmax), np_value in paper_np_table().items():
@@ -370,6 +476,10 @@ subcommands:
                 print the evaluation metrics side by side
   connectivity  Figure-7 connectivity analysis of a trace
   theory        print the Section-5 analytic tables
+  serve         start the always-on service daemon (socket ingest API +
+                concurrent queries; runs until a client sends shutdown)
+  client        talk to a running daemon: ping, ingest, top-k, coefficient,
+                tracked, stats, track, shutdown
 
 examples:
   # Generate a 10k-document trace, then replay it through the system:
@@ -423,6 +533,16 @@ examples:
 
   # Paper-style algorithm comparison (Figures 3-6):
   python -m repro.cli compare --documents 8000 --algorithms DS,SCI,SCC,SCL
+
+  # Always-on service mode: start the daemon, ingest a trace through the
+  # socket API, query it, then drain to a final report (batch==served,
+  # pinned by tests/pipeline/test_service_equivalence.py):
+  python -m repro.cli serve --port 7341 --k 8 &
+  python -m repro.cli generate --documents 5000 --output feed.jsonl
+  python -m repro.cli client --port 7341 ingest --input feed.jsonl
+  python -m repro.cli client --port 7341 top-k --k 10
+  python -m repro.cli client --port 7341 stats
+  python -m repro.cli client --port 7341 shutdown
 
 Use "python -m repro.cli <subcommand> --help" for per-command options.
 """
@@ -483,6 +603,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--windows", default="2,5,10,20", help="comma-separated window sizes in minutes"
     )
     connectivity.set_defaults(handler=cmd_connectivity)
+
+    serve = subparsers.add_parser(
+        "serve", help="start the always-on service daemon"
+    )
+    _add_system_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument("--port", type=int, default=7341,
+                       help="TCP bind port (0 = pick a free port)")
+    serve.add_argument("--socket", default="",
+                       help="serve on this Unix socket path instead of TCP")
+    serve.add_argument("--queue-limit", type=int, default=8,
+                       help="bounded ingest queue depth in batches; a full "
+                            "queue refuses non-blocking ingest with a "
+                            "backpressure error (default 8)")
+    serve.set_defaults(handler=cmd_serve, executor="service")
+
+    client = subparsers.add_parser(
+        "client", help="talk to a running service daemon"
+    )
+    client.add_argument("operation",
+                        choices=("ping", "ingest", "top-k", "coefficient",
+                                 "tracked", "stats", "track", "shutdown"),
+                        help="operation to perform against the daemon")
+    client.add_argument("--host", default="127.0.0.1", help="daemon TCP host")
+    client.add_argument("--port", type=int, default=7341, help="daemon TCP port")
+    client.add_argument("--socket", default="",
+                        help="connect to this Unix socket path instead of TCP")
+    client.add_argument("--input", help="JSONL tweet file to ingest")
+    client.add_argument("--ingest-batch", type=int, default=500,
+                        help="documents per ingest request (default 500)")
+    client.add_argument("--k", type=int, default=10, help="top-k size")
+    client.add_argument("--min-support", type=int, default=0,
+                        help="minimum support of top-k results")
+    client.add_argument("--tags", default="",
+                        help="comma-separated tagset for coefficient/track")
+    client.set_defaults(handler=cmd_client)
 
     theory = subparsers.add_parser("theory", help="print the Section-5 analytic tables")
     theory.add_argument("--tweets", type=int, default=10_000)

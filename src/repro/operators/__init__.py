@@ -20,8 +20,8 @@ from .disseminator import (
 from .merger import MergerBolt
 from .parser import ParserBolt, extract_hashtags
 from .partitioner import PartitionerBolt, SlidingWindow
-from .spouts import DocumentSpout, FileSpout
-from .tracker import CoefficientView, TrackerBolt
+from .spouts import DocumentSpout, FileSpout, ServiceSpout
+from .tracker import CoefficientView, TrackerBolt, TrackerSnapshot
 from . import streams
 
 __all__ = [
@@ -48,8 +48,10 @@ __all__ = [
     "REPARTITION_POLICIES",
     "RepartitionController",
     "RepartitionEvent",
+    "ServiceSpout",
     "SlidingWindow",
     "TrackerBolt",
+    "TrackerSnapshot",
     "extract_hashtags",
     "streams",
 ]

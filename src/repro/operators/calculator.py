@@ -138,9 +138,20 @@ class BaseCalculatorBolt(Bolt):
         self.notifications_received += received
 
     def tick(self, simulation_time: float) -> None:
-        if simulation_time - self._last_report < self.report_interval:
+        elapsed = simulation_time - self._last_report
+        if elapsed < self.report_interval:
             return
-        self._last_report = simulation_time
+        # Grid-aligned rounds: advance the report clock to the last grid
+        # point at or before *now* instead of re-anchoring it at the tick
+        # timestamp.  Ticks fire at document-timestamp granularity, so
+        # ``= simulation_time`` absorbed the overshoot into the next round
+        # and boundaries drifted forward ~0.1 s per round (see ROADMAP
+        # item 4); on the fixed grid every round is exactly
+        # ``report_interval`` long, which is what keeps continuously
+        # *served* rounds (service mode) from drifting against wall-clock
+        # schedules and raises the delta carry's clean rate on recurring
+        # streams.
+        self._last_report += self.report_interval * int(elapsed / self.report_interval)
         self._emit_report(simulation_time)
 
     def _emit_report(self, timestamp: float) -> None:

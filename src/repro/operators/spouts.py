@@ -10,12 +10,15 @@ JSON-Lines file source.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..core.documents import Document
 from ..streamsim.components import Spout
 from ..workloads.io import read_documents
 from .streams import TWEETS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..streamsim.executors import AsyncServiceExecutor
 
 
 class DocumentSpout(Spout):
@@ -30,6 +33,38 @@ class DocumentSpout(Spout):
         try:
             document = next(self._documents)
         except StopIteration:
+            return False
+        self.emit(
+            TWEETS,
+            document.doc_id,
+            document.timestamp,
+            document.tags,
+            document.text,
+        )
+        self.emitted += 1
+        return True
+
+
+class ServiceSpout(Spout):
+    """Pulls documents from an :class:`AsyncServiceExecutor`'s ingest queue.
+
+    The always-on flavour of :class:`DocumentSpout`: instead of replaying a
+    pre-materialised iterable, each ``next_tuple`` call asks the service
+    executor for the next queued document — blocking while the queue is
+    idle — and reports exhaustion only once a drain has been requested and
+    the queue is empty.  Emission order and wire format are identical to
+    :class:`DocumentSpout` over the same document sequence, which is what
+    the batch≡served equivalence suite pins.
+    """
+
+    def __init__(self, executor: "AsyncServiceExecutor") -> None:
+        super().__init__()
+        self._executor = executor
+        self.emitted = 0
+
+    def next_tuple(self) -> bool:
+        document = self._executor.next_document()
+        if document is None:
             return False
         self.emit(
             TWEETS,

@@ -15,8 +15,9 @@ callers that want a snapshot.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..core.jaccard import JaccardResult
@@ -77,6 +78,71 @@ class CoefficientView(Mapping):
             self._stamp = self._tracker.reports_received
             self._len = sum(1 for _ in self)
         return self._len
+
+
+@dataclass(frozen=True, slots=True)
+class TrackerSnapshot:
+    """Immutable, round-consistent copy of the Tracker's dedup table.
+
+    The service daemon's read path: the writer thread takes one snapshot per
+    quiescent point (see ``AsyncServiceExecutor.on_quiescent``) and publishes
+    it by plain reference assignment; query threads only ever touch the
+    published snapshot, never the live table.  The live
+    :class:`CoefficientView` is *not* safe for cross-thread reads — ingest
+    mutates :class:`TrackedCoefficient` entries in place, so a concurrent
+    reader could observe a torn jaccard/support pair.  A snapshot can't:
+    every ``(jaccard, support)`` pair here was copied out atomically with
+    respect to ingest (same thread), and the dataclass is frozen.
+    """
+
+    #: Monotone publication index (one per quiescent point, 0 = pre-ingest).
+    round_index: int
+    reports_received: int
+    duplicate_reports: int
+    #: ``tagset -> (jaccard, support)`` at snapshot time.
+    entries: dict[frozenset[str], tuple[float, int]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def coefficient(
+        self, tagset: Iterable[str]
+    ) -> tuple[float, int] | None:
+        """``(jaccard, support)`` of one tagset, or ``None`` if untracked."""
+        return self.entries.get(frozenset(tagset))
+
+    def top_k(
+        self, k: int, min_support: int = 0
+    ) -> list[tuple[frozenset[str], float, int]]:
+        """The ``k`` highest-coefficient tagsets at this round.
+
+        Deterministic: ties break on descending support, then on the sorted
+        tag tuple, so two queries against the same snapshot always agree.
+        """
+        qualifying = [
+            (tagset, jaccard, support)
+            for tagset, (jaccard, support) in self.entries.items()
+            if support >= min_support
+        ]
+        qualifying.sort(key=lambda row: (-row[1], -row[2], tuple(sorted(row[0]))))
+        return qualifying[:k]
+
+    def digest(self) -> str:
+        """Order-independent hash of the snapshot's coefficient table.
+
+        The soak suite's torn-read oracle: a query answer is consistent iff
+        it matches the retained snapshot carrying the same round index, and
+        snapshots compare by this digest.
+        """
+        lines = sorted(
+            f"{','.join(sorted(tagset))}={jaccard!r}/{support}"
+            for tagset, (jaccard, support) in self.entries.items()
+        )
+        hasher = hashlib.sha256()
+        for line in lines:
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
 
 
 class TrackerBolt(Bolt):
@@ -184,6 +250,23 @@ class TrackerBolt(Bolt):
     def coefficients(self, min_support: int = 0) -> dict[frozenset[str], float]:
         """Final coefficient per tagset as a snapshot dict (copies)."""
         return dict(self.iter_coefficients(min_support))
+
+    def snapshot(self, round_index: int = 0) -> TrackerSnapshot:
+        """Round-consistent immutable copy of the dedup table.
+
+        Must be called from the thread that ingests (the service writer
+        thread, at a quiescent point); the returned snapshot may then be
+        read freely from any thread.
+        """
+        return TrackerSnapshot(
+            round_index=round_index,
+            reports_received=self.reports_received,
+            duplicate_reports=self.duplicate_reports,
+            entries={
+                tagset: (tracked.jaccard, tracked.support)
+                for tagset, tracked in self._best.items()
+            },
+        )
 
     def supports(self) -> dict[frozenset[str], int]:
         """Supporting counter value per tagset."""

@@ -131,11 +131,20 @@ class SystemConfig:
     #: Execution engine: ``"inline"`` runs the whole topology depth-first in
     #: this process; ``"process"`` shards the Calculator/Tracker layer across
     #: ``multiprocessing`` workers (identical logical metrics, see
-    #: docs/PERFORMANCE.md for when it pays off).
+    #: docs/PERFORMANCE.md for when it pays off); ``"service"`` feeds the
+    #: same depth-first loop from a bounded cross-thread ingest queue — the
+    #: always-on engine behind ``repro.service`` (identical logical metrics
+    #: to inline over the same document sequence, pinned by the batch≡served
+    #: equivalence suite).
     executor: str = "inline"
     #: Worker processes of the process executor; ``0`` = auto (one per CPU
     #: core, capped at :data:`MAX_AUTO_WORKERS`).  Ignored in inline mode.
     workers: int = 0
+    #: Bound of the service executor's ingest queue, in *batches*: a
+    #: non-blocking submit against a full queue is refused with a
+    #: ``backpressure`` error instead of buffering unboundedly.  Ignored by
+    #: the other executors.
+    service_queue_limit: int = 8
 
     def validate(self) -> None:
         if self.k < 1:
@@ -198,6 +207,8 @@ class SystemConfig:
             )
         if self.workers < 0:
             raise ValueError("workers must be non-negative (0 = auto)")
+        if self.service_queue_limit < 1:
+            raise ValueError("service_queue_limit must be at least 1")
 
     def resolved_workers(self) -> int:
         """Worker-process count of the process executor (resolves 0 = auto)."""

@@ -48,12 +48,14 @@ from ..operators import (
     PartitionerBolt,
     QualitySnapshot,
     RepartitionEvent,
+    ServiceSpout,
     SketchCalculatorBolt,
     TrackerBolt,
 )
 from ..operators import streams
 from ..partitioning import make_partitioner
 from ..streamsim import (
+    AsyncServiceExecutor,
     Cluster,
     Executor,
     ShardedProcessExecutor,
@@ -222,9 +224,16 @@ class TagCorrelationSystem:
     # ------------------------------------------------------------------ #
     # Topology assembly
     # ------------------------------------------------------------------ #
-    def build_cluster(self, documents: Iterable[Document]) -> Cluster:
-        """Assemble the Figure-2 topology over the given document stream."""
+    def build_cluster(self, documents: Iterable[Document] = ()) -> Cluster:
+        """Assemble the Figure-2 topology over the given document stream.
+
+        In service mode (``executor="service"``) the spout pulls from the
+        executor's ingest queue instead of ``documents`` — pass documents
+        via ``AsyncServiceExecutor.submit`` (or just call :meth:`run`,
+        which submits and drains for you).
+        """
         config = self.config
+        executor = self._build_executor()
         builder = TopologyBuilder()
 
         # Declare the slot layout of every Figure-2 stream up front: the
@@ -244,7 +253,10 @@ class TagCorrelationSystem:
         ):
             builder.stream(schema)
 
-        builder.set_spout(streams.SOURCE, lambda: DocumentSpout(documents))
+        if isinstance(executor, AsyncServiceExecutor):
+            builder.set_spout(streams.SOURCE, lambda: ServiceSpout(executor))
+        else:
+            builder.set_spout(streams.SOURCE, lambda: DocumentSpout(documents))
 
         builder.set_bolt(
             streams.PARSER,
@@ -321,7 +333,7 @@ class TagCorrelationSystem:
         return Cluster(
             builder.build(),
             tick_interval=config.tick_interval_seconds,
-            executor=self._build_executor(),
+            executor=executor,
             link_batch_size=config.link_batch_size,
         )
 
@@ -360,6 +372,7 @@ class TagCorrelationSystem:
             self.config.executor,
             workers=self.config.resolved_workers(),
             remote_components=(streams.CALCULATOR, streams.TRACKER),
+            queue_limit=self.config.service_queue_limit,
         )
 
     # ------------------------------------------------------------------ #
@@ -374,6 +387,14 @@ class TagCorrelationSystem:
         t0 = time.perf_counter()
         cluster = self.build_cluster(documents)
         t1 = time.perf_counter()
+        executor = cluster.executor
+        if isinstance(executor, AsyncServiceExecutor):
+            # Served-batch compatibility: queue the whole stream as one
+            # batch and drain immediately, so a plain run() under
+            # executor="service" is the single-writer loop over the same
+            # document sequence a batch run would consume.
+            executor.submit(documents)
+            executor.request_drain()
         cluster.run()
         t2 = time.perf_counter()
         self._cluster = cluster
@@ -395,6 +416,17 @@ class TagCorrelationSystem:
     def cluster(self) -> Cluster | None:
         """The last executed cluster (for inspection in tests and examples)."""
         return self._cluster
+
+    def collect_report(self, cluster: Cluster) -> RunReport:
+        """Collect the :class:`RunReport` of an externally driven cluster.
+
+        The service daemon's path: it builds the cluster itself, drives it
+        on a writer thread and — once the drain has finished — collects the
+        final report here, exactly as :meth:`run` would have.  The cluster
+        must be fully drained (``cluster.run()`` returned) before calling.
+        """
+        self._cluster = cluster
+        return self._collect_report(cluster)
 
     # ------------------------------------------------------------------ #
     # Metric collection

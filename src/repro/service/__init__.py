@@ -1,0 +1,33 @@
+"""Always-on service mode: daemon, client and the JSON-lines protocol.
+
+The long-lived serving surface over :class:`~repro.pipeline.system.TagCorrelationSystem`:
+a :class:`ServiceDaemon` owns one cluster driven by the single-writer
+:class:`~repro.streamsim.executors.AsyncServiceExecutor`, accepts document
+batches over a socket ingest API with bounded backpressure, and answers
+concurrent queries (top-k trending, tracked tagsets, per-tagset
+coefficients, run stats) against immutable round-consistent Tracker
+snapshots.  See docs/ARCHITECTURE.md "Service mode".
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import ServiceDaemon
+from .protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    QUERY_KINDS,
+    ProtocolError,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "QUERY_KINDS",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+]

@@ -1,0 +1,135 @@
+"""Blocking JSON-lines client of the always-on service daemon.
+
+One socket, many requests: the client keeps its connection open and issues
+one request line per call, reading exactly one response line back.  Failure
+responses raise :class:`ServiceError` carrying the daemon's pinned error
+code, so callers can branch on ``exc.code`` (``"backpressure"``,
+``"draining"``, ...) instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Sequence
+
+from ..core.documents import Document
+from . import protocol
+
+
+class ServiceError(Exception):
+    """A failure response from the daemon (``ok: false``)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Connects to a :class:`~repro.service.daemon.ServiceDaemon`.
+
+    Pass ``host``/``port`` for TCP or ``socket_path`` for a Unix socket —
+    both accept whatever :attr:`ServiceDaemon.address` returned.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        socket_path: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            if port is None:
+                raise ValueError("port is required for TCP connections")
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request and return the (successful) response payload.
+
+        Raises :class:`ServiceError` on a failure response and
+        :class:`ConnectionError` if the daemon hangs up mid-exchange.
+        """
+        payload = {"v": protocol.PROTOCOL_VERSION, "op": op, **fields}
+        self._sock.sendall(protocol.encode(payload))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        response = protocol.decode_response(line)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("code", "unknown"),
+                response.get("error", "unspecified failure"),
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def ingest(
+        self,
+        documents: Iterable[Document | dict],
+        block: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        """Submit one document batch; ``backpressure`` errors surface raised.
+
+        ``documents`` may be :class:`Document` objects or already-wire
+        dicts.  ``block=True`` waits (up to ``timeout`` seconds) for queue
+        space instead of failing fast.
+        """
+        wire = [
+            protocol.document_to_wire(doc) if isinstance(doc, Document) else doc
+            for doc in documents
+        ]
+        fields: dict[str, Any] = {"documents": wire, "block": block}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return self.request("ingest", **fields)
+
+    def top_k(self, k: int = 10, min_support: int = 0) -> dict:
+        """Top-k trending tagsets; ``results`` rows are ``[tags, j, s]``."""
+        return self.request("query", what="top_k", k=k, min_support=min_support)
+
+    def coefficient(self, tags: Sequence[str]) -> dict:
+        """Current coefficient of one tagset (``found: false`` if untracked)."""
+        return self.request("query", what="coefficient", tags=list(tags))
+
+    def tracked(self) -> dict:
+        """Current coefficients of every tagset registered via :meth:`track`."""
+        return self.request("query", what="tracked")
+
+    def stats(self) -> dict:
+        """Run statistics: rounds, ingest counters, queue depth, drain state."""
+        return self.request("query", what="stats")
+
+    def track(self, tagsets: Iterable[Sequence[str]]) -> dict:
+        """Register tagsets for the ``tracked`` standing query."""
+        return self.request("track", tagsets=[list(tags) for tags in tagsets])
+
+    def shutdown(self) -> dict:
+        """Drain the run and return the final-report summary."""
+        return self.request("shutdown")

@@ -24,7 +24,10 @@ from .cluster import Cluster, ClusterContext, MessageAccounting, iter_bolts, run
 from .components import Bolt, Component, Spout
 from .executors import (
     EXECUTOR_NAMES,
+    AsyncServiceExecutor,
     Executor,
+    IngestBackpressure,
+    IngestClosed,
     InlineExecutor,
     ShardedProcessExecutor,
     make_executor,
@@ -49,6 +52,7 @@ from .tuples import (
 
 __all__ = [
     "AllGrouping",
+    "AsyncServiceExecutor",
     "Bolt",
     "Cluster",
     "ClusterContext",
@@ -61,6 +65,8 @@ __all__ = [
     "Executor",
     "FieldsGrouping",
     "Grouping",
+    "IngestBackpressure",
+    "IngestClosed",
     "InlineExecutor",
     "LocalGrouping",
     "MessageAccounting",

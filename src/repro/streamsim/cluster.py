@@ -539,8 +539,15 @@ class Cluster:
     def _advance_clock(self, timestamp: float) -> None:
         if timestamp > self.current_time:
             self.current_time = float(timestamp)
-        if self.current_time - self._last_tick >= self._tick_interval:
-            self._last_tick = self.current_time
+        elapsed = self.current_time - self._last_tick
+        if elapsed >= self._tick_interval:
+            # Grid-aligned ticks: advance the tick clock to the last grid
+            # point at or before the current time instead of re-anchoring
+            # at the (document-granularity) timestamp that crossed it, so
+            # tick boundaries — and everything scheduled off them, like
+            # Calculator report rounds — stay on a fixed grid instead of
+            # drifting forward with every crossing (ROADMAP item 4).
+            self._last_tick += self._tick_interval * int(elapsed / self._tick_interval)
             self._tick_all()
 
     def _tick_all(self) -> None:

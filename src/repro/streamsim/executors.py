@@ -13,6 +13,14 @@ pushed through the deployed graph is the job of an :class:`Executor`:
   the driver process and shards a configurable *remote layer* of downstream
   components (Calculator × k and the Tracker) across ``multiprocessing``
   workers.
+* :class:`AsyncServiceExecutor` — the always-on engine behind
+  ``repro.service``: documents arrive over a bounded ingest queue fed by
+  other threads (:meth:`AsyncServiceExecutor.submit`) instead of a
+  pre-materialised stream, and the run ends only when a drain is requested
+  (:meth:`AsyncServiceExecutor.request_drain`).  Execution itself stays
+  single-writer and depth-first — the spout pulls from the queue inside the
+  reference ``_drive`` loop — so a served run is bit-identical to an inline
+  batch run over the same document sequence.
 
 Sharding model
 --------------
@@ -75,9 +83,11 @@ import abc
 import multiprocessing
 import pickle
 import queue as queue_module
+import threading
 import traceback
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from .components import Bolt, Spout
 from .tuples import EmissionBatch, OutputCollector, TupleMessage
@@ -789,8 +799,195 @@ class ShardedProcessExecutor(Executor):
                 )
 
 
+# --------------------------------------------------------------------- #
+# Always-on service execution
+# --------------------------------------------------------------------- #
+class IngestBackpressure(RuntimeError):
+    """Raised by a non-blocking submit when the bounded ingest queue is full."""
+
+
+class IngestClosed(RuntimeError):
+    """Raised by submit once a drain has been requested (no more ingest)."""
+
+
+#: Default bound of the service executor's batch queue (mirrored by
+#: ``SystemConfig.service_queue_limit``).
+DEFAULT_SERVICE_QUEUE_LIMIT = 8
+
+#: Sentinel distinguishing "batch exhausted" from a ``None`` document.
+_EXHAUSTED = object()
+
+
+class AsyncServiceExecutor(Executor):
+    """Single-writer engine fed by a bounded cross-thread ingest queue.
+
+    The executor owns the hand-off point between the serving surface
+    (``repro.service`` daemon threads, or any caller) and the cluster:
+
+    * **Ingest** — :meth:`submit` appends one *batch* (a list of documents)
+      to a bounded deque; when ``queue_limit`` batches are already pending
+      a non-blocking submit raises :class:`IngestBackpressure` and a
+      blocking one waits for the writer to catch up.  After
+      :meth:`request_drain` every submit raises :class:`IngestClosed`.
+    * **Execution** — :meth:`run` is the reference depth-first ``_drive``
+      loop, unchanged: the topology's :class:`~repro.operators.spouts.ServiceSpout`
+      calls back into :meth:`next_document`, which feeds queued documents
+      one at a time and blocks while the queue is idle.  Exactly one thread
+      (whichever called ``cluster.run()``) ever touches cluster state — the
+      single-writer discipline that makes served runs bit-identical to
+      batch runs.
+    * **Quiescent points** — between two documents the in-flight FIFO is
+      empty (the drive loop drains after every spout call), so the moment
+      ``next_document`` finds the current batch exhausted is a clean
+      snapshot boundary: ``on_quiescent`` fires there, on the writer
+      thread, with all state consistent.  The daemon publishes its
+      round-consistent Tracker snapshots from this hook.
+
+    The run ends when a drain has been requested *and* the queue is empty:
+    the spout reports exhaustion and ``_drive`` finishes with the normal
+    end-of-stream flush, so the final :class:`RunReport` is collected
+    exactly like a batch run's.
+    """
+
+    name = "service"
+
+    def __init__(self, queue_limit: int = DEFAULT_SERVICE_QUEUE_LIMIT) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        self.queue_limit = queue_limit
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._batches: deque[list] = deque()
+        self._current: Iterator | None = None
+        self._draining = False
+        self._running = False
+        self._cluster: "Cluster | None" = None
+        #: Writer-thread hook fired at every quiescent batch boundary
+        #: (current batch fully cascaded, next one not yet started).
+        self.on_quiescent: Callable[[], None] | None = None
+        self.batches_accepted = 0
+        self.documents_accepted = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingest side (any thread)
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        documents: Sequence | Iterator,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> int:
+        """Queue one document batch for the writer; returns its size.
+
+        Raises :class:`IngestClosed` once a drain has been requested and
+        :class:`IngestBackpressure` when ``block`` is false (or ``timeout``
+        expires) with ``queue_limit`` batches already pending.
+        """
+        batch = list(documents)
+        with self._not_full:
+            while True:
+                if self._draining:
+                    raise IngestClosed(
+                        "service executor is draining; no further ingest"
+                    )
+                if len(self._batches) < self.queue_limit:
+                    break
+                if not block:
+                    raise IngestBackpressure(
+                        f"ingest queue is full ({self.queue_limit} batches pending)"
+                    )
+                if not self._not_full.wait(timeout=timeout):
+                    raise IngestBackpressure(
+                        f"ingest queue stayed full for {timeout}s "
+                        f"({self.queue_limit} batches pending)"
+                    )
+            self._batches.append(batch)
+            self.batches_accepted += 1
+            self.documents_accepted += len(batch)
+            self._not_empty.notify()
+        return len(batch)
+
+    def request_drain(self) -> None:
+        """Close ingest; the run ends once the queued batches are consumed.
+
+        Idempotent and callable from any thread.
+        """
+        with self._lock:
+            self._draining = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches queued but not yet started by the writer."""
+        with self._lock:
+            return len(self._batches)
+
+    # ------------------------------------------------------------------ #
+    # Writer side (the thread running ``cluster.run()`` only)
+    # ------------------------------------------------------------------ #
+    def next_document(self):
+        """Next queued document, or ``None`` at end of stream (drained).
+
+        Called by the :class:`~repro.operators.spouts.ServiceSpout` from
+        inside the drive loop.  Blocks while the queue is idle; fires
+        ``on_quiescent`` at every batch boundary before touching the next
+        batch.
+        """
+        while True:
+            if self._current is not None:
+                document = next(self._current, _EXHAUSTED)
+                if document is not _EXHAUSTED:
+                    return document
+                # The previous document has fully cascaded (the drive loop
+                # drains the FIFO between spout calls): a clean boundary.
+                self._current = None
+                if self.on_quiescent is not None:
+                    self.on_quiescent()
+            with self._not_empty:
+                while not self._batches and not self._draining:
+                    self._not_empty.wait()
+                if not self._batches:
+                    return None  # draining and empty: end of stream
+                self._current = iter(self._batches.popleft())
+                self._not_full.notify()
+
+    def attach(self, cluster: "Cluster") -> None:
+        if self._cluster is not None:
+            raise RuntimeError(
+                "executor already attached; use one executor per cluster"
+            )
+        self._cluster = cluster
+
+    def run(self, cluster: "Cluster", max_spout_calls: int | None = None) -> int:
+        if cluster is not self._cluster:
+            raise RuntimeError("executor is not attached to this cluster")
+        with self._lock:
+            if self._running:
+                raise RuntimeError(
+                    "service executor is already running; exactly one thread "
+                    "may drive the cluster"
+                )
+            self._running = True
+        try:
+            return self._drive(cluster, max_spout_calls=max_spout_calls)
+        finally:
+            with self._lock:
+                self._running = False
+
+
 #: Executor registry used by ``make_executor`` (and mirrored by the CLI).
-EXECUTOR_NAMES = (InlineExecutor.name, ShardedProcessExecutor.name)
+EXECUTOR_NAMES = (
+    InlineExecutor.name,
+    ShardedProcessExecutor.name,
+    AsyncServiceExecutor.name,
+)
 
 
 def make_executor(
@@ -798,8 +995,10 @@ def make_executor(
     workers: int = 2,
     remote_components: Sequence[str] = (),
     start_method: str | None = None,
+    queue_limit: int = DEFAULT_SERVICE_QUEUE_LIMIT,
 ) -> Executor:
-    """Build an executor by registry name (``"inline"`` or ``"process"``)."""
+    """Build an executor by registry name (``"inline"``, ``"process"`` or
+    ``"service"``)."""
     if name == InlineExecutor.name:
         return InlineExecutor()
     if name == ShardedProcessExecutor.name:
@@ -808,6 +1007,8 @@ def make_executor(
             remote_components=remote_components,
             start_method=start_method,
         )
+    if name == AsyncServiceExecutor.name:
+        return AsyncServiceExecutor(queue_limit=queue_limit)
     raise ValueError(
         f"unknown executor {name!r}; available: {', '.join(EXECUTOR_NAMES)}"
     )

@@ -5,6 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.core.cooccurrence import CooccurrenceStatistics
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running soak/stress tests; the default CI tests lane "
+        'deselects them with -m "not slow"',
+    )
 from repro.core.documents import documents_from_tagsets
 from repro.workloads import TwitterLikeGenerator, WorkloadConfig
 

@@ -1,0 +1,233 @@
+"""Fault injection against the service daemon: pinned errors, no corruption.
+
+Every fault the wire surface can see — a client that dies mid-request, a
+garbage line, an oversize line, a wrong protocol version, a semantically
+broken request, ingest after the drain started, a duplicate shutdown, a full
+ingest queue — must produce its *pinned* error code (the contract from
+``repro.service.protocol``) and must leave the run's state untouched: a
+served run that absorbed every fault still drains to the exact same Tracker
+table as a clean batch run over the same documents.
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.operators import TrackerBolt, streams
+from repro.pipeline import SystemConfig, TagCorrelationSystem
+from repro.service import (
+    MAX_LINE_BYTES,
+    ServiceClient,
+    ServiceDaemon,
+    ServiceError,
+)
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+CONFIG = SystemConfig(
+    algorithm="DS",
+    k=3,
+    n_partitioners=2,
+    window_mode="count",
+    window_size=300,
+    bootstrap_documents=100,
+    quality_check_interval=80,
+    report_interval_seconds=30.0,
+)
+
+
+@pytest.fixture(scope="module")
+def documents():
+    config = WorkloadConfig(
+        seed=7,
+        n_topics=40,
+        tags_per_topic=10,
+        tweets_per_second=50.0,
+        new_topic_rate=3.0,
+        intra_topic_probability=0.9,
+    )
+    return TwitterLikeGenerator(config).generate(800)
+
+
+@pytest.fixture(scope="module")
+def clean_digest(documents):
+    """Tracker digest of an untouched batch run — the corruption oracle."""
+    system = TagCorrelationSystem(CONFIG)
+    system.run(documents)
+    tracker = next(
+        bolt
+        for bolt in system.cluster.instances_of(streams.TRACKER)
+        if isinstance(bolt, TrackerBolt)
+    )
+    return tracker.snapshot(0).digest()
+
+
+def _raw_exchange(address, payload: bytes) -> bytes:
+    """Send raw bytes on a fresh connection; return the first response line."""
+    host, port = address
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        sock.sendall(payload)
+        reader = sock.makefile("rb")
+        return reader.readline()
+
+
+class TestFaultsLeaveNoTrace:
+    """One daemon absorbs every wire-level fault mid-run, then must drain
+    to the clean batch digest."""
+
+    def test_faulted_run_drains_clean(self, documents, clean_digest):
+        with ServiceDaemon(CONFIG) as daemon:
+            address = daemon.address
+            with ServiceClient(*address) as client:
+                half = len(documents) // 2
+                client.ingest(documents[:half], block=True, timeout=60.0)
+
+                # --- client disconnect mid-batch: half a line, then gone.
+                partial = json.dumps(
+                    {"v": 1, "op": "ingest", "documents": [{"tags": ["a"]}]}
+                ).encode()[:40]
+                host, port = address
+                with socket.create_connection((host, port), timeout=10.0) as sock:
+                    sock.sendall(partial)  # no newline, then close
+
+                # --- malformed line.
+                response = json.loads(_raw_exchange(address, b"{not json\n"))
+                assert response == {
+                    "ok": False,
+                    "code": "malformed",
+                    "error": response["error"],
+                }
+
+                # --- not-an-object line.
+                response = json.loads(_raw_exchange(address, b"[1,2,3]\n"))
+                assert response["code"] == "malformed"
+
+                # --- oversize line: refused, connection dropped.  Sized to
+                # exactly the daemon's read cap so no unread bytes linger
+                # (a close with unread data would RST the response away).
+                prefix = b'{"v":1,"op":"ping","pad":"'
+                big = prefix + b"x" * (MAX_LINE_BYTES + 2 - len(prefix))
+                host, port = address
+                with socket.create_connection((host, port), timeout=10.0) as sock:
+                    sock.sendall(big)
+                    reader = sock.makefile("rb")
+                    response = json.loads(reader.readline())
+                    assert response["code"] == "oversize"
+                    assert reader.readline() == b""  # daemon hung up
+
+                # --- wrong protocol version.
+                response = json.loads(
+                    _raw_exchange(address, b'{"v":99,"op":"ping"}\n')
+                )
+                assert response["code"] == "unsupported-version"
+
+                # --- missing version.
+                response = json.loads(_raw_exchange(address, b'{"op":"ping"}\n'))
+                assert response["code"] == "unsupported-version"
+
+                # --- unknown op.
+                response = json.loads(
+                    _raw_exchange(address, b'{"v":1,"op":"explode"}\n')
+                )
+                assert response["code"] == "unknown-op"
+
+                # --- semantically broken requests, all pinned bad-request.
+                for request in (
+                    {"op": "ingest", "documents": [{"timestamp": 1.0}]},
+                    {"op": "ingest", "documents": [{"tags": [1], "timestamp": 0}]},
+                    {"op": "ingest", "documents": "nope"},
+                    {"op": "ingest", "documents": [], "timeout": -1},
+                    {"op": "query", "what": "top_k", "k": 0},
+                    {"op": "query", "what": "top_k", "k": True},
+                    {"op": "query", "what": "top_k", "min_support": -1},
+                    {"op": "query", "what": "nope"},
+                    {"op": "query", "what": "coefficient", "tags": []},
+                    {"op": "track", "tagsets": []},
+                    {"op": "track", "tagsets": [["ok"], [2]]},
+                ):
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.request(**request)
+                    assert excinfo.value.code == "bad-request", request
+
+                # --- the live connection survived every client-side error.
+                assert client.ping()["ok"] is True
+
+                # --- second half of the workload, then drain.
+                client.ingest(documents[half:], block=True, timeout=60.0)
+                final = client.shutdown()
+                assert final["final"]["documents_processed"] == len(documents)
+
+                # --- ingest while draining / after drain.
+                with pytest.raises(ServiceError) as excinfo:
+                    client.ingest(documents[:1])
+                assert excinfo.value.code == "draining"
+
+                # --- double shutdown.
+                with pytest.raises(ServiceError) as excinfo:
+                    client.shutdown()
+                assert excinfo.value.code == "shutdown"
+
+            tracker = next(
+                bolt
+                for bolt in daemon.system.cluster.instances_of(streams.TRACKER)
+                if isinstance(bolt, TrackerBolt)
+            )
+            assert tracker.snapshot(0).digest() == clean_digest
+
+
+class TestBackpressure:
+    """A full bounded queue is a pinned error, never silent buffering."""
+
+    def _stalled_daemon(self) -> ServiceDaemon:
+        # Never started: the writer thread does not run, so submitted
+        # batches pile up against the configured queue limit.
+        return ServiceDaemon(CONFIG.with_overrides(service_queue_limit=2))
+
+    def test_nonblocking_ingest_hits_backpressure(self):
+        daemon = self._stalled_daemon()
+        docs = [{"tags": ["a", "b"], "timestamp": 0.0, "doc_id": 1}]
+        for _ in range(2):
+            response = daemon.handle_request(
+                {"v": 1, "op": "ingest", "documents": docs}
+            )
+            assert response["ok"] is True
+        response = daemon.handle_request({"v": 1, "op": "ingest", "documents": docs})
+        assert response["ok"] is False
+        assert response["code"] == "backpressure"
+        assert daemon.executor.pending_batches == 2
+
+    def test_blocking_ingest_times_out_with_backpressure(self):
+        daemon = self._stalled_daemon()
+        docs = [{"tags": ["a"], "timestamp": 0.0, "doc_id": 1}]
+        for _ in range(2):
+            daemon.handle_request({"v": 1, "op": "ingest", "documents": docs})
+        response = daemon.handle_request(
+            {"v": 1, "op": "ingest", "documents": docs, "block": True,
+             "timeout": 0.05}
+        )
+        assert response["code"] == "backpressure"
+
+    def test_queue_drains_after_backpressure(self):
+        """Backpressure is transient: once the writer catches up, ingest
+        succeeds and nothing submitted before the fault was lost."""
+        daemon = ServiceDaemon(CONFIG.with_overrides(service_queue_limit=1))
+        docs = [
+            {"tags": ["a", "b"], "timestamp": float(i), "doc_id": i}
+            for i in range(10)
+        ]
+        daemon.handle_request({"v": 1, "op": "ingest", "documents": docs})
+        refused = daemon.handle_request({"v": 1, "op": "ingest", "documents": docs})
+        assert refused["code"] == "backpressure"
+        daemon.start()
+        try:
+            response = daemon.handle_request(
+                {"v": 1, "op": "ingest", "documents": docs, "block": True,
+                 "timeout": 30.0}
+            )
+            assert response["ok"] is True
+            shutdown = daemon.handle_request({"v": 1, "op": "shutdown"})
+            assert shutdown["ok"] is True
+            # The refused batch vanished; both accepted batches processed.
+            assert shutdown["final"]["documents_processed"] == 20
+        finally:
+            daemon.close()

@@ -10,6 +10,9 @@ from repro.streamsim.cluster import Cluster, run_topology
 from repro.streamsim.components import Bolt, Spout
 from repro.streamsim.executors import (
     EXECUTOR_NAMES,
+    AsyncServiceExecutor,
+    IngestBackpressure,
+    IngestClosed,
     InlineExecutor,
     ShardedProcessExecutor,
     make_executor,
@@ -87,10 +90,15 @@ def _build_topology(n_values: int, sink_parallelism: int = 2, with_totals: bool 
 
 class TestRegistry:
     def test_names(self):
-        assert set(EXECUTOR_NAMES) == {"inline", "process"}
+        assert set(EXECUTOR_NAMES) == {"inline", "process", "service"}
 
     def test_make_inline(self):
         assert isinstance(make_executor("inline"), InlineExecutor)
+
+    def test_make_service(self):
+        executor = make_executor("service", queue_limit=3)
+        assert isinstance(executor, AsyncServiceExecutor)
+        assert executor.queue_limit == 3
 
     def test_make_process(self):
         executor = make_executor("process", workers=3, remote_components=("sink",))
@@ -234,3 +242,105 @@ class TestShardedProcessExecutor:
         )
         with pytest.raises(RuntimeError, match="picklable"):
             cluster.run()
+
+
+class QueueSpout(Spout):
+    """Toy equivalent of the pipeline's ServiceSpout for substrate tests."""
+
+    def __init__(self, executor: AsyncServiceExecutor) -> None:
+        super().__init__()
+        self._executor = executor
+        self.emitted = 0
+
+    def next_tuple(self) -> bool:
+        value = self._executor.next_document()
+        if value is None:
+            return False
+        self.emit(NUMBERS, value, float(value))
+        self.emitted += 1
+        return True
+
+
+def _build_service_topology(executor: AsyncServiceExecutor, sink_parallelism: int = 2):
+    builder = TopologyBuilder()
+    builder.set_spout("numbers", lambda: QueueSpout(executor))
+    builder.set_bolt("sink", _sink_factory, parallelism=sink_parallelism).fields_grouping(
+        "numbers", ["value"]
+    )
+    return builder.build()
+
+
+class TestAsyncServiceExecutor:
+    def test_queue_limit_validated(self):
+        with pytest.raises(ValueError):
+            AsyncServiceExecutor(queue_limit=0)
+
+    def test_nonblocking_submit_hits_backpressure(self):
+        executor = AsyncServiceExecutor(queue_limit=2)
+        executor.submit([1], block=False)
+        executor.submit([2], block=False)
+        with pytest.raises(IngestBackpressure):
+            executor.submit([3], block=False)
+        assert executor.pending_batches == 2
+        assert executor.batches_accepted == 2
+        assert executor.documents_accepted == 2
+
+    def test_submit_after_drain_rejected(self):
+        executor = AsyncServiceExecutor()
+        executor.request_drain()
+        assert executor.draining
+        with pytest.raises(IngestClosed):
+            executor.submit([1])
+
+    def test_blocking_submit_times_out(self):
+        executor = AsyncServiceExecutor(queue_limit=1)
+        executor.submit([1])
+        with pytest.raises(IngestBackpressure):
+            executor.submit([2], block=True, timeout=0.01)
+
+    def test_served_run_matches_inline(self):
+        n = 10
+        inline = run_topology(_build_topology(n), executor=InlineExecutor())
+        executor = AsyncServiceExecutor()
+        executor.submit(range(4))
+        executor.submit(range(4, n))
+        executor.request_drain()
+        served = Cluster(_build_service_topology(executor), executor=executor)
+        served.run()
+        for cluster in (inline, served):
+            values = sorted(
+                value
+                for task in cluster.tasks_of("sink")
+                for value in task.instance.values
+            )
+            assert values == list(range(n))
+        assert served.accounting.per_link == inline.accounting.per_link
+
+    def test_quiescent_hook_fires_per_batch_with_empty_queue(self):
+        executor = AsyncServiceExecutor()
+        cluster = Cluster(_build_service_topology(executor), executor=executor)
+        boundaries: list[int] = []
+
+        def on_quiescent() -> None:
+            # The in-flight FIFO must be empty at every boundary.
+            assert not cluster._queue
+            boundaries.append(
+                sum(
+                    len(task.instance.values)
+                    for task in cluster.tasks_of("sink")
+                )
+            )
+
+        executor.on_quiescent = on_quiescent
+        executor.submit([0, 1, 2])
+        executor.submit([3, 4])
+        executor.request_drain()
+        cluster.run()
+        # One boundary per consumed batch, each with the batch fully cascaded.
+        assert boundaries == [3, 5]
+
+    def test_executor_cannot_be_reused_across_clusters(self):
+        executor = AsyncServiceExecutor()
+        Cluster(_build_service_topology(executor), executor=executor)
+        with pytest.raises(RuntimeError, match="already attached"):
+            Cluster(_build_service_topology(executor), executor=executor)

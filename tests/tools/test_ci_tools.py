@@ -414,3 +414,85 @@ class TestPerfRegressionGate:
         assert check_perf.main(
             [str(base_path), str(cand_path), "--tolerance", "0.6"]
         ) == 0
+
+
+def _service_bench(host, cells):
+    """Cells as (name, dps, ingest_p95_ms, query_p95_ms)."""
+    return {
+        "generated_by": "benchmarks/perf/service_latency.py",
+        "host": host,
+        "runs": [
+            {
+                "cell": name,
+                "ingest_batch": 250,
+                "queue_limit": 8,
+                "query_clients": 2,
+                "docs_per_second": dps,
+                "ingest_ack": {"p95_ms": ingest_p95, "samples": 10},
+                "query_under_load": {"p95_ms": query_p95, "samples": 100},
+            }
+            for name, dps, ingest_p95, query_p95 in cells
+        ],
+    }
+
+
+class TestServiceLatencyGate:
+    """The gate's second dialect: BENCH_service_latency.json snapshots."""
+
+    def test_no_regression_passes(self):
+        baseline = _service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 3.0)])
+        candidate = _service_bench(HOST, [("served-6000docs", 1900.0, 52.0, 3.5)])
+        assert check_perf.compare_service(baseline, candidate, 0.2) == 0
+
+    def test_throughput_regression_binds_on_same_host(self):
+        baseline = _service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 3.0)])
+        candidate = _service_bench(HOST, [("served-6000docs", 1000.0, 50.0, 3.0)])
+        assert check_perf.compare_service(baseline, candidate, 0.2) == 1
+
+    def test_latency_growth_binds_upward(self):
+        """p95 latencies regress by *growing*; both metrics count."""
+        baseline = _service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 10.0)])
+        candidate = _service_bench(HOST, [("served-6000docs", 2000.0, 80.0, 20.0)])
+        assert check_perf.compare_service(baseline, candidate, 0.2) == 2
+
+    def test_latency_drop_is_not_a_regression(self):
+        baseline = _service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 10.0)])
+        candidate = _service_bench(HOST, [("served-6000docs", 2000.0, 10.0, 1.0)])
+        assert check_perf.compare_service(baseline, candidate, 0.2) == 0
+
+    def test_sub_noise_floor_latency_growth_passes(self):
+        """A sub-2ms absolute p95 swing is scheduler noise, even when it is
+        large relative to a tiny baseline."""
+        baseline = _service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 1.0)])
+        candidate = _service_bench(HOST, [("served-6000docs", 2000.0, 51.0, 2.5)])
+        assert check_perf.compare_service(baseline, candidate, 0.2) == 0
+
+    def test_different_host_never_binds(self):
+        baseline = _service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 3.0)])
+        candidate = _service_bench(
+            OTHER_HOST, [("served-6000docs", 500.0, 500.0, 300.0)]
+        )
+        assert check_perf.compare_service(baseline, candidate, 0.2) == 0
+
+    def test_disjoint_cells_error_exits_2(self):
+        baseline = _service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 3.0)])
+        candidate = _service_bench(HOST, [("served-3000docs", 2000.0, 50.0, 3.0)])
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf.compare_service(baseline, candidate, 0.2)
+        assert excinfo.value.code == 2
+
+    def test_main_dispatches_on_generated_by(self, tmp_path):
+        service = tmp_path / "service.json"
+        service.write_text(
+            json.dumps(_service_bench(HOST, [("served-6000docs", 2000.0, 50.0, 3.0)]))
+        )
+        throughput = tmp_path / "throughput.json"
+        throughput.write_text(
+            json.dumps(_bench(HOST, [("small", "inline", 0, 1000.0)]))
+        )
+        # Same kind: compares (and passes against itself).
+        assert check_perf.main([str(service), str(service)]) == 0
+        # Mixed kinds: usage error.
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf.main([str(service), str(throughput)])
+        assert excinfo.value.code == 2

@@ -48,6 +48,14 @@ shared host, so they are reported without failing the job.  Cells
 missing ``phase_seconds`` or ``report_rounds`` on either side (older
 snapshots) skip the respective check.
 
+The gate also understands ``BENCH_service_latency.json`` snapshots
+(``generated_by: benchmarks/perf/service_latency.py``): service cells are
+matched by ``(cell, ingest_batch, queue_limit, query_clients)`` and gate
+served docs/sec downward like an inline cell, plus the ingest-ack and
+under-load query p95 latencies *upward* (each may grow by at most
+``tolerance`` relative to the baseline, with a 2 ms noise floor) — again
+binding only on matching hosts.  Both files must be the same kind.
+
 Exit codes: 0 = no binding regression, 1 = binding regression found,
 2 = usage or schema error.
 """
@@ -280,6 +288,80 @@ def compare(baseline: dict, candidate: dict, tolerance: float) -> int:
     return regressions
 
 
+#: Latency growth below this many milliseconds never fails the job: sub-ms
+#: p95 swings on a shared host are scheduler noise, not regressions.
+LATENCY_NOISE_FLOOR_MS = 2.0
+
+#: ``generated_by`` marker of service-latency snapshots.
+SERVICE_GENERATOR = "benchmarks/perf/service_latency.py"
+
+
+def _is_service_snapshot(data: dict) -> bool:
+    return data.get("generated_by") == SERVICE_GENERATOR
+
+
+def _service_cells(data: dict) -> dict[tuple, dict]:
+    cells = {}
+    for run in data["runs"]:
+        key = (
+            run["cell"],
+            run.get("ingest_batch", 0),
+            run.get("queue_limit", 0),
+            run.get("query_clients", 0),
+        )
+        cells[key] = run
+    return cells
+
+
+def compare_service(baseline: dict, candidate: dict, tolerance: float) -> int:
+    """Service-latency diff: throughput binds down, p95 latencies bind up."""
+    binding = hosts_comparable(baseline, candidate)
+    if not binding:
+        print("note: hosts differ "
+              f"({baseline['host'].get('platform')}/{baseline['host'].get('cpu_count')}cpu "
+              f"vs {candidate['host'].get('platform')}/{candidate['host'].get('cpu_count')}cpu) "
+              "- reporting only, nothing can fail")
+    base_cells = _service_cells(baseline)
+    cand_cells = _service_cells(candidate)
+    shared = sorted(set(base_cells) & set(cand_cells))
+    if not shared:
+        raise _usage_error("the two files share no benchmark cells")
+    regressions = 0
+    for key in shared:
+        cell = key[0]
+        old_cell, new_cell = base_cells[key], cand_cells[key]
+        old = old_cell["docs_per_second"]
+        new = new_cell["docs_per_second"]
+        ratio = new / old if old else float("inf")
+        regressed = ratio < 1.0 - tolerance
+        status = "ok"
+        if regressed:
+            status = "REGRESSION" if binding else "regression (report-only)"
+            if binding:
+                regressions += 1
+        print(f"[perf-diff] {cell:<20} {old:>9.1f} -> {new:>9.1f} docs/s  "
+              f"({ratio:5.2f}x)  {status}")
+        for metric in ("ingest_ack", "query_under_load"):
+            old_p95 = (old_cell.get(metric) or {}).get("p95_ms")
+            new_p95 = (new_cell.get(metric) or {}).get("p95_ms")
+            if old_p95 is None or new_p95 is None:
+                continue
+            grew = (
+                new_p95 - old_p95
+                > max(LATENCY_NOISE_FLOOR_MS, tolerance * old_p95)
+            )
+            metric_status = "ok"
+            if grew:
+                metric_status = (
+                    "REGRESSION" if binding else "regression (report-only)"
+                )
+                if binding:
+                    regressions += 1
+            print(f"[perf-diff] {cell:<20} {old_p95:>9.3f} -> "
+                  f"{new_p95:>9.3f} ms p95  [{metric}]  {metric_status}")
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a fresh throughput snapshot regresses the "
@@ -296,8 +378,14 @@ def main(argv: list[str] | None = None) -> int:
     if not 0.0 < args.tolerance < 1.0:
         parser.error("--tolerance must be in (0, 1)")
 
-    regressions = compare(_load(args.baseline), _load(args.candidate),
-                          args.tolerance)
+    baseline = _load(args.baseline)
+    candidate = _load(args.candidate)
+    if _is_service_snapshot(baseline) != _is_service_snapshot(candidate):
+        raise _usage_error(
+            "cannot diff a service-latency snapshot against a throughput one"
+        )
+    comparator = compare_service if _is_service_snapshot(baseline) else compare
+    regressions = comparator(baseline, candidate, args.tolerance)
     if regressions:
         print(f"[perf-diff] {regressions} binding regression(s) beyond "
               f"{args.tolerance:.0%}")
