@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""Out-of-core counter-store bench: resident window state, dict vs spill.
+
+The spill store (``SystemConfig(counter_store="spill")``) bounds the
+Calculators' *resident* window-counter state by freezing cold segments
+into sorted run files and k-way-merging them back at report time.  This
+harness pins that story with numbers: a fanout-heavy workload whose
+per-round window state is an order of magnitude beyond the throughput
+bench's ``large`` cell, run once per (round size, counter store) cell,
+recording per cell
+
+* ``docs_per_second`` and elapsed wall-clock (the spill overhead, paid in
+  encode/merge work);
+* ``peak_rss_mb`` / ``rss_children_mb`` / ``rss_total_mb`` — the driver's
+  ``getrusage`` high-water mark plus the sampled descendant RSS (inline
+  cells record 0 children; the fields keep the schema aligned with
+  ``BENCH_throughput.json``'s);
+* ``peak_resident_counter_entries`` — the largest number of counter-table
+  entries held *in RAM* by any Calculator at any point (for the dict
+  store that is the full table; for the spill store the hot tail, which
+  never exceeds ``spill_threshold``);
+* the spill side's ``store`` block: merge wall-clock (the per-cell
+  merge-phase breakdown), runs written, entries spilled, parallel merges
+  and block-cache hit rates.
+
+Both cells of a round size consume the *same* seeded document stream —
+the only variable is where the counters live.  The ``xlarge`` round is
+10x the ``large`` round (600 s vs 60 s report interval at 50 docs/s), so
+the dict store's resident table grows with the round while the spill
+store's hot tail stays flat at the threshold.  See docs/PERFORMANCE.md
+("Out-of-core counter store") for the committed numbers and what is —
+deliberately — *not* claimed flat (the tracker's cumulative coefficient
+table retains every reported subset regardless of store).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/spill.py                     # full matrix
+    PYTHONPATH=src python benchmarks/perf/spill.py --rounds large \
+        --output BENCH_spill_new.json                                  # CI smoke
+
+Diff a fresh snapshot against the committed one with
+``tools/check_perf_regression.py`` (spill dialect: docs/sec binds
+downward, RSS and resident entries bind upward).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import multiprocessing
+import os
+import platform
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if not any(Path(p).resolve() == _REPO_ROOT / "src" for p in sys.path if p):
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+_PERF_DIR = Path(__file__).resolve().parent
+if str(_PERF_DIR) not in sys.path:
+    sys.path.insert(0, str(_PERF_DIR))
+
+from rss import ChildRssSampler  # noqa: E402 (needs the path shim above)
+
+SCHEMA_VERSION = 1
+GENERATED_BY = "benchmarks/perf/spill.py"
+
+#: Documents per cell and the generator seed.  Streams are generated
+#: lazily inside each cell's subprocess so the document list itself never
+#: sits in RAM (out-of-core benches should not carry an in-core workload).
+DOCUMENTS = 60_000
+SEED = 7
+
+#: Fanout-heavy workload: wide tagsets (up to 14 tags -> up to 2^14
+#: subsets per notified tagset) over a churning topic pool, so the
+#: per-round counter table reaches ~650k entries per Calculator at the
+#: xlarge round — 15x the ~43k peak of the throughput bench's ``large``
+#: cell (measured; see docs/PERFORMANCE.md).
+WORKLOAD_PARAMS = dict(
+    n_topics=600,
+    tags_per_topic=30,
+    new_topic_rate=50.0,
+    intra_topic_probability=0.6,
+    max_tags_per_tweet=14,
+    tags_per_tweet_skew=0.8,
+)
+
+#: Round sizes: report interval in (virtual) seconds.  At 50 docs/s the
+#: xlarge round accumulates 10x the documents — and therefore ~10x the
+#: window state — of the large round before the report-time prune.
+ROUNDS = {
+    "large": 60.0,
+    "xlarge": 600.0,
+}
+
+STORES = ("dict", "spill")
+
+#: Spill knobs for the spill cells: the resident hot tail is capped at
+#: SPILL_THRESHOLD entries per Calculator (the headline bound).
+SPILL_THRESHOLD = 16_384
+
+
+def _system_config(interval: float, store: str, spill_dir: str | None):
+    from repro.pipeline import SystemConfig
+
+    extra = {}
+    if store == "spill":
+        extra = dict(
+            counter_store="spill",
+            spill_dir=spill_dir,
+            spill_threshold=SPILL_THRESHOLD,
+        )
+    return SystemConfig(
+        algorithm="DS",
+        k=4,
+        n_partitioners=3,
+        window_mode="count",
+        window_size=1500,
+        bootstrap_documents=600,
+        quality_check_interval=250,
+        repartition_threshold=0.5,
+        report_interval_seconds=interval,
+        notification_batch_size=64,
+        subset_cache_size=1024,
+        include_centralized_baseline=False,
+        **extra,
+    )
+
+
+def _measure_worker(outbox, round_name: str, store: str) -> None:
+    """Subprocess body: one (round, store) cell, lazily streamed documents."""
+    try:
+        import repro.core.jaccard as jaccard_module
+        from repro.pipeline import TagCorrelationSystem
+        from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+        # Peak *resident* counter entries across all Calculators: the full
+        # table for the dict store, the hot (unspilled) tail for the spill
+        # store.  A len() per observe is O(1) and far below measurement
+        # noise at these scales.
+        peak = {"entries": 0}
+        original_observe = jaccard_module.SubsetCounter.observe
+
+        def observing(self, *args, **kwargs):
+            result = original_observe(self, *args, **kwargs)
+            counts = self._counts
+            resident = (
+                len(counts._hot) if hasattr(counts, "_hot") else len(counts)
+            )
+            if resident > peak["entries"]:
+                peak["entries"] = resident
+            return result
+
+        jaccard_module.SubsetCounter.observe = observing
+
+        generator = TwitterLikeGenerator(
+            WorkloadConfig(
+                seed=SEED, tweets_per_second=50.0, **WORKLOAD_PARAMS
+            )
+        )
+        documents = itertools.islice(generator.stream(), DOCUMENTS)
+        with tempfile.TemporaryDirectory(prefix="bench-spill-") as spill_dir:
+            system = TagCorrelationSystem(
+                _system_config(ROUNDS[round_name], store, spill_dir)
+            )
+            with ChildRssSampler() as rss_sampler:
+                start = time.perf_counter()
+                report = system.run(documents)
+                elapsed = time.perf_counter() - start
+        usage_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        to_mb = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+        peak_rss_mb = round(usage_self / to_mb, 1)
+        stats = report.store_stats
+        store_block = None
+        if stats is not None:
+            lookups = stats["block_cache_hits"] + stats["block_cache_misses"]
+            store_block = {
+                "runs_written": stats["runs_written"],
+                "spilled_entries": stats["spilled_entries"],
+                "merges": stats["merges"],
+                "parallel_merges": stats["parallel_merges"],
+                "merge_seconds": round(stats["merge_seconds"], 4),
+                "block_cache_hit_rate": round(
+                    stats["block_cache_hits"] / lookups if lookups else 0.0, 4
+                ),
+                "carry_blobs_written": stats.get("carry_blobs_written", 0),
+            }
+        outbox.put({
+            "workload": round_name,
+            "counter_store": store,
+            "report_interval_seconds": ROUNDS[round_name],
+            "documents": report.documents_processed,
+            "tagged_documents": report.tagged_documents,
+            "elapsed_seconds": round(elapsed, 4),
+            "docs_per_second": round(report.documents_processed / elapsed, 1),
+            "peak_rss_mb": peak_rss_mb,
+            "rss_children_mb": rss_sampler.peak_total_mb,
+            "rss_total_mb": round(peak_rss_mb + rss_sampler.peak_total_mb, 1),
+            "peak_resident_counter_entries": peak["entries"],
+            "spill_threshold": SPILL_THRESHOLD if store == "spill" else None,
+            "store": store_block,
+        })
+    except BaseException as exc:  # noqa: BLE001 - surface the failure
+        import traceback
+
+        outbox.put({"error": f"{exc}\n{traceback.format_exc()}"})
+
+
+def measure(round_name: str, store: str) -> dict:
+    """One cell, isolated in a forked subprocess (RSS high-water marks are
+    process-lifetime figures, so cells must not share a process)."""
+    import queue as queue_module
+
+    ctx = multiprocessing.get_context()
+    outbox = ctx.Queue()
+    proc = ctx.Process(target=_measure_worker, args=(outbox, round_name, store))
+    proc.start()
+    while True:
+        try:
+            result = outbox.get(timeout=2.0)
+            break
+        except queue_module.Empty:
+            if not proc.is_alive():
+                raise RuntimeError(
+                    f"benchmark subprocess for {round_name}/{store} died "
+                    f"with exit code {proc.exitcode}"
+                ) from None
+    proc.join()
+    if "error" in result:
+        raise RuntimeError(f"benchmark cell failed: {result['error']}")
+    return result
+
+
+def _comparison(runs) -> dict:
+    """Per-round dict-vs-spill contrasts plus the cross-round scale story."""
+    cells = {(run["workload"], run["counter_store"]): run for run in runs}
+    comparison: dict[str, dict] = {}
+    for name in ROUNDS:
+        plain = cells.get((name, "dict"))
+        spill = cells.get((name, "spill"))
+        if not plain or not spill:
+            continue
+        comparison[name] = {
+            "resident_entries_dict": plain["peak_resident_counter_entries"],
+            "resident_entries_spill": spill["peak_resident_counter_entries"],
+            "resident_shrink": round(
+                plain["peak_resident_counter_entries"]
+                / spill["peak_resident_counter_entries"], 1
+            ),
+            "rss_total_delta_mb": round(
+                spill["rss_total_mb"] - plain["rss_total_mb"], 1
+            ),
+            "throughput_ratio": round(
+                spill["docs_per_second"] / plain["docs_per_second"], 3
+            ),
+            "merge_seconds": (spill["store"] or {}).get("merge_seconds"),
+        }
+    large_dict = cells.get(("large", "dict"))
+    xlarge_dict = cells.get(("xlarge", "dict"))
+    xlarge_spill = cells.get(("xlarge", "spill"))
+    if large_dict and xlarge_dict and xlarge_spill:
+        comparison["scale"] = {
+            # The dict store's resident table grows with the round; the
+            # spill store's hot tail does not.
+            "dict_resident_growth": round(
+                xlarge_dict["peak_resident_counter_entries"]
+                / large_dict["peak_resident_counter_entries"], 2
+            ),
+            "spill_resident_at_xlarge": (
+                xlarge_spill["peak_resident_counter_entries"]
+            ),
+            "spill_threshold": SPILL_THRESHOLD,
+        }
+    return comparison
+
+
+def run_matrix(round_names, stores=STORES, verbose=True) -> dict:
+    runs = []
+    for name in round_names:
+        for store in stores:
+            if verbose:
+                print(f"[bench] {name:>7} / {store:<5} ...", end=" ", flush=True)
+            cell = measure(name, store)
+            runs.append(cell)
+            if verbose:
+                block = cell["store"] or {}
+                print(f"{cell['docs_per_second']:>7.1f} docs/s  "
+                      f"rss {cell['rss_total_mb']:>6.1f} MB  "
+                      f"resident {cell['peak_resident_counter_entries']:>7d} "
+                      f"entries  merge {block.get('merge_seconds', 0.0)}s")
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_by": GENERATED_BY,
+        "documents": DOCUMENTS,
+        "seed": SEED,
+        "workload_params": dict(WORKLOAD_PARAMS),
+        "spill_threshold": SPILL_THRESHOLD,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "rounds": {name: ROUNDS[name] for name in round_names},
+        "runs": runs,
+        "comparison": _comparison(runs),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Resident window-state benchmark: dict vs spill store"
+    )
+    parser.add_argument("--rounds", default=",".join(ROUNDS),
+                        help="comma-separated round sizes "
+                             f"(available: {', '.join(ROUNDS)})")
+    parser.add_argument("--stores", default=",".join(STORES),
+                        help="comma-separated counter stores "
+                             f"(available: {', '.join(STORES)})")
+    parser.add_argument("--output", default=str(_REPO_ROOT / "BENCH_spill.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+    round_names = [n.strip() for n in args.rounds.split(",") if n.strip()]
+    for name in round_names:
+        if name not in ROUNDS:
+            parser.error(f"unknown round {name!r} "
+                         f"(available: {', '.join(ROUNDS)})")
+    stores = tuple(s.strip() for s in args.stores.split(",") if s.strip())
+    for store in stores:
+        if store not in STORES:
+            parser.error(f"unknown store {store!r} "
+                         f"(available: {', '.join(STORES)})")
+
+    results = run_matrix(round_names, stores)
+    output = Path(args.output)
+    output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench] wrote {output}")
+    for name, entry in results["comparison"].items():
+        print(f"[bench] {name}: {entry}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,11 @@ from pathlib import Path
 _REPO_ROOT = Path(__file__).resolve().parents[2]
 if not any(Path(p).resolve() == _REPO_ROOT / "src" for p in sys.path if p):
     sys.path.insert(0, str(_REPO_ROOT / "src"))
+_PERF_DIR = Path(__file__).resolve().parent
+if str(_PERF_DIR) not in sys.path:
+    sys.path.insert(0, str(_PERF_DIR))
+
+from rss import ChildRssSampler  # noqa: E402 (needs the path shim above)
 
 #: Seeded legacy workload definitions: name -> (documents, generator seed).
 #: ``small`` is the CI smoke size; ``large`` is the acceptance workload for
@@ -98,7 +103,10 @@ SCENARIO_OVERRIDES = {
 #: reporting-engine matrix (one cell per engine in ``--engines``) and the
 #: per-cell ``report_rounds`` block (in-stream round count/wall-clock and
 #: the dirty/clean type split from ``RunReport.report_round_stats``) are
-#: additive, so the schema stays 2.
+#: additive, so the schema stays 2 — as are the sampled-RSS fields
+#: (``rss_children_mb``: peak summed VmRSS of live descendants via /proc,
+#: fixing the driver-only blind spot of ``RUSAGE_CHILDREN`` on
+#: process-executor cells; ``rss_total_mb``: driver + children).
 SCHEMA_VERSION = 2
 
 
@@ -178,19 +186,25 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
         timings: list[dict] = []
         round_stats_runs: list[dict | None] = []
         report = None
-        for _ in range(repeat):
-            system = TagCorrelationSystem(
-                _system_config(executor, workers, algorithm, batch_size,
-                               reporting_engine,
-                               scenario=_workload_scenario(workload),
-                               repartition_handoff=repartition_handoff,
-                               repartition_points=repartition_points)
-            )
-            start = time.perf_counter()
-            report = system.run(documents)
-            elapsed.append(time.perf_counter() - start)
-            timings.append(report.timings)
-            round_stats_runs.append(report.report_round_stats)
+        # Sampled child RSS: RUSAGE_CHILDREN only sees *reaped* children
+        # and reports the largest single one, so process-executor cells
+        # would report driver-dominated figures — hiding any win (or
+        # regression) that lives in the workers.  The /proc sampler sums
+        # live descendants while the runs execute.
+        with ChildRssSampler() as rss_sampler:
+            for _ in range(repeat):
+                system = TagCorrelationSystem(
+                    _system_config(executor, workers, algorithm, batch_size,
+                                   reporting_engine,
+                                   scenario=_workload_scenario(workload),
+                                   repartition_handoff=repartition_handoff,
+                                   repartition_points=repartition_points)
+                )
+                start = time.perf_counter()
+                report = system.run(documents)
+                elapsed.append(time.perf_counter() - start)
+                timings.append(report.timings)
+                round_stats_runs.append(report.report_round_stats)
         assert report is not None
         usage_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         usage_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
@@ -242,6 +256,13 @@ def _measure_worker(outbox, workload: str, executor: str, workers: int,
             "reporting_engine": report.reporting_engine,
             "peak_rss_mb": round(usage_self / to_mb, 1),
             "peak_worker_rss_mb": round(usage_children / to_mb, 1),
+            # Sampled (not rusage) child figures: the summed VmRSS of all
+            # live descendants at its peak, and the whole cell's
+            # driver+children footprint.  Inline cells record 0 children.
+            "rss_children_mb": rss_sampler.peak_total_mb,
+            "rss_total_mb": round(
+                usage_self / to_mb + rss_sampler.peak_total_mb, 1
+            ),
             "communication_avg": round(report.communication_avg, 4),
             "notification_messages": report.notification_messages,
             "repartitions": report.n_repartitions,

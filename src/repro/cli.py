@@ -16,7 +16,11 @@ Provides the handful of workflows a user needs without writing Python:
   notification micro-batches (``1`` disables batching); ``--executor
   process`` shards the Calculator/Tracker layer across ``--workers``
   multiprocessing workers (identical logical metrics, see
-  docs/PERFORMANCE.md),
+  docs/PERFORMANCE.md); ``--counter-store spill`` keeps the window
+  counters out of core in sorted on-disk run files merged at report time
+  (bit-identical coefficients, flat RSS; ``--spill-dir`` /
+  ``--spill-threshold`` tune it, see docs/ARCHITECTURE.md "Counter
+  store"),
 * ``repro compare`` — run several partitioning algorithms over the same
   trace and print the evaluation metrics side by side,
 * ``repro connectivity`` — the Figure-7 connectivity analysis of a trace,
@@ -40,6 +44,7 @@ Examples::
     python -m repro.cli run --documents 8000 --calculator sketch
     python -m repro.cli run --documents 8000 --executor process --workers 4
     python -m repro.cli run --documents 8000 --scenario trending --reporting-engine delta
+    python -m repro.cli run --documents 50000 --counter-store spill --no-baseline
     python -m repro.cli record --documents 6000 --scenario burst --output burst.trace.jsonl
     python -m repro.cli run --trace burst.trace.jsonl
     python -m repro.cli compare --documents 6000 --algorithms DS,SCL
@@ -56,6 +61,7 @@ from .core.documents import Document
 from .core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
 from .operators.controller import REPARTITION_POLICIES
 from .pipeline import RunReport, SystemConfig, TagCorrelationSystem
+from .store import COUNTER_STORES, DEFAULT_SPILL_THRESHOLD
 from .streamsim import EXECUTOR_NAMES
 from .theory import WindowModel, communication_sweep, paper_np_table
 from .workloads import (
@@ -140,6 +146,23 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
                         help="capacity of each exact Calculator's LRU cache "
                              "of tagset subset enumerations (default "
                              f"{DEFAULT_SUBSET_CACHE_SIZE})")
+    parser.add_argument("--counter-store", choices=COUNTER_STORES,
+                        default="dict",
+                        help="backing table of exact Calculators: dict "
+                             "(all-RAM, the default) or spill (freeze cold "
+                             "counter segments to sorted on-disk run files "
+                             "and k-way-merge them at report time — bounded "
+                             "resident memory, identical coefficients; see "
+                             "docs/ARCHITECTURE.md \"Counter store\")")
+    parser.add_argument("--spill-dir", default=None,
+                        help="root directory for spilled run files "
+                             "(default: the system temp dir); each "
+                             "Calculator gets a private subdirectory")
+    parser.add_argument("--spill-threshold", type=int,
+                        default=DEFAULT_SPILL_THRESHOLD,
+                        help="distinct hot keys per Calculator at which a "
+                             "counter segment is frozen to disk (default "
+                             f"{DEFAULT_SPILL_THRESHOLD})")
     parser.add_argument("--no-baseline", action="store_true",
                         help="skip the centralized exact baseline entirely "
                              "(no ground truth, no error metrics; the "
@@ -207,6 +230,9 @@ def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = N
         calculator=getattr(args, "calculator", "exact"),
         reporting_engine=getattr(args, "reporting_engine", "incremental"),
         subset_cache_size=getattr(args, "subset_cache", DEFAULT_SUBSET_CACHE_SIZE),
+        counter_store=getattr(args, "counter_store", "dict"),
+        spill_dir=getattr(args, "spill_dir", None),
+        spill_threshold=getattr(args, "spill_threshold", DEFAULT_SPILL_THRESHOLD),
         include_centralized_baseline=not getattr(args, "no_baseline", False),
         notification_batch_size=getattr(args, "batch_size", 64),
         link_batch_size=getattr(args, "link_batch", 0),
@@ -251,6 +277,27 @@ def _print_report(report: RunReport) -> None:
                       f"{stats['carry_misses']} misses, "
                       f"{stats['carry_invalidations']} invalidations, "
                       f"{stats['carry_evictions']} evictions")
+    if report.counter_store != "dict":
+        print(f"counter store             : {report.counter_store}")
+        if report.store_stats is not None:
+            stats = report.store_stats
+            lookups = stats["block_cache_hits"] + stats["block_cache_misses"]
+            hit_rate = stats["block_cache_hits"] / lookups if lookups else 0.0
+            print(f"spill store               : "
+                  f"{int(stats['runs_written'])} runs written "
+                  f"({stats['run_bytes_written'] / 1e6:.1f} MB), "
+                  f"{int(stats['merges'])} merges "
+                  f"({int(stats['parallel_merges'])} parallel, "
+                  f"{stats['merge_seconds']:.2f} s)")
+            print(f"block cache               : {hit_rate:.1%} hit rate "
+                  f"({int(stats['block_cache_hits'])} hits, "
+                  f"{int(stats['block_cache_misses'])} misses, "
+                  f"{int(stats['block_cache_evictions'])} evictions)")
+            if stats.get("carry_blobs_written"):
+                print(f"carry log                 : "
+                      f"{int(stats['carry_blobs_written'])} blobs "
+                      f"({stats['carry_bytes_written'] / 1e6:.1f} MB), "
+                      f"{int(stats['carry_compactions'])} compactions")
     print(f"execution engine          : {report.executor_mode}"
           + (f" ({report.executor_workers} workers)"
              if report.executor_mode == "process" else ""))
@@ -471,7 +518,9 @@ subcommands:
                 notification micro-batches, --link-batch to cap the
                 substrate's per-link batches (1 = per-message delivery),
                 --executor process --workers N to shard the
-                Calculator/Tracker layer over worker processes)
+                Calculator/Tracker layer over worker processes,
+                --counter-store spill to keep window counters out of
+                core in sorted on-disk run files)
   compare       run several partitioning algorithms over the same trace and
                 print the evaluation metrics side by side
   connectivity  Figure-7 connectivity analysis of a trace
@@ -525,6 +574,13 @@ examples:
   # repartitioning:
   python -m repro.cli run --documents 8000 --scenario adversarial \\
       --repartition-handoff migrate
+
+  # Out-of-core window state: spill cold counter segments to sorted run
+  # files on disk and k-way-merge them at report time (bit-identical to
+  # the default in-RAM dict store; see docs/ARCHITECTURE.md "Counter
+  # store"). Keeps driver RSS flat on windows far larger than RAM:
+  python -m repro.cli run --documents 50000 --counter-store spill \\
+      --spill-dir /tmp/repro-spill --no-baseline
 
   # Record a burst-scenario trace, then replay it bit-for-bit:
   python -m repro.cli record --documents 6000 --scenario burst \\

@@ -108,6 +108,13 @@ try:  # The delta engine vectorises large lattice folds when numpy exists;
 except ImportError:  # pragma: no cover - numpy is in the default toolchain
     _np = None
 
+from ..store import (
+    COUNTER_STORES,
+    DEFAULT_SPILL_THRESHOLD,
+    CarryLog,
+    SpillingCounterStore,
+)
+
 #: Reporting engines of :class:`SubsetCounter` / :class:`JaccardCalculator`
 #: (mirrored by ``SystemConfig.reporting_engine`` and the CLI).
 REPORTING_ENGINES = ("incremental", "scratch", "delta")
@@ -429,7 +436,7 @@ class _DeltaCarryEntry:
     anything older is invalidated and refolded.
     """
 
-    __slots__ = ("gen", "min_size", "program", "keys", "triples")
+    __slots__ = ("gen", "min_size", "program", "keys", "triples", "ref")
 
     def __init__(self, gen: int, min_size: int, program: tuple) -> None:
         self.gen = gen
@@ -437,6 +444,10 @@ class _DeltaCarryEntry:
         self.program = program
         self.keys: list[tuple[str, ...]] = []
         self.triples: list[tuple[frozenset[str], float, int]] = []
+        #: With the spill store active, the ``(offset, length)`` of this
+        #: entry's ``(keys, triples)`` blob in the :class:`CarryLog`
+        #: (``keys``/``triples`` are emptied once offloaded).
+        self.ref: tuple[int, int] | None = None
 
 
 @dataclass(slots=True)
@@ -478,13 +489,33 @@ class SubsetCounter:
         max_tags_per_document: int = 12,
         subset_cache: SubsetTupleCache | None = None,
         subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE,
+        counter_store: str = "dict",
+        spill_dir: str | None = None,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
     ) -> None:
         if subset_cache is not None and subset_cache.max_subset_size is not None:
             raise ValueError(
                 "SubsetCounter needs full subset lattices; a cache with "
                 "max_subset_size set cannot back the reporting engines"
             )
-        self._counts: Counter = Counter()
+        if counter_store not in COUNTER_STORES:
+            raise ValueError(
+                f"counter_store must be one of {', '.join(COUNTER_STORES)}"
+            )
+        self.counter_store = counter_store
+        #: The backing table: a plain ``Counter`` (default) or the
+        #: out-of-core :class:`~repro.store.SpillingCounterStore`, which
+        #: exposes the same mapping surface the engines fold over.  With
+        #: the spill store active the delta carry's cached emissions move
+        #: to an on-disk :class:`~repro.store.CarryLog` as well.
+        if counter_store == "spill":
+            self._counts: Counter | SpillingCounterStore = SpillingCounterStore(
+                spill_dir=spill_dir, spill_threshold=spill_threshold
+            )
+            self._carry_log: CarryLog | None = CarryLog(self._counts.ensure_dir)
+        else:
+            self._counts = Counter()
+            self._carry_log = None
         #: Distinct observed tagset types → observation multiplicity (reset
         #: per round): the incremental and delta engines fold each type's
         #: subset lattice at most once per report, and the delta engine
@@ -607,6 +638,7 @@ class SubsetCounter:
         return the same coefficients, differing only in result order and
         cost.
         """
+        self._prepare_store_for_report()
         if engine == "incremental":
             return self._report_incremental(min_size)
         if engine == "scratch":
@@ -635,7 +667,20 @@ class SubsetCounter:
         ``operators/calculator.py``).  ``changed + unchanged`` is exactly
         the round's full result set (the other engines' output).
         """
+        self._prepare_store_for_report()
         return self._report_delta(min_size)
+
+    def _prepare_store_for_report(self) -> None:
+        """Spill-store hook: compact live runs to one before folding.
+
+        Report folds perform one counter lookup per lattice position, so
+        the spill store k-way-merges its runs (in parallel where the
+        process may spawn workers) down to a single mmap'd run first — the
+        "merge at report/drain time" half of the out-of-core design.  A
+        no-op for the default dict store.
+        """
+        if self.counter_store == "spill":
+            self._counts.prepare_report()
 
     def report_results(
         self, min_size: int = 2, engine: str = "incremental"
@@ -823,6 +868,7 @@ class SubsetCounter:
             if fs not in mults:
                 mark(fs)
         carry = self._carry
+        log = self._carry_log
         changed: list[tuple[frozenset[str], float, int]] = []
         unchanged: list[tuple[frozenset[str], float, int]] = []
         emit_unchanged = unchanged.append
@@ -850,7 +896,13 @@ class SubsetCounter:
                 self.carry_hits += 1
                 self.types_reused += 1
                 entry.gen = gen
-                for key, triple in zip(entry.keys, entry.triples):
+                if entry.ref is not None:
+                    # Spilled carry: the emission lists live in the carry
+                    # log; pickle round-trips them bit-identically.
+                    cached_keys, cached_triples = log.read(entry.ref)
+                else:
+                    cached_keys, cached_triples = entry.keys, entry.triples
+                for key, triple in zip(cached_keys, cached_triples):
                     if key not in done:
                         seen(key)
                         emit_unchanged(triple)
@@ -867,6 +919,15 @@ class SubsetCounter:
             # coverage argument in _fold_program's docstring.
             self._fold_program(entry.program, done, entry)
             changed.extend(entry.triples)
+            if log is not None:
+                # Offload the fresh emission lists to the carry log and
+                # keep only the blob ref in RAM (the carry table spills
+                # with the counters).
+                if entry.ref is not None:
+                    log.release(entry.ref)
+                entry.ref = log.append((entry.keys, entry.triples))
+                entry.keys = []
+                entry.triples = []
         # Bound the carry: drop entries not validated this round once the
         # table outgrows the live type set.  These are types that simply
         # stopped recurring — counted as evictions, not invalidations, so
@@ -875,8 +936,12 @@ class SubsetCounter:
         if len(carry) > 2 * len(mults) + 256:
             stale = [vtype for vtype, entry in carry.items() if entry.gen != gen]
             for vtype in stale:
-                del carry[vtype]
+                entry = carry.pop(vtype)
+                if log is not None and entry.ref is not None:
+                    log.release(entry.ref)
             self.carry_evictions += len(stale)
+        if log is not None:
+            log.maybe_compact(carry.values())
         self._prev_mults = dict(mults)
         return changed, unchanged
 
@@ -1069,11 +1134,33 @@ class SubsetCounter:
         Called after the final drain (worker-side under the process
         executor) so finished counters — and the bolts they are pickled
         back inside — carry no dead fold programs.  Accounting is
-        preserved, like :meth:`SubsetTupleCache.clear`.
+        preserved, like :meth:`SubsetTupleCache.clear`.  With the spill
+        store active this also deletes the carry log and the (already
+        emptied) spill directory; both are lazily recreated if the counter
+        observes again.
         """
         self._carry.clear()
         self._prev_mults = {}
         self._frozen.clear()
+        if self._carry_log is not None:
+            self._carry_log.close()
+        if self.counter_store == "spill":
+            self._counts.close()
+
+    def store_stats(self) -> dict[str, float] | None:
+        """Spill-store accounting, or ``None`` under the default dict store.
+
+        Spill/merge counters and block-cache hit/miss/eviction figures
+        from the backing store, plus the delta carry log's blob/byte
+        accounting.  Cumulative — survives ``clear()``, run deletion and
+        pickling, like the subset-cache stats.
+        """
+        if self.counter_store != "spill":
+            return None
+        stats = self._counts.stats()
+        if self._carry_log is not None:
+            stats.update(self._carry_log.stats())
+        return stats
 
     def _raw_items(self) -> Iterable[tuple[tuple[str, ...], int]]:
         """Internal tuple-keyed counter view used by tests."""
@@ -1100,16 +1187,24 @@ class JaccardCalculator:
         max_tags_per_document: int = 12,
         reporting_engine: str = "incremental",
         subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE,
+        counter_store: str = "dict",
+        spill_dir: str | None = None,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
     ) -> None:
         if reporting_engine not in REPORTING_ENGINES:
             raise ValueError(
                 f"reporting_engine must be one of {', '.join(REPORTING_ENGINES)}"
             )
         self._counter = SubsetCounter(
-            max_tags_per_document, subset_cache_size=subset_cache_size
+            max_tags_per_document,
+            subset_cache_size=subset_cache_size,
+            counter_store=counter_store,
+            spill_dir=spill_dir,
+            spill_threshold=spill_threshold,
         )
         self._observations = 0
         self.reporting_engine = reporting_engine
+        self.counter_store = counter_store
 
     @property
     def observations(self) -> int:
@@ -1125,6 +1220,11 @@ class JaccardCalculator:
     def carry_stats(self) -> dict[str, int]:
         """Delta carry-table accounting (all zero for the other engines)."""
         return self._counter.carry_stats()
+
+    @property
+    def store_stats(self) -> dict[str, float] | None:
+        """Spill-store accounting (``None`` under the default dict store)."""
+        return self._counter.store_stats()
 
     @property
     def counter(self) -> SubsetCounter:

@@ -284,12 +284,21 @@ class CalculatorBolt(BaseCalculatorBolt):
         max_tags_per_document: int = 12,
         reporting_engine: str = "incremental",
         subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE,
+        counter_store: str = "dict",
+        spill_dir: str | None = None,
+        spill_threshold: int | None = None,
     ) -> None:
         super().__init__(report_interval=report_interval)
+        spill_options = {}
+        if spill_threshold is not None:
+            spill_options["spill_threshold"] = spill_threshold
         self.calculator = JaccardCalculator(
             max_tags_per_document,
             reporting_engine=reporting_engine,
             subset_cache_size=subset_cache_size,
+            counter_store=counter_store,
+            spill_dir=spill_dir,
+            **spill_options,
         )
 
     def _observe(self, tags, doc_id) -> None:

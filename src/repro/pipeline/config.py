@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
+from ..store import COUNTER_STORES, DEFAULT_SPILL_THRESHOLD
 from ..core.partition import PartitionSeed
 from ..operators.controller import REPARTITION_POLICIES
 from ..streamsim.executors import EXECUTOR_NAMES
@@ -98,6 +99,20 @@ class SystemConfig:
     #: subset-tuple enumerations (repeated trending tagsets skip
     #: ``itertools.combinations`` re-enumeration).
     subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE
+    #: Backing table of each exact Calculator's subset counters:
+    #: ``"dict"`` (default) keeps everything in RAM; ``"spill"`` freezes
+    #: cold segments into sorted on-disk run files and merges them at
+    #: report/drain time, bounding resident memory by ``spill_threshold``
+    #: instead of window size.  Bit-identical coefficients either way —
+    #: see docs/ARCHITECTURE.md "Counter store".
+    counter_store: str = "dict"
+    #: Root directory for spilled run files (``None`` = the system temp
+    #: dir); each Calculator creates a private subdirectory beneath it.
+    #: Only consulted when ``counter_store="spill"``.
+    spill_dir: str | None = None
+    #: Distinct hot keys per Calculator at which a segment is frozen to
+    #: disk (the resident-memory bound of the spill store).
+    spill_threshold: int = DEFAULT_SPILL_THRESHOLD
     #: Routed tagsets per notification micro-batch (1 = unbatched legacy
     #: behaviour: one message per routed tagset per Calculator).
     notification_batch_size: int = 64
@@ -185,6 +200,12 @@ class SystemConfig:
             )
         if self.subset_cache_size < 1:
             raise ValueError("subset_cache_size must be at least 1")
+        if self.counter_store not in COUNTER_STORES:
+            raise ValueError(
+                f"counter_store must be one of {', '.join(COUNTER_STORES)}"
+            )
+        if self.spill_threshold < 1:
+            raise ValueError("spill_threshold must be at least 1")
         if self.notification_batch_size < 1:
             raise ValueError("notification_batch_size must be at least 1")
         if self.link_batch_size < 0:

@@ -79,6 +79,9 @@ class ExactCalculatorFactory:
     max_tags_per_document: int = 12
     reporting_engine: str = "incremental"
     subset_cache_size: int = DEFAULT_SUBSET_CACHE_SIZE
+    counter_store: str = "dict"
+    spill_dir: str | None = None
+    spill_threshold: int | None = None
 
     def __call__(self) -> CalculatorBolt:
         return CalculatorBolt(
@@ -86,6 +89,9 @@ class ExactCalculatorFactory:
             max_tags_per_document=self.max_tags_per_document,
             reporting_engine=self.reporting_engine,
             subset_cache_size=self.subset_cache_size,
+            counter_store=self.counter_store,
+            spill_dir=self.spill_dir,
+            spill_threshold=self.spill_threshold,
         )
 
 
@@ -176,6 +182,18 @@ class RunReport:
     #: subset-tuple LRU caches plus the delta engine's carry-table
     #: hits/misses/invalidations (None in sketch mode).
     subset_cache_stats: dict[str, int] | None = None
+    #: Which backing table the exact Calculators counted into: "dict"
+    #: (all-RAM, the default) or "spill" (out-of-core run files — see
+    #: docs/ARCHITECTURE.md "Counter store").  Logical metrics are
+    #: store-independent.
+    counter_store: str = "dict"
+    #: Aggregate spill-store accounting across exact Calculators (None
+    #: under the dict store): spilled entries/runs/bytes, merge counts and
+    #: merge-phase wall-clock, block-cache hits/misses/evictions and the
+    #: delta carry log's blob/byte figures.  Wall-clock content — like
+    #: ``timings``, informational only and excluded from the
+    #: logical-equivalence contract.
+    store_stats: dict[str, float] | None = None
     #: In-stream report-round attribution, aggregated over Calculators:
     #: ``rounds`` executed, their total wall-clock ``report_seconds``, the
     #: ``dirty_types``/``clean_types`` fold-vs-reuse split and the
@@ -359,6 +377,9 @@ class TagCorrelationSystem:
             max_tags_per_document=config.max_tags_per_document,
             reporting_engine=config.reporting_engine,
             subset_cache_size=config.subset_cache_size,
+            counter_store=config.counter_store,
+            spill_dir=config.spill_dir,
+            spill_threshold=config.spill_threshold,
         )
 
     def _build_executor(self) -> Executor:
@@ -574,6 +595,16 @@ class TagCorrelationSystem:
                             "carry_invalidations", "carry_evictions"):
                     subset_cache_stats[key] += carry[key]
 
+        store_stats: dict[str, float] | None = None
+        if config.counter_store == "spill" and exact_calculators:
+            store_stats = {}
+            for bolt in exact_calculators:
+                per_bolt = bolt.calculator.store_stats
+                if per_bolt is None:
+                    continue
+                for key, value in per_bolt.items():
+                    store_stats[key] = store_stats.get(key, 0) + value
+
         report_round_stats: dict[str, float] | None = None
         if calculators:
             report_round_stats = {
@@ -629,6 +660,8 @@ class TagCorrelationSystem:
             ),
             reporting_engine=config.reporting_engine,
             subset_cache_stats=subset_cache_stats,
+            counter_store=config.counter_store,
+            store_stats=store_stats,
             report_round_stats=report_round_stats,
         )
 

@@ -1,0 +1,67 @@
+"""Out-of-core counter storage: spill-to-disk runs with parallel merges.
+
+The ``repro.store`` subsystem backs :class:`repro.core.jaccard.SubsetCounter`
+with bounded resident memory (``SystemConfig(counter_store="spill")``):
+
+* :mod:`repro.store.format` — the versioned on-disk run format (blocked,
+  key-prefix-compressed entries + an in-RAM lexicon/fence-pointer index),
+  its atomic writer and the mmap/LRU-block-cache read path,
+* :mod:`repro.store.merge` — serial and parallel-layered k-way run merges,
+* :mod:`repro.store.spill` — :class:`SpillingCounterStore` (the
+  Counter-compatible mapping the reporting engines fold over) and
+  :class:`CarryLog` (the delta engine's spilled carry payloads).
+
+See docs/ARCHITECTURE.md "Counter store" for the design.
+"""
+
+from .format import (
+    DEFAULT_BLOCK_SIZE,
+    FORMAT_VERSION,
+    BlockCache,
+    RunFormatError,
+    RunReader,
+    RunWriteResult,
+    decode_key,
+    encode_key,
+    merged_entries,
+    write_run,
+)
+from .merge import (
+    DEFAULT_MERGE_FAN_IN,
+    MergeResult,
+    compact_runs,
+    merge_runs,
+    parallel_merges_allowed,
+    resolve_merge_workers,
+)
+from .spill import (
+    COUNTER_STORES,
+    DEFAULT_CACHE_BLOCKS,
+    DEFAULT_SPILL_THRESHOLD,
+    CarryLog,
+    SpillingCounterStore,
+)
+
+__all__ = [
+    "BlockCache",
+    "CarryLog",
+    "COUNTER_STORES",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CACHE_BLOCKS",
+    "DEFAULT_MERGE_FAN_IN",
+    "DEFAULT_SPILL_THRESHOLD",
+    "FORMAT_VERSION",
+    "MergeResult",
+    "RunFormatError",
+    "RunReader",
+    "RunWriteResult",
+    "SpillingCounterStore",
+    "compact_runs",
+    "decode_key",
+    "encode_key",
+    "merge_runs",
+    "merged_entries",
+    "parallel_merges_allowed",
+    "resolve_merge_workers",
+    "write_run",
+]

@@ -1,0 +1,157 @@
+"""K-way run merges — serial and parallel-layered.
+
+Merging reuses the ``multiprocessing`` machinery the sharded executor
+established: when more than ``fan_in`` runs accumulate, they are grouped
+into fan-in-sized batches and each batch is merged by a pool worker
+(sorted runs → layered k-way merges, the SNIPPETS.md search-engine
+schedule), layer after layer, until one run remains.  Two situations fall
+back to a fully serial merge:
+
+* inside sharded-executor workers — those are daemon processes, which
+  ``multiprocessing`` forbids from spawning children, and
+* when there is only one group to merge anyway (parallelism buys nothing).
+
+Every individual merge is itself crash-safe: it streams through
+:func:`repro.store.format.write_run`, so a failed merge leaves only its
+inputs behind and a killed process leaves at most a ``.tmp`` sibling that
+the owning store sweeps on ``clear()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .format import DEFAULT_BLOCK_SIZE, RunReader, merged_entries, write_run
+
+#: Largest number of runs one merge consumes; beyond it merges are layered.
+DEFAULT_MERGE_FAN_IN = 8
+
+#: Upper bound on pool workers when ``workers=0`` asks for auto-sizing.
+MAX_AUTO_MERGE_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of one (possibly layered) merge."""
+
+    path: str
+    entries: int
+    merges: int
+    parallel_merges: int
+    seconds: float
+
+
+def merge_runs(
+    sources: Sequence[str],
+    destination,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> str:
+    """Merge ``sources`` into a single run at ``destination``.
+
+    Streams block-by-block — peak memory is one decoded block per source
+    plus one output block, regardless of run sizes.  Sources are left in
+    place; the caller deletes them once the merged run is published.
+    """
+    readers = [RunReader(path) for path in sources]
+    try:
+        write_run(
+            destination,
+            merged_entries([reader.entries() for reader in readers]),
+            block_size=block_size,
+        )
+    finally:
+        for reader in readers:
+            reader.close()
+    return os.fspath(destination)
+
+
+def _merge_group(args: tuple[list[str], str, int]) -> str:
+    """Pool-worker entry point (module-level, hence picklable)."""
+    sources, destination, block_size = args
+    return merge_runs(sources, destination, block_size=block_size)
+
+
+def resolve_merge_workers(workers: int) -> int:
+    """Resolve the worker count (0 = auto, capped; 1 = serial)."""
+    if workers > 0:
+        return workers
+    return max(1, min(MAX_AUTO_MERGE_WORKERS, os.cpu_count() or 1))
+
+
+def parallel_merges_allowed() -> bool:
+    """Whether this process may spawn merge workers.
+
+    Sharded-executor workers are daemon processes; ``multiprocessing``
+    refuses to give daemons children, so merges inside them run serially.
+    """
+    return not multiprocessing.current_process().daemon
+
+
+def compact_runs(
+    sources: Sequence[str],
+    make_path: Callable[[int, int], str],
+    *,
+    fan_in: int = DEFAULT_MERGE_FAN_IN,
+    workers: int = 0,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> MergeResult:
+    """Merge ``sources`` down to one run, in parallel layers where possible.
+
+    ``make_path(layer, index)`` names intermediate and final outputs.
+    Consumed inputs (including intermediates) are deleted as soon as the
+    merge that read them is published; on failure the surviving inputs are
+    left for the owning store's abort sweep.
+    """
+    if fan_in < 2:
+        raise ValueError("fan_in must be at least 2")
+    paths = [os.fspath(path) for path in sources]
+    if len(paths) < 2:
+        raise ValueError("compact_runs needs at least two source runs")
+    workers = resolve_merge_workers(workers)
+    started = time.perf_counter()
+    merges = 0
+    parallel_merges = 0
+    layer = 0
+    while len(paths) > 1:
+        groups = [paths[i:i + fan_in] for i in range(0, len(paths), fan_in)]
+        outputs: list[str] = []
+        jobs: list[tuple[list[str], str, int]] = []
+        for index, group in enumerate(groups):
+            if len(group) == 1:
+                # A straggler group passes through to the next layer as-is.
+                outputs.append(group[0])
+                continue
+            destination = make_path(layer, index)
+            jobs.append((group, destination, block_size))
+            outputs.append(destination)
+        if len(jobs) > 1 and workers > 1 and parallel_merges_allowed():
+            with multiprocessing.Pool(min(workers, len(jobs))) as pool:
+                pool.map(_merge_group, jobs)
+            parallel_merges += len(jobs)
+        else:
+            for job in jobs:
+                _merge_group(job)
+        for group, _destination, _bs in jobs:
+            for path in group:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        merges += len(jobs)
+        paths = outputs
+        layer += 1
+    final_reader = RunReader(paths[0])
+    entries = final_reader.n_entries
+    final_reader.close()
+    return MergeResult(
+        path=paths[0],
+        entries=entries,
+        merges=merges,
+        parallel_merges=parallel_merges,
+        seconds=time.perf_counter() - started,
+    )

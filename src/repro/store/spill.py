@@ -1,0 +1,479 @@
+"""The spilling counter store and the delta carry log.
+
+:class:`SpillingCounterStore` is a drop-in backing table for
+:class:`repro.core.jaccard.SubsetCounter`: the same mapping surface a
+``collections.Counter`` offers the reporting engines (``__getitem__``
+returning 0 for absent keys, ``get``, ``items``, iteration, ``clear``),
+but with bounded resident memory.  Observations accumulate in a *hot*
+in-RAM ``Counter`` segment; once the hot segment reaches
+``spill_threshold`` distinct keys it is frozen — sorted by encoded key and
+written as one immutable run file (see :mod:`repro.store.format`) — and
+the RAM is reclaimed.  Lookups sum the hot segment with every live run
+(through the shared mmap/LRU-block-cache read path); report time first
+compacts the runs down to one via :func:`repro.store.merge.compact_runs`
+so per-subset lookups cost a single probe.
+
+Because counts are additive, the merged table is byte-for-byte the table a
+plain ``Counter`` would hold — spill timing, run count and merge order are
+all unobservable in the reported coefficients (pinned by the spill ≡ dict
+equivalence suite).
+
+:class:`CarryLog` gives the delta engine's carry table the same treatment:
+clean types' cached emissions (``keys``/``triples``) are pickled into an
+append-only blob log inside the store's spill directory and read back only
+when a clean round re-asserts them, with garbage compaction once released
+blobs dominate the file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import weakref
+from collections import Counter
+from typing import Callable, Iterable, Iterator
+
+from .format import (
+    DEFAULT_BLOCK_SIZE,
+    BlockCache,
+    RunReader,
+    decode_key,
+    encode_key,
+    merged_entries,
+    write_run,
+)
+from .merge import DEFAULT_MERGE_FAN_IN, compact_runs
+
+#: Hot-segment size (distinct keys) at which a spill freezes it to disk.
+DEFAULT_SPILL_THRESHOLD = 65536
+
+#: Decoded blocks the shared per-store LRU block cache keeps resident.
+DEFAULT_CACHE_BLOCKS = 512
+
+#: Names of the available counter stores (mirrored by
+#: ``SystemConfig.counter_store`` and the CLI ``--counter-store`` flag).
+COUNTER_STORES = ("dict", "spill")
+
+
+class SpillingCounterStore:
+    """Counter mapping that freezes cold segments into sorted run files."""
+
+    def __init__(
+        self,
+        spill_dir: str | None = None,
+        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+        *,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
+        merge_fan_in: int = DEFAULT_MERGE_FAN_IN,
+        merge_workers: int = 0,
+    ) -> None:
+        if spill_threshold < 1:
+            raise ValueError("spill_threshold must be at least 1")
+        self._root = os.fspath(spill_dir) if spill_dir is not None else None
+        self._threshold = spill_threshold
+        self._block_size = block_size
+        self._cache_blocks = cache_blocks
+        self._fan_in = merge_fan_in
+        self._merge_workers = merge_workers
+        self._hot: Counter = Counter()
+        self._runs: list[RunReader] = []
+        self._cache = BlockCache(cache_blocks)
+        self._dir: str | None = None
+        self._finalizer = None
+        self._sequence = 0
+        self._stats = {
+            "spilled_entries": 0,
+            "runs_written": 0,
+            "run_bytes_written": 0,
+            "merges": 0,
+            "parallel_merges": 0,
+            "merge_seconds": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Directory lifecycle
+    # ------------------------------------------------------------------ #
+    def ensure_dir(self) -> str:
+        """The store's private spill directory, created on first use.
+
+        A fresh ``mkdtemp`` under ``spill_dir`` (or the system temp dir)
+        per store instance, so the k Calculators of a run — across any
+        number of worker processes — never collide.  Removed again by
+        :meth:`close`, and by a GC finalizer as a backstop.
+        """
+        if self._dir is None:
+            root = self._root
+            if root is not None:
+                os.makedirs(root, exist_ok=True)
+            self._dir = tempfile.mkdtemp(prefix="repro-spill-", dir=root)
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._dir, True
+            )
+        return self._dir
+
+    @property
+    def directory(self) -> str | None:
+        """The spill directory, or ``None`` while nothing spilled yet."""
+        return self._dir
+
+    def _next_path(self, kind: str) -> str:
+        self._sequence += 1
+        return os.path.join(
+            self.ensure_dir(), f"{kind}-{self._sequence:06d}.run"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def update(self, keys: Iterable[tuple[str, ...]]) -> None:
+        """Count one occurrence of every key in ``keys`` (Counter.update)."""
+        hot = self._hot
+        hot.update(keys)
+        if len(hot) >= self._threshold:
+            self.spill()
+
+    def spill(self) -> None:
+        """Freeze the hot segment into a sorted, published run file."""
+        hot = self._hot
+        if not hot:
+            return
+        rows = sorted((encode_key(key), count) for key, count in hot.items())
+        result = write_run(
+            self._next_path("run"), rows, block_size=self._block_size
+        )
+        self._runs.append(RunReader(result.path, self._cache))
+        stats = self._stats
+        stats["spilled_entries"] += result.entries
+        stats["runs_written"] += 1
+        stats["run_bytes_written"] += result.file_bytes
+        hot.clear()
+
+    def prepare_report(self) -> None:
+        """Compact all live runs into one before a report/drain fold.
+
+        Report folds perform one lookup per lattice position; against n
+        runs each lookup would cost n probes, so the runs are k-way-merged
+        (in parallel layers when the process may spawn workers) down to a
+        single run first.  A failed merge sweeps every on-disk artefact of
+        this store before propagating — no orphaned runs on abort paths.
+        """
+        if len(self._runs) < 2:
+            return
+        paths = [reader.path for reader in self._runs]
+        for reader in self._runs:
+            reader.close()
+        self._runs = []
+        try:
+            result = compact_runs(
+                paths,
+                lambda layer, index: self._next_path(f"merge{layer}"),
+                fan_in=self._fan_in,
+                workers=self._merge_workers,
+                block_size=self._block_size,
+            )
+        except BaseException:
+            self._sweep_run_files()
+            raise
+        self._runs = [RunReader(result.path, self._cache)]
+        stats = self._stats
+        stats["merges"] += result.merges
+        stats["parallel_merges"] += result.parallel_merges
+        stats["merge_seconds"] += result.seconds
+
+    def _sweep_run_files(self) -> None:
+        """Delete every run artefact (``*.run``/``*.tmp``) in the dir."""
+        directory = self._dir
+        if directory is None or not os.path.isdir(directory):
+            return
+        for name in os.listdir(directory):
+            if name.endswith(".run") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(directory, name))
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        """Drop all counts: hot segment and every spilled run file.
+
+        Run files are removed eagerly (report rounds call this after every
+        fold); stats and the spill directory itself survive for the next
+        round.  Stray artefacts of an aborted merge are swept too.
+        """
+        self._hot.clear()
+        for reader in self._runs:
+            reader.close()
+            try:
+                os.unlink(reader.path)
+            except OSError:
+                pass
+        self._runs = []
+        self._sweep_run_files()
+
+    def close(self) -> None:
+        """Release everything, including the spill directory itself."""
+        self.clear()
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._dir = None
+
+    # ------------------------------------------------------------------ #
+    # Read path (the Counter-compatible mapping surface)
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, key: tuple[str, ...]) -> int:
+        total = self._hot[key]
+        runs = self._runs
+        if runs:
+            encoded = encode_key(key)
+            for reader in runs:
+                count = reader.get(encoded)
+                if count is not None:
+                    total += count
+        return total
+
+    def get(self, key: tuple[str, ...], default: int | None = None):
+        total = self[key]
+        if total:
+            return total
+        # Counts are strictly positive, so 0 means the key was never
+        # observed — exactly when dict.get would fall back to the default.
+        return default
+
+    def __contains__(self, key: object) -> bool:
+        return bool(self[key])  # type: ignore[index]
+
+    def _merged_encoded(self) -> Iterator[tuple[bytes, int]]:
+        streams: list[Iterator[tuple[bytes, int]]] = [
+            reader.entries() for reader in self._runs
+        ]
+        hot = self._hot
+        if hot:
+            streams.append(iter(sorted(
+                (encode_key(key), count) for key, count in hot.items()
+            )))
+        return merged_entries(streams)
+
+    def items(self) -> Iterator[tuple[tuple[str, ...], int]]:
+        """All ``(key, count)`` pairs, in encoded-key order.
+
+        Deterministic regardless of spill timing: the same observations
+        yield the same sequence whether they spilled into one run, many,
+        or none at all.
+        """
+        if not self._runs:
+            return iter(sorted(self._hot.items(), key=lambda kv: encode_key(kv[0])))
+        return (
+            (decode_key(key), count) for key, count in self._merged_encoded()
+        )
+
+    def keys(self) -> Iterator[tuple[str, ...]]:
+        return (key for key, _count in self.items())
+
+    def __iter__(self) -> Iterator[tuple[str, ...]]:
+        return self.keys()
+
+    def __len__(self) -> int:
+        if not self._runs:
+            return len(self._hot)
+        return sum(1 for _ in self._merged_encoded())
+
+    # ------------------------------------------------------------------ #
+    # Stats and pickling
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, float]:
+        """Cumulative spill/merge accounting plus block-cache counters."""
+        stats: dict[str, float] = dict(self._stats)
+        cache = self._cache.stats()
+        stats["block_cache_hits"] = cache["hits"]
+        stats["block_cache_misses"] = cache["misses"]
+        stats["block_cache_evictions"] = cache["evictions"]
+        stats["runs_live"] = len(self._runs)
+        stats["hot_entries"] = len(self._hot)
+        return stats
+
+    def __getstate__(self) -> dict:
+        # Ship a *manifest* of published run files, never the decoded
+        # tables: the receiving process re-opens the runs by path (same
+        # host — the process executor's workers are forked siblings).
+        return {
+            "root": self._root,
+            "threshold": self._threshold,
+            "block_size": self._block_size,
+            "cache_blocks": self._cache_blocks,
+            "fan_in": self._fan_in,
+            "merge_workers": self._merge_workers,
+            "hot": dict(self._hot),
+            "manifest": [reader.path for reader in self._runs],
+            "stats": dict(self._stats),
+            # Cache *counters* cross the wire (they feed the driver's
+            # aggregated RunReport.store_stats); cached blocks do not.
+            "cache_counters": (
+                self._cache.hits, self._cache.misses, self._cache.evictions
+            ),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            spill_dir=state["root"],
+            spill_threshold=state["threshold"],
+            block_size=state["block_size"],
+            cache_blocks=state["cache_blocks"],
+            merge_fan_in=state["fan_in"],
+            merge_workers=state["merge_workers"],
+        )
+        self._hot.update(state["hot"])
+        self._stats.update(state["stats"])
+        self._cache.hits, self._cache.misses, self._cache.evictions = (
+            state["cache_counters"]
+        )
+        manifest = state["manifest"]
+        if manifest:
+            # Adopt the sender's directory (and its cleanup duty).
+            self._dir = os.path.dirname(manifest[0])
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._dir, True
+            )
+            self._runs = [RunReader(path, self._cache) for path in manifest]
+
+
+class CarryLog:
+    """Append-only pickled-blob log backing the delta engine's carry table.
+
+    Clean types re-assert their previous emissions verbatim; with the
+    spill store active those emission lists (``keys``/``triples``) move to
+    this log so the carry table holds only ``(offset, length)`` refs.
+    Blobs round-trip through ``pickle``, which preserves float bits,
+    strings and frozensets exactly — re-asserted triples stay bit-identical
+    to the in-RAM carry's.
+
+    The log lives inside the owning store's spill directory
+    (``directory_provider`` is the store's ``ensure_dir``).  Released
+    blobs (refolded or evicted entries) become garbage; once garbage
+    exceeds half of a non-trivial file, :meth:`maybe_compact` rewrites the
+    live blobs into a fresh log and patches the entries' refs.
+    """
+
+    #: Compaction is considered only beyond this file size (bytes).
+    MIN_COMPACT_BYTES = 1 << 20
+
+    def __init__(self, directory_provider: Callable[[], str]) -> None:
+        self._provider = directory_provider
+        self._file = None
+        self._path: str | None = None
+        self._tail = 0
+        self.live_bytes = 0
+        self.total_bytes = 0
+        self.blobs_written = 0
+        self.bytes_written = 0
+        self.compactions = 0
+
+    def _ensure(self):
+        if self._file is None:
+            self._path = os.path.join(self._provider(), "carry.log")
+            self._file = open(self._path, "w+b")
+            self._tail = 0
+            self.live_bytes = 0
+            self.total_bytes = 0
+        return self._file
+
+    def append(self, payload: object) -> tuple[int, int]:
+        """Pickle ``payload`` onto the log; returns its ``(offset, length)``."""
+        handle = self._ensure()
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.seek(self._tail)
+        handle.write(data)
+        ref = (self._tail, len(data))
+        self._tail += len(data)
+        self.live_bytes += len(data)
+        self.total_bytes += len(data)
+        self.blobs_written += 1
+        self.bytes_written += len(data)
+        return ref
+
+    def read(self, ref: tuple[int, int]) -> object:
+        offset, length = ref
+        handle = self._ensure()
+        handle.seek(offset)
+        data = handle.read(length)
+        if len(data) != length:
+            raise RuntimeError(
+                f"carry log short read at {offset}: wanted {length} bytes, "
+                f"got {len(data)}"
+            )
+        return pickle.loads(data)
+
+    def release(self, ref: tuple[int, int]) -> None:
+        self.live_bytes -= ref[1]
+
+    def maybe_compact(self, entries: Iterable[object]) -> bool:
+        """Rewrite live blobs if garbage dominates; patch ``entry.ref``s."""
+        if self._file is None or self.total_bytes < self.MIN_COMPACT_BYTES:
+            return False
+        if (self.total_bytes - self.live_bytes) * 2 < self.total_bytes:
+            return False
+        assert self._path is not None
+        old = self._file
+        new_path = self._path + ".compact"
+        live = 0
+        with open(new_path, "w+b") as fresh:
+            offset = 0
+            for entry in entries:
+                ref = getattr(entry, "ref", None)
+                if ref is None:
+                    continue
+                old.seek(ref[0])
+                data = old.read(ref[1])
+                fresh.write(data)
+                entry.ref = (offset, len(data))
+                offset += len(data)
+                live += len(data)
+        old.close()
+        os.replace(new_path, self._path)
+        self._file = open(self._path, "r+b")
+        self._tail = live
+        self.live_bytes = live
+        self.total_bytes = live
+        self.compactions += 1
+        return True
+
+    def close(self) -> None:
+        """Close and delete the log file (accounting survives)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._path is not None:
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+            self._path = None
+        self._tail = 0
+        self.live_bytes = 0
+        self.total_bytes = 0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "carry_blobs_written": self.blobs_written,
+            "carry_bytes_written": self.bytes_written,
+            "carry_live_bytes": self.live_bytes,
+            "carry_compactions": self.compactions,
+        }
+
+    def __getstate__(self) -> dict:
+        # Open handles never cross process boundaries; a pickled log comes
+        # back empty (its contents are only ever needed by the process that
+        # wrote them — the carry table itself is released before bolts are
+        # shipped anywhere).
+        state = dict(self.__dict__)
+        state["_file"] = None
+        state["_path"] = None
+        state["_tail"] = 0
+        state["live_bytes"] = 0
+        state["total_bytes"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)

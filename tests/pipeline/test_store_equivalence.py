@@ -1,0 +1,305 @@
+"""Spill ≡ dict: the counter store is invisible in everything the system says.
+
+``SystemConfig(counter_store="spill")`` moves the Calculators' window
+counters out of core — hot segments freeze into sorted run files, report
+rounds k-way-merge them back — but counts are additive, so spill timing,
+run count and merge order must all be unobservable: every logical
+``RunReport`` metric, every final coefficient and every support must be
+**bit-identical** to the default in-RAM ``dict`` store.  These tests pin
+that across the grid the ISSUE names: reporting engines × executors ×
+calculator modes, plus the forced mid-stream repartition handoff (the
+migration payload streams from merged runs) and a served (service-mode)
+run — while asserting the spill machinery actually engaged (runs written,
+merges run) and cleaned up after itself (no spill directories survive a
+drain).
+"""
+
+import os
+
+import pytest
+
+from repro.operators import TrackerBolt, streams
+from repro.pipeline import SystemConfig, TagCorrelationSystem
+from repro.service import ServiceClient, ServiceDaemon
+from repro.workloads import TwitterLikeGenerator, WorkloadConfig
+
+#: RunReport fields that must be bit-identical across counter stores
+#: (mirrors the reporting-engine and executor equivalence contracts).
+IDENTICAL_FIELDS = (
+    "documents_processed",
+    "tagged_documents",
+    "communication_avg",
+    "calculator_loads",
+    "load_gini",
+    "load_max_share",
+    "n_repartitions",
+    "repartition_reasons",
+    "single_addition_requests",
+    "single_additions_applied",
+    "coefficients_reported",
+    "duplicate_reports",
+    "notification_messages",
+    "batch_amortization",
+)
+
+#: Small enough that a 2000-document run spills dozens of runs per round,
+#: crossing every interesting boundary (hot tail + many runs at fold time).
+SPILL_THRESHOLD = 400
+
+ENGINES = ("scratch", "incremental", "delta")
+STORES = ("dict", "spill")
+
+
+def _workload(n_documents=2000, seed=11):
+    config = WorkloadConfig(
+        seed=seed,
+        tweets_per_second=50.0,
+        n_topics=100,
+        tags_per_topic=14,
+        new_topic_rate=5.0,
+        intra_topic_probability=0.9,
+    )
+    return TwitterLikeGenerator(config).generate(n_documents)
+
+
+def _config(spill_root, **overrides):
+    base = dict(
+        algorithm="DS",
+        k=4,
+        n_partitioners=3,
+        window_mode="count",
+        window_size=500,
+        bootstrap_documents=200,
+        quality_check_interval=120,
+        repartition_threshold=0.5,
+        report_interval_seconds=30.0,
+    )
+    base.update(overrides)
+    if base.get("counter_store") == "spill":
+        base.setdefault("spill_dir", spill_root)
+        base.setdefault("spill_threshold", SPILL_THRESHOLD)
+    return SystemConfig(**base)
+
+
+def _run(documents, spill_root, **overrides):
+    system = TagCorrelationSystem(_config(spill_root, **overrides))
+    report = system.run(documents)
+    tracker = next(
+        bolt
+        for bolt in system.cluster.instances_of(streams.TRACKER)
+        if isinstance(bolt, TrackerBolt)
+    )
+    return system, report, tracker
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return _workload()
+
+
+@pytest.fixture(scope="module")
+def spill_root(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("spill-equivalence"))
+
+
+@pytest.fixture(scope="module")
+def grid_runs(documents, spill_root):
+    """One run per (store, engine, executor) cell."""
+    runs = {}
+    for store in STORES:
+        for engine in ENGINES:
+            for executor in ("inline", "process"):
+                overrides = {
+                    "counter_store": store,
+                    "reporting_engine": engine,
+                    "executor": executor,
+                }
+                if executor == "process":
+                    overrides["workers"] = 2
+                runs[(store, engine, executor)] = _run(
+                    documents, spill_root, **overrides
+                )
+    return runs
+
+
+class TestSpillEqualsDict:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
+    def test_metrics_identical(self, grid_runs, engine, executor, field):
+        _, spill, _ = grid_runs[("spill", engine, executor)]
+        _, plain, _ = grid_runs[("dict", engine, executor)]
+        assert getattr(spill, field) == getattr(plain, field)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_coefficients_and_supports_identical(
+        self, grid_runs, engine, executor
+    ):
+        """Bit-identical, not approximately equal: the spill store merges
+        the very same integer counts the dict would have held."""
+        _, _, spill_tracker = grid_runs[("spill", engine, executor)]
+        _, _, plain_tracker = grid_runs[("dict", engine, executor)]
+        assert spill_tracker.coefficients() == plain_tracker.coefficients()
+        assert spill_tracker.supports() == plain_tracker.supports()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_error_metrics_identical(self, grid_runs, engine):
+        _, spill, _ = grid_runs[("spill", engine, "inline")]
+        _, plain, _ = grid_runs[("dict", engine, "inline")]
+        assert spill.jaccard_coverage == plain.jaccard_coverage
+        assert spill.jaccard_mean_error == plain.jaccard_mean_error
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_spilling_actually_happened(self, grid_runs, engine, executor):
+        """The equivalence is vacuous unless runs hit the disk: every spill
+        cell must have written and merged runs and served block-cache
+        lookups on the way to its (identical) answers."""
+        _, report, _ = grid_runs[("spill", engine, executor)]
+        assert report.counter_store == "spill"
+        stats = report.store_stats
+        assert stats is not None
+        assert stats["runs_written"] > 0
+        assert stats["spilled_entries"] > 0
+        assert stats["merges"] > 0
+        assert stats["block_cache_hits"] + stats["block_cache_misses"] > 0
+
+    def test_dict_cells_report_no_store_stats(self, grid_runs):
+        _, report, _ = grid_runs[("dict", "incremental", "inline")]
+        assert report.counter_store == "dict"
+        assert report.store_stats is None
+
+    def test_delta_carry_spills_too(self, grid_runs):
+        """Under the delta engine the carry table's cached emissions move
+        to the on-disk carry log — and the answers still match (the
+        cross-engine assertions above)."""
+        _, report, _ = grid_runs[("spill", "delta", "inline")]
+        assert report.store_stats["carry_blobs_written"] > 0
+
+    def test_no_spill_directories_survive_the_drain(self, grid_runs, spill_root):
+        """Every store closed on drain: the shared spill root is empty."""
+        assert os.listdir(spill_root) == []
+
+
+class TestRepartitionWithSpill:
+    """Forced mid-stream repartitions: migration payloads stream out of the
+    spill store's merged runs and the handoff stays bit-identical."""
+
+    @pytest.fixture(scope="class")
+    def repartition_runs(self, documents, spill_root):
+        runs = {}
+        for store in STORES:
+            runs[store] = _run(
+                documents,
+                spill_root,
+                counter_store=store,
+                repartition_policy="fixed",
+                repartition_at=(700, 1400),
+                repartition_handoff="migrate",
+            )
+        return runs
+
+    def test_migrations_ran(self, repartition_runs):
+        _, report, _ = repartition_runs["spill"]
+        assert report.n_repartitions == 2
+        assert report.migration_stats["handoffs"] > 0
+        assert report.migration_stats["migrated_triples"] > 0
+
+    @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
+    def test_metrics_identical(self, repartition_runs, field):
+        _, spill, _ = repartition_runs["spill"]
+        _, plain, _ = repartition_runs["dict"]
+        assert getattr(spill, field) == getattr(plain, field)
+
+    def test_migration_epochs_identical(self, repartition_runs):
+        _, spill, _ = repartition_runs["spill"]
+        _, plain, _ = repartition_runs["dict"]
+        assert [
+            (m.epoch, m.documents_processed, m.migrated_triples, m.aborted)
+            for m in spill.migrations
+        ] == [
+            (m.epoch, m.documents_processed, m.migrated_triples, m.aborted)
+            for m in plain.migrations
+        ]
+
+    def test_coefficients_identical(self, repartition_runs):
+        _, _, spill_tracker = repartition_runs["spill"]
+        _, _, plain_tracker = repartition_runs["dict"]
+        assert spill_tracker.coefficients() == plain_tracker.coefficients()
+        assert spill_tracker.supports() == plain_tracker.supports()
+
+
+class TestSketchModeUnaffected:
+    """The sketch calculator never touches subset counters; a spill config
+    must pass through as a harmless no-op (same estimates, no store
+    stats)."""
+
+    @pytest.fixture(scope="class")
+    def sketch_runs(self, documents, spill_root):
+        return {
+            store: _run(
+                documents, spill_root, counter_store=store, calculator="sketch"
+            )
+            for store in STORES
+        }
+
+    def test_estimates_identical(self, sketch_runs):
+        _, _, spill_tracker = sketch_runs["spill"]
+        _, _, plain_tracker = sketch_runs["dict"]
+        assert spill_tracker.coefficients() == plain_tracker.coefficients()
+
+    @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
+    def test_metrics_identical(self, sketch_runs, field):
+        _, spill, _ = sketch_runs["spill"]
+        _, plain, _ = sketch_runs["dict"]
+        assert getattr(spill, field) == getattr(plain, field)
+
+    def test_no_store_stats_in_sketch_mode(self, sketch_runs):
+        _, report, _ = sketch_runs["spill"]
+        assert report.store_stats is None
+
+
+class TestServiceModeWithSpill:
+    """A served spill run — socket ingest, quiescent snapshot boundaries
+    between batches — equals the inline dict run document for document."""
+
+    INGEST_BATCH = 250
+
+    @pytest.fixture(scope="class")
+    def served_spill(self, documents, spill_root):
+        config = _config(spill_root, counter_store="spill")
+        with ServiceDaemon(config) as daemon:
+            host, port = daemon.address
+            with ServiceClient(host=host, port=port) as client:
+                for start in range(0, len(documents), self.INGEST_BATCH):
+                    batch = documents[start:start + self.INGEST_BATCH]
+                    response = client.ingest(batch, block=True, timeout=60.0)
+                    assert response["accepted"] == len(batch)
+                client.shutdown()
+        report = daemon.final_report
+        assert report is not None
+        tracker = next(
+            bolt
+            for bolt in daemon.system.cluster.instances_of(streams.TRACKER)
+            if isinstance(bolt, TrackerBolt)
+        )
+        return report, tracker
+
+    def test_served_spill_equals_batch_dict(self, served_spill, grid_runs):
+        served_report, served_tracker = served_spill
+        _, batch_report, batch_tracker = grid_runs[
+            ("dict", "incremental", "inline")
+        ]
+        for field in IDENTICAL_FIELDS:
+            assert getattr(served_report, field) == getattr(
+                batch_report, field
+            ), field
+        assert served_tracker.coefficients() == batch_tracker.coefficients()
+        assert served_tracker.supports() == batch_tracker.supports()
+
+    def test_served_run_spilled(self, served_spill, spill_root):
+        report, _ = served_spill
+        assert report.counter_store == "spill"
+        assert report.store_stats["runs_written"] > 0
+        assert os.listdir(spill_root) == []

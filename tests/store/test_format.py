@@ -1,0 +1,336 @@
+"""Run-file format: round-trips, pinned golden bytes, corruption diagnostics.
+
+The spill store's durability story rests on three properties of
+:mod:`repro.store.format`:
+
+* *lossless*: any strictly-sorted positive-count table round-trips through
+  ``write_run`` → ``RunReader`` exactly, at any block size (property test);
+* *stable*: the byte layout is pinned by a committed golden run file —
+  writers must reproduce it bit-for-bit, readers must decode it (the
+  on-disk format is versioned; changing it requires bumping
+  ``FORMAT_VERSION`` and regenerating ``fixtures/golden.run`` via
+  ``python tests/store/test_format.py``);
+* *honest*: structural damage (foreign files, version skew, truncation,
+  mangled extents) raises :class:`RunFormatError` naming the file, never
+  garbage counts.
+"""
+
+import os
+import struct
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    BlockCache,
+    RunFormatError,
+    RunReader,
+    decode_key,
+    encode_key,
+    merged_entries,
+    write_run,
+)
+from repro.store import format as run_format
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN_PATH = FIXTURES / "golden.run"
+
+#: The golden table (Figure 1 of the paper plus multi-byte UTF-8 and an
+#: empty tagset) and the block size it was written with.  Regenerate the
+#: fixture by running this module as a script after a format change.
+GOLDEN_BLOCK_SIZE = 64
+GOLDEN_TABLE = {
+    (): 7,
+    ("beer",): 14,
+    ("münchen",): 3,
+    ("bavaria", "soccer"): 1,
+    ("beach", "sunny"): 2,
+    ("beer", "munich"): 10,
+    ("beer", "munich", "soccer"): 10,
+    ("munich", "oktoberfest"): 3,
+    ("friday", "sunny"): 1,
+    ("a" * 40, "b" * 40): 1 << 40,
+}
+
+
+def sorted_entries(table):
+    return sorted((encode_key(key), count) for key, count in table.items())
+
+
+def write_table(path, table, block_size=run_format.DEFAULT_BLOCK_SIZE):
+    return write_run(path, sorted_entries(table), block_size=block_size)
+
+
+# --------------------------------------------------------------------- #
+# Key codec
+# --------------------------------------------------------------------- #
+tags = st.text(min_size=0, max_size=12)
+keys = st.lists(tags, min_size=0, max_size=5).map(tuple)
+
+
+class TestKeyCodec:
+    @given(key=keys)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, key):
+        assert decode_key(encode_key(key)) == key
+
+    @given(a=keys, b=keys)
+    @settings(max_examples=200, deadline=None)
+    def test_encoding_is_injective(self, a, b):
+        """Distinct tag tuples never collide — the encoded bytes are the
+        store's identity, so a collision would silently merge counters."""
+        if a != b:
+            assert encode_key(a) != encode_key(b)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(RunFormatError):
+            decode_key(encode_key(("beer",)) + b"\x00")
+
+    def test_truncated_tag_rejected(self):
+        with pytest.raises(RunFormatError):
+            decode_key(encode_key(("munich",))[:-2])
+
+
+# --------------------------------------------------------------------- #
+# Write → read round trips
+# --------------------------------------------------------------------- #
+run_tables = st.dictionaries(keys, st.integers(1, 1 << 40), max_size=50)
+
+
+class TestRoundTrip:
+    @given(table=run_tables, block_size=st.sampled_from([1, 24, 4096]))
+    @settings(max_examples=60, deadline=None)
+    def test_any_table_any_block_size(self, tmp_path_factory, table, block_size):
+        path = tmp_path_factory.mktemp("runs") / "t.run"
+        result = write_table(path, table, block_size=block_size)
+        assert result.entries == len(table)
+        reader = RunReader(path)
+        try:
+            assert list(reader.entries()) == sorted_entries(table)
+            assert len(reader) == len(table)
+            for key, count in table.items():
+                assert reader.get(encode_key(key)) == count
+            assert reader.get(encode_key(("never", "observed"))) is None
+        finally:
+            reader.close()
+
+    def test_empty_run(self, tmp_path):
+        path = tmp_path / "empty.run"
+        result = write_table(path, {})
+        assert result.entries == 0 and result.blocks == 0
+        reader = RunReader(path)
+        try:
+            assert len(reader) == 0
+            assert list(reader.entries()) == []
+            assert reader.get(encode_key(("x",))) is None
+        finally:
+            reader.close()
+
+    def test_unsorted_entries_rejected(self, tmp_path):
+        rows = sorted_entries(GOLDEN_TABLE)
+        with pytest.raises(ValueError, match="sorted"):
+            write_run(tmp_path / "x.run", reversed(rows))
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        row = (encode_key(("beer",)), 1)
+        with pytest.raises(ValueError, match="sorted"):
+            write_run(tmp_path / "x.run", [row, row])
+
+    def test_nonpositive_counts_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            write_run(tmp_path / "x.run", [(encode_key(("beer",)), 0)])
+
+    def test_publish_is_atomic(self, tmp_path):
+        """A successful write leaves exactly the final file; a write whose
+        entry stream blows up mid-run leaves *nothing* — no half-written
+        final file, no ``.tmp`` orphan."""
+        path = tmp_path / "atomic.run"
+        write_table(path, GOLDEN_TABLE)
+        assert os.listdir(tmp_path) == ["atomic.run"]
+
+        def exploding():
+            yield encode_key(("beer",)), 1
+            raise RuntimeError("injected")
+
+        with pytest.raises(RuntimeError, match="injected"):
+            write_run(tmp_path / "doomed.run", exploding())
+        assert os.listdir(tmp_path) == ["atomic.run"]
+
+    def test_merged_entries_sums_equal_keys(self):
+        left = {("beer",): 3, ("beer", "munich"): 1}
+        right = {("beer",): 4, ("soccer",): 2}
+        merged = dict(merged_entries([
+            iter(sorted_entries(left)), iter(sorted_entries(right))
+        ]))
+        expected = {("beer",): 7, ("beer", "munich"): 1, ("soccer",): 2}
+        assert merged == dict(sorted_entries(expected))
+
+
+# --------------------------------------------------------------------- #
+# Block cache
+# --------------------------------------------------------------------- #
+class TestBlockCache:
+    def test_hit_miss_eviction_accounting(self, tmp_path):
+        path = tmp_path / "c.run"
+        write_table(path, GOLDEN_TABLE, block_size=1)  # one entry per block
+        cache = BlockCache(capacity=2)
+        reader = RunReader(path, cache)
+        try:
+            probes = [encode_key(key) for key in sorted(GOLDEN_TABLE)[:4]]
+            for encoded in probes:
+                reader.get(encoded)
+            assert cache.stats()["misses"] == 4
+            assert cache.stats()["evictions"] == 2  # capacity 2, 4 blocks
+            reader.get(probes[-1])  # still resident
+            assert cache.stats()["hits"] == 1
+            assert cache.stats()["size"] == 2
+        finally:
+            reader.close()
+        # close() forgets the reader's blocks.
+        assert cache.stats()["size"] == 0
+
+    def test_tokens_never_collide_across_reader_lifetimes(self, tmp_path):
+        """A new reader must not inherit a dead reader's cached blocks."""
+        path_a = tmp_path / "a.run"
+        path_b = tmp_path / "b.run"
+        write_table(path_a, {("beer",): 1})
+        write_table(path_b, {("beer",): 99})
+        cache = BlockCache(capacity=8)
+        reader_a = RunReader(path_a, cache)
+        token_a = reader_a._token
+        reader_a.get(encode_key(("beer",)))
+        reader_a.close()
+        reader_b = RunReader(path_b, cache)
+        try:
+            assert reader_b._token != token_a
+            assert reader_b.get(encode_key(("beer",))) == 99
+        finally:
+            reader_b.close()
+
+
+# --------------------------------------------------------------------- #
+# Golden bytes (format stability)
+# --------------------------------------------------------------------- #
+def golden_bytes(tmp_path):
+    path = tmp_path / "golden.run"
+    write_table(path, GOLDEN_TABLE, block_size=GOLDEN_BLOCK_SIZE)
+    return path.read_bytes()
+
+
+class TestGoldenFixture:
+    def test_writer_reproduces_committed_bytes(self, tmp_path):
+        """The writer is deterministic and the layout is frozen: the same
+        table at the same block size must reproduce the committed fixture
+        byte for byte.  If this fails you changed the on-disk format —
+        bump ``FORMAT_VERSION`` and regenerate the fixture."""
+        assert golden_bytes(tmp_path) == GOLDEN_PATH.read_bytes()
+
+    def test_reader_decodes_committed_bytes(self):
+        reader = RunReader(GOLDEN_PATH)
+        try:
+            assert list(reader.entries()) == sorted_entries(GOLDEN_TABLE)
+            for key, count in GOLDEN_TABLE.items():
+                assert reader.get(encode_key(key)) == count
+        finally:
+            reader.close()
+
+    def test_header_fields(self):
+        data = GOLDEN_PATH.read_bytes()
+        magic, version, flags, block_size, n_entries, n_blocks, index_offset = (
+            struct.unpack_from("<4sHHIQIQ", data, 0)
+        )
+        assert magic == run_format.MAGIC == b"RSC1"
+        assert version == run_format.FORMAT_VERSION == 1
+        assert flags == 0
+        assert block_size == GOLDEN_BLOCK_SIZE
+        assert n_entries == len(GOLDEN_TABLE)
+        assert n_blocks > 1  # the fixture exercises multi-block layout
+        assert index_offset < len(data)
+
+
+# --------------------------------------------------------------------- #
+# Corruption → clear errors
+# --------------------------------------------------------------------- #
+def corrupt(tmp_path, mutate):
+    data = bytearray(GOLDEN_PATH.read_bytes())
+    data = mutate(data)
+    path = tmp_path / "corrupt.run"
+    path.write_bytes(bytes(data))
+    return path
+
+
+class TestCorruption:
+    def expect_error(self, tmp_path, mutate, match):
+        path = corrupt(tmp_path, mutate)
+        with pytest.raises(RunFormatError, match=match) as excinfo:
+            reader = RunReader(path)
+            try:
+                list(reader.entries())
+                for key in GOLDEN_TABLE:
+                    reader.get(encode_key(key))
+            finally:
+                reader.close()
+        # Diagnostics always name the offending file.
+        assert "corrupt.run" in str(excinfo.value)
+
+    def test_foreign_magic(self, tmp_path):
+        def mutate(data):
+            data[0:4] = b"ELF\x7f"
+            return data
+        self.expect_error(tmp_path, mutate, "bad magic")
+
+    def test_version_skew(self, tmp_path):
+        def mutate(data):
+            struct.pack_into("<H", data, 4, 99)
+            return data
+        self.expect_error(tmp_path, mutate, "version 99")
+
+    def test_too_short_for_header(self, tmp_path):
+        def mutate(data):
+            return data[:16]
+        self.expect_error(tmp_path, mutate, "too short")
+
+    def test_truncated_index(self, tmp_path):
+        def mutate(data):
+            return data[:-5]
+        self.expect_error(tmp_path, mutate, "corrupt.run")
+
+    def test_index_offset_beyond_file(self, tmp_path):
+        def mutate(data):
+            struct.pack_into("<Q", data, 24, len(data) + 1000)
+            return data
+        self.expect_error(tmp_path, mutate, "index offset")
+
+    def test_trailing_garbage(self, tmp_path):
+        def mutate(data):
+            return data + b"\xff\xff\xff"
+        self.expect_error(tmp_path, mutate, "trailing bytes")
+
+    def test_entry_count_mismatch(self, tmp_path):
+        def mutate(data):
+            struct.pack_into("<Q", data, 12, len(GOLDEN_TABLE) + 5)
+            return data
+        self.expect_error(tmp_path, mutate, "entries")
+
+    def test_mangled_block_payload(self, tmp_path):
+        """Flipping bytes inside a block corrupts its varint stream; the
+        decoder notices (bad prefix length, truncation or an entry-count
+        mismatch against the index) instead of returning wrong counts."""
+        def mutate(data):
+            for offset in range(36, 48):
+                data[offset] ^= 0xFF
+            return data
+        self.expect_error(tmp_path, mutate, "block")
+
+
+if __name__ == "__main__":  # regenerate the golden fixture
+    FIXTURES.mkdir(parents=True, exist_ok=True)
+    result = write_run(
+        GOLDEN_PATH,
+        sorted_entries(GOLDEN_TABLE),
+        block_size=GOLDEN_BLOCK_SIZE,
+    )
+    print(f"wrote {result.path}: {result.entries} entries, "
+          f"{result.blocks} blocks, {result.file_bytes} bytes")

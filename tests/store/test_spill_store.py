@@ -1,0 +1,378 @@
+"""Spill-store lifecycle: directories, durability ordering, abort hygiene.
+
+The spilling store owns real on-disk state, so beyond the mapping
+semantics (spill timing must be unobservable) these tests pin the
+*lifecycle* contract:
+
+* every artefact lives inside the store's private ``mkdtemp`` under the
+  configured ``spill_dir``; ``clear()`` removes all run files, ``close()``
+  removes the directory itself — no orphans, ever;
+* a run is *published* only after its bytes are fsync'd: the data-file
+  ``fsync`` strictly precedes the ``os.replace`` rename (crash before the
+  rename loses at most an unpublished ``.tmp``);
+* an injected merge failure propagates *and* sweeps every ``*.run`` /
+  ``*.tmp`` artefact of the store — the abort path leaks nothing;
+* forcing ``merge_workers=2`` over many small runs exercises the
+  parallel layered merge (pool workers), with identical results;
+* pickling ships a run-file *manifest*, not decoded tables, and the
+  delta engine's :class:`CarryLog` round-trips payloads bit-exactly,
+  compacts garbage and deletes its file on close.
+"""
+
+import os
+import pickle
+import random
+from collections import Counter
+from types import SimpleNamespace
+
+import pytest
+
+from repro.store import (
+    CarryLog,
+    RunReader,
+    SpillingCounterStore,
+    encode_key,
+)
+from repro.store import merge as run_merge
+from repro.store import spill as spill_module
+
+KEY_POOL = [
+    tuple(sorted(sample))
+    for sample in [
+        ("beer",), ("munich",), ("soccer",), ("beer", "munich"),
+        ("beer", "soccer"), ("munich", "soccer"), ("beer", "munich", "soccer"),
+        ("pizza",), ("beer", "pizza"), ("oktoberfest",),
+    ]
+]
+
+
+def feed(store, n_updates, seed=7, pool=None):
+    """Drive seeded-random updates into ``store`` and a reference Counter."""
+    rng = random.Random(seed)
+    pool = pool or [
+        (f"tag{i}", f"tag{j}")
+        for i in range(40)
+        for j in range(i + 1, 44)
+    ]
+    reference = Counter()
+    for _ in range(n_updates):
+        keys = rng.sample(pool, rng.randint(1, 4))
+        store.update(keys)
+        reference.update(keys)
+    return reference
+
+
+def disk_artifacts(directory):
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.endswith(".run") or name.endswith(".tmp")
+    )
+
+
+class TestLifecycle:
+    def test_artifacts_live_under_spill_dir(self, tmp_path):
+        store = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=50)
+        feed(store, 200)
+        directory = store.directory
+        assert directory is not None
+        assert os.path.dirname(directory) == str(tmp_path)
+        assert store.stats()["runs_written"] >= 2
+        assert disk_artifacts(directory)  # published runs, no strays
+        assert all(name.endswith(".run") for name in disk_artifacts(directory))
+        store.close()
+
+    def test_clear_removes_every_run_file(self, tmp_path):
+        store = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=50)
+        feed(store, 200)
+        directory = store.directory
+        store.clear()
+        assert disk_artifacts(directory) == []
+        assert os.path.isdir(directory)  # the dir survives for the next round
+        assert len(store) == 0
+        store.close()
+
+    def test_close_removes_the_directory(self, tmp_path):
+        store = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=50)
+        feed(store, 200)
+        directory = store.directory
+        store.close()
+        assert not os.path.exists(directory)
+        assert os.listdir(tmp_path) == []
+
+    def test_stray_tmp_swept_on_clear(self, tmp_path):
+        """A ``.tmp`` left by a killed writer (simulated) is garbage the
+        next clear() collects."""
+        store = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=50)
+        feed(store, 200)
+        stray = os.path.join(store.directory, "run-999999.run.tmp")
+        with open(stray, "wb") as handle:
+            handle.write(b"half a run")
+        store.clear()
+        assert disk_artifacts(store.directory) == []
+        store.close()
+
+    def test_two_stores_never_collide(self, tmp_path):
+        a = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=10)
+        b = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=10)
+        feed(a, 50, seed=1)
+        feed(b, 50, seed=2)
+        assert a.directory != b.directory
+        a.close()
+        assert os.path.isdir(b.directory)
+        b.close()
+
+
+class TestDurabilityOrdering:
+    def test_fsync_precedes_publish(self, tmp_path, monkeypatch):
+        """The run's bytes are durable before the rename makes it visible:
+        for every published run, ``fsync(data fd)`` happens strictly
+        before the ``os.replace`` that drops the ``.tmp`` suffix."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append(("fsync", fd))
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        store = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=25)
+        feed(store, 100)
+        publishes = [e for e in events if e[0] == "replace"
+                     and e[2].endswith(".run")]
+        assert publishes  # spills actually happened under the spies
+        for publish in publishes:
+            position = events.index(publish)
+            assert any(e[0] == "fsync" for e in events[:position]), (
+                "run published before any fsync"
+            )
+            # The event immediately preceding each publish is its own
+            # data-file fsync (write_run syncs, then renames).
+            assert events[position - 1][0] == "fsync"
+        store.close()
+
+
+class TestMergeAbortHygiene:
+    def make_runs(self, tmp_path, n_runs=6):
+        store = SpillingCounterStore(
+            spill_dir=str(tmp_path), spill_threshold=1 << 30, merge_fan_in=2
+        )
+        for index in range(n_runs):
+            store.update([(f"tag{index}", f"tag{index + 1}")])
+            store.spill()
+        assert store.stats()["runs_written"] == n_runs
+        return store
+
+    def test_injected_merge_failure_leaves_no_orphans(self, tmp_path, monkeypatch):
+        store = self.make_runs(tmp_path)
+        directory = store.directory
+
+        def exploding_merge(sources, destination, *, block_size):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(run_merge, "merge_runs", exploding_merge)
+        with pytest.raises(OSError, match="disk on fire"):
+            store.prepare_report()
+        assert disk_artifacts(directory) == []
+        store.close()
+
+    def test_mid_compaction_failure_sweeps_intermediates(
+        self, tmp_path, monkeypatch
+    ):
+        """Failing the *second* merge of a layered compaction must also
+        sweep the intermediate the first merge already published."""
+        store = self.make_runs(tmp_path, n_runs=6)  # fan_in=2 → 3 jobs/layer
+        directory = store.directory
+        real_merge = run_merge.merge_runs
+        calls = []
+
+        def failing_second(sources, destination, *, block_size):
+            calls.append(destination)
+            if len(calls) == 2:
+                raise OSError("injected mid-compaction")
+            return real_merge(sources, destination, block_size=block_size)
+
+        monkeypatch.setattr(run_merge, "merge_runs", failing_second)
+        with pytest.raises(OSError, match="mid-compaction"):
+            store.prepare_report()
+        assert len(calls) == 2  # one intermediate was published, then boom
+        assert disk_artifacts(directory) == []
+        store.close()
+
+
+class TestParallelMerges:
+    def test_forced_pool_merge_matches_reference(self, tmp_path):
+        """``merge_workers=2`` with a tiny fan-in forces the layered pool
+        path (the 1-core auto default would stay serial); results must be
+        identical to the reference Counter and leave exactly one run."""
+        store = SpillingCounterStore(
+            spill_dir=str(tmp_path),
+            spill_threshold=40,
+            merge_fan_in=2,
+            merge_workers=2,
+        )
+        reference = feed(store, 400)
+        store.prepare_report()
+        stats = store.stats()
+        assert stats["parallel_merges"] > 0
+        assert stats["runs_live"] == 1
+        assert stats["merge_seconds"] > 0.0
+        assert dict(store.items()) == dict(reference)
+        store.close()
+
+    def test_daemon_processes_fall_back_to_serial(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing.current_process(), "_config",
+            {**multiprocessing.current_process()._config, "daemon": True},
+        )
+        assert not run_merge.parallel_merges_allowed()
+
+    def test_auto_worker_resolution_is_capped(self):
+        assert run_merge.resolve_merge_workers(3) == 3
+        auto = run_merge.resolve_merge_workers(0)
+        assert 1 <= auto <= run_merge.MAX_AUTO_MERGE_WORKERS
+
+
+class TestMappingSemantics:
+    def test_spill_timing_is_unobservable(self, tmp_path):
+        """Same observations, wildly different spill thresholds → the same
+        mapping: lookups, membership, items() order, length."""
+        thresholds = [1, 17, 1 << 30]
+        stores = [
+            SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=t)
+            for t in thresholds
+        ]
+        references = [feed(store, 300, seed=13) for store in stores]
+        assert references[0] == references[1] == references[2]
+        reference = references[0]
+        baseline_items = list(stores[0].items())
+        for store in stores:
+            for key, count in reference.items():
+                assert store[key] == count
+                assert store.get(key) == count
+                assert key in store
+            absent = ("never", "observed")
+            assert store[absent] == 0
+            assert store.get(absent) is None
+            assert store.get(absent, 0) == 0
+            assert absent not in store
+            assert len(store) == len(reference)
+            assert list(store.items()) == baseline_items
+            store.close()
+
+    def test_prepare_report_is_count_preserving(self, tmp_path):
+        store = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=30)
+        reference = feed(store, 250)
+        before = dict(store.items())
+        store.prepare_report()
+        assert dict(store.items()) == before == dict(reference)
+        store.close()
+
+
+class TestPickling:
+    def test_manifest_round_trip(self, tmp_path):
+        store = SpillingCounterStore(spill_dir=str(tmp_path), spill_threshold=40)
+        reference = feed(store, 300)
+        state = store.__getstate__()
+        # The wire payload is a manifest of published paths plus the small
+        # hot tail — never RunReader objects or decoded tables.
+        assert all(isinstance(path, str) for path in state["manifest"])
+        assert len(state["hot"]) < 40
+        clone = pickle.loads(pickle.dumps(store))
+        assert dict(clone.items()) == dict(reference)
+        assert clone.stats()["runs_written"] == store.stats()["runs_written"]
+        clone.close()  # the clone adopted the directory and its cleanup
+        assert not os.path.exists(store.directory)
+
+
+class DirProvider:
+    """Picklable stand-in for the store's bound ``ensure_dir``."""
+
+    def __init__(self, path):
+        self.path = str(path)
+
+    def __call__(self):
+        return self.path
+
+
+class TestCarryLog:
+    def make_log(self, tmp_path):
+        return CarryLog(DirProvider(tmp_path))
+
+    def test_round_trip_preserves_bits(self, tmp_path):
+        log = self.make_log(tmp_path)
+        payload = (
+            [("beer", "munich"), ("soccer",)],
+            [(frozenset({"beer", "munich"}), 0.1 + 0.2, 7)],
+        )
+        ref = log.append(payload)
+        keys, triples = log.read(ref)
+        assert keys == payload[0]
+        assert triples == payload[1]
+        assert triples[0][1].hex() == (0.1 + 0.2).hex()  # float bits exact
+        log.close()
+
+    def test_compaction_rewrites_live_blobs_and_patches_refs(self, tmp_path):
+        log = self.make_log(tmp_path)
+        log.MIN_COMPACT_BYTES = 64  # instance override: compact tiny files
+        entries = []
+        for index in range(40):
+            entry = SimpleNamespace(ref=None, payload=f"payload-{index}" * 8)
+            entry.ref = log.append(entry.payload)
+            entries.append(entry)
+        survivors = entries[::4]
+        for entry in entries:
+            if entry not in survivors:
+                log.release(entry.ref)
+                entry.ref = None
+        assert log.maybe_compact(survivors)
+        assert log.stats()["carry_compactions"] == 1
+        assert log.live_bytes == log.total_bytes
+        for entry in survivors:  # refs were patched to the new layout
+            assert log.read(entry.ref) == entry.payload
+        log.close()
+
+    def test_compaction_skipped_while_mostly_live(self, tmp_path):
+        log = self.make_log(tmp_path)
+        log.MIN_COMPACT_BYTES = 1
+        entries = [SimpleNamespace(ref=log.append("x" * 64)) for _ in range(10)]
+        log.release(entries[0].ref)  # 10% garbage — not worth rewriting
+        entries[0].ref = None
+        assert not log.maybe_compact(entries)
+        log.close()
+
+    def test_close_deletes_the_file(self, tmp_path):
+        log = self.make_log(tmp_path)
+        log.append("payload")
+        log_path = log._path
+        assert os.path.exists(log_path)
+        log.close()
+        assert not os.path.exists(log_path)
+        assert log.stats()["carry_blobs_written"] == 1  # accounting survives
+
+    def test_pickle_comes_back_empty(self, tmp_path):
+        log = self.make_log(tmp_path)
+        log.append("payload")
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.live_bytes == 0 and clone.total_bytes == 0
+        # A revived log is immediately usable in the receiving process.
+        ref = clone.append("fresh")
+        assert clone.read(ref) == "fresh"
+        clone.close()
+        log.close()
+
+
+class TestConstruction:
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError, match="spill_threshold"):
+            SpillingCounterStore(spill_threshold=0)
+
+    def test_defaults_are_sane(self):
+        assert spill_module.DEFAULT_SPILL_THRESHOLD >= 1024
+        assert spill_module.COUNTER_STORES == ("dict", "spill")

@@ -496,3 +496,129 @@ class TestServiceLatencyGate:
         with pytest.raises(SystemExit) as excinfo:
             check_perf.main([str(service), str(throughput)])
         assert excinfo.value.code == 2
+
+
+def _spill_bench(host, cells):
+    """Cells as (workload, store, dps, rss_total_mb, resident_entries)."""
+    return {
+        "generated_by": "benchmarks/perf/spill.py",
+        "host": host,
+        "runs": [
+            {
+                "workload": workload,
+                "counter_store": store,
+                "docs_per_second": dps,
+                "rss_total_mb": rss,
+                "peak_resident_counter_entries": entries,
+            }
+            for workload, store, dps, rss, entries in cells
+        ],
+    }
+
+
+class TestSpillBenchGate:
+    """The gate's third dialect: BENCH_spill.json snapshots — docs/sec
+    binds downward, RSS and resident entries bind *upward*."""
+
+    def test_no_regression_passes(self):
+        baseline = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 800.0, 16000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("xlarge", "spill", 980.0, 810.0, 16300)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 0
+
+    def test_throughput_regression_binds(self):
+        baseline = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 800.0, 16000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("xlarge", "spill", 500.0, 800.0, 16000)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 1
+
+    def test_rss_growth_binds_upward(self):
+        """The flat-RSS story is the bench's point: a fresh run whose
+        total RSS grew beyond tolerance + floor fails."""
+        baseline = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 500.0, 16000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 700.0, 16000)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 1
+
+    def test_resident_entries_growth_binds_upward(self):
+        """A hot tail that stops respecting the threshold fails even while
+        docs/sec and total RSS look fine."""
+        baseline = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 800.0, 16000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 800.0, 160000)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 1
+
+    def test_rss_drop_is_not_a_regression(self):
+        baseline = _spill_bench(
+            HOST, [("large", "dict", 1000.0, 800.0, 300000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("large", "dict", 1000.0, 400.0, 150000)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 0
+
+    def test_sub_floor_growth_passes(self):
+        """Allocator jitter (tens of MB, a few thousand entries) never
+        fails the job, even when large relative to a small baseline."""
+        baseline = _spill_bench(
+            HOST, [("large", "spill", 1000.0, 100.0, 1000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("large", "spill", 1000.0, 150.0, 2500)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 0
+
+    def test_stores_keyed_separately(self):
+        """A dict cell never diffs against a spill cell of the same
+        workload: files sharing only cross-store cells share nothing."""
+        baseline = _spill_bench(
+            HOST, [("large", "dict", 1000.0, 800.0, 300000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("large", "spill", 600.0, 800.0, 16000)]
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf.compare_spill(baseline, candidate, 0.2)
+        assert excinfo.value.code == 2
+
+    def test_different_host_never_binds(self):
+        baseline = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 500.0, 16000)]
+        )
+        candidate = _spill_bench(
+            OTHER_HOST, [("xlarge", "spill", 100.0, 5000.0, 160000)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 0
+
+    def test_main_dispatches_and_rejects_mixed_kinds(self, tmp_path):
+        spill = tmp_path / "spill.json"
+        spill.write_text(json.dumps(
+            _spill_bench(HOST, [("xlarge", "spill", 1000.0, 800.0, 16000)])
+        ))
+        throughput = tmp_path / "throughput.json"
+        throughput.write_text(
+            json.dumps(_bench(HOST, [("small", "inline", 0, 1000.0)]))
+        )
+        assert check_perf.main([str(spill), str(spill)]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf.main([str(spill), str(throughput)])
+        assert excinfo.value.code == 2
+
+    def test_committed_snapshot_self_diff_passes(self):
+        """The committed BENCH_spill.json is valid input to its own gate."""
+        committed = Path(__file__).resolve().parents[2] / "BENCH_spill.json"
+        data = json.loads(committed.read_text(encoding="utf-8"))
+        assert data["generated_by"] == "benchmarks/perf/spill.py"
+        assert check_perf.compare_spill(data, data, 0.2) == 0

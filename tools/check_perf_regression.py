@@ -54,7 +54,18 @@ matched by ``(cell, ingest_batch, queue_limit, query_clients)`` and gate
 served docs/sec downward like an inline cell, plus the ingest-ack and
 under-load query p95 latencies *upward* (each may grow by at most
 ``tolerance`` relative to the baseline, with a 2 ms noise floor) — again
-binding only on matching hosts.  Both files must be the same kind.
+binding only on matching hosts.
+
+And it understands ``BENCH_spill.json`` snapshots (``generated_by:
+benchmarks/perf/spill.py``, the out-of-core counter-store bench): spill
+cells are matched by ``(workload, counter_store)`` and gate docs/sec
+*downward* like a throughput cell, while ``rss_total_mb`` and
+``peak_resident_counter_entries`` bind *upward* — each may grow by at
+most ``tolerance`` relative to the baseline, with a 64 MB / 2048-entry
+noise floor — because the bench's whole point is that those figures stay
+flat.  RSS comparisons, like docs/sec, only bind on matching hosts.
+
+Both files must be the same kind of snapshot.
 
 Exit codes: 0 = no binding regression, 1 = binding regression found,
 2 = usage or schema error.
@@ -296,10 +307,6 @@ LATENCY_NOISE_FLOOR_MS = 2.0
 SERVICE_GENERATOR = "benchmarks/perf/service_latency.py"
 
 
-def _is_service_snapshot(data: dict) -> bool:
-    return data.get("generated_by") == SERVICE_GENERATOR
-
-
 def _service_cells(data: dict) -> dict[tuple, dict]:
     cells = {}
     for run in data["runs"]:
@@ -362,6 +369,89 @@ def compare_service(baseline: dict, candidate: dict, tolerance: float) -> int:
     return regressions
 
 
+#: ``generated_by`` marker of spill-store snapshots.
+SPILL_GENERATOR = "benchmarks/perf/spill.py"
+
+#: Upward-binding spill metrics below these absolute growths never fail
+#: the job: allocator jitter moves whole-process RSS by tens of MB between
+#: runs, and the resident-entries figure wobbles by the hot tail's fill
+#: level at the moment the last spill fired.
+RSS_NOISE_FLOOR_MB = 64.0
+ENTRIES_NOISE_FLOOR = 2048
+
+
+def _snapshot_kind(data: dict) -> str:
+    generator = data.get("generated_by")
+    if generator == SERVICE_GENERATOR:
+        return "service"
+    if generator == SPILL_GENERATOR:
+        return "spill"
+    return "throughput"
+
+
+def _spill_cells(data: dict) -> dict[tuple, dict]:
+    return {
+        (run["workload"], run.get("counter_store", "dict")): run
+        for run in data["runs"]
+    }
+
+
+def compare_spill(baseline: dict, candidate: dict, tolerance: float) -> int:
+    """Spill-bench diff: docs/sec binds down, RSS and resident entries up."""
+    binding = hosts_comparable(baseline, candidate)
+    if not binding:
+        print("note: hosts differ "
+              f"({baseline['host'].get('platform')}/{baseline['host'].get('cpu_count')}cpu "
+              f"vs {candidate['host'].get('platform')}/{candidate['host'].get('cpu_count')}cpu) "
+              "- reporting only, nothing can fail")
+    base_cells = _spill_cells(baseline)
+    cand_cells = _spill_cells(candidate)
+    shared = sorted(set(base_cells) & set(cand_cells))
+    if not shared:
+        raise _usage_error("the two files share no benchmark cells")
+    regressions = 0
+    for key in shared:
+        workload, store = key
+        label = f"{workload}/{store}"
+        old_cell, new_cell = base_cells[key], cand_cells[key]
+        old = old_cell["docs_per_second"]
+        new = new_cell["docs_per_second"]
+        ratio = new / old if old else float("inf")
+        regressed = ratio < 1.0 - tolerance
+        status = "ok"
+        if regressed:
+            status = "REGRESSION" if binding else "regression (report-only)"
+            if binding:
+                regressions += 1
+        print(f"[perf-diff] {label:<16} {old:>9.1f} -> {new:>9.1f} docs/s  "
+              f"({ratio:5.2f}x)  {status}")
+        # The memory figures regress by *growing*.  Relative tolerance with
+        # absolute noise floors: whole-process RSS wobbles tens of MB run
+        # to run, and the resident-entries peak by the hot tail's fill
+        # level at the last spill.
+        upward = (
+            ("rss_total_mb", RSS_NOISE_FLOOR_MB, "MB rss"),
+            ("peak_resident_counter_entries", ENTRIES_NOISE_FLOOR,
+             "resident entries"),
+        )
+        for metric, floor, unit in upward:
+            old_value = old_cell.get(metric)
+            new_value = new_cell.get(metric)
+            if old_value is None or new_value is None:
+                continue
+            grew = new_value - old_value > max(floor, tolerance * old_value)
+            metric_status = "ok"
+            if grew:
+                metric_status = (
+                    "REGRESSION" if binding else "regression (report-only)"
+                )
+                if binding:
+                    regressions += 1
+            print(f"[perf-diff] {label:<16} {old_value:>9.1f} -> "
+                  f"{new_value:>9.1f} {unit}  {metric_status}")
+    return regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when a fresh throughput snapshot regresses the "
@@ -380,11 +470,17 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = _load(args.baseline)
     candidate = _load(args.candidate)
-    if _is_service_snapshot(baseline) != _is_service_snapshot(candidate):
+    base_kind = _snapshot_kind(baseline)
+    cand_kind = _snapshot_kind(candidate)
+    if base_kind != cand_kind:
         raise _usage_error(
-            "cannot diff a service-latency snapshot against a throughput one"
+            f"cannot diff a {base_kind} snapshot against a {cand_kind} one"
         )
-    comparator = compare_service if _is_service_snapshot(baseline) else compare
+    comparator = {
+        "service": compare_service,
+        "spill": compare_spill,
+        "throughput": compare,
+    }[base_kind]
     regressions = comparator(baseline, candidate, args.tolerance)
     if regressions:
         print(f"[perf-diff] {regressions} binding regression(s) beyond "
