@@ -20,7 +20,9 @@ Provides the handful of workflows a user needs without writing Python:
   counters out of core in sorted on-disk run files merged at report time
   (bit-identical coefficients, flat RSS; ``--spill-dir`` /
   ``--spill-threshold`` tune it, see docs/ARCHITECTURE.md "Counter
-  store"),
+  store"); ``--tracker-store spill`` spills the Tracker's dedup
+  coefficient table the same way and ``--report-chunk`` bounds the
+  reporting path's emission/drain batches,
 * ``repro compare`` — run several partitioning algorithms over the same
   trace and print the evaluation metrics side by side,
 * ``repro connectivity`` — the Figure-7 connectivity analysis of a trace,
@@ -61,7 +63,7 @@ from .core.documents import Document
 from .core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
 from .operators.controller import REPARTITION_POLICIES
 from .pipeline import RunReport, SystemConfig, TagCorrelationSystem
-from .store import COUNTER_STORES, DEFAULT_SPILL_THRESHOLD
+from .store import COUNTER_STORES, DEFAULT_SPILL_THRESHOLD, TRACKER_STORES
 from .streamsim import EXECUTOR_NAMES
 from .theory import WindowModel, communication_sweep, paper_np_table
 from .workloads import (
@@ -163,6 +165,25 @@ def _add_system_arguments(parser: argparse.ArgumentParser) -> None:
                         help="distinct hot keys per Calculator at which a "
                              "counter segment is frozen to disk (default "
                              f"{DEFAULT_SPILL_THRESHOLD})")
+    parser.add_argument("--tracker-store", choices=TRACKER_STORES,
+                        default="dict",
+                        help="backing table of the Tracker's dedup "
+                             "coefficients: dict (all-RAM, the default) or "
+                             "spill (freeze cold coefficient segments to "
+                             "sorted run files and answer queries from a "
+                             "merged view — bounded resident memory, "
+                             "identical coefficients; see "
+                             "docs/ARCHITECTURE.md \"Counter store\")")
+    parser.add_argument("--tracker-spill-threshold", type=int, default=None,
+                        help="resident coefficient entries at which the "
+                             "Tracker's hot segment is frozen to disk "
+                             "(default: the --spill-threshold value)")
+    parser.add_argument("--report-chunk", type=int, default=0,
+                        help="coefficient triples per report emission and "
+                             "per end-of-run drain message: bounds the "
+                             "reporting path's peak batch/pickle size "
+                             "(0 = unchunked, the default; identical "
+                             "metrics either way)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="skip the centralized exact baseline entirely "
                              "(no ground truth, no error metrics; the "
@@ -233,6 +254,9 @@ def _system_config_from_args(args: argparse.Namespace, algorithm: str | None = N
         counter_store=getattr(args, "counter_store", "dict"),
         spill_dir=getattr(args, "spill_dir", None),
         spill_threshold=getattr(args, "spill_threshold", DEFAULT_SPILL_THRESHOLD),
+        tracker_store=getattr(args, "tracker_store", "dict"),
+        tracker_spill_threshold=getattr(args, "tracker_spill_threshold", None),
+        report_chunk_size=getattr(args, "report_chunk", 0),
         include_centralized_baseline=not getattr(args, "no_baseline", False),
         notification_batch_size=getattr(args, "batch_size", 64),
         link_batch_size=getattr(args, "link_batch", 0),
@@ -298,6 +322,22 @@ def _print_report(report: RunReport) -> None:
                       f"{int(stats['carry_blobs_written'])} blobs "
                       f"({stats['carry_bytes_written'] / 1e6:.1f} MB), "
                       f"{int(stats['carry_compactions'])} compactions")
+    if report.tracker_store != "dict":
+        print(f"tracker store             : {report.tracker_store}")
+        if report.tracker_store_stats is not None:
+            stats = report.tracker_store_stats
+            lookups = stats["block_cache_hits"] + stats["block_cache_misses"]
+            hit_rate = stats["block_cache_hits"] / lookups if lookups else 0.0
+            print(f"tracker spill             : "
+                  f"{int(stats['runs_written'])} runs written "
+                  f"({stats['run_bytes_written'] / 1e6:.1f} MB), "
+                  f"{int(stats['merges'])} merges "
+                  f"({stats['merge_seconds']:.2f} s), "
+                  f"{int(stats['membership_probes'])} membership probes")
+            print(f"tracker residency         : "
+                  f"{int(stats['hot_entries'])} hot entries, "
+                  f"{int(stats['runs_live'])} live runs, "
+                  f"{hit_rate:.1%} block-cache hit rate")
     print(f"execution engine          : {report.executor_mode}"
           + (f" ({report.executor_workers} workers)"
              if report.executor_mode == "process" else ""))
@@ -581,6 +621,12 @@ examples:
   # store"). Keeps driver RSS flat on windows far larger than RAM:
   python -m repro.cli run --documents 50000 --counter-store spill \\
       --spill-dir /tmp/repro-spill --no-baseline
+
+  # Out-of-core Tracker: the dedup coefficient table spills too, and the
+  # reporting path streams in bounded chunks end-to-end (identical
+  # coefficients; the max-support dedup rule becomes the merge combiner):
+  python -m repro.cli run --documents 50000 --counter-store spill \\
+      --tracker-store spill --report-chunk 4096 --no-baseline
 
   # Record a burst-scenario trace, then replay it bit-for-bit:
   python -m repro.cli record --documents 6000 --scenario burst \\

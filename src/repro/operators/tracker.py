@@ -11,6 +11,14 @@ tracked coefficients as a read-only mapping over the live dedup table and
 run probes tens of thousands of tagsets without materialising a dict copy
 per report.  :meth:`TrackerBolt.coefficients` still builds a plain dict for
 callers that want a snapshot.
+
+The dedup table itself is pluggable (``tracker_store``): the default
+``"dict"`` keeps every winner in RAM exactly as before, while ``"spill"``
+backs the bolt with :class:`repro.store.SpillingTrackerStore` — cold
+entries freeze into sorted run files past a threshold, the max-support
+rule becomes the run-merge combiner, and reads answer from a merged view
+of hot dict + runs.  Both stores produce bit-identical coefficients,
+supports and duplicate accounting (pinned by the equivalence suites).
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..core.jaccard import JaccardResult
+from ..store import SpillingTrackerStore, StoreConfig, TRACKER_STORES
 from ..streamsim.components import Bolt
 from ..streamsim.tuples import TupleMessage
 from .streams import COEFFICIENTS
@@ -74,6 +83,49 @@ class CoefficientView(Mapping):
     def __len__(self) -> int:
         if self._min_support <= 0:
             return len(self._best)
+        if self._len is None or self._stamp != self._tracker.reports_received:
+            self._stamp = self._tracker.reports_received
+            self._len = sum(1 for _ in self)
+        return self._len
+
+
+class SpillCoefficientView(Mapping):
+    """Read-only mapping over a spill-backed Tracker's merged table.
+
+    The same contract as :class:`CoefficientView` — one logical probe per
+    lookup, ``min_support`` filtering, cached filtered length — but each
+    probe folds the hot segment with the live runs through the store's
+    block cache instead of hitting one dict.
+    """
+
+    __slots__ = ("_store", "_min_support", "_len", "_stamp", "_tracker")
+
+    def __init__(self, tracker: "TrackerBolt", min_support: int = 0) -> None:
+        self._tracker = tracker
+        self._store = tracker._store
+        self._min_support = min_support
+        self._len: int | None = None
+        self._stamp = tracker.reports_received
+
+    def __getitem__(self, tagset: frozenset[str]) -> float:
+        record = self._store.get(tagset)
+        if record is None or record[1] < self._min_support:
+            raise KeyError(tagset)
+        return record[0]
+
+    def __contains__(self, tagset: object) -> bool:
+        record = self._store.get(tagset)  # type: ignore[arg-type]
+        return record is not None and record[1] >= self._min_support
+
+    def __iter__(self) -> Iterator[frozenset[str]]:
+        min_support = self._min_support
+        for tagset, _jaccard, support, _reports in self._store.iter_entries():
+            if support >= min_support:
+                yield tagset
+
+    def __len__(self) -> int:
+        if self._min_support <= 0:
+            return len(self._store)
         if self._len is None or self._stamp != self._tracker.reports_received:
             self._stamp = self._tracker.reports_received
             self._len = sum(1 for _ in self)
@@ -146,11 +198,32 @@ class TrackerSnapshot:
 
 
 class TrackerBolt(Bolt):
-    """Selects, per tagset, the reported coefficient with maximum support."""
+    """Selects, per tagset, the reported coefficient with maximum support.
 
-    def __init__(self) -> None:
+    ``tracker_store="dict"`` (the default) keeps the dedup table as a
+    plain in-RAM dict; ``"spill"`` backs it with a
+    :class:`~repro.store.SpillingTrackerStore` (``store_config`` tunes
+    its spill directory/threshold/cache/merge knobs).
+    """
+
+    def __init__(
+        self,
+        tracker_store: str = "dict",
+        store_config: StoreConfig | None = None,
+    ) -> None:
         super().__init__()
+        if tracker_store not in TRACKER_STORES:
+            raise ValueError(
+                f"unknown tracker_store {tracker_store!r}; "
+                f"expected one of {TRACKER_STORES}"
+            )
+        self.tracker_store = tracker_store
         self._best: dict[frozenset[str], TrackedCoefficient] = {}
+        self._store: SpillingTrackerStore | None = (
+            SpillingTrackerStore(config=store_config)
+            if tracker_store == "spill"
+            else None
+        )
         self.reports_received = 0
         self.duplicate_reports = 0
 
@@ -170,6 +243,11 @@ class TrackerBolt(Bolt):
         the dedup loop runs inline on the triples instead of wrapping each
         in a :class:`JaccardResult`.
         """
+        if self._store is not None:
+            received, duplicates = self._store.ingest(results)
+            self.reports_received += received
+            self.duplicate_reports += duplicates
+            return
         best = self._best
         received = 0
         duplicates = 0
@@ -205,6 +283,11 @@ class TrackerBolt(Bolt):
         support never displaces), they only count as duplicates — but the
         cost is one update per *distinct* triple.
         """
+        if self._store is not None:
+            received, duplicates = self._store.ingest_repeated(pairs)
+            self.reports_received += received
+            self.duplicate_reports += duplicates
+            return
         best = self._best
         received = 0
         duplicates = 0
@@ -235,14 +318,26 @@ class TrackerBolt(Bolt):
     # ------------------------------------------------------------------ #
     # Results
     # ------------------------------------------------------------------ #
-    def coefficient_view(self, min_support: int = 0) -> CoefficientView:
+    def coefficient_view(self, min_support: int = 0) -> Mapping:
         """Lazy read-only mapping over the dedup table (no dict copy)."""
+        if self._store is not None:
+            return SpillCoefficientView(self, min_support)
         return CoefficientView(self, min_support)
 
     def iter_coefficients(
         self, min_support: int = 0
     ) -> Iterator[tuple[frozenset[str], float]]:
-        """Stream ``(tagset, coefficient)`` pairs without materialising."""
+        """Stream ``(tagset, coefficient)`` pairs without materialising.
+
+        Dict store: insertion order.  Spill store: encoded-key order (a
+        merged sweep over hot segment + runs) — deterministic regardless
+        of spill timing, with the same pairs either way.
+        """
+        if self._store is not None:
+            for tagset, jaccard, support, _reports in self._store.iter_entries():
+                if support >= min_support:
+                    yield tagset, jaccard
+            return
         for tagset, tracked in self._best.items():
             if tracked.support >= min_support:
                 yield tagset, tracked.jaccard
@@ -251,13 +346,21 @@ class TrackerBolt(Bolt):
         """Final coefficient per tagset as a snapshot dict (copies)."""
         return dict(self.iter_coefficients(min_support))
 
-    def snapshot(self, round_index: int = 0) -> TrackerSnapshot:
-        """Round-consistent immutable copy of the dedup table.
+    def snapshot(self, round_index: int = 0):
+        """Round-consistent immutable view of the dedup table.
 
         Must be called from the thread that ingests (the service writer
         thread, at a quiescent point); the returned snapshot may then be
-        read freely from any thread.
+        read freely from any thread.  The dict store copies the table into
+        a :class:`TrackerSnapshot`; the spill store instead returns a
+        run-backed view (:class:`repro.store.RunBackedTrackerSnapshot`)
+        over its published run files plus the bounded hot segment — same
+        query surface and digest, no full-table copy per quiescent point.
         """
+        if self._store is not None:
+            return self._store.snapshot(
+                round_index, self.reports_received, self.duplicate_reports
+            )
         return TrackerSnapshot(
             round_index=round_index,
             reports_received=self.reports_received,
@@ -270,23 +373,51 @@ class TrackerBolt(Bolt):
 
     def supports(self) -> dict[frozenset[str], int]:
         """Supporting counter value per tagset."""
+        if self._store is not None:
+            return {
+                tagset: support
+                for tagset, _jaccard, support, _reports
+                in self._store.iter_entries()
+            }
         return {tagset: tracked.support for tagset, tracked in self._best.items()}
 
     def export_triples(self) -> list[tuple[frozenset[str], float, int]]:
         """The dedup table as ``(tagset, jaccard, support)`` wire triples.
 
-        In insertion order, so re-ingesting the export into a fresh Tracker
+        Dict store: insertion order; spill store: encoded-key order.
+        Either way, re-ingesting the export into a fresh Tracker
         reproduces this one's winning coefficients exactly: the dedup rule
         (maximum support wins, equal support never displaces) makes ingest
-        associative over concatenation of report streams.  The
-        splice-equivalence suites use this to merge the trackers of a
-        prefix run and a suffix run into the state one continuous run
-        would hold.
+        associative over concatenation of report streams — and order-
+        insensitive across *distinct* tagsets, so the two orders are
+        interchangeable.  The splice-equivalence suites use this to merge
+        the trackers of a prefix run and a suffix run into the state one
+        continuous run would hold.
         """
+        if self._store is not None:
+            return [
+                (tagset, jaccard, support)
+                for tagset, jaccard, support, _reports
+                in self._store.iter_entries()
+            ]
         return [
             (tagset, tracked.jaccard, tracked.support)
             for tagset, tracked in self._best.items()
         ]
 
+    # ------------------------------------------------------------------ #
+    # Store plumbing
+    # ------------------------------------------------------------------ #
+    def store_stats(self) -> dict[str, float] | None:
+        """The spill store's accounting, or ``None`` for the dict store."""
+        return self._store.stats() if self._store is not None else None
+
+    def close(self) -> None:
+        """Release the spill store's runs and directory (dict store: no-op)."""
+        if self._store is not None:
+            self._store.close()
+
     def __len__(self) -> int:
+        if self._store is not None:
+            return len(self._store)
         return len(self._best)

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..core.jaccard import DEFAULT_SUBSET_CACHE_SIZE, REPORTING_ENGINES
-from ..store import COUNTER_STORES, DEFAULT_SPILL_THRESHOLD
+from ..store import COUNTER_STORES, DEFAULT_SPILL_THRESHOLD, TRACKER_STORES
 from ..core.partition import PartitionSeed
 from ..operators.controller import REPARTITION_POLICIES
 from ..streamsim.executors import EXECUTOR_NAMES
@@ -113,6 +113,24 @@ class SystemConfig:
     #: Distinct hot keys per Calculator at which a segment is frozen to
     #: disk (the resident-memory bound of the spill store).
     spill_threshold: int = DEFAULT_SPILL_THRESHOLD
+    #: Backing table of the Tracker's coefficient dedup table: ``"dict"``
+    #: (default) retains every reported tagset's winner in RAM forever;
+    #: ``"spill"`` freezes cold entries into sorted run files with the
+    #: max-support dedup rule as the merge combiner, bounding resident
+    #: coefficient entries by ``tracker_spill_threshold``.  Bit-identical
+    #: coefficients, supports and duplicate accounting either way.
+    tracker_store: str = "dict"
+    #: Resident coefficient entries at which the tracker store spills
+    #: (``None`` = inherit ``spill_threshold``).  Only consulted when
+    #: ``tracker_store="spill"``.
+    tracker_spill_threshold: int | None = None
+    #: Coefficient triples per COEFFICIENTS emission and per drained
+    #: shipment chunk: ``0`` (default) ships each report round / drain as
+    #: one monolithic list; a positive value slices them into bounded
+    #: chunks end-to-end (Calculator emit → executor drain protocol),
+    #: capping the peak triple-list footprint.  Purely physical — the
+    #: Tracker ingests the same triples in the same order either way.
+    report_chunk_size: int = 0
     #: Routed tagsets per notification micro-batch (1 = unbatched legacy
     #: behaviour: one message per routed tagset per Calculator).
     notification_batch_size: int = 64
@@ -206,6 +224,19 @@ class SystemConfig:
             )
         if self.spill_threshold < 1:
             raise ValueError("spill_threshold must be at least 1")
+        if self.tracker_store not in TRACKER_STORES:
+            raise ValueError(
+                f"tracker_store must be one of {', '.join(TRACKER_STORES)}"
+            )
+        if (
+            self.tracker_spill_threshold is not None
+            and self.tracker_spill_threshold < 1
+        ):
+            raise ValueError("tracker_spill_threshold must be at least 1")
+        if self.report_chunk_size < 0:
+            raise ValueError(
+                "report_chunk_size must be non-negative (0 = unchunked)"
+            )
         if self.notification_batch_size < 1:
             raise ValueError("notification_batch_size must be at least 1")
         if self.link_batch_size < 0:
@@ -236,6 +267,13 @@ class SystemConfig:
         if self.workers > 0:
             return self.workers
         return max(1, min(MAX_AUTO_WORKERS, os.cpu_count() or 1))
+
+    def resolved_tracker_spill_threshold(self) -> int:
+        """The tracker store's spill threshold (``None`` = inherit the
+        Calculators' ``spill_threshold``)."""
+        if self.tracker_spill_threshold is not None:
+            return self.tracker_spill_threshold
+        return self.spill_threshold
 
     def with_overrides(self, **overrides: Any) -> "SystemConfig":
         """A copy of the config with the given fields replaced."""

@@ -54,6 +54,7 @@ from ..operators import (
 )
 from ..operators import streams
 from ..partitioning import make_partitioner
+from ..store import StoreConfig
 from ..streamsim import (
     AsyncServiceExecutor,
     Cluster,
@@ -82,6 +83,7 @@ class ExactCalculatorFactory:
     counter_store: str = "dict"
     spill_dir: str | None = None
     spill_threshold: int | None = None
+    report_chunk_size: int = 0
 
     def __call__(self) -> CalculatorBolt:
         return CalculatorBolt(
@@ -92,6 +94,7 @@ class ExactCalculatorFactory:
             counter_store=self.counter_store,
             spill_dir=self.spill_dir,
             spill_threshold=self.spill_threshold,
+            report_chunk_size=self.report_chunk_size,
         )
 
 
@@ -106,6 +109,7 @@ class SketchCalculatorFactory:
     countmin_epsilon: float = 0.002
     countmin_delta: float = 0.01
     max_subset_size: int = 4
+    report_chunk_size: int = 0
 
     def __call__(self) -> SketchCalculatorBolt:
         return SketchCalculatorBolt(
@@ -116,6 +120,33 @@ class SketchCalculatorFactory:
             countmin_epsilon=self.countmin_epsilon,
             countmin_delta=self.countmin_delta,
             max_subset_size=self.max_subset_size,
+            report_chunk_size=self.report_chunk_size,
+        )
+
+
+@dataclass(frozen=True)
+class TrackerFactory:
+    """Picklable factory for the Tracker bolt (see above).
+
+    Carries the tracker-store selection into worker processes: under the
+    process executor the Tracker is a remote component, so its spill store
+    — when enabled — lives (and spills) inside a worker shard and ships
+    its run manifest back at finalize time.
+    """
+
+    tracker_store: str = "dict"
+    spill_dir: str | None = None
+    spill_threshold: int | None = None
+
+    def __call__(self) -> TrackerBolt:
+        if self.tracker_store == "dict":
+            return TrackerBolt()
+        return TrackerBolt(
+            tracker_store=self.tracker_store,
+            store_config=StoreConfig().replacing(
+                spill_dir=self.spill_dir,
+                spill_threshold=self.spill_threshold,
+            ),
         )
 
 
@@ -194,6 +225,15 @@ class RunReport:
     #: ``timings``, informational only and excluded from the
     #: logical-equivalence contract.
     store_stats: dict[str, float] | None = None
+    #: Which backing table the Tracker deduplicated into: "dict" (all-RAM,
+    #: the default) or "spill" (out-of-core run files with the max-support
+    #: rule as merge combiner).  Logical metrics are store-independent.
+    tracker_store: str = "dict"
+    #: The tracker spill store's accounting (None under the dict store):
+    #: spilled entries/runs/bytes, merges, membership probes and
+    #: block-cache counters.  Wall-clock content — informational only,
+    #: excluded from the logical-equivalence contract.
+    tracker_store_stats: dict[str, float] | None = None
     #: In-stream report-round attribution, aggregated over Calculators:
     #: ``rounds`` executed, their total wall-clock ``report_seconds``, the
     #: ``dirty_types``/``clean_types`` fold-vs-reuse split and the
@@ -335,9 +375,15 @@ class TagCorrelationSystem:
             parallelism=config.k,
         ).direct_grouping(streams.DISSEMINATOR, streams.NOTIFICATIONS)
 
-        builder.set_bolt(streams.TRACKER, TrackerBolt, parallelism=1).shuffle_grouping(
-            streams.CALCULATOR, streams.COEFFICIENTS
-        )
+        builder.set_bolt(
+            streams.TRACKER,
+            TrackerFactory(
+                tracker_store=config.tracker_store,
+                spill_dir=config.spill_dir,
+                spill_threshold=config.resolved_tracker_spill_threshold(),
+            ),
+            parallelism=1,
+        ).shuffle_grouping(streams.CALCULATOR, streams.COEFFICIENTS)
 
         if config.include_centralized_baseline:
             builder.set_bolt(
@@ -380,6 +426,7 @@ class TagCorrelationSystem:
             counter_store=config.counter_store,
             spill_dir=config.spill_dir,
             spill_threshold=config.spill_threshold,
+            report_chunk_size=config.report_chunk_size,
         )
 
     def _build_executor(self) -> Executor:
@@ -394,6 +441,7 @@ class TagCorrelationSystem:
             workers=self.config.resolved_workers(),
             remote_components=(streams.CALCULATOR, streams.TRACKER),
             queue_limit=self.config.service_queue_limit,
+            drain_chunk_size=self.config.report_chunk_size,
         )
 
     # ------------------------------------------------------------------ #
@@ -605,6 +653,10 @@ class TagCorrelationSystem:
                 for key, value in per_bolt.items():
                     store_stats[key] = store_stats.get(key, 0) + value
 
+        tracker_store_stats: dict[str, float] | None = None
+        if config.tracker_store == "spill":
+            tracker_store_stats = tracker.store_stats()
+
         report_round_stats: dict[str, float] | None = None
         if calculators:
             report_round_stats = {
@@ -662,6 +714,8 @@ class TagCorrelationSystem:
             subset_cache_stats=subset_cache_stats,
             counter_store=config.counter_store,
             store_stats=store_stats,
+            tracker_store=config.tracker_store,
+            tracker_store_stats=tracker_store_stats,
             report_round_stats=report_round_stats,
         )
 

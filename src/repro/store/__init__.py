@@ -1,21 +1,42 @@
-"""Out-of-core counter storage: spill-to-disk runs with parallel merges.
+"""Out-of-core storage: spill-to-disk runs with parallel merges.
 
-The ``repro.store`` subsystem backs :class:`repro.core.jaccard.SubsetCounter`
-with bounded resident memory (``SystemConfig(counter_store="spill")``):
+The ``repro.store`` subsystem bounds resident memory for the two tables
+that otherwise scale with stream length:
+
+* :class:`repro.core.jaccard.SubsetCounter`'s window counts, via
+  ``SystemConfig(counter_store="spill")``, and
+* :class:`repro.operators.tracker.TrackerBolt`'s coefficient table, via
+  ``SystemConfig(tracker_store="spill")``.
+
+Modules:
 
 * :mod:`repro.store.format` — the versioned on-disk run format (blocked,
   key-prefix-compressed entries + an in-RAM lexicon/fence-pointer index),
-  its atomic writer and the mmap/LRU-block-cache read path,
-* :mod:`repro.store.merge` — serial and parallel-layered k-way run merges,
+  its atomic writer and the mmap/LRU-block-cache read path.  Runs carry
+  either uvarint counts (the default) or opaque raw byte values
+  (:data:`FLAG_RAW_VALUES` — the tracker's coefficient records),
+* :mod:`repro.store.merge` — serial and parallel-layered k-way run merges
+  with a pluggable, order-preserving value combiner,
+* :mod:`repro.store.config` — :class:`StoreConfig`, the one bundle of
+  spill/cache/merge knobs both spilling stores share,
 * :mod:`repro.store.spill` — :class:`SpillingCounterStore` (the
   Counter-compatible mapping the reporting engines fold over) and
-  :class:`CarryLog` (the delta engine's spilled carry payloads).
+  :class:`CarryLog` (the delta engine's spilled carry payloads),
+* :mod:`repro.store.tracker` — :class:`SpillingTrackerStore` (the
+  Tracker's dedup table as runs, max-support rule as merge combiner) and
+  :class:`RunBackedTrackerSnapshot` (service mode's copy-free snapshot).
 
 See docs/ARCHITECTURE.md "Counter store" for the design.
 """
 
+from .config import (
+    DEFAULT_CACHE_BLOCKS,
+    DEFAULT_SPILL_THRESHOLD,
+    StoreConfig,
+)
 from .format import (
     DEFAULT_BLOCK_SIZE,
+    FLAG_RAW_VALUES,
     FORMAT_VERSION,
     BlockCache,
     RunFormatError,
@@ -36,10 +57,14 @@ from .merge import (
 )
 from .spill import (
     COUNTER_STORES,
-    DEFAULT_CACHE_BLOCKS,
-    DEFAULT_SPILL_THRESHOLD,
     CarryLog,
     SpillingCounterStore,
+)
+from .tracker import (
+    TRACKER_STORES,
+    RunBackedTrackerSnapshot,
+    SpillingTrackerStore,
+    combine_max_support,
 )
 
 __all__ = [
@@ -50,12 +75,18 @@ __all__ = [
     "DEFAULT_CACHE_BLOCKS",
     "DEFAULT_MERGE_FAN_IN",
     "DEFAULT_SPILL_THRESHOLD",
+    "FLAG_RAW_VALUES",
     "FORMAT_VERSION",
     "MergeResult",
+    "RunBackedTrackerSnapshot",
     "RunFormatError",
     "RunReader",
     "RunWriteResult",
     "SpillingCounterStore",
+    "SpillingTrackerStore",
+    "StoreConfig",
+    "TRACKER_STORES",
+    "combine_max_support",
     "compact_runs",
     "decode_key",
     "encode_key",

@@ -15,7 +15,8 @@ blocked, prefix-compressed records + an in-RAM lexicon; see SNIPPETS.md):
     │ block 0 … block n−1   (back to back, ~block_size payload)  │
     │   entry := uvarint shared_prefix_len                       │
     │            uvarint suffix_len · suffix bytes               │
-    │            uvarint count                                   │
+    │            uvarint count            (flags = 0)            │
+    │          | uvarint value_len · value bytes  (RAW_VALUES)   │
     │   (prefix lengths are relative to the previous entry of    │
     │    the same block; the first entry restarts at 0)          │
     ├────────────────────────────────────────────────────────────┤
@@ -27,8 +28,14 @@ blocked, prefix-compressed records + an in-RAM lexicon; see SNIPPETS.md):
 Keys are tag tuples encoded as ``uvarint n_tags · (uvarint len · utf-8)*``
 and ordered by their *encoded bytes* — a total order that every writer,
 merger and reader shares, so equal keys collate across runs regardless of
-which segment spilled them.  Counts are strictly positive (observations
-only ever increment), which is what lets readers treat "absent" as 0.
+which segment spilled them.  A run carries one of two value layouts,
+declared by the header flags: the default (flags = 0) stores strictly
+positive uvarint *counts* (observations only ever increment, which is what
+lets readers treat "absent" as 0); :data:`FLAG_RAW_VALUES` stores opaque
+length-prefixed byte strings instead — the Tracker's coefficient records —
+whose meaning is the caller's business.  Readers reject flag bits they do
+not understand, so pre-flag files (always written with flags = 0) stay
+readable forever.
 
 Writers are crash-safe: the file is written to a ``.tmp`` sibling,
 ``fsync``'d, and only then renamed into place (the *manifest publish* — a
@@ -56,6 +63,13 @@ MAGIC = b"RSC1"
 
 #: Bumped on any change to the byte layout; readers reject other versions.
 FORMAT_VERSION = 1
+
+#: Header flag: entry values are opaque length-prefixed byte strings
+#: rather than uvarint counts (the tracker store's coefficient records).
+FLAG_RAW_VALUES = 1
+
+#: Every flag bit this reader understands; anything else is a foreign file.
+_KNOWN_FLAGS = FLAG_RAW_VALUES
 
 #: Target payload bytes per block.  Small enough that decoding one block on
 #: a cache miss stays cheap, large enough that prefix compression has
@@ -165,9 +179,14 @@ def write_run(
     entries: Iterable[tuple[bytes, int]],
     *,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    raw_values: bool = False,
 ) -> RunWriteResult:
     """Write ``entries`` — ``(encoded_key, count)`` strictly sorted by key —
     as one run file, atomically.
+
+    With ``raw_values=True`` the second tuple element is an opaque
+    non-empty ``bytes`` value instead of a count, stored length-prefixed
+    and flagged in the header (:data:`FLAG_RAW_VALUES`).
 
     The data is staged in ``<path>.tmp``, fsync'd, then renamed over
     ``path`` (and the directory fsync'd): the run is *published* only once
@@ -186,12 +205,17 @@ def write_run(
             block_first: bytes | None = None
             block_entries = 0
             prev_key = b""
-            for key, count in entries:
+            for key, value in entries:
                 if n_entries and key <= prev_key:
                     raise ValueError(
                         "run entries must be strictly sorted by encoded key"
                     )
-                if count <= 0:
+                if raw_values:
+                    if not isinstance(value, bytes) or not value:
+                        raise ValueError(
+                            "raw-value runs require non-empty bytes values"
+                        )
+                elif value <= 0:
                     raise ValueError("run counts must be positive")
                 if block_first is None:
                     block_first = key
@@ -205,7 +229,11 @@ def write_run(
                 _write_uvarint(block, shared)
                 _write_uvarint(block, len(suffix))
                 block += suffix
-                _write_uvarint(block, count)
+                if raw_values:
+                    _write_uvarint(block, len(value))
+                    block += value
+                else:
+                    _write_uvarint(block, value)
                 prev_key = key
                 block_entries += 1
                 n_entries += 1
@@ -230,7 +258,8 @@ def write_run(
             file_bytes = index_offset + len(tail)
             out.seek(0)
             out.write(_HEADER.pack(
-                MAGIC, FORMAT_VERSION, 0, block_size,
+                MAGIC, FORMAT_VERSION,
+                FLAG_RAW_VALUES if raw_values else 0, block_size,
                 n_entries, len(index), index_offset,
             ))
             out.flush()
@@ -312,8 +341,8 @@ class RunReader:
     key order without touching the cache (the merge path).
     """
 
-    __slots__ = ("path", "n_entries", "_file", "_map", "_cache", "_token",
-                 "_first_keys", "_offsets", "_lengths", "_counts")
+    __slots__ = ("path", "n_entries", "raw_values", "_file", "_map", "_cache",
+                 "_token", "_first_keys", "_offsets", "_lengths", "_counts")
 
     def __init__(self, path, cache: BlockCache | None = None) -> None:
         self.path = os.fspath(path)
@@ -339,7 +368,7 @@ class RunReader:
             raise
 
     def _parse(self, size: int) -> None:
-        magic, version, _flags, _block_size, n_entries, n_blocks, index_offset = (
+        magic, version, flags, _block_size, n_entries, n_blocks, index_offset = (
             _HEADER.unpack_from(self._map, 0)
         )
         if magic != MAGIC:
@@ -351,6 +380,12 @@ class RunReader:
                 f"{self.path}: unsupported run format version {version} "
                 f"(this reader understands {FORMAT_VERSION})"
             )
+        if flags & ~_KNOWN_FLAGS:
+            raise RunFormatError(
+                f"{self.path}: unknown header flags 0x{flags:04x} "
+                f"(this reader understands 0x{_KNOWN_FLAGS:04x})"
+            )
+        self.raw_values = bool(flags & FLAG_RAW_VALUES)
         if not _HEADER.size <= index_offset <= size:
             raise RunFormatError(
                 f"{self.path}: index offset {index_offset} outside the file "
@@ -417,6 +452,7 @@ class RunReader:
         start = self._offsets[index]
         end = start + self._lengths[index]
         data = self._map
+        raw = self.raw_values
         entries: list[tuple[bytes, int]] = []
         prev = b""
         pos = start
@@ -434,8 +470,18 @@ class RunReader:
                 )
             key = prev[:shared] + bytes(data[pos:pos + suffix_len])
             pos += suffix_len
-            count, pos = _read_uvarint(data, pos, end)
-            entries.append((key, count))
+            if raw:
+                value_len, pos = _read_uvarint(data, pos, end)
+                if pos + value_len > end:
+                    raise RunFormatError(
+                        f"{self.path}: truncated value in block {index}"
+                    )
+                value = bytes(data[pos:pos + value_len])
+                pos += value_len
+                entries.append((key, value))
+            else:
+                count, pos = _read_uvarint(data, pos, end)
+                entries.append((key, count))
             prev = key
         if len(entries) != self._counts[index]:
             raise RunFormatError(
@@ -444,8 +490,9 @@ class RunReader:
             )
         return entries
 
-    def get(self, encoded_key: bytes) -> int | None:
-        """The count of one encoded key, or ``None`` when absent."""
+    def get(self, encoded_key: bytes):
+        """The value of one encoded key (count, or raw bytes for
+        :data:`FLAG_RAW_VALUES` runs), or ``None`` when absent."""
         first_keys = self._first_keys
         index = bisect_right(first_keys, encoded_key) - 1
         if index < 0:
@@ -470,12 +517,20 @@ class RunReader:
 
 def merged_entries(
     streams: list[Iterator[tuple[bytes, int]]],
+    combine=None,
 ) -> Iterator[tuple[bytes, int]]:
-    """K-way merge of sorted entry streams, summing counts of equal keys.
+    """K-way merge of sorted entry streams, folding values of equal keys.
 
-    Counts are additive non-negative integers, so the merged value of a key
-    is independent of how observations were split across segments — the
-    invariant the spill ≡ dict equivalence rests on.
+    The default fold sums counts: counts are additive non-negative
+    integers, so the merged value of a key is independent of how
+    observations were split across segments — the invariant the
+    spill ≡ dict equivalence rests on.
+
+    ``combine(old, new)`` replaces the sum for non-additive values (the
+    tracker store's max-support rule).  ``heapq.merge`` is stable across
+    streams, so equal keys reach the fold in *stream order*: pass older
+    segments first and ``combine`` sees values oldest → newest, exactly
+    the order the in-RAM dict would have applied them.
     """
     import heapq
 
@@ -486,14 +541,24 @@ def merged_entries(
     else:
         merged = heapq.merge(*streams, key=itemgetter(0))
     current_key: bytes | None = None
-    current_count = 0
-    for key, count in merged:
-        if key == current_key:
-            current_count += count
-        else:
-            if current_key is not None:
-                yield current_key, current_count
-            current_key = key
-            current_count = count
+    current_value = 0
+    if combine is None:
+        for key, value in merged:
+            if key == current_key:
+                current_value += value
+            else:
+                if current_key is not None:
+                    yield current_key, current_value
+                current_key = key
+                current_value = value
+    else:
+        for key, value in merged:
+            if key == current_key:
+                current_value = combine(current_value, value)
+            else:
+                if current_key is not None:
+                    yield current_key, current_value
+                current_key = key
+                current_value = value
     if current_key is not None:
-        yield current_key, current_count
+        yield current_key, current_value

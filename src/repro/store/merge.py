@@ -50,19 +50,31 @@ def merge_runs(
     destination,
     *,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    combine=None,
 ) -> str:
     """Merge ``sources`` into a single run at ``destination``.
 
     Streams block-by-block — peak memory is one decoded block per source
     plus one output block, regardless of run sizes.  Sources are left in
     place; the caller deletes them once the merged run is published.
+
+    ``combine`` is handed to :func:`merged_entries` (``None`` sums counts);
+    sources must be passed oldest first so a non-commutative combiner sees
+    equal keys in the order the segments spilled.  The output inherits the
+    sources' value layout (raw values stay raw).
     """
     readers = [RunReader(path) for path in sources]
     try:
+        raw = readers[0].raw_values if readers else False
+        if any(reader.raw_values != raw for reader in readers):
+            raise ValueError("cannot merge raw-value runs with count runs")
         write_run(
             destination,
-            merged_entries([reader.entries() for reader in readers]),
+            merged_entries(
+                [reader.entries() for reader in readers], combine=combine
+            ),
             block_size=block_size,
+            raw_values=raw,
         )
     finally:
         for reader in readers:
@@ -70,10 +82,19 @@ def merge_runs(
     return os.fspath(destination)
 
 
-def _merge_group(args: tuple[list[str], str, int]) -> str:
-    """Pool-worker entry point (module-level, hence picklable)."""
-    sources, destination, block_size = args
-    return merge_runs(sources, destination, block_size=block_size)
+def _merge_group(args: tuple[list[str], str, int, object]) -> str:
+    """Pool-worker entry point (module-level, hence picklable).
+
+    ``combine`` rides along in the args tuple, so it must itself be a
+    module-level function for the parallel path to pickle it.  ``None``
+    (count merges) keeps the two-argument call shape.
+    """
+    sources, destination, block_size, combine = args
+    if combine is None:
+        return merge_runs(sources, destination, block_size=block_size)
+    return merge_runs(
+        sources, destination, block_size=block_size, combine=combine
+    )
 
 
 def resolve_merge_workers(workers: int) -> int:
@@ -99,6 +120,7 @@ def compact_runs(
     fan_in: int = DEFAULT_MERGE_FAN_IN,
     workers: int = 0,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    combine=None,
 ) -> MergeResult:
     """Merge ``sources`` down to one run, in parallel layers where possible.
 
@@ -106,6 +128,12 @@ def compact_runs(
     Consumed inputs (including intermediates) are deleted as soon as the
     merge that read them is published; on failure the surviving inputs are
     left for the owning store's abort sweep.
+
+    Grouping is order-preserving (``sources[i:i+fan_in]``) and each group
+    merges oldest-first, so across any number of layers equal keys still
+    fold left-to-right in original source order — the property that lets a
+    non-commutative ``combine`` (tracker max-support) produce the same
+    winner regardless of layering.
     """
     if fan_in < 2:
         raise ValueError("fan_in must be at least 2")
@@ -120,14 +148,14 @@ def compact_runs(
     while len(paths) > 1:
         groups = [paths[i:i + fan_in] for i in range(0, len(paths), fan_in)]
         outputs: list[str] = []
-        jobs: list[tuple[list[str], str, int]] = []
+        jobs: list[tuple[list[str], str, int, object]] = []
         for index, group in enumerate(groups):
             if len(group) == 1:
                 # A straggler group passes through to the next layer as-is.
                 outputs.append(group[0])
                 continue
             destination = make_path(layer, index)
-            jobs.append((group, destination, block_size))
+            jobs.append((group, destination, block_size, combine))
             outputs.append(destination)
         if len(jobs) > 1 and workers > 1 and parallel_merges_allowed():
             with multiprocessing.Pool(min(workers, len(jobs))) as pool:
@@ -136,7 +164,7 @@ def compact_runs(
         else:
             for job in jobs:
                 _merge_group(job)
-        for group, _destination, _bs in jobs:
+        for group, _destination, _bs, _combine in jobs:
             for path in group:
                 try:
                     os.unlink(path)

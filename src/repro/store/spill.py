@@ -35,8 +35,8 @@ import weakref
 from collections import Counter
 from typing import Callable, Iterable, Iterator
 
+from .config import DEFAULT_CACHE_BLOCKS, DEFAULT_SPILL_THRESHOLD, StoreConfig
 from .format import (
-    DEFAULT_BLOCK_SIZE,
     BlockCache,
     RunReader,
     decode_key,
@@ -44,13 +44,7 @@ from .format import (
     merged_entries,
     write_run,
 )
-from .merge import DEFAULT_MERGE_FAN_IN, compact_runs
-
-#: Hot-segment size (distinct keys) at which a spill freezes it to disk.
-DEFAULT_SPILL_THRESHOLD = 65536
-
-#: Decoded blocks the shared per-store LRU block cache keeps resident.
-DEFAULT_CACHE_BLOCKS = 512
+from .merge import compact_runs
 
 #: Names of the available counter stores (mirrored by
 #: ``SystemConfig.counter_store`` and the CLI ``--counter-store`` flag).
@@ -63,24 +57,32 @@ class SpillingCounterStore:
     def __init__(
         self,
         spill_dir: str | None = None,
-        spill_threshold: int = DEFAULT_SPILL_THRESHOLD,
+        spill_threshold: int | None = None,
         *,
-        block_size: int = DEFAULT_BLOCK_SIZE,
-        cache_blocks: int = DEFAULT_CACHE_BLOCKS,
-        merge_fan_in: int = DEFAULT_MERGE_FAN_IN,
-        merge_workers: int = 0,
+        block_size: int | None = None,
+        cache_blocks: int | None = None,
+        merge_fan_in: int | None = None,
+        merge_workers: int | None = None,
+        config: StoreConfig | None = None,
     ) -> None:
-        if spill_threshold < 1:
-            raise ValueError("spill_threshold must be at least 1")
-        self._root = os.fspath(spill_dir) if spill_dir is not None else None
-        self._threshold = spill_threshold
-        self._block_size = block_size
-        self._cache_blocks = cache_blocks
-        self._fan_in = merge_fan_in
-        self._merge_workers = merge_workers
+        config = (config or StoreConfig()).replacing(
+            spill_dir=os.fspath(spill_dir) if spill_dir is not None else None,
+            spill_threshold=spill_threshold,
+            block_size=block_size,
+            cache_blocks=cache_blocks,
+            merge_fan_in=merge_fan_in,
+            merge_workers=merge_workers,
+        )
+        self.config = config
+        self._root = config.spill_dir
+        self._threshold = config.spill_threshold
+        self._block_size = config.block_size
+        self._cache_blocks = config.cache_blocks
+        self._fan_in = config.merge_fan_in
+        self._merge_workers = config.merge_workers
         self._hot: Counter = Counter()
         self._runs: list[RunReader] = []
-        self._cache = BlockCache(cache_blocks)
+        self._cache = BlockCache(config.cache_blocks)
         self._dir: str | None = None
         self._finalizer = None
         self._sequence = 0
@@ -299,12 +301,7 @@ class SpillingCounterStore:
         # tables: the receiving process re-opens the runs by path (same
         # host — the process executor's workers are forked siblings).
         return {
-            "root": self._root,
-            "threshold": self._threshold,
-            "block_size": self._block_size,
-            "cache_blocks": self._cache_blocks,
-            "fan_in": self._fan_in,
-            "merge_workers": self._merge_workers,
+            "config": self.config,
             "hot": dict(self._hot),
             "manifest": [reader.path for reader in self._runs],
             "stats": dict(self._stats),
@@ -316,14 +313,7 @@ class SpillingCounterStore:
         }
 
     def __setstate__(self, state: dict) -> None:
-        self.__init__(
-            spill_dir=state["root"],
-            spill_threshold=state["threshold"],
-            block_size=state["block_size"],
-            cache_blocks=state["cache_blocks"],
-            merge_fan_in=state["fan_in"],
-            merge_workers=state["merge_workers"],
-        )
+        self.__init__(config=state["config"])
         self._hot.update(state["hot"])
         self._stats.update(state["stats"])
         self._cache.hits, self._cache.misses, self._cache.evictions = (

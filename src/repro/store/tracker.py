@@ -1,0 +1,593 @@
+"""The spilling tracker store: the coefficient table as sorted runs.
+
+:class:`SpillingTrackerStore` is the out-of-core backing table for
+:class:`repro.operators.tracker.TrackerBolt`.  Where the counter store
+holds additive subset counts, this store holds the Tracker's *dedup
+winners* — per reported tagset the coefficient of the report with maximum
+support, plus how many reports ever mentioned the tagset.  Entries
+accumulate in a hot in-RAM dict; past ``spill_threshold`` distinct
+tagsets the segment is frozen into a raw-value RSC1 run (see
+:mod:`repro.store.format`) and the RAM reclaimed, so resident entries
+stay bounded by the threshold no matter how long the stream runs.
+
+The dedup rule *is* the merge combiner.  Folding two records for the same
+tagset (older left, newer right)::
+
+    winner   = new if new.support > old.support else old     # ties keep old
+    reports  = old.reports + new.reports
+
+is exactly what the in-RAM dict does report by report, and the fold is
+associative (leftmost argmax under strictly-greater displacement), so any
+way of slicing the report sequence into segments — hot dict, one run,
+many runs, layered compactions — folds back to the identical record.
+That equivalence is what pins ``tracker_store="spill"`` bit-identical to
+the dict default, and it holds only while merges fold *oldest → newest*:
+every merge path here feeds streams in spill order and relies on
+``heapq.merge`` stability.
+
+Duplicate accounting (``duplicate_reports`` in every ``RunReport`` and
+service ``stats`` reply) needs to know whether a tagset was *ever* seen,
+including in spilled segments, so a hot-segment miss probes the live runs
+(through the store's LRU block cache) before deciding new-vs-duplicate.
+Compaction keeps the live-run count under the merge fan-in, bounding that
+probe cost.
+
+:meth:`SpillingTrackerStore.snapshot` builds the service daemon's
+run-backed :class:`RunBackedTrackerSnapshot`: an immutable view that
+opens its *own* readers over the published run files (POSIX keeps an
+unlinked-but-open mmap valid, so later compactions cannot disturb it)
+plus a copy of the bounded hot segment — no full-table copy per
+quiescent point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import shutil
+import struct
+import tempfile
+import threading
+import weakref
+from typing import Iterable, Iterator
+
+from .config import StoreConfig
+from .format import (
+    BlockCache,
+    RunReader,
+    _read_uvarint,
+    _write_uvarint,
+    decode_key,
+    encode_key,
+    merged_entries,
+    write_run,
+)
+from .merge import compact_runs
+
+#: Names of the available tracker stores (mirrored by
+#: ``SystemConfig.tracker_store`` and the CLI ``--tracker-store`` flag).
+TRACKER_STORES = ("dict", "spill")
+
+_JACCARD = struct.Struct("<d")
+
+
+# --------------------------------------------------------------------- #
+# The coefficient record codec and its merge combiner
+# --------------------------------------------------------------------- #
+def encode_value(jaccard: float, support: int, reports: int) -> bytes:
+    """One coefficient record as raw run-file bytes.
+
+    The jaccard travels as its exact IEEE-754 double bits — a spilled
+    coefficient read back ``repr()``s identically to the float the
+    Calculator emitted, which the digest equivalence depends on.
+    """
+    out = bytearray(_JACCARD.pack(jaccard))
+    _write_uvarint(out, support)
+    _write_uvarint(out, reports)
+    return bytes(out)
+
+
+def decode_value(data: bytes) -> tuple[float, int, int]:
+    """Inverse of :func:`encode_value`: ``(jaccard, support, reports)``."""
+    jaccard = _JACCARD.unpack_from(data, 0)[0]
+    end = len(data)
+    support, pos = _read_uvarint(data, _JACCARD.size, end)
+    reports, pos = _read_uvarint(data, pos, end)
+    return jaccard, support, reports
+
+
+def combine_max_support(old: bytes, new: bytes) -> bytes:
+    """Fold two records of one tagset, oldest first (module-level, so the
+    parallel merge pool can pickle it).
+
+    The newer record displaces only on *strictly greater* support — equal
+    support keeps the incumbent, mirroring ``TrackerBolt``'s in-RAM rule —
+    and report counts always sum.
+    """
+    old_j, old_s, old_r = decode_value(old)
+    new_j, new_s, new_r = decode_value(new)
+    if new_s > old_s:
+        return encode_value(new_j, new_s, old_r + new_r)
+    return encode_value(old_j, old_s, old_r + new_r)
+
+
+def _encode_tagset(tagset: frozenset) -> bytes:
+    return encode_key(tuple(sorted(tagset)))
+
+
+class SpillingTrackerStore:
+    """Coefficient table that freezes cold segments into sorted run files."""
+
+    def __init__(
+        self,
+        spill_dir: str | None = None,
+        spill_threshold: int | None = None,
+        *,
+        block_size: int | None = None,
+        cache_blocks: int | None = None,
+        merge_fan_in: int | None = None,
+        merge_workers: int | None = None,
+        config: StoreConfig | None = None,
+    ) -> None:
+        config = (config or StoreConfig()).replacing(
+            spill_dir=os.fspath(spill_dir) if spill_dir is not None else None,
+            spill_threshold=spill_threshold,
+            block_size=block_size,
+            cache_blocks=cache_blocks,
+            merge_fan_in=merge_fan_in,
+            merge_workers=merge_workers,
+        )
+        self.config = config
+        # Hot entries are [jaccard, support, reports] lists (mutated in
+        # place) keyed by tagset; a hot entry for a run-resident tagset is
+        # a pure *delta* — the fold with the run record happens at read or
+        # merge time via combine_max_support.
+        self._hot: dict[frozenset, list] = {}
+        self._runs: list[RunReader] = []
+        self._cache = BlockCache(config.cache_blocks)
+        self._dir: str | None = None
+        self._finalizer = None
+        self._sequence = 0
+        self._distinct = 0
+        self._stats = {
+            "spilled_entries": 0,
+            "runs_written": 0,
+            "run_bytes_written": 0,
+            "merges": 0,
+            "parallel_merges": 0,
+            "merge_seconds": 0.0,
+            "membership_probes": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Directory lifecycle (same contract as SpillingCounterStore)
+    # ------------------------------------------------------------------ #
+    def ensure_dir(self) -> str:
+        """The store's private spill directory, created on first use."""
+        if self._dir is None:
+            root = self.config.spill_dir
+            if root is not None:
+                os.makedirs(root, exist_ok=True)
+            self._dir = tempfile.mkdtemp(prefix="repro-tracker-", dir=root)
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._dir, True
+            )
+        return self._dir
+
+    @property
+    def directory(self) -> str | None:
+        """The spill directory, or ``None`` while nothing spilled yet."""
+        return self._dir
+
+    def _next_path(self, kind: str) -> str:
+        self._sequence += 1
+        return os.path.join(
+            self.ensure_dir(), f"{kind}-{self._sequence:06d}.run"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def _seen_in_runs(self, tagset: frozenset) -> bool:
+        if not self._runs:
+            return False
+        self._stats["membership_probes"] += 1
+        encoded = _encode_tagset(tagset)
+        return any(reader.get(encoded) is not None for reader in self._runs)
+
+    def ingest(self, results: Iterable[tuple]) -> tuple[int, int]:
+        """Apply ``(tags, jaccard, support)`` triples; returns the
+        ``(received, duplicates)`` deltas for the owning bolt's counters.
+
+        Bit-for-bit the dict tracker's rule: first sighting stores the
+        report, later sightings displace only on strictly greater support.
+        """
+        received = 0
+        duplicates = 0
+        hot = self._hot
+        threshold = self.config.spill_threshold
+        for tags, jaccard, support in results:
+            received += 1
+            key = frozenset(tags)
+            entry = hot.get(key)
+            if entry is None:
+                if self._seen_in_runs(key):
+                    duplicates += 1
+                else:
+                    self._distinct += 1
+                hot[key] = [float(jaccard), int(support), 1]
+                if len(hot) >= threshold:
+                    self.spill()
+            else:
+                duplicates += 1
+                entry[2] += 1
+                if support > entry[1]:
+                    entry[0] = float(jaccard)
+                    entry[1] = int(support)
+        return received, duplicates
+
+    def ingest_repeated(self, pairs: Iterable[tuple]) -> tuple[int, int]:
+        """Apply ``(triple, count)`` replayed shipments (delta engine)."""
+        received = 0
+        duplicates = 0
+        hot = self._hot
+        threshold = self.config.spill_threshold
+        for (tags, jaccard, support), count in pairs:
+            if count <= 0:
+                continue
+            received += count
+            key = frozenset(tags)
+            entry = hot.get(key)
+            if entry is None:
+                if self._seen_in_runs(key):
+                    duplicates += count
+                else:
+                    self._distinct += 1
+                    duplicates += count - 1
+                hot[key] = [float(jaccard), int(support), count]
+                if len(hot) >= threshold:
+                    self.spill()
+            else:
+                duplicates += count
+                entry[2] += count
+                if support > entry[1]:
+                    entry[0] = float(jaccard)
+                    entry[1] = int(support)
+        return received, duplicates
+
+    def spill(self) -> None:
+        """Freeze the hot segment into a published raw-value run, then
+        compact once the live-run count reaches the merge fan-in."""
+        hot = self._hot
+        if not hot:
+            return
+        rows = sorted(
+            (_encode_tagset(key), encode_value(*entry))
+            for key, entry in hot.items()
+        )
+        result = write_run(
+            self._next_path("run"), rows,
+            block_size=self.config.block_size, raw_values=True,
+        )
+        self._runs.append(RunReader(result.path, self._cache))
+        stats = self._stats
+        stats["spilled_entries"] += result.entries
+        stats["runs_written"] += 1
+        stats["run_bytes_written"] += result.file_bytes
+        hot.clear()
+        if len(self._runs) >= self.config.merge_fan_in:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge all live runs into one (bounds membership-probe cost).
+
+        A failed merge sweeps every on-disk artefact of this store before
+        propagating, so abort paths leave no orphaned runs behind.
+        """
+        if len(self._runs) < 2:
+            return
+        paths = [reader.path for reader in self._runs]
+        for reader in self._runs:
+            reader.close()
+        self._runs = []
+        try:
+            result = compact_runs(
+                paths,
+                lambda layer, index: self._next_path(f"merge{layer}"),
+                fan_in=self.config.merge_fan_in,
+                workers=self.config.merge_workers,
+                block_size=self.config.block_size,
+                combine=combine_max_support,
+            )
+        except BaseException:
+            self._sweep_run_files()
+            raise
+        self._runs = [RunReader(result.path, self._cache)]
+        stats = self._stats
+        stats["merges"] += result.merges
+        stats["parallel_merges"] += result.parallel_merges
+        stats["merge_seconds"] += result.seconds
+
+    def _sweep_run_files(self) -> None:
+        directory = self._dir
+        if directory is None or not os.path.isdir(directory):
+            return
+        for name in os.listdir(directory):
+            if name.endswith(".run") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(directory, name))
+                except OSError:
+                    pass
+
+    def clear(self) -> None:
+        """Drop every record: hot segment, run files, distinct count."""
+        self._hot.clear()
+        self._distinct = 0
+        for reader in self._runs:
+            reader.close()
+            try:
+                os.unlink(reader.path)
+            except OSError:
+                pass
+        self._runs = []
+        self._sweep_run_files()
+
+    def close(self) -> None:
+        """Release everything, including the spill directory itself."""
+        self.clear()
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._dir = None
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def get(self, tagset: frozenset) -> tuple[float, int, int] | None:
+        """The folded ``(jaccard, support, reports)`` of one tagset."""
+        merged: bytes | None = None
+        if self._runs:
+            encoded = _encode_tagset(tagset)
+            for reader in self._runs:  # oldest first
+                value = reader.get(encoded)
+                if value is not None:
+                    merged = value if merged is None else (
+                        combine_max_support(merged, value)
+                    )
+        entry = self._hot.get(tagset)
+        if entry is not None:
+            hot_value = encode_value(*entry)
+            merged = hot_value if merged is None else (
+                combine_max_support(merged, hot_value)
+            )
+        return decode_value(merged) if merged is not None else None
+
+    def _merged_encoded(self) -> Iterator[tuple[bytes, bytes]]:
+        streams: list[Iterator[tuple[bytes, bytes]]] = [
+            reader.entries() for reader in self._runs  # oldest first
+        ]
+        hot = self._hot
+        if hot:
+            streams.append(iter(sorted(
+                (_encode_tagset(key), encode_value(*entry))
+                for key, entry in hot.items()
+            )))
+        return merged_entries(streams, combine=combine_max_support)
+
+    def iter_entries(self) -> Iterator[tuple[frozenset, float, int, int]]:
+        """All ``(tagset, jaccard, support, reports)`` records, in
+        encoded-key order — deterministic regardless of spill timing."""
+        for key, value in self._merged_encoded():
+            jaccard, support, reports = decode_value(value)
+            yield frozenset(decode_key(key)), jaccard, support, reports
+
+    def __contains__(self, tagset: frozenset) -> bool:
+        return tagset in self._hot or self._seen_in_runs(tagset)
+
+    def __len__(self) -> int:
+        return self._distinct
+
+    # ------------------------------------------------------------------ #
+    # Snapshots (service mode)
+    # ------------------------------------------------------------------ #
+    def snapshot(
+        self, round_index: int, reports_received: int, duplicate_reports: int
+    ) -> "RunBackedTrackerSnapshot":
+        """An immutable view over the published runs + the hot segment.
+
+        Opened synchronously on the caller's (writer) thread, before any
+        further mutation: the snapshot's own readers keep the current run
+        files alive even after the store compacts or unlinks them.
+        """
+        return RunBackedTrackerSnapshot(
+            round_index=round_index,
+            reports_received=reports_received,
+            duplicate_reports=duplicate_reports,
+            distinct=self._distinct,
+            run_paths=[reader.path for reader in self._runs],
+            hot={key: tuple(entry) for key, entry in self._hot.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stats and pickling
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, float]:
+        """Cumulative spill/merge accounting plus block-cache counters."""
+        stats: dict[str, float] = dict(self._stats)
+        cache = self._cache.stats()
+        stats["block_cache_hits"] = cache["hits"]
+        stats["block_cache_misses"] = cache["misses"]
+        stats["block_cache_evictions"] = cache["evictions"]
+        stats["runs_live"] = len(self._runs)
+        stats["hot_entries"] = len(self._hot)
+        return stats
+
+    def __getstate__(self) -> dict:
+        # Manifest protocol, like the counter store — but ownership of the
+        # spill directory *moves with the pickle*: the sender detaches its
+        # GC finalizer, otherwise a worker process exiting after shipping
+        # the bolt back would rmtree the directory the driver adopted.
+        manifest = [reader.path for reader in self._runs]
+        if manifest and self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        return {
+            "config": self.config,
+            "hot": {key: tuple(entry) for key, entry in self._hot.items()},
+            "distinct": self._distinct,
+            "manifest": manifest,
+            "stats": dict(self._stats),
+            "cache_counters": (
+                self._cache.hits, self._cache.misses, self._cache.evictions
+            ),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(config=state["config"])
+        self._hot = {key: list(entry) for key, entry in state["hot"].items()}
+        self._distinct = state["distinct"]
+        self._stats.update(state["stats"])
+        self._cache.hits, self._cache.misses, self._cache.evictions = (
+            state["cache_counters"]
+        )
+        manifest = state["manifest"]
+        if manifest:
+            # Adopt the sender's directory (and its cleanup duty).
+            self._dir = os.path.dirname(manifest[0])
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._dir, True
+            )
+            self._runs = [RunReader(path, self._cache) for path in manifest]
+
+
+class RunBackedTrackerSnapshot:
+    """Immutable tracker view answering queries from runs + a hot copy.
+
+    Duck-types :class:`repro.operators.tracker.TrackerSnapshot`'s query
+    surface (``round_index``, ``reports_received``, ``duplicate_reports``,
+    ``__len__``, ``coefficient``, ``top_k``, ``digest``) without copying
+    the table: run blocks are faulted in on demand through a private
+    block cache.  All reads are serialised by one lock — the cache is not
+    thread-safe, and daemon query threads share the snapshot.
+
+    The readers are opened at construction time (writer thread, quiescent
+    point); the backing files stay readable even after the store unlinks
+    them, so a retained snapshot keeps answering the same round forever.
+    """
+
+    __slots__ = (
+        "round_index", "reports_received", "duplicate_reports",
+        "_distinct", "_hot", "_readers", "_cache", "_lock", "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        round_index: int,
+        reports_received: int,
+        duplicate_reports: int,
+        distinct: int,
+        run_paths: list[str],
+        hot: dict[frozenset, tuple],
+    ) -> None:
+        self.round_index = round_index
+        self.reports_received = reports_received
+        self.duplicate_reports = duplicate_reports
+        self._distinct = distinct
+        self._hot = hot
+        self._cache = BlockCache(64)
+        self._readers = []
+        try:
+            for path in run_paths:
+                self._readers.append(RunReader(path, self._cache))
+        except BaseException:
+            for reader in self._readers:
+                reader.close()
+            raise
+        self._lock = threading.Lock()
+        self._finalizer = weakref.finalize(
+            self, _close_readers, self._readers
+        )
+
+    def close(self) -> None:
+        """Release the snapshot's readers (a GC finalizer backstops)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+
+    def __len__(self) -> int:
+        return self._distinct
+
+    def coefficient(self, tagset: frozenset) -> tuple[float, int] | None:
+        """The folded ``(jaccard, support)`` of one tagset, if reported."""
+        with self._lock:
+            merged: bytes | None = None
+            if self._readers:
+                encoded = _encode_tagset(tagset)
+                for reader in self._readers:  # oldest first
+                    value = reader.get(encoded)
+                    if value is not None:
+                        merged = value if merged is None else (
+                            combine_max_support(merged, value)
+                        )
+            entry = self._hot.get(tagset)
+            if entry is not None:
+                hot_value = encode_value(*entry)
+                merged = hot_value if merged is None else (
+                    combine_max_support(merged, hot_value)
+                )
+        if merged is None:
+            return None
+        jaccard, support, _reports = decode_value(merged)
+        return jaccard, support
+
+    def _merged_decoded(self) -> Iterator[tuple[frozenset, float, int]]:
+        streams: list[Iterator[tuple[bytes, bytes]]] = [
+            reader.entries() for reader in self._readers
+        ]
+        hot = self._hot
+        if hot:
+            streams.append(iter(sorted(
+                (_encode_tagset(key), encode_value(*entry))
+                for key, entry in hot.items()
+            )))
+        for key, value in merged_entries(streams, combine=combine_max_support):
+            jaccard, support, _reports = decode_value(value)
+            yield frozenset(decode_key(key)), jaccard, support
+
+    def top_k(
+        self, k: int = 10, min_support: int = 0
+    ) -> list[tuple[frozenset, float, int]]:
+        """The ``k`` strongest coefficients, identically ordered to the
+        dict snapshot's (jaccard desc, support desc, tags lexically)."""
+        with self._lock:
+            candidates = (
+                row for row in self._merged_decoded() if row[2] >= min_support
+            )
+            return heapq.nsmallest(
+                k, candidates,
+                key=lambda row: (-row[1], -row[2], tuple(sorted(row[0]))),
+            )
+
+    def digest(self) -> str:
+        """Order-insensitive content hash — line-identical to the dict
+        snapshot's over the same table."""
+        with self._lock:
+            lines = sorted(
+                f"{','.join(sorted(tagset))}={jaccard!r}/{support}"
+                for tagset, jaccard, support in self._merged_decoded()
+            )
+        hasher = hashlib.sha256()
+        for line in lines:
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+
+def _close_readers(readers: list) -> None:
+    for reader in readers:
+        try:
+            reader.close()
+        except Exception:
+            pass

@@ -1,4 +1,4 @@
-"""Spill ≡ dict: the counter store is invisible in everything the system says.
+"""Spill ≡ dict: the out-of-core stores are invisible in everything the system says.
 
 ``SystemConfig(counter_store="spill")`` moves the Calculators' window
 counters out of core — hot segments freeze into sorted run files, report
@@ -12,6 +12,12 @@ migration payload streams from merged runs) and a served (service-mode)
 run — while asserting the spill machinery actually engaged (runs written,
 merges run) and cleaned up after itself (no spill directories survive a
 drain).
+
+``SystemConfig(tracker_store="spill")`` does the same to the Tracker's
+dedup coefficient table — the max-support dedup rule becomes the run-merge
+combiner — and ``report_chunk_size`` bounds the reporting path's emission
+and drain batches; both are pinned bit-identical to the defaults by the
+``TestTrackerSpill`` / ``TestServiceModeWithTrackerSpill`` grids below.
 """
 
 import os
@@ -260,6 +266,163 @@ class TestSketchModeUnaffected:
         assert report.store_stats is None
 
 
+class TestTrackerSpill:
+    """``tracker_store="spill"`` ≡ dict: the Tracker's dedup table moves
+    into sorted runs (the max-support rule becomes the merge combiner) and
+    nothing observable changes — every pinned metric, every coefficient,
+    every support.  The grid re-crosses reporting engines × executors
+    against the dict-store baselines, plus the paths with their own
+    machinery: chunked report emissions/drains, both stores spilling at
+    once, and the forced mid-stream migration handoff."""
+
+    TRACKER_THRESHOLD = 300
+
+    @pytest.fixture(scope="class")
+    def tracker_runs(self, documents, spill_root):
+        runs = {}
+        for engine in ENGINES:
+            for executor in ("inline", "process"):
+                overrides = {
+                    "tracker_store": "spill",
+                    "tracker_spill_threshold": self.TRACKER_THRESHOLD,
+                    "spill_dir": spill_root,
+                    "reporting_engine": engine,
+                    "executor": executor,
+                }
+                if executor == "process":
+                    overrides["workers"] = 2
+                runs[(engine, executor)] = _run(
+                    documents, spill_root, **overrides
+                )
+        return runs
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    @pytest.mark.parametrize("field", IDENTICAL_FIELDS)
+    def test_metrics_identical(
+        self, tracker_runs, grid_runs, engine, executor, field
+    ):
+        _, spill, _ = tracker_runs[(engine, executor)]
+        _, plain, _ = grid_runs[("dict", engine, executor)]
+        assert getattr(spill, field) == getattr(plain, field)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_coefficients_and_supports_identical(
+        self, tracker_runs, grid_runs, engine, executor
+    ):
+        _, _, spill_tracker = tracker_runs[(engine, executor)]
+        _, _, plain_tracker = grid_runs[("dict", engine, executor)]
+        assert spill_tracker.coefficients() == plain_tracker.coefficients()
+        assert spill_tracker.supports() == plain_tracker.supports()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("executor", ["inline", "process"])
+    def test_spilling_actually_happened(self, tracker_runs, engine, executor):
+        _, report, _ = tracker_runs[(engine, executor)]
+        assert report.tracker_store == "spill"
+        stats = report.tracker_store_stats
+        assert stats is not None
+        assert stats["runs_written"] > 0
+        assert stats["spilled_entries"] > 0
+        assert stats["hot_entries"] < self.TRACKER_THRESHOLD
+
+    def test_dict_cells_report_no_tracker_stats(self, grid_runs):
+        _, report, _ = grid_runs[("dict", "incremental", "inline")]
+        assert report.tracker_store == "dict"
+        assert report.tracker_store_stats is None
+
+    def test_snapshot_digest_matches_the_dict_tracker(
+        self, tracker_runs, grid_runs
+    ):
+        """A run-backed snapshot over the final table hashes line-identical
+        to the dict tracker's full-copy snapshot."""
+        _, _, spill_tracker = tracker_runs[("incremental", "inline")]
+        _, _, plain_tracker = grid_runs[("dict", "incremental", "inline")]
+        spill_snapshot = spill_tracker.snapshot(round_index=7)
+        try:
+            assert spill_snapshot.digest() == plain_tracker.snapshot(7).digest()
+            assert spill_snapshot.top_k(k=20) == plain_tracker.snapshot(7).top_k(k=20)
+        finally:
+            spill_snapshot.close()
+
+    def test_chunked_reporting_path_identical(self, documents, spill_root, grid_runs):
+        """Bounded report emissions + chunked end-of-run drains: physical
+        only, every logical answer unchanged."""
+        _, report, tracker = _run(
+            documents,
+            spill_root,
+            tracker_store="spill",
+            tracker_spill_threshold=self.TRACKER_THRESHOLD,
+            spill_dir=spill_root,
+            report_chunk_size=64,
+            executor="process",
+            workers=2,
+        )
+        _, plain, plain_tracker = grid_runs[("dict", "incremental", "process")]
+        for field in IDENTICAL_FIELDS:
+            assert getattr(report, field) == getattr(plain, field), field
+        assert tracker.coefficients() == plain_tracker.coefficients()
+        tracker.close()
+
+    def test_both_stores_spill_together(self, documents, spill_root, grid_runs):
+        """Counter store and tracker store both out of core at once."""
+        _, report, tracker = _run(
+            documents,
+            spill_root,
+            counter_store="spill",
+            tracker_store="spill",
+            tracker_spill_threshold=self.TRACKER_THRESHOLD,
+        )
+        _, plain, plain_tracker = grid_runs[("dict", "incremental", "inline")]
+        for field in IDENTICAL_FIELDS:
+            assert getattr(report, field) == getattr(plain, field), field
+        assert tracker.coefficients() == plain_tracker.coefficients()
+        assert report.store_stats["runs_written"] > 0
+        assert report.tracker_store_stats["runs_written"] > 0
+        tracker.close()
+
+    def test_migration_handoff_identical(self, documents, spill_root):
+        """Forced mid-stream swaps with state migration: the migrated
+        triples re-ingest through the spill store bit-identically."""
+        results = {}
+        for store in STORES:
+            results[store] = _run(
+                documents,
+                spill_root,
+                tracker_store=store,
+                tracker_spill_threshold=self.TRACKER_THRESHOLD,
+                spill_dir=spill_root,
+                repartition_policy="fixed",
+                repartition_at=(700, 1400),
+                repartition_handoff="migrate",
+            )
+        _, spill, spill_tracker = results["spill"]
+        _, plain, plain_tracker = results["dict"]
+        assert spill.n_repartitions == 2
+        assert spill.migration_stats["migrated_triples"] > 0
+        for field in IDENTICAL_FIELDS:
+            assert getattr(spill, field) == getattr(plain, field), field
+        assert spill_tracker.coefficients() == plain_tracker.coefficients()
+        assert spill_tracker.supports() == plain_tracker.supports()
+        spill_tracker.close()
+
+    def test_closing_the_trackers_empties_the_spill_root(
+        self, tracker_runs, spill_root
+    ):
+        """The tracker store keeps its runs readable after the drain (the
+        table *is* the run set); an explicit close releases everything.
+        Must run after every other test of this class — closed trackers
+        answer queries with empty tables."""
+        for _, _, tracker in tracker_runs.values():
+            tracker.close()
+        leftovers = [
+            name for name in os.listdir(spill_root)
+            if name.startswith("repro-tracker-")
+        ]
+        assert leftovers == []
+
+
 class TestServiceModeWithSpill:
     """A served spill run — socket ingest, quiescent snapshot boundaries
     between batches — equals the inline dict run document for document."""
@@ -303,3 +466,95 @@ class TestServiceModeWithSpill:
         assert report.counter_store == "spill"
         assert report.store_stats["runs_written"] > 0
         assert os.listdir(spill_root) == []
+
+
+class TestServiceModeWithTrackerSpill:
+    """The daemon's quiescent snapshots come from the run-backed view —
+    no full-table copy per round — and the served run still equals the
+    inline dict batch run exactly."""
+
+    INGEST_BATCH = 250
+
+    def _serve(self, documents, spill_root, **overrides):
+        config = _config(spill_root, **overrides)
+        with ServiceDaemon(config) as daemon:
+            host, port = daemon.address
+            with ServiceClient(host=host, port=port) as client:
+                for start in range(0, len(documents), self.INGEST_BATCH):
+                    batch = documents[start:start + self.INGEST_BATCH]
+                    response = client.ingest(batch, block=True, timeout=60.0)
+                    assert response["accepted"] == len(batch)
+                top = client.top_k(k=5)
+                assert top["ok"]
+                client.shutdown()
+        report = daemon.final_report
+        assert report is not None
+        tracker = next(
+            bolt
+            for bolt in daemon.system.cluster.instances_of(streams.TRACKER)
+            if isinstance(bolt, TrackerBolt)
+        )
+        return daemon, report, tracker
+
+    @pytest.fixture(scope="class")
+    def served_tracker_spill(self, documents, spill_root):
+        return self._serve(
+            documents,
+            spill_root,
+            tracker_store="spill",
+            tracker_spill_threshold=TestTrackerSpill.TRACKER_THRESHOLD,
+            spill_dir=spill_root,
+        )
+
+    @pytest.fixture(scope="class")
+    def served_dict(self, documents, spill_root):
+        return self._serve(documents, spill_root)
+
+    def test_served_equals_batch_dict(self, served_tracker_spill, grid_runs):
+        _, served_report, served_tracker = served_tracker_spill
+        _, batch_report, batch_tracker = grid_runs[
+            ("dict", "incremental", "inline")
+        ]
+        for field in IDENTICAL_FIELDS:
+            assert getattr(served_report, field) == getattr(
+                batch_report, field
+            ), field
+        assert served_tracker.coefficients() == batch_tracker.coefficients()
+        assert served_tracker.supports() == batch_tracker.supports()
+
+    def test_snapshots_are_run_backed_and_digest_identical(
+        self, served_tracker_spill, served_dict
+    ):
+        """Every quiescent snapshot the spill daemon published answers from
+        the run-backed view and hashes line-identical, round for round, to
+        the dict daemon's full-copy snapshot of the same round."""
+        from repro.store import RunBackedTrackerSnapshot
+
+        spill_daemon, _, _ = served_tracker_spill
+        dict_daemon, _, _ = served_dict
+        spill_snapshots = spill_daemon.retained_snapshots()
+        dict_snapshots = dict_daemon.retained_snapshots()
+        assert [s.round_index for s in spill_snapshots] == [
+            s.round_index for s in dict_snapshots
+        ]
+        assert any(
+            isinstance(s, RunBackedTrackerSnapshot) for s in spill_snapshots
+        )
+        for spill_snapshot, dict_snapshot in zip(
+            spill_snapshots, dict_snapshots
+        ):
+            assert spill_snapshot.digest() == dict_snapshot.digest()
+            assert spill_snapshot.top_k(k=20) == dict_snapshot.top_k(k=20)
+            assert len(spill_snapshot) == len(dict_snapshot)
+
+    def test_served_tracker_spilled_and_closes_clean(
+        self, served_tracker_spill, spill_root
+    ):
+        _, report, tracker = served_tracker_spill
+        assert report.tracker_store == "spill"
+        assert report.tracker_store_stats["runs_written"] > 0
+        tracker.close()
+        assert [
+            name for name in os.listdir(spill_root)
+            if name.startswith("repro-tracker-")
+        ] == []

@@ -190,11 +190,13 @@ class TestMergeAbortHygiene:
         real_merge = run_merge.merge_runs
         calls = []
 
-        def failing_second(sources, destination, *, block_size):
+        def failing_second(sources, destination, *, block_size, combine=None):
             calls.append(destination)
             if len(calls) == 2:
                 raise OSError("injected mid-compaction")
-            return real_merge(sources, destination, block_size=block_size)
+            return real_merge(
+                sources, destination, block_size=block_size, combine=combine
+            )
 
         monkeypatch.setattr(run_merge, "merge_runs", failing_second)
         with pytest.raises(OSError, match="mid-compaction"):

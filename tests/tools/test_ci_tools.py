@@ -622,3 +622,92 @@ class TestSpillBenchGate:
         data = json.loads(committed.read_text(encoding="utf-8"))
         assert data["generated_by"] == "benchmarks/perf/spill.py"
         assert check_perf.compare_spill(data, data, 0.2) == 0
+
+
+def _tracker_spill_bench(host, cells):
+    """Cells as (workload, tracker_store, dps, rss, resident_coefficients).
+
+    The tracker-contrast round's cells: counter store pinned to dict,
+    ``tracker_store`` varying, with the peak resident *coefficient*
+    figure the upward-binding headline.
+    """
+    return {
+        "generated_by": "benchmarks/perf/spill.py",
+        "host": host,
+        "runs": [
+            {
+                "workload": workload,
+                "counter_store": "dict",
+                "tracker_store": tracker,
+                "docs_per_second": dps,
+                "rss_total_mb": rss,
+                "peak_resident_counter_entries": 40000,
+                "peak_resident_coefficient_entries": coefficients,
+            }
+            for workload, tracker, dps, rss, coefficients in cells
+        ],
+    }
+
+
+class TestTrackerSpillGate:
+    """The spill dialect's tracker-contrast cells: keyed by tracker store,
+    with ``peak_resident_coefficient_entries`` binding upward."""
+
+    def test_no_regression_passes(self):
+        baseline = _tracker_spill_bench(
+            HOST, [("xlarge-reporting", "spill", 300.0, 250.0, 15000)]
+        )
+        candidate = _tracker_spill_bench(
+            HOST, [("xlarge-reporting", "spill", 290.0, 260.0, 15500)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 0
+
+    def test_resident_coefficient_growth_binds_upward(self):
+        """A tracker hot tail that stops respecting its threshold fails
+        even while docs/sec and RSS hold."""
+        baseline = _tracker_spill_bench(
+            HOST, [("xlarge-reporting", "spill", 300.0, 250.0, 15000)]
+        )
+        candidate = _tracker_spill_bench(
+            HOST, [("xlarge-reporting", "spill", 300.0, 250.0, 150000)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 1
+
+    def test_tracker_stores_keyed_separately(self):
+        """A dict-tracker cell never diffs against a spill-tracker cell of
+        the same workload."""
+        baseline = _tracker_spill_bench(
+            HOST, [("xlarge-reporting", "dict", 1500.0, 350.0, 300000)]
+        )
+        candidate = _tracker_spill_bench(
+            HOST, [("xlarge-reporting", "spill", 300.0, 250.0, 15000)]
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            check_perf.compare_spill(baseline, candidate, 0.2)
+        assert excinfo.value.code == 2
+
+    def test_legacy_snapshot_defaults_to_dict_tracker_key(self):
+        """Snapshots recorded before the tracker-contrast round (no
+        tracker_store field) compare against explicit dict-tracker cells —
+        and skip the coefficient metric they never recorded."""
+        baseline = _spill_bench(
+            HOST, [("xlarge", "spill", 1000.0, 800.0, 16000)]
+        )
+        candidate = _spill_bench(
+            HOST, [("xlarge", "spill", 500.0, 800.0, 16000)]
+        )
+        for run in candidate["runs"]:
+            run["tracker_store"] = "dict"
+            run["peak_resident_coefficient_entries"] = 10**9
+        # One binding finding: the docs/s drop.  The absurd coefficient
+        # figure is skipped because the baseline never recorded it.
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 1
+
+    def test_different_host_never_binds(self):
+        baseline = _tracker_spill_bench(
+            HOST, [("xlarge-reporting", "spill", 300.0, 250.0, 15000)]
+        )
+        candidate = _tracker_spill_bench(
+            OTHER_HOST, [("xlarge-reporting", "spill", 30.0, 2500.0, 1500000)]
+        )
+        assert check_perf.compare_spill(baseline, candidate, 0.2) == 0

@@ -57,13 +57,16 @@ under-load query p95 latencies *upward* (each may grow by at most
 binding only on matching hosts.
 
 And it understands ``BENCH_spill.json`` snapshots (``generated_by:
-benchmarks/perf/spill.py``, the out-of-core counter-store bench): spill
-cells are matched by ``(workload, counter_store)`` and gate docs/sec
-*downward* like a throughput cell, while ``rss_total_mb`` and
-``peak_resident_counter_entries`` bind *upward* — each may grow by at
-most ``tolerance`` relative to the baseline, with a 64 MB / 2048-entry
-noise floor — because the bench's whole point is that those figures stay
-flat.  RSS comparisons, like docs/sec, only bind on matching hosts.
+benchmarks/perf/spill.py``, the out-of-core store bench): spill cells
+are matched by ``(workload, counter_store, tracker_store)`` and gate
+docs/sec *downward* like a throughput cell, while ``rss_total_mb``,
+``peak_resident_counter_entries`` and (on cells that record it)
+``peak_resident_coefficient_entries`` bind *upward* — each may grow by
+at most ``tolerance`` relative to the baseline, with a 64 MB /
+2048-entry noise floor — because the bench's whole point is that those
+figures stay flat.  Snapshots recorded before the tracker-contrast
+round default to the ``dict`` tracker key.  RSS comparisons, like
+docs/sec, only bind on matching hosts.
 
 Both files must be the same kind of snapshot.
 
@@ -391,7 +394,13 @@ def _snapshot_kind(data: dict) -> str:
 
 def _spill_cells(data: dict) -> dict[tuple, dict]:
     return {
-        (run["workload"], run.get("counter_store", "dict")): run
+        (
+            run["workload"],
+            run.get("counter_store", "dict"),
+            # Snapshots recorded before the tracker-contrast round carry
+            # no tracker_store field and default to the dict tracker.
+            run.get("tracker_store", "dict"),
+        ): run
         for run in data["runs"]
     }
 
@@ -411,8 +420,10 @@ def compare_spill(baseline: dict, candidate: dict, tolerance: float) -> int:
         raise _usage_error("the two files share no benchmark cells")
     regressions = 0
     for key in shared:
-        workload, store = key
+        workload, store, tracker_store = key
         label = f"{workload}/{store}"
+        if tracker_store != "dict":
+            label = f"{label}+tracker={tracker_store}"
         old_cell, new_cell = base_cells[key], cand_cells[key]
         old = old_cell["docs_per_second"]
         new = new_cell["docs_per_second"]
@@ -423,7 +434,7 @@ def compare_spill(baseline: dict, candidate: dict, tolerance: float) -> int:
             status = "REGRESSION" if binding else "regression (report-only)"
             if binding:
                 regressions += 1
-        print(f"[perf-diff] {label:<16} {old:>9.1f} -> {new:>9.1f} docs/s  "
+        print(f"[perf-diff] {label:<30} {old:>9.1f} -> {new:>9.1f} docs/s  "
               f"({ratio:5.2f}x)  {status}")
         # The memory figures regress by *growing*.  Relative tolerance with
         # absolute noise floors: whole-process RSS wobbles tens of MB run
@@ -433,6 +444,8 @@ def compare_spill(baseline: dict, candidate: dict, tolerance: float) -> int:
             ("rss_total_mb", RSS_NOISE_FLOOR_MB, "MB rss"),
             ("peak_resident_counter_entries", ENTRIES_NOISE_FLOOR,
              "resident entries"),
+            ("peak_resident_coefficient_entries", ENTRIES_NOISE_FLOOR,
+             "resident coefficients"),
         )
         for metric, floor, unit in upward:
             old_value = old_cell.get(metric)
@@ -447,7 +460,7 @@ def compare_spill(baseline: dict, candidate: dict, tolerance: float) -> int:
                 )
                 if binding:
                     regressions += 1
-            print(f"[perf-diff] {label:<16} {old_value:>9.1f} -> "
+            print(f"[perf-diff] {label:<30} {old_value:>9.1f} -> "
                   f"{new_value:>9.1f} {unit}  {metric_status}")
     return regressions
 
